@@ -1,0 +1,80 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * NLP classifier with/without stemming+stop-words (normalization),
+//! * OCR with/without dictionary post-correction, under light and heavy
+//!   noise,
+//! * phrase-bonus voting vs plain keyword counting (dictionary size
+//!   sensitivity via a truncated dictionary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disengage_core::pipeline::default_corrector;
+use disengage_corpus::{CorpusConfig, CorpusGenerator};
+use disengage_nlp::{Classifier, FailureDictionary, FaultTag};
+use disengage_ocr::engine::OcrEngine;
+use disengage_ocr::raster::rasterize;
+use disengage_ocr::NoiseModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_classifier_ablation(c: &mut Criterion) {
+    let corpus = CorpusGenerator::new(CorpusConfig {
+        seed: 0x5EED,
+        scale: 0.05,
+    })
+    .generate();
+    let descriptions: Vec<&str> = corpus
+        .truth
+        .disengagements()
+        .iter()
+        .map(|r| r.description.as_str())
+        .collect();
+
+    let full = Classifier::with_default_dictionary();
+    // Truncated dictionary: first phrase per tag only.
+    let mut small_dict = FailureDictionary::new();
+    let bank = FailureDictionary::default_bank();
+    for tag in FaultTag::ALL {
+        if let Some(first) = bank.phrases(tag).first() {
+            small_dict.add_phrase(tag, first);
+        }
+    }
+    let truncated = Classifier::new(small_dict);
+
+    let mut g = c.benchmark_group("nlp_ablation");
+    g.sample_size(20);
+    g.bench_function("full_dictionary", |b| {
+        b.iter(|| full.classify_all(descriptions.iter().copied()))
+    });
+    g.bench_function("truncated_dictionary", |b| {
+        b.iter(|| truncated.classify_all(descriptions.iter().copied()))
+    });
+    g.finish();
+}
+
+fn bench_ocr_ablation(c: &mut Criterion) {
+    let text = "Planned test on 5/12/16 (car 2): sensor failed to localize in time [road=highway; weather=rain]\n".repeat(20);
+    let engine = OcrEngine::new();
+    let corrector = default_corrector();
+    let page = rasterize(&text);
+
+    let mut g = c.benchmark_group("ocr_ablation");
+    g.sample_size(10);
+    for (name, noise) in [
+        ("light_noise", NoiseModel::light()),
+        ("heavy_noise", NoiseModel::heavy()),
+    ] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let noisy = noise.degrade(&page, &mut rng);
+        g.bench_function(format!("recognize_{name}"), |b| {
+            b.iter(|| engine.recognize(&noisy))
+        });
+        let recognized = engine.recognize(&noisy);
+        g.bench_function(format!("correct_{name}"), |b| {
+            b.iter(|| corrector.correct_text(&recognized.text))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_classifier_ablation, bench_ocr_ablation);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Stage-by-stage pipeline throughput: corpus generation, document
+//! rendering + normalization, OCR digitization, and NLP tagging.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use disengage_core::pipeline::{Pipeline, PipelineConfig};
+use disengage_core::tagging::tag_records;
+use disengage_corpus::{CorpusConfig, CorpusGenerator};
+use disengage_nlp::Classifier;
+use disengage_ocr::engine::OcrEngine;
+use disengage_ocr::raster::rasterize;
+use disengage_ocr::NoiseModel;
+use disengage_reports::normalize::normalize_all;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let corpus_cfg = CorpusConfig {
+        seed: 0x5EED,
+        scale: 0.1,
+    };
+    let corpus = CorpusGenerator::new(corpus_cfg).generate();
+    let n_records = corpus.truth.disengagements().len() as u64;
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+
+    g.throughput(Throughput::Elements(n_records));
+    g.bench_function("stage1_corpus_generation", |b| {
+        b.iter(|| CorpusGenerator::new(corpus_cfg).generate())
+    });
+
+    g.throughput(Throughput::Elements(n_records));
+    g.bench_function("stage2_normalization", |b| {
+        b.iter(|| normalize_all(corpus.documents.iter()))
+    });
+
+    let classifier = Classifier::with_default_dictionary();
+    g.throughput(Throughput::Elements(n_records));
+    g.bench_function("stage3_nlp_tagging", |b| {
+        b.iter(|| tag_records(&classifier, corpus.truth.disengagements()))
+    });
+
+    g.throughput(Throughput::Elements(n_records));
+    g.bench_function("end_to_end_passthrough", |b| {
+        b.iter(|| {
+            Pipeline::new(PipelineConfig {
+                corpus: corpus_cfg,
+                ..Default::default()
+            })
+            .run()
+            .expect("pipeline")
+        })
+    });
+    g.finish();
+
+    // OCR throughput on one representative document.
+    let doc = corpus
+        .documents
+        .iter()
+        .max_by_key(|d| d.text.len())
+        .expect("documents exist");
+    let chars = doc.text.chars().count() as u64;
+    let page = rasterize(&doc.text);
+    let mut rng = StdRng::seed_from_u64(7);
+    let noisy = NoiseModel::light().degrade(&page, &mut rng);
+    let engine = OcrEngine::new();
+    let mut g = c.benchmark_group("ocr");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(chars));
+    g.bench_function("rasterize_document", |b| b.iter(|| rasterize(&doc.text)));
+    g.bench_function("recognize_document", |b| b.iter(|| engine.recognize(&noisy)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

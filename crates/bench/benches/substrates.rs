@@ -1,0 +1,83 @@
+//! Substrate micro-benches: the statistics and dataframe kernels behind
+//! the analyses.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use disengage_dataframe::{Agg, Column, DataFrame};
+use disengage_stats::boxplot::box_stats;
+use disengage_stats::correlation::pearson;
+use disengage_stats::dist::{Continuous, Weibull};
+use disengage_stats::fit::{fit_exponentiated_weibull, fit_weibull};
+use disengage_stats::quantile::{quantile, QuantileMethod};
+use disengage_stats::regression::fit_linear;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(99);
+    Weibull::new(1.4, 0.9)
+        .expect("valid params")
+        .sample_n(&mut rng, n)
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let xs = sample(5_000);
+    let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+
+    let mut g = c.benchmark_group("stats");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("quantile_median_5k", |b| {
+        b.iter(|| quantile(&xs, 0.5, QuantileMethod::Linear).expect("quantile"))
+    });
+    g.bench_function("box_stats_5k", |b| b.iter(|| box_stats(&xs).expect("box")));
+    g.bench_function("pearson_5k", |b| b.iter(|| pearson(&xs, &ys).expect("pearson")));
+    g.bench_function("ols_fit_5k", |b| b.iter(|| fit_linear(&xs, &ys).expect("ols")));
+    g.bench_function("weibull_mle_5k", |b| {
+        b.iter(|| fit_weibull(&xs).expect("weibull fit"))
+    });
+    g.finish();
+
+    let small = sample(500);
+    let mut g = c.benchmark_group("stats_slow");
+    g.sample_size(10);
+    g.bench_function("exp_weibull_mle_500", |b| {
+        b.iter(|| fit_exponentiated_weibull(&small).expect("ew fit"))
+    });
+    g.finish();
+}
+
+fn bench_dataframe(c: &mut Criterion) {
+    const N: usize = 10_000;
+    let makers: Vec<&str> = (0..N)
+        .map(|i| ["waymo", "bosch", "nissan", "delphi"][i % 4])
+        .collect();
+    let miles: Vec<f64> = (0..N).map(|i| (i % 100) as f64).collect();
+    let df = DataFrame::new(vec![
+        ("maker", Column::from_strs(&makers)),
+        ("miles", Column::from_f64s(&miles)),
+    ])
+    .expect("frame");
+
+    let mut g = c.benchmark_group("dataframe");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("group_by_sum_10k", |b| {
+        b.iter(|| {
+            df.group_by(&["maker"], &[("miles", Agg::Sum, "total")])
+                .expect("group_by")
+        })
+    });
+    g.bench_function("sort_10k", |b| {
+        b.iter(|| df.sort_by("miles", true).expect("sort"))
+    });
+    g.bench_function("csv_round_trip_10k", |b| {
+        b.iter(|| {
+            let text = disengage_dataframe::csv::write_str(&df);
+            disengage_dataframe::csv::read_str(&text).expect("csv")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stats, bench_dataframe);
+criterion_main!(benches);

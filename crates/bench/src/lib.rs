@@ -1,0 +1,48 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Every table/figure bench needs a pipeline outcome to regenerate its
+//! artifact from; building one per iteration would swamp the measurement,
+//! so the fixtures here build it once.
+
+use disengage_core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
+use disengage_corpus::CorpusConfig;
+
+/// A pipeline outcome at the paper's full scale (5,328 disengagements),
+/// digitized losslessly. Used by the `repro` harness and the analysis
+/// benches.
+pub fn full_scale_outcome() -> PipelineOutcome {
+    Pipeline::new(PipelineConfig {
+        corpus: CorpusConfig {
+            seed: 0x5EED,
+            scale: 1.0,
+        },
+        ..Default::default()
+    })
+    .run()
+    .expect("full-scale pipeline runs")
+}
+
+/// A smaller outcome (~10% scale) for benches where per-iteration work
+/// matters more than corpus size.
+pub fn bench_outcome() -> PipelineOutcome {
+    Pipeline::new(PipelineConfig {
+        corpus: CorpusConfig {
+            seed: 0x5EED,
+            scale: 0.1,
+        },
+        ..Default::default()
+    })
+    .run()
+    .expect("bench pipeline runs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let o = bench_outcome();
+        assert!(o.database.disengagements().len() > 400);
+    }
+}

@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for pipeline and analysis operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A statistics computation failed.
+    Stats(disengage_stats::StatsError),
+    /// A dataframe operation failed.
+    Frame(disengage_dataframe::FrameError),
+    /// A report-layer operation failed.
+    Report(disengage_reports::ReportError),
+    /// An analysis had no data to work with.
+    NoData(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::Frame(e) => write!(f, "dataframe error: {e}"),
+            CoreError::Report(e) => write!(f, "report error: {e}"),
+            CoreError::NoData(what) => write!(f, "no data for {what}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Stats(e) => Some(e),
+            CoreError::Frame(e) => Some(e),
+            CoreError::Report(e) => Some(e),
+            CoreError::NoData(_) => None,
+        }
+    }
+}
+
+impl From<disengage_stats::StatsError> for CoreError {
+    fn from(e: disengage_stats::StatsError) -> CoreError {
+        CoreError::Stats(e)
+    }
+}
+
+impl From<disengage_dataframe::FrameError> for CoreError {
+    fn from(e: disengage_dataframe::FrameError) -> CoreError {
+        CoreError::Frame(e)
+    }
+}
+
+impl From<disengage_reports::ReportError> for CoreError {
+    fn from(e: disengage_reports::ReportError) -> CoreError {
+        CoreError::Report(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = disengage_stats::StatsError::EmptyInput.into();
+        assert!(e.to_string().contains("statistics"));
+        assert!(e.source().is_some());
+        let e: CoreError = disengage_dataframe::FrameError::UnknownColumn("x".into()).into();
+        assert!(e.to_string().contains("dataframe"));
+        let e = CoreError::NoData("fig 4");
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,50 @@
+//! The paper's end-to-end pipeline and Stage IV analyses.
+//!
+//! This crate wires the substrates into the four-stage pipeline of Fig. 1
+//! and implements every analysis in Section V:
+//!
+//! * [`pipeline`] — Stage I (corpus + optional simulated OCR), Stage II
+//!   (parse/filter/normalize), Stage III (NLP tagging), Stage IV entry.
+//! * [`metrics`] — DPM, APM, DPA, APMi, and per-car rate attribution.
+//! * [`questions`] — the paper's five research questions as typed
+//!   analyses (Q1 technology assessment … Q5 human comparison).
+//! * [`tables`] — Tables I–VIII as dataframes.
+//! * [`figures`] — the data series behind Figs. 4–12.
+//! * [`constants`] — the literature baselines the paper cites (human
+//!   APM, airline/surgical-robot rates, trip length, human reaction
+//!   time).
+//! * [`report`] — plain-text rendering of tables for the `repro` harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use disengage_core::pipeline::{Pipeline, PipelineConfig};
+//!
+//! # fn main() -> Result<(), disengage_core::CoreError> {
+//! let mut config = PipelineConfig::default();
+//! config.corpus.scale = 0.05; // small corpus for the doctest
+//! let outcome = Pipeline::new(config).run()?;
+//! assert!(outcome.database.disengagements().len() > 100);
+//! assert_eq!(outcome.tagged.len(), outcome.database.disengagements().len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod constants;
+mod error;
+pub mod export;
+pub mod exposure;
+pub mod figures;
+pub mod metrics;
+pub mod pipeline;
+pub mod questions;
+pub mod report;
+pub mod tables;
+pub mod tagging;
+pub mod whatif;
+
+pub use error::CoreError;
+pub use pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

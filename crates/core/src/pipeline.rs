@@ -1,0 +1,385 @@
+//! The end-to-end pipeline of Fig. 1.
+//!
+//! Stage I — generate the calibrated corpus and (optionally) digitize
+//! its raw documents through the simulated scanner + OCR engine.
+//! Stage II — parse, filter, and normalize every document into the
+//! uniform schema, collecting per-line failures (the manual-review
+//! queue). Stage III — tag every disengagement description with the
+//! keyword-voting classifier. Stage IV — hand the consolidated database
+//! to the analyses in [`crate::questions`], [`crate::tables`], and
+//! [`crate::figures`].
+
+use crate::tagging::{tag_records, TaggedDisengagement};
+use crate::Result;
+use disengage_corpus::{Corpus, CorpusConfig, CorpusGenerator};
+use disengage_nlp::Classifier;
+use disengage_ocr::correct::Corrector;
+use disengage_ocr::engine::OcrEngine;
+use disengage_ocr::metrics::cer;
+use disengage_ocr::raster::rasterize;
+use disengage_ocr::NoiseModel;
+use disengage_reports::formats::RawDocument;
+use disengage_reports::normalize::normalize_all;
+use disengage_reports::{FailureDatabase, ReportError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How Stage I digitizes the raw documents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OcrMode {
+    /// Use document text directly (a perfect scan). Fast; the default.
+    Passthrough,
+    /// Rasterize each document, degrade it with scanner noise, recognize
+    /// it with the template-matching engine, and optionally post-correct
+    /// against the failure-dictionary vocabulary.
+    Simulated {
+        /// The scanner-noise profile.
+        noise: NoiseModel,
+        /// Whether to run dictionary post-correction.
+        correct: bool,
+    },
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Corpus generation parameters (seed + scale).
+    pub corpus: CorpusConfig,
+    /// Digitization mode.
+    pub ocr: OcrMode,
+    /// Seed for the OCR noise process (independent of the corpus seed).
+    pub ocr_seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            corpus: CorpusConfig::default(),
+            ocr: OcrMode::Passthrough,
+            ocr_seed: 0xD0C5,
+        }
+    }
+}
+
+/// Aggregate OCR quality over a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OcrStats {
+    /// Documents digitized.
+    pub documents: usize,
+    /// Mean character error rate against the pristine text.
+    pub mean_cer: f64,
+    /// Mean per-character recognition confidence.
+    pub mean_confidence: f64,
+}
+
+/// Everything the pipeline produces.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// The generated ground-truth corpus (for evaluation).
+    pub corpus: Corpus,
+    /// The consolidated failure database recovered by Stages I–II.
+    pub database: FailureDatabase,
+    /// Stage III verdicts, aligned with `database.disengagements()`.
+    pub tagged: Vec<TaggedDisengagement>,
+    /// Per-line parse failures (the manual-review queue).
+    pub parse_failures: Vec<ReportError>,
+    /// OCR statistics (`None` under [`OcrMode::Passthrough`]).
+    pub ocr: Option<OcrStats>,
+}
+
+impl PipelineOutcome {
+    /// Fraction of ground-truth disengagements recovered by the pipeline.
+    pub fn recovery_rate(&self) -> f64 {
+        let truth = self.corpus.truth.disengagements().len();
+        if truth == 0 {
+            1.0
+        } else {
+            self.database.disengagements().len() as f64 / truth as f64
+        }
+    }
+}
+
+/// The end-to-end pipeline.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: PipelineConfig,
+    classifier: Classifier,
+}
+
+impl Pipeline {
+    /// Builds a pipeline with the default (paper-derived) classifier.
+    pub fn new(config: PipelineConfig) -> Pipeline {
+        Pipeline {
+            config,
+            classifier: Classifier::with_default_dictionary(),
+        }
+    }
+
+    /// Builds a pipeline with a custom classifier (dictionary ablations).
+    pub fn with_classifier(config: PipelineConfig, classifier: Classifier) -> Pipeline {
+        Pipeline { config, classifier }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs Stages I–III and returns the consolidated outcome.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (parse failures are collected,
+    /// not raised); the `Result` guards future fallible stages.
+    pub fn run(&self) -> Result<PipelineOutcome> {
+        // Stage I: corpus generation.
+        let corpus = CorpusGenerator::new(self.config.corpus).generate();
+
+        // Stage I (continued): digitization.
+        let (documents, ocr_stats) = match self.config.ocr {
+            OcrMode::Passthrough => (corpus.documents.clone(), None),
+            OcrMode::Simulated { noise, correct } => {
+                let mut rng = StdRng::seed_from_u64(self.config.ocr_seed);
+                let engine = OcrEngine::new();
+                let corrector = if correct {
+                    Some(default_corrector())
+                } else {
+                    None
+                };
+                let mut out = Vec::with_capacity(corpus.documents.len());
+                let mut cer_sum = 0.0;
+                let mut conf_sum = 0.0;
+                for doc in &corpus.documents {
+                    let page = noise.degrade(&rasterize(&doc.text), &mut rng);
+                    let recognized = engine.recognize(&page);
+                    let text = match &corrector {
+                        Some(c) => c.correct_text(&recognized.text),
+                        None => recognized.text.clone(),
+                    };
+                    cer_sum += cer(doc.text.trim_end(), &text);
+                    conf_sum += recognized.mean_confidence();
+                    out.push(RawDocument::new(
+                        doc.manufacturer,
+                        doc.report_year,
+                        doc.kind,
+                        text,
+                    ));
+                }
+                let n = corpus.documents.len().max(1) as f64;
+                (
+                    out,
+                    Some(OcrStats {
+                        documents: corpus.documents.len(),
+                        mean_cer: cer_sum / n,
+                        mean_confidence: conf_sum / n,
+                    }),
+                )
+            }
+        };
+
+        // Stage II: parse + filter + normalize.
+        let normalized = normalize_all(documents.iter());
+        let database = FailureDatabase::from_records(
+            normalized.disengagements,
+            normalized.accidents,
+            normalized.mileage,
+        );
+
+        // Stage III: NLP tagging.
+        let tagged = tag_records(&self.classifier, database.disengagements());
+
+        Ok(PipelineOutcome {
+            corpus,
+            database,
+            tagged,
+            parse_failures: normalized.failures,
+            ocr: ocr_stats,
+        })
+    }
+}
+
+/// The post-correction vocabulary: every word of the failure dictionary
+/// plus the structural tokens of the report formats.
+pub fn default_corrector() -> Corrector {
+    let mut words: Vec<String> = Vec::new();
+    let push_text = |text: &str, words: &mut Vec<String>| {
+        for w in text.split_whitespace() {
+            let core: String = w
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect();
+            if core.chars().any(|c| c.is_ascii_alphabetic()) {
+                words.push(core);
+            }
+        }
+    };
+    // The failure dictionary.
+    let dict = disengage_nlp::FailureDictionary::default_bank();
+    for tag in disengage_nlp::FaultTag::ALL {
+        for phrase in dict.phrases(tag) {
+            push_text(phrase, &mut words);
+        }
+    }
+    // The full narrative vocabulary of the corpus (the paper builds its
+    // dictionary from passes over the corpus; we do the same).
+    for tag in disengage_nlp::FaultTag::ALL {
+        if tag == disengage_nlp::FaultTag::UnknownT {
+            continue;
+        }
+        for t in disengage_corpus::templates::templates_for(tag) {
+            push_text(t, &mut words);
+        }
+    }
+    for t in disengage_corpus::templates::vague_templates() {
+        push_text(t, &mut words);
+    }
+    for t in disengage_corpus::templates::accident_narratives() {
+        push_text(t, &mut words);
+    }
+    // Structural tokens of the report formats, both cases.
+    for w in [
+        "MILEAGE", "Planned", "planned", "test", "on", "car", "Car", "Leaf", "Safe",
+        "Operation", "operation", "Takeover-Request", "Highway", "highway", "Street",
+        "street", "Freeway", "freeway", "Interstate", "interstate", "Parking", "parking",
+        "lot", "Suburban", "suburban", "Rural", "rural", "driver", "safely", "disengaged",
+        "resumed", "manual", "automatic", "auto", "reaction", "road", "weather", "clear",
+        "rain", "overcast", "fog", "Disengage", "for", "recklessly", "behaving", "user",
+        "took", "over", "intervened", "returned", "vehicle", "Auto", "AM", "PM",
+        "REPORT", "OF", "TRAFFIC", "ACCIDENT", "INVOLVING", "AN", "AUTONOMOUS", "VEHICLE",
+        "Manufacturer", "Vehicle", "Date", "Location", "AV", "Speed", "mph", "Other",
+        "Autonomous", "Mode", "at", "Impact", "Collision", "Type", "Damage", "Severity",
+        "Narrative", "yes", "no", "unknown", "fleet", "REDACTED", "minor", "moderate",
+        "major", "rear-end", "side-swipe", "frontal", "object",
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+        "Alfa", "Bravo", "Charlie", "Delta", "Echo", "Foxtrot", "Golf", "Hotel",
+    ] {
+        words.push(w.to_owned());
+    }
+    Corrector::new(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(scale: f64) -> PipelineConfig {
+        PipelineConfig {
+            corpus: CorpusConfig { seed: 11, scale },
+            ocr: OcrMode::Passthrough,
+            ocr_seed: 1,
+        }
+    }
+
+    #[test]
+    fn passthrough_recovers_everything() {
+        let outcome = Pipeline::new(small(0.05)).run().unwrap();
+        assert!(outcome.parse_failures.is_empty(), "{:?}", outcome.parse_failures);
+        assert_eq!(
+            outcome.database.disengagements().len(),
+            outcome.corpus.truth.disengagements().len()
+        );
+        assert_eq!(
+            outcome.database.accidents().len(),
+            outcome.corpus.truth.accidents().len()
+        );
+        assert!((outcome.recovery_rate() - 1.0).abs() < 1e-12);
+        assert!(outcome.ocr.is_none());
+    }
+
+    #[test]
+    fn tagged_aligned_with_database() {
+        let outcome = Pipeline::new(small(0.05)).run().unwrap();
+        assert_eq!(outcome.tagged.len(), outcome.database.disengagements().len());
+        for (t, r) in outcome.tagged.iter().zip(outcome.database.disengagements()) {
+            assert_eq!(&t.record, r);
+        }
+    }
+
+    #[test]
+    fn clean_simulated_ocr_lossless() {
+        let config = PipelineConfig {
+            corpus: CorpusConfig {
+                seed: 11,
+                scale: 0.01,
+            },
+            ocr: OcrMode::Simulated {
+                noise: NoiseModel::clean(),
+                correct: false,
+            },
+            ocr_seed: 1,
+        };
+        let outcome = Pipeline::new(config).run().unwrap();
+        let stats = outcome.ocr.unwrap();
+        assert!(stats.mean_cer < 1e-6, "cer = {}", stats.mean_cer);
+        assert!(outcome.parse_failures.is_empty());
+        assert_eq!(
+            outcome.database.disengagements().len(),
+            outcome.corpus.truth.disengagements().len()
+        );
+    }
+
+    #[test]
+    fn noisy_ocr_degrades_recovery() {
+        let config = PipelineConfig {
+            corpus: CorpusConfig {
+                seed: 11,
+                scale: 0.01,
+            },
+            ocr: OcrMode::Simulated {
+                noise: NoiseModel::heavy(),
+                correct: false,
+            },
+            ocr_seed: 1,
+        };
+        let outcome = Pipeline::new(config).run().unwrap();
+        let stats = outcome.ocr.unwrap();
+        assert!(stats.mean_cer > 0.001);
+        // Heavy noise must push at least some lines to the manual queue
+        // or corrupt records relative to truth.
+        let lossless = outcome.parse_failures.is_empty()
+            && outcome.database.disengagements() == outcome.corpus.truth.disengagements();
+        assert!(!lossless, "heavy noise unexpectedly lossless");
+    }
+
+    #[test]
+    fn correction_improves_cer() {
+        let base = PipelineConfig {
+            corpus: CorpusConfig {
+                seed: 11,
+                scale: 0.01,
+            },
+            ocr: OcrMode::Simulated {
+                noise: NoiseModel::heavy(),
+                correct: false,
+            },
+            ocr_seed: 1,
+        };
+        let without = Pipeline::new(base).run().unwrap();
+        let with_cfg = PipelineConfig {
+            ocr: OcrMode::Simulated {
+                noise: NoiseModel::heavy(),
+                correct: true,
+            },
+            ..base
+        };
+        let with = Pipeline::new(with_cfg).run().unwrap();
+        assert!(
+            with.ocr.unwrap().mean_cer <= without.ocr.unwrap().mean_cer,
+            "correction made CER worse"
+        );
+        assert!(
+            with.recovery_rate() >= without.recovery_rate(),
+            "correction reduced recovery: {} vs {}",
+            with.recovery_rate(),
+            without.recovery_rate()
+        );
+    }
+
+    #[test]
+    fn corrector_vocabulary_nonempty() {
+        let c = default_corrector();
+        assert!(c.len() > 100);
+        assert!(c.knows("watchdog"));
+        assert!(c.knows("MILEAGE"));
+    }
+}

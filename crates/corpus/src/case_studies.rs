@@ -1,0 +1,139 @@
+//! The two Section II case studies as typed records.
+//!
+//! The paper opens with two real Mountain View accidents that motivate
+//! the whole analysis; both are rear-end collisions at intersections in
+//! which the AV's learning-based decisions set up a situation other road
+//! users could not anticipate. They are reproduced here verbatim-in-
+//! structure so analyses and examples can refer to them directly.
+
+use disengage_reports::record::{AccidentRecord, CarId, CollisionKind, Severity};
+use disengage_reports::{Date, DisengagementRecord, Manufacturer, Modality, RoadType, Weather};
+
+/// Case Study I — "Real-Time Decisions" (Fig. 2, Example 1).
+///
+/// A Waymo prototype yielded to a pedestrian at an intersection; the test
+/// driver proactively took control, had no option but to brake, and the
+/// vehicle behind collided with the AV's rear.
+pub fn case_study_1_accident() -> AccidentRecord {
+    AccidentRecord {
+        manufacturer: Manufacturer::Waymo,
+        car: CarId::Redacted,
+        date: Date::new(2015, 10, 8).expect("valid"),
+        location: "South Shoreline Blvd & Highschool Way, Mountain View CA".to_owned(),
+        av_speed_mph: Some(1.0),
+        other_speed_mph: Some(10.0),
+        autonomous_at_impact: false, // driver had taken control
+        kind: CollisionKind::RearEnd,
+        severity: Severity::Minor,
+        description: "AV yielded to a pedestrian and braked; the vehicle behind collided \
+                      with the rear of the AV"
+            .to_owned(),
+    }
+}
+
+/// The disengagement filed for Case Study I (the driver's proactive
+/// takeover, logged as a reckless-road-user / behavior-prediction event).
+pub fn case_study_1_disengagement() -> DisengagementRecord {
+    DisengagementRecord {
+        manufacturer: Manufacturer::Waymo,
+        car: CarId::Redacted,
+        date: Date::new(2015, 10, 1).expect("valid"),
+        modality: Modality::Manual,
+        road_type: Some(RoadType::Street),
+        weather: Some(Weather::Clear),
+        reaction_time_s: Some(0.9),
+        description: "incorrect behavior prediction for the approaching car".to_owned(),
+    }
+}
+
+/// Case Study II — "Anticipating AV Behavior" (Fig. 2, Example 2).
+///
+/// A Waymo prototype stopped before a right turn, crept forward to let
+/// its recognition system gauge cross-traffic, and was rear-ended by a
+/// driver who read the creep as commitment to the turn.
+pub fn case_study_2_accident() -> AccidentRecord {
+    AccidentRecord {
+        manufacturer: Manufacturer::Waymo,
+        car: CarId::Redacted,
+        date: Date::new(2016, 5, 4).expect("valid"),
+        location: "El Camino Real & Clark Ave, Mountain View CA".to_owned(),
+        av_speed_mph: Some(4.0),
+        other_speed_mph: Some(5.0),
+        autonomous_at_impact: true,
+        kind: CollisionKind::RearEnd,
+        severity: Severity::Minor,
+        description: "AV stopped before a right turn, crept forward to gauge traffic, and \
+                      was struck from behind by a driver who could not anticipate the AV"
+            .to_owned(),
+    }
+}
+
+/// The disengagement report entry for Case Study II.
+pub fn case_study_2_disengagement() -> DisengagementRecord {
+    DisengagementRecord {
+        manufacturer: Manufacturer::Waymo,
+        car: CarId::Redacted,
+        date: Date::new(2016, 5, 1).expect("valid"),
+        modality: Modality::Manual,
+        road_type: Some(RoadType::Street),
+        weather: Some(Weather::Clear),
+        reaction_time_s: None,
+        description: "Disengage for a recklessly behaving road user".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disengage_nlp::{Classifier, FailureCategory, FaultTag};
+    use disengage_reports::formats::{parse_accident_form, render_accident_form};
+
+    #[test]
+    fn case_studies_validate() {
+        case_study_1_accident().validate().expect("cs1 valid");
+        case_study_2_accident().validate().expect("cs2 valid");
+        case_study_1_disengagement().validate().expect("cs1 dis valid");
+        case_study_2_disengagement().validate().expect("cs2 dis valid");
+    }
+
+    #[test]
+    fn both_are_low_speed_rear_end_intersection_collisions() {
+        for acc in [case_study_1_accident(), case_study_2_accident()] {
+            assert_eq!(acc.kind, CollisionKind::RearEnd);
+            assert_eq!(acc.severity, Severity::Minor);
+            assert!(acc.relative_speed_mph().expect("speeds present") <= 10.0);
+            assert!(acc.location.contains("Mountain View"));
+        }
+    }
+
+    #[test]
+    fn disengagement_causes_classify_to_ml_design() {
+        // Section II-C: the paper localizes both case studies to the
+        // learning-based perception/decision systems.
+        let cl = Classifier::with_default_dictionary();
+        let a1 = cl.classify(&case_study_1_disengagement().description);
+        assert_eq!(a1.tag, FaultTag::IncorrectBehaviorPrediction);
+        assert_eq!(a1.category, FailureCategory::MlDesign);
+        let a2 = cl.classify(&case_study_2_disengagement().description);
+        assert_eq!(a2.tag, FaultTag::Environment);
+        assert_eq!(a2.category, FailureCategory::MlDesign);
+    }
+
+    #[test]
+    fn case_study_accidents_round_trip_the_ol316_form() {
+        for acc in [case_study_1_accident(), case_study_2_accident()] {
+            let form = render_accident_form(&acc);
+            assert_eq!(parse_accident_form(&form).expect("parses"), acc);
+        }
+    }
+
+    #[test]
+    fn case_study_speeds_match_figure_2() {
+        // Fig. 2 annotates 1 mph (AV) vs 10 mph in Example 1 and
+        // 4 mph vs 5 mph in Example 2.
+        assert_eq!(case_study_1_accident().av_speed_mph, Some(1.0));
+        assert_eq!(case_study_1_accident().other_speed_mph, Some(10.0));
+        assert_eq!(case_study_2_accident().av_speed_mph, Some(4.0));
+        assert_eq!(case_study_2_accident().other_speed_mph, Some(5.0));
+    }
+}

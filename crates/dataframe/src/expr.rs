@@ -1,0 +1,247 @@
+//! Row predicates for [`DataFrame::filter`].
+//!
+//! [`DataFrame::filter`]: crate::DataFrame::filter
+
+use crate::frame::{compare_values, DataFrame};
+use crate::value::Value;
+use crate::Result;
+use std::cmp::Ordering;
+
+/// A boolean expression over one row of a frame.
+///
+/// Comparisons against `Null` are always false (SQL-style three-valued
+/// logic collapsed to false), except [`Predicate::is_null`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `column == value`.
+    Eq(String, Value),
+    /// `column != value` (false when the cell is null).
+    Ne(String, Value),
+    /// `column < value`.
+    Lt(String, Value),
+    /// `column <= value`.
+    Le(String, Value),
+    /// `column > value`.
+    Gt(String, Value),
+    /// `column >= value`.
+    Ge(String, Value),
+    /// The cell is null.
+    IsNull(String),
+    /// The cell is not null.
+    NotNull(String),
+    /// The string cell contains a substring.
+    Contains(String, String),
+    /// The cell is one of the given values.
+    In(String, Vec<Value>),
+    /// Both sub-predicates hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either sub-predicate holds.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// The sub-predicate does not hold.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column == value`.
+    pub fn eq<N: Into<String>>(column: N, value: Value) -> Predicate {
+        Predicate::Eq(column.into(), value)
+    }
+
+    /// `column != value`.
+    pub fn ne<N: Into<String>>(column: N, value: Value) -> Predicate {
+        Predicate::Ne(column.into(), value)
+    }
+
+    /// `column < value`.
+    pub fn lt<N: Into<String>>(column: N, value: Value) -> Predicate {
+        Predicate::Lt(column.into(), value)
+    }
+
+    /// `column <= value`.
+    pub fn le<N: Into<String>>(column: N, value: Value) -> Predicate {
+        Predicate::Le(column.into(), value)
+    }
+
+    /// `column > value`.
+    pub fn gt<N: Into<String>>(column: N, value: Value) -> Predicate {
+        Predicate::Gt(column.into(), value)
+    }
+
+    /// `column >= value`.
+    pub fn ge<N: Into<String>>(column: N, value: Value) -> Predicate {
+        Predicate::Ge(column.into(), value)
+    }
+
+    /// The cell is null.
+    pub fn is_null<N: Into<String>>(column: N) -> Predicate {
+        Predicate::IsNull(column.into())
+    }
+
+    /// The cell is not null.
+    pub fn not_null<N: Into<String>>(column: N) -> Predicate {
+        Predicate::NotNull(column.into())
+    }
+
+    /// The string cell contains `needle`.
+    pub fn contains<N: Into<String>, S: Into<String>>(column: N, needle: S) -> Predicate {
+        Predicate::Contains(column.into(), needle.into())
+    }
+
+    /// The cell equals one of `values`.
+    pub fn is_in<N: Into<String>>(column: N, values: Vec<Value>) -> Predicate {
+        Predicate::In(column.into(), values)
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Evaluates the predicate on one row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::FrameError::UnknownColumn`] or row-bounds errors.
+    pub fn eval(&self, df: &DataFrame, row: usize) -> Result<bool> {
+        Ok(match self {
+            Predicate::Eq(c, v) => {
+                let cell = df.get(row, c)?;
+                !cell.is_null() && !v.is_null() && compare_values(&cell, v) == Ordering::Equal
+            }
+            Predicate::Ne(c, v) => {
+                let cell = df.get(row, c)?;
+                !cell.is_null() && !v.is_null() && compare_values(&cell, v) != Ordering::Equal
+            }
+            Predicate::Lt(c, v) => Self::cmp_non_null(df, row, c, v)? == Some(Ordering::Less),
+            Predicate::Le(c, v) => matches!(
+                Self::cmp_non_null(df, row, c, v)?,
+                Some(Ordering::Less | Ordering::Equal)
+            ),
+            Predicate::Gt(c, v) => Self::cmp_non_null(df, row, c, v)? == Some(Ordering::Greater),
+            Predicate::Ge(c, v) => matches!(
+                Self::cmp_non_null(df, row, c, v)?,
+                Some(Ordering::Greater | Ordering::Equal)
+            ),
+            Predicate::IsNull(c) => df.get(row, c)?.is_null(),
+            Predicate::NotNull(c) => !df.get(row, c)?.is_null(),
+            Predicate::Contains(c, needle) => match df.get(row, c)? {
+                Value::Str(s) => s.contains(needle.as_str()),
+                _ => false,
+            },
+            Predicate::In(c, values) => {
+                let cell = df.get(row, c)?;
+                !cell.is_null()
+                    && values
+                        .iter()
+                        .any(|v| !v.is_null() && compare_values(&cell, v) == Ordering::Equal)
+            }
+            Predicate::And(a, b) => a.eval(df, row)? && b.eval(df, row)?,
+            Predicate::Or(a, b) => a.eval(df, row)? || b.eval(df, row)?,
+            Predicate::Not(p) => !p.eval(df, row)?,
+        })
+    }
+
+    fn cmp_non_null(
+        df: &DataFrame,
+        row: usize,
+        column: &str,
+        value: &Value,
+    ) -> Result<Option<Ordering>> {
+        let cell = df.get(row, column)?;
+        if cell.is_null() || value.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some(compare_values(&cell, value)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![
+            ("name", Column::from_strs(&["alpha", "beta", "gamma"])),
+            ("score", Column::from_opt_f64s(vec![Some(1.0), None, Some(3.0)])),
+            ("rank", Column::from_i64s(&[3, 2, 1])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn comparisons() {
+        let d = df();
+        assert!(Predicate::eq("name", Value::from("beta")).eval(&d, 1).unwrap());
+        assert!(Predicate::lt("rank", Value::Int(3)).eval(&d, 1).unwrap());
+        assert!(Predicate::ge("rank", Value::Int(3)).eval(&d, 0).unwrap());
+        assert!(!Predicate::gt("rank", Value::Int(3)).eval(&d, 0).unwrap());
+        assert!(Predicate::le("score", Value::Float(1.0)).eval(&d, 0).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_false() {
+        let d = df();
+        // Row 1's score is null: every comparison is false.
+        for p in [
+            Predicate::eq("score", Value::Float(1.0)),
+            Predicate::ne("score", Value::Float(1.0)),
+            Predicate::lt("score", Value::Float(10.0)),
+            Predicate::gt("score", Value::Float(-10.0)),
+        ] {
+            assert!(!p.eval(&d, 1).unwrap(), "{p:?} should be false on null");
+        }
+        assert!(Predicate::is_null("score").eval(&d, 1).unwrap());
+        assert!(!Predicate::not_null("score").eval(&d, 1).unwrap());
+    }
+
+    #[test]
+    fn int_float_cross_comparison() {
+        let d = df();
+        // rank is Int; compare against a Float value.
+        assert!(Predicate::gt("rank", Value::Float(2.5)).eval(&d, 0).unwrap());
+        assert!(!Predicate::gt("rank", Value::Float(2.5)).eval(&d, 1).unwrap());
+    }
+
+    #[test]
+    fn contains_and_in() {
+        let d = df();
+        assert!(Predicate::contains("name", "amm").eval(&d, 2).unwrap());
+        assert!(!Predicate::contains("rank", "1").eval(&d, 2).unwrap()); // non-str
+        let p = Predicate::is_in("name", vec![Value::from("alpha"), Value::from("beta")]);
+        assert!(p.eval(&d, 0).unwrap());
+        assert!(!p.eval(&d, 2).unwrap());
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let d = df();
+        let p = Predicate::gt("rank", Value::Int(1)).and(Predicate::not_null("score"));
+        assert!(p.eval(&d, 0).unwrap());
+        assert!(!p.eval(&d, 1).unwrap()); // null score
+        let q = Predicate::eq("name", Value::from("beta")).or(Predicate::eq(
+            "name",
+            Value::from("gamma"),
+        ));
+        assert!(q.eval(&d, 2).unwrap());
+        assert!(!q.clone().not().eval(&d, 2).unwrap());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let d = df();
+        assert!(Predicate::eq("nope", Value::Int(1)).eval(&d, 0).is_err());
+    }
+}

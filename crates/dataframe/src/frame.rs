@@ -1,0 +1,535 @@
+//! The [`DataFrame`] type: a schema-checked set of equal-length columns.
+
+use crate::column::Column;
+use crate::expr::Predicate;
+use crate::value::Value;
+use crate::{FrameError, Result};
+use std::cmp::Ordering;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A columnar table with named, equal-length, typed columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataFrame {
+    names: Vec<String>,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl DataFrame {
+    /// Builds a frame from `(name, column)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// * [`FrameError::DuplicateColumn`] for repeated names.
+    /// * [`FrameError::ColumnLengthMismatch`] for ragged columns.
+    pub fn new<N: Into<String>>(columns: Vec<(N, Column)>) -> Result<DataFrame> {
+        let mut names = Vec::with_capacity(columns.len());
+        let mut cols = Vec::with_capacity(columns.len());
+        let mut seen = HashSet::new();
+        let mut n_rows = None;
+        for (name, col) in columns {
+            let name = name.into();
+            if !seen.insert(name.clone()) {
+                return Err(FrameError::DuplicateColumn(name));
+            }
+            match n_rows {
+                None => n_rows = Some(col.len()),
+                Some(n) if n != col.len() => {
+                    return Err(FrameError::ColumnLengthMismatch {
+                        column: name,
+                        actual: col.len(),
+                        expected: n,
+                    })
+                }
+                _ => {}
+            }
+            names.push(name);
+            cols.push(col);
+        }
+        Ok(DataFrame {
+            names,
+            columns: cols,
+            n_rows: n_rows.unwrap_or(0),
+        })
+    }
+
+    /// An empty frame with no columns.
+    pub fn empty() -> DataFrame {
+        DataFrame {
+            names: Vec::new(),
+            columns: Vec::new(),
+            n_rows: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Whether a column exists.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.names.iter().any(|n| n == name)
+    }
+
+    /// The column with the given name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::UnknownColumn`] if absent.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Index of a column by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::UnknownColumn`] if absent.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| FrameError::UnknownColumn(name.to_owned()))
+    }
+
+    /// The cell at `(row, column-name)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::UnknownColumn`] or
+    /// [`FrameError::RowOutOfBounds`].
+    pub fn get(&self, row: usize, name: &str) -> Result<Value> {
+        self.column(name)?.get(row)
+    }
+
+    /// Appends a row of values, one per column in order.
+    ///
+    /// # Errors
+    ///
+    /// * [`FrameError::RowLengthMismatch`] for the wrong arity.
+    /// * [`FrameError::TypeMismatch`] for incompatible values. On type
+    ///   error the row is *not* partially applied — the frame rolls back.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(FrameError::RowLengthMismatch {
+                expected: self.columns.len(),
+                actual: row.len(),
+            });
+        }
+        // Validate all before mutating any (so a failed push can't leave a
+        // ragged frame).
+        for (col, value) in self.columns.iter().zip(&row) {
+            let compatible = matches!(
+                (col.dtype(), value),
+                (_, Value::Null)
+                    | (crate::DType::Int, Value::Int(_))
+                    | (crate::DType::Float, Value::Float(_) | Value::Int(_))
+                    | (crate::DType::Str, Value::Str(_))
+                    | (crate::DType::Bool, Value::Bool(_))
+            );
+            if !compatible {
+                return Err(FrameError::TypeMismatch {
+                    expected: col.dtype().name(),
+                    found: value.dtype().map_or("null", crate::DType::name),
+                });
+            }
+        }
+        for (col, value) in self.columns.iter_mut().zip(row) {
+            col.push(value).expect("validated above");
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Adds a column to the frame.
+    ///
+    /// # Errors
+    ///
+    /// * [`FrameError::DuplicateColumn`] for an existing name.
+    /// * [`FrameError::ColumnLengthMismatch`] for a wrong-length column.
+    pub fn add_column<N: Into<String>>(&mut self, name: N, column: Column) -> Result<()> {
+        let name = name.into();
+        if self.has_column(&name) {
+            return Err(FrameError::DuplicateColumn(name));
+        }
+        if !self.columns.is_empty() && column.len() != self.n_rows {
+            return Err(FrameError::ColumnLengthMismatch {
+                column: name,
+                actual: column.len(),
+                expected: self.n_rows,
+            });
+        }
+        if self.columns.is_empty() {
+            self.n_rows = column.len();
+        }
+        self.names.push(name);
+        self.columns.push(column);
+        Ok(())
+    }
+
+    /// A new frame containing only the named columns, in the given order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::UnknownColumn`] for any missing name.
+    pub fn select(&self, names: &[&str]) -> Result<DataFrame> {
+        let mut cols = Vec::with_capacity(names.len());
+        for &name in names {
+            cols.push((name.to_owned(), self.column(name)?.clone()));
+        }
+        DataFrame::new(cols)
+    }
+
+    /// Rows where `predicate` evaluates true.
+    ///
+    /// # Errors
+    ///
+    /// Propagates column-lookup and type errors from the predicate.
+    pub fn filter(&self, predicate: &Predicate) -> Result<DataFrame> {
+        let mut keep = Vec::new();
+        for row in 0..self.n_rows {
+            if predicate.eval(self, row)? {
+                keep.push(row);
+            }
+        }
+        Ok(self.take(&keep))
+    }
+
+    /// Rows at the given indices (in that order) as a new frame.
+    pub(crate) fn take(&self, indices: &[usize]) -> DataFrame {
+        DataFrame {
+            names: self.names.clone(),
+            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+            n_rows: indices.len(),
+        }
+    }
+
+    /// A stable sort by one column, ascending or descending.
+    ///
+    /// Nulls sort last regardless of direction. Mixed numeric comparison
+    /// (Int vs Float columns) is by value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::UnknownColumn`] for a missing column.
+    pub fn sort_by(&self, name: &str, ascending: bool) -> Result<DataFrame> {
+        let col = self.column(name)?;
+        let mut indices: Vec<usize> = (0..self.n_rows).collect();
+        indices.sort_by(|&a, &b| {
+            let va = col.get(a).expect("in range");
+            let vb = col.get(b).expect("in range");
+            let ord = compare_values(&va, &vb);
+            if ascending {
+                ord
+            } else {
+                ord.reverse()
+            }
+        });
+        Ok(self.take(&indices))
+    }
+
+    /// The first `n` rows.
+    pub fn head(&self, n: usize) -> DataFrame {
+        let indices: Vec<usize> = (0..self.n_rows.min(n)).collect();
+        self.take(&indices)
+    }
+
+    /// The last `n` rows.
+    pub fn tail(&self, n: usize) -> DataFrame {
+        let start = self.n_rows.saturating_sub(n);
+        let indices: Vec<usize> = (start..self.n_rows).collect();
+        self.take(&indices)
+    }
+
+    /// One row as a vector of values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::RowOutOfBounds`] for a bad index.
+    pub fn row(&self, index: usize) -> Result<Vec<Value>> {
+        if index >= self.n_rows {
+            return Err(FrameError::RowOutOfBounds {
+                index,
+                len: self.n_rows,
+            });
+        }
+        Ok(self
+            .columns
+            .iter()
+            .map(|c| c.get(index).expect("in range"))
+            .collect())
+    }
+
+    /// Iterates over rows as value vectors.
+    pub fn rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.n_rows).map(move |i| self.row(i).expect("in range"))
+    }
+}
+
+/// Total ordering over values for sorting: nulls last, numerics by value,
+/// strings lexicographic, bools false < true. Cross-type comparisons fall
+/// back to a fixed type order (numeric < string < bool) and should not
+/// occur within a typed column.
+pub(crate) fn compare_values(a: &Value, b: &Value) -> Ordering {
+    use Value::*;
+    match (a, b) {
+        (Null, Null) => Ordering::Equal,
+        (Null, _) => Ordering::Greater, // nulls last
+        (_, Null) => Ordering::Less,
+        (Int(x), Int(y)) => x.cmp(y),
+        (Float(x), Float(y)) => x.partial_cmp(y).unwrap_or(Ordering::Equal),
+        (Int(x), Float(y)) => (*x as f64).partial_cmp(y).unwrap_or(Ordering::Equal),
+        (Float(x), Int(y)) => x.partial_cmp(&(*y as f64)).unwrap_or(Ordering::Equal),
+        (Str(x), Str(y)) => x.cmp(y),
+        (Bool(x), Bool(y)) => x.cmp(y),
+        (x, y) => type_rank(x).cmp(&type_rank(y)),
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 3,
+        Value::Int(_) | Value::Float(_) => 0,
+        Value::Str(_) => 1,
+        Value::Bool(_) => 2,
+    }
+}
+
+impl fmt::Display for DataFrame {
+    /// Renders an aligned plain-text table (up to 20 rows).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const MAX_ROWS: usize = 20;
+        let mut widths: Vec<usize> = self.names.iter().map(String::len).collect();
+        let shown = self.n_rows.min(MAX_ROWS);
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
+        for row in 0..shown {
+            let rendered: Vec<String> = self
+                .columns
+                .iter()
+                .map(|c| c.get(row).expect("in range").to_string())
+                .collect();
+            for (w, cell) in widths.iter_mut().zip(&rendered) {
+                *w = (*w).max(cell.len());
+            }
+            cells.push(rendered);
+        }
+        for (name, w) in self.names.iter().zip(&widths) {
+            write!(f, "{name:>w$}  ")?;
+        }
+        writeln!(f)?;
+        for row in cells {
+            for (cell, w) in row.iter().zip(&widths) {
+                write!(f, "{cell:>w$}  ")?;
+            }
+            writeln!(f)?;
+        }
+        if self.n_rows > MAX_ROWS {
+            writeln!(f, "... ({} rows total)", self.n_rows)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Predicate;
+
+    fn sample() -> DataFrame {
+        DataFrame::new(vec![
+            ("maker", Column::from_strs(&["waymo", "bosch", "nissan", "waymo"])),
+            ("miles", Column::from_f64s(&[100.0, 20.0, 50.0, 300.0])),
+            ("events", Column::from_i64s(&[1, 5, 2, 3])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let df = sample();
+        assert_eq!(df.n_rows(), 4);
+        assert_eq!(df.n_cols(), 3);
+        assert_eq!(df.names(), &["maker", "miles", "events"]);
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let r = DataFrame::new(vec![
+            ("a", Column::from_i64s(&[1])),
+            ("a", Column::from_i64s(&[2])),
+        ]);
+        assert!(matches!(r, Err(FrameError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let r = DataFrame::new(vec![
+            ("a", Column::from_i64s(&[1, 2])),
+            ("b", Column::from_i64s(&[1])),
+        ]);
+        assert!(matches!(r, Err(FrameError::ColumnLengthMismatch { .. })));
+    }
+
+    #[test]
+    fn get_cell() {
+        let df = sample();
+        assert_eq!(df.get(1, "maker").unwrap(), Value::Str("bosch".into()));
+        assert!(df.get(0, "nope").is_err());
+        assert!(df.get(10, "maker").is_err());
+    }
+
+    #[test]
+    fn push_row_ok() {
+        let mut df = sample();
+        df.push_row(vec![
+            Value::Str("tesla".into()),
+            Value::Float(9.0),
+            Value::Int(0),
+        ])
+        .unwrap();
+        assert_eq!(df.n_rows(), 5);
+    }
+
+    #[test]
+    fn push_row_atomic_on_type_error() {
+        let mut df = sample();
+        let r = df.push_row(vec![
+            Value::Str("tesla".into()),
+            Value::Str("not a number".into()),
+            Value::Int(0),
+        ]);
+        assert!(r.is_err());
+        // No partial append: every column still has 4 rows.
+        assert_eq!(df.n_rows(), 4);
+        for name in ["maker", "miles", "events"] {
+            assert_eq!(df.column(name).unwrap().len(), 4);
+        }
+    }
+
+    #[test]
+    fn push_row_wrong_arity() {
+        let mut df = sample();
+        assert!(matches!(
+            df.push_row(vec![Value::Int(1)]),
+            Err(FrameError::RowLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn select_reorders() {
+        let df = sample().select(&["events", "maker"]).unwrap();
+        assert_eq!(df.names(), &["events", "maker"]);
+        assert!(sample().select(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn filter_by_predicate() {
+        let df = sample();
+        let big = df
+            .filter(&Predicate::gt("miles", Value::Float(60.0)))
+            .unwrap();
+        assert_eq!(big.n_rows(), 2);
+        let waymo = df
+            .filter(&Predicate::eq("maker", Value::Str("waymo".into())))
+            .unwrap();
+        assert_eq!(waymo.n_rows(), 2);
+    }
+
+    #[test]
+    fn sort_ascending_descending() {
+        let df = sample();
+        let asc = df.sort_by("miles", true).unwrap();
+        assert_eq!(asc.get(0, "miles").unwrap(), Value::Float(20.0));
+        let desc = df.sort_by("miles", false).unwrap();
+        assert_eq!(desc.get(0, "miles").unwrap(), Value::Float(300.0));
+    }
+
+    #[test]
+    fn sort_nulls_last_both_directions() {
+        let df = DataFrame::new(vec![(
+            "x",
+            Column::from_opt_f64s(vec![Some(2.0), None, Some(1.0)]),
+        )])
+        .unwrap();
+        let asc = df.sort_by("x", true).unwrap();
+        assert_eq!(asc.get(2, "x").unwrap(), Value::Null);
+        let desc = df.sort_by("x", false).unwrap();
+        assert_eq!(desc.get(0, "x").unwrap(), Value::Null);
+        // Descending reverses the whole ordering, so the null leads; the
+        // non-null ordering is still reversed.
+        assert_eq!(desc.get(1, "x").unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let df = DataFrame::new(vec![
+            ("k", Column::from_i64s(&[1, 1, 1])),
+            ("tag", Column::from_strs(&["a", "b", "c"])),
+        ])
+        .unwrap();
+        let s = df.sort_by("k", true).unwrap();
+        let tags: Vec<Value> = (0..3).map(|i| s.get(i, "tag").unwrap()).collect();
+        assert_eq!(
+            tags,
+            vec![
+                Value::Str("a".into()),
+                Value::Str("b".into()),
+                Value::Str("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn head_tail() {
+        let df = sample();
+        assert_eq!(df.head(2).n_rows(), 2);
+        assert_eq!(df.tail(1).get(0, "maker").unwrap(), Value::Str("waymo".into()));
+        assert_eq!(df.head(100).n_rows(), 4);
+    }
+
+    #[test]
+    fn rows_iterate() {
+        let df = sample();
+        assert_eq!(df.rows().count(), 4);
+        assert_eq!(df.row(0).unwrap().len(), 3);
+        assert!(df.row(4).is_err());
+    }
+
+    #[test]
+    fn add_column_checks() {
+        let mut df = sample();
+        df.add_column("flag", Column::from_bools(&[true, false, true, false]))
+            .unwrap();
+        assert_eq!(df.n_cols(), 4);
+        assert!(df
+            .add_column("flag", Column::from_bools(&[true, false, true, false]))
+            .is_err());
+        assert!(df.add_column("short", Column::from_bools(&[true])).is_err());
+    }
+
+    #[test]
+    fn display_renders() {
+        let out = sample().to_string();
+        assert!(out.contains("maker"));
+        assert!(out.contains("waymo"));
+    }
+
+    #[test]
+    fn empty_frame() {
+        let df = DataFrame::empty();
+        assert_eq!(df.n_rows(), 0);
+        assert_eq!(df.n_cols(), 0);
+    }
+}

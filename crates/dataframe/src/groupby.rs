@@ -1,0 +1,284 @@
+//! Hash group-by.
+//!
+//! The paper's analyses are dominated by group-bys: disengagements per
+//! manufacturer, per (manufacturer, year), per fault tag, per modality.
+
+use crate::agg::Agg;
+use crate::column::Column;
+use crate::frame::DataFrame;
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+
+/// A group key: the tuple of key-column values for one group, rendered
+/// hashable. Floats are keyed by bit pattern (NaNs considered equal).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum KeyPart {
+    Null,
+    Int(i64),
+    FloatBits(u64),
+    Str(String),
+    Bool(bool),
+}
+
+impl KeyPart {
+    pub(crate) fn from_value(v: &Value) -> KeyPart {
+        match v {
+            Value::Null => KeyPart::Null,
+            Value::Int(i) => KeyPart::Int(*i),
+            Value::Float(f) => KeyPart::FloatBits(f.to_bits()),
+            Value::Str(s) => KeyPart::Str(s.clone()),
+            Value::Bool(b) => KeyPart::Bool(*b),
+        }
+    }
+}
+
+/// Groups of row indices keyed by the key-column tuples, preserving
+/// first-seen order of groups.
+pub(crate) fn group_rows(
+    df: &DataFrame,
+    keys: &[&str],
+) -> Result<Vec<(Vec<Value>, Vec<usize>)>> {
+    let key_cols: Vec<&Column> = keys
+        .iter()
+        .map(|&k| df.column(k))
+        .collect::<Result<_>>()?;
+    let mut index: HashMap<Vec<KeyPart>, usize> = HashMap::new();
+    let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+    for row in 0..df.n_rows() {
+        let values: Vec<Value> = key_cols
+            .iter()
+            .map(|c| c.get(row).expect("in range"))
+            .collect();
+        let key: Vec<KeyPart> = values.iter().map(KeyPart::from_value).collect();
+        match index.get(&key) {
+            Some(&g) => groups[g].1.push(row),
+            None => {
+                index.insert(key, groups.len());
+                groups.push((values, vec![row]));
+            }
+        }
+    }
+    Ok(groups)
+}
+
+impl DataFrame {
+    /// Groups by the `keys` columns and computes the requested
+    /// aggregations.
+    ///
+    /// Each aggregation is `(source column, Agg, output column name)`. The
+    /// result has one row per distinct key tuple (in first-seen order),
+    /// with the key columns first.
+    ///
+    /// # Errors
+    ///
+    /// * [`crate::FrameError::UnknownColumn`] for a missing key or source
+    ///   column.
+    /// * [`crate::FrameError::BadAggregation`] for a numeric aggregation
+    ///   on a non-numeric column.
+    /// * [`crate::FrameError::DuplicateColumn`] if output names collide.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use disengage_dataframe::{DataFrame, Column, Agg};
+    /// # fn main() -> Result<(), disengage_dataframe::FrameError> {
+    /// let df = DataFrame::new(vec![
+    ///     ("maker", Column::from_strs(&["a", "b", "a"])),
+    ///     ("n", Column::from_i64s(&[1, 2, 3])),
+    /// ])?;
+    /// let g = df.group_by(&["maker"], &[("n", Agg::Sum, "total")])?;
+    /// assert_eq!(g.n_rows(), 2);
+    /// assert_eq!(g.get(0, "total")?, disengage_dataframe::Value::Float(4.0));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn group_by(
+        &self,
+        keys: &[&str],
+        aggregations: &[(&str, Agg, &str)],
+    ) -> Result<DataFrame> {
+        // Validate sources up front.
+        for &(src, _, _) in aggregations {
+            self.column(src)?;
+        }
+        let groups = group_rows(self, keys)?;
+
+        let mut out_cols: Vec<(String, Column)> = Vec::new();
+        // Key columns.
+        for (ki, &key_name) in keys.iter().enumerate() {
+            let dtype = self.column(key_name)?.dtype();
+            let mut col = Column::empty(dtype);
+            for (key_values, _) in &groups {
+                col.push(key_values[ki].clone())?;
+            }
+            out_cols.push((key_name.to_owned(), col));
+        }
+        // Aggregate columns.
+        for &(src, agg, out_name) in aggregations {
+            let src_col = self.column(src)?;
+            let values: Vec<Value> = groups
+                .iter()
+                .map(|(_, rows)| agg.apply(src_col, rows, src))
+                .collect::<Result<_>>()?;
+            let dtype = values
+                .iter()
+                .find_map(Value::dtype)
+                .unwrap_or(crate::DType::Float);
+            let mut col = Column::empty(dtype);
+            for v in values {
+                col.push(v)?;
+            }
+            out_cols.push((out_name.to_owned(), col));
+        }
+        DataFrame::new(out_cols)
+    }
+
+    /// Splits the frame into sub-frames, one per distinct key tuple, in
+    /// first-seen order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::FrameError::UnknownColumn`] for a missing key.
+    pub fn partition_by(&self, keys: &[&str]) -> Result<Vec<(Vec<Value>, DataFrame)>> {
+        let groups = group_rows(self, keys)?;
+        Ok(groups
+            .into_iter()
+            .map(|(k, rows)| (k, self.take(&rows)))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![
+            (
+                "maker",
+                Column::from_strs(&["waymo", "bosch", "waymo", "bosch", "waymo"]),
+            ),
+            (
+                "year",
+                Column::from_i64s(&[2015, 2015, 2016, 2016, 2016]),
+            ),
+            (
+                "miles",
+                Column::from_opt_f64s(vec![Some(10.0), Some(20.0), Some(30.0), None, Some(50.0)]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn single_key_sum() {
+        let g = df()
+            .group_by(&["maker"], &[("miles", Agg::Sum, "total")])
+            .unwrap();
+        assert_eq!(g.n_rows(), 2);
+        // First-seen order: waymo then bosch.
+        assert_eq!(g.get(0, "maker").unwrap(), Value::Str("waymo".into()));
+        assert_eq!(g.get(0, "total").unwrap(), Value::Float(90.0));
+        assert_eq!(g.get(1, "total").unwrap(), Value::Float(20.0));
+    }
+
+    #[test]
+    fn multi_key_groups() {
+        let g = df()
+            .group_by(&["maker", "year"], &[("miles", Agg::Count, "n")])
+            .unwrap();
+        assert_eq!(g.n_rows(), 4);
+        assert_eq!(g.names(), &["maker", "year", "n"]);
+        // bosch/2016 has one row whose miles is null → count 0.
+        let bosch_2016 = g
+            .filter(
+                &crate::Predicate::eq("maker", Value::from("bosch"))
+                    .and(crate::Predicate::eq("year", Value::Int(2016))),
+            )
+            .unwrap();
+        assert_eq!(bosch_2016.get(0, "n").unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn multiple_aggregations() {
+        let g = df()
+            .group_by(
+                &["maker"],
+                &[
+                    ("miles", Agg::Mean, "mean_miles"),
+                    ("miles", Agg::Max, "max_miles"),
+                    ("year", Agg::NUnique, "years"),
+                ],
+            )
+            .unwrap();
+        assert_eq!(g.n_cols(), 4);
+        assert_eq!(g.get(0, "mean_miles").unwrap(), Value::Float(30.0));
+        assert_eq!(g.get(0, "max_miles").unwrap(), Value::Float(50.0));
+        assert_eq!(g.get(0, "years").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn null_keys_form_a_group() {
+        let d = DataFrame::new(vec![
+            (
+                "k",
+                Column::from_opt_strings(vec![Some("a".into()), None, None]),
+            ),
+            ("v", Column::from_i64s(&[1, 2, 3])),
+        ])
+        .unwrap();
+        let g = d.group_by(&["k"], &[("v", Agg::Sum, "s")]).unwrap();
+        assert_eq!(g.n_rows(), 2);
+        assert_eq!(g.get(1, "k").unwrap(), Value::Null);
+        assert_eq!(g.get(1, "s").unwrap(), Value::Float(5.0));
+    }
+
+    #[test]
+    fn unknown_columns_rejected() {
+        assert!(df().group_by(&["nope"], &[]).is_err());
+        assert!(df()
+            .group_by(&["maker"], &[("nope", Agg::Sum, "s")])
+            .is_err());
+    }
+
+    #[test]
+    fn partition_by_splits() {
+        let parts = df().partition_by(&["maker"]).unwrap();
+        assert_eq!(parts.len(), 2);
+        let (key, sub) = &parts[0];
+        assert_eq!(key[0], Value::Str("waymo".into()));
+        assert_eq!(sub.n_rows(), 3);
+        // Sub-frames keep all columns.
+        assert_eq!(sub.n_cols(), 3);
+    }
+
+    #[test]
+    fn empty_frame_groups_to_empty() {
+        let d = DataFrame::new(vec![
+            ("k", Column::empty(crate::DType::Str)),
+            ("v", Column::empty(crate::DType::Int)),
+        ])
+        .unwrap();
+        let g = d.group_by(&["k"], &[("v", Agg::Sum, "s")]).unwrap();
+        assert_eq!(g.n_rows(), 0);
+        assert_eq!(g.n_cols(), 2);
+    }
+
+    #[test]
+    fn group_sizes_partition_rows() {
+        // Sum of Size over groups equals total row count (a partition
+        // invariant).
+        let g = df()
+            .group_by(&["maker", "year"], &[("miles", Agg::Size, "n")])
+            .unwrap();
+        let total: f64 = g
+            .column("n")
+            .unwrap()
+            .to_f64s()
+            .unwrap()
+            .iter()
+            .sum();
+        assert_eq!(total as usize, df().n_rows());
+    }
+}

@@ -1,0 +1,246 @@
+//! Hash joins between frames.
+
+use crate::column::Column;
+use crate::frame::DataFrame;
+use crate::groupby::KeyPart;
+use crate::value::Value;
+use crate::{FrameError, Result};
+use std::collections::HashMap;
+
+/// The kind of join to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// Keep only rows whose keys appear on both sides.
+    Inner,
+    /// Keep every left row; unmatched right columns become null.
+    Left,
+}
+
+impl DataFrame {
+    /// Joins `self` (left) with `other` (right) on equality of the named
+    /// key columns.
+    ///
+    /// Key columns appear once (from the left). Non-key right columns that
+    /// collide with a left column name get a `_right` suffix. Null keys
+    /// never match (SQL semantics). When a key matches multiple right
+    /// rows, the output contains one row per match (in right-row order).
+    ///
+    /// # Errors
+    ///
+    /// * [`FrameError::UnknownColumn`] if a key is missing on either side.
+    /// * [`FrameError::DuplicateColumn`] if suffixing still collides.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use disengage_dataframe::{DataFrame, Column, JoinKind};
+    /// # fn main() -> Result<(), disengage_dataframe::FrameError> {
+    /// let left = DataFrame::new(vec![
+    ///     ("maker", Column::from_strs(&["waymo", "bosch"])),
+    ///     ("miles", Column::from_f64s(&[100.0, 20.0])),
+    /// ])?;
+    /// let right = DataFrame::new(vec![
+    ///     ("maker", Column::from_strs(&["waymo"])),
+    ///     ("accidents", Column::from_i64s(&[25])),
+    /// ])?;
+    /// let joined = left.join(&right, &["maker"], JoinKind::Left)?;
+    /// assert_eq!(joined.n_rows(), 2);
+    /// assert!(joined.get(1, "accidents")?.is_null());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn join(&self, other: &DataFrame, keys: &[&str], kind: JoinKind) -> Result<DataFrame> {
+        let left_key_cols: Vec<&Column> = keys
+            .iter()
+            .map(|&k| self.column(k))
+            .collect::<Result<_>>()?;
+        let right_key_cols: Vec<&Column> = keys
+            .iter()
+            .map(|&k| other.column(k))
+            .collect::<Result<_>>()?;
+
+        // Build the hash index over the right side (skip null keys).
+        let mut right_index: HashMap<Vec<KeyPart>, Vec<usize>> = HashMap::new();
+        'rows: for row in 0..other.n_rows() {
+            let mut key = Vec::with_capacity(keys.len());
+            for col in &right_key_cols {
+                let v = col.get(row).expect("in range");
+                if v.is_null() {
+                    continue 'rows;
+                }
+                key.push(KeyPart::from_value(&v));
+            }
+            right_index.entry(key).or_default().push(row);
+        }
+
+        // Probe with the left side.
+        let mut left_take: Vec<usize> = Vec::new();
+        let mut right_take: Vec<Option<usize>> = Vec::new();
+        'left: for row in 0..self.n_rows() {
+            let mut key = Vec::with_capacity(keys.len());
+            for col in &left_key_cols {
+                let v = col.get(row).expect("in range");
+                if v.is_null() {
+                    if kind == JoinKind::Left {
+                        left_take.push(row);
+                        right_take.push(None);
+                    }
+                    continue 'left;
+                }
+                key.push(KeyPart::from_value(&v));
+            }
+            match right_index.get(&key) {
+                Some(matches) => {
+                    for &r in matches {
+                        left_take.push(row);
+                        right_take.push(Some(r));
+                    }
+                }
+                None => {
+                    if kind == JoinKind::Left {
+                        left_take.push(row);
+                        right_take.push(None);
+                    }
+                }
+            }
+        }
+
+        // Assemble output columns: all left columns, then non-key right
+        // columns.
+        let mut out: Vec<(String, Column)> = Vec::new();
+        for (name, _) in self.names().iter().zip(0..) {
+            let col = self.column(name)?.take(&left_take);
+            out.push((name.clone(), col));
+        }
+        for name in other.names() {
+            if keys.contains(&name.as_str()) {
+                continue;
+            }
+            let out_name = if self.has_column(name) {
+                format!("{name}_right")
+            } else {
+                name.clone()
+            };
+            if out.iter().any(|(n, _)| *n == out_name) {
+                return Err(FrameError::DuplicateColumn(out_name));
+            }
+            let src = other.column(name)?;
+            let mut col = Column::empty(src.dtype());
+            for slot in &right_take {
+                match slot {
+                    Some(r) => col.push(src.get(*r).expect("in range"))?,
+                    None => col.push(Value::Null)?,
+                }
+            }
+            out.push((out_name, col));
+        }
+        DataFrame::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn left() -> DataFrame {
+        DataFrame::new(vec![
+            ("maker", Column::from_strs(&["waymo", "bosch", "tesla"])),
+            ("miles", Column::from_f64s(&[100.0, 20.0, 5.0])),
+        ])
+        .unwrap()
+    }
+
+    fn right() -> DataFrame {
+        DataFrame::new(vec![
+            ("maker", Column::from_strs(&["waymo", "bosch"])),
+            ("accidents", Column::from_i64s(&[25, 0])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_drops_unmatched() {
+        let j = left().join(&right(), &["maker"], JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 2);
+        assert_eq!(j.get(0, "accidents").unwrap(), Value::Int(25));
+        assert!(!j.has_column("maker_right"));
+    }
+
+    #[test]
+    fn left_join_keeps_all_left_rows() {
+        let j = left().join(&right(), &["maker"], JoinKind::Left).unwrap();
+        assert_eq!(j.n_rows(), 3);
+        assert!(j.get(2, "accidents").unwrap().is_null());
+        assert_eq!(j.get(2, "maker").unwrap(), Value::Str("tesla".into()));
+    }
+
+    #[test]
+    fn one_to_many_duplicates_left_rows() {
+        let many = DataFrame::new(vec![
+            ("maker", Column::from_strs(&["waymo", "waymo"])),
+            ("month", Column::from_i64s(&[1, 2])),
+        ])
+        .unwrap();
+        let j = left().join(&many, &["maker"], JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 2);
+        assert_eq!(j.get(0, "month").unwrap(), Value::Int(1));
+        assert_eq!(j.get(1, "month").unwrap(), Value::Int(2));
+        assert_eq!(j.get(1, "miles").unwrap(), Value::Float(100.0));
+    }
+
+    #[test]
+    fn null_keys_do_not_match() {
+        let l = DataFrame::new(vec![(
+            "k",
+            Column::from_opt_strings(vec![Some("a".into()), None]),
+        )])
+        .unwrap();
+        let r = DataFrame::new(vec![
+            ("k", Column::from_opt_strings(vec![Some("a".into()), None])),
+            ("v", Column::from_i64s(&[1, 2])),
+        ])
+        .unwrap();
+        let inner = l.join(&r, &["k"], JoinKind::Inner).unwrap();
+        assert_eq!(inner.n_rows(), 1); // only the "a" row
+        let left_j = l.join(&r, &["k"], JoinKind::Left).unwrap();
+        assert_eq!(left_j.n_rows(), 2);
+        assert!(left_j.get(1, "v").unwrap().is_null());
+    }
+
+    #[test]
+    fn colliding_columns_suffixed() {
+        let r = DataFrame::new(vec![
+            ("maker", Column::from_strs(&["waymo"])),
+            ("miles", Column::from_f64s(&[999.0])),
+        ])
+        .unwrap();
+        let j = left().join(&r, &["maker"], JoinKind::Inner).unwrap();
+        assert!(j.has_column("miles"));
+        assert!(j.has_column("miles_right"));
+        assert_eq!(j.get(0, "miles").unwrap(), Value::Float(100.0));
+        assert_eq!(j.get(0, "miles_right").unwrap(), Value::Float(999.0));
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let l = DataFrame::new(vec![
+            ("a", Column::from_i64s(&[1, 1, 2])),
+            ("b", Column::from_strs(&["x", "y", "x"])),
+        ])
+        .unwrap();
+        let r = DataFrame::new(vec![
+            ("a", Column::from_i64s(&[1, 2])),
+            ("b", Column::from_strs(&["y", "x"])),
+            ("v", Column::from_f64s(&[0.5, 0.9])),
+        ])
+        .unwrap();
+        let j = l.join(&r, &["a", "b"], JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 2);
+        assert_eq!(j.get(0, "v").unwrap(), Value::Float(0.5));
+    }
+
+    #[test]
+    fn missing_key_rejected() {
+        assert!(left().join(&right(), &["nope"], JoinKind::Inner).is_err());
+    }
+}

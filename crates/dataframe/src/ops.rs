@@ -1,0 +1,250 @@
+//! Frame-level utility operations: describe, concat, rename, drop,
+//! distinct.
+
+use crate::agg::Agg;
+use crate::column::Column;
+use crate::frame::DataFrame;
+use crate::groupby::KeyPart;
+use crate::value::{DType, Value};
+use crate::{FrameError, Result};
+use std::collections::HashSet;
+
+impl DataFrame {
+    /// Summary statistics for every numeric column: one row per column
+    /// with `column, count, mean, std, min, median, max`.
+    ///
+    /// Non-numeric columns are skipped; an all-non-numeric frame yields
+    /// an empty (0-row) summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dataframe error only on internal schema violations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use disengage_dataframe::{DataFrame, Column};
+    /// # fn main() -> Result<(), disengage_dataframe::FrameError> {
+    /// let df = DataFrame::new(vec![
+    ///     ("x", Column::from_f64s(&[1.0, 2.0, 3.0])),
+    ///     ("label", Column::from_strs(&["a", "b", "c"])),
+    /// ])?;
+    /// let d = df.describe()?;
+    /// assert_eq!(d.n_rows(), 1); // only `x` is numeric
+    /// assert_eq!(d.get(0, "mean")?, disengage_dataframe::Value::Float(2.0));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn describe(&self) -> Result<DataFrame> {
+        let mut out = DataFrame::new(vec![
+            ("column", Column::empty(DType::Str)),
+            ("count", Column::empty(DType::Int)),
+            ("mean", Column::empty(DType::Float)),
+            ("std", Column::empty(DType::Float)),
+            ("min", Column::empty(DType::Float)),
+            ("median", Column::empty(DType::Float)),
+            ("max", Column::empty(DType::Float)),
+        ])?;
+        let rows: Vec<usize> = (0..self.n_rows()).collect();
+        for name in self.names() {
+            let col = self.column(name)?;
+            if !matches!(col.dtype(), DType::Int | DType::Float) {
+                continue;
+            }
+            let mut row = vec![Value::from(name.as_str())];
+            row.push(Agg::Count.apply(col, &rows, name)?);
+            for agg in [Agg::Mean, Agg::Std, Agg::Min, Agg::Median, Agg::Max] {
+                row.push(agg.apply(col, &rows, name)?);
+            }
+            out.push_row(row)?;
+        }
+        Ok(out)
+    }
+
+    /// Vertically concatenates another frame with the same schema (names,
+    /// order, and types must match).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::UnknownColumn`] / [`FrameError::TypeMismatch`]
+    /// when the schemas differ.
+    pub fn concat(&self, other: &DataFrame) -> Result<DataFrame> {
+        if self.names() != other.names() {
+            return Err(FrameError::UnknownColumn(format!(
+                "schema mismatch: {:?} vs {:?}",
+                self.names(),
+                other.names()
+            )));
+        }
+        for name in self.names() {
+            let a = self.column(name)?;
+            let b = other.column(name)?;
+            if a.dtype() != b.dtype() {
+                return Err(FrameError::TypeMismatch {
+                    expected: a.dtype().name(),
+                    found: b.dtype().name(),
+                });
+            }
+        }
+        let mut out = self.clone();
+        for row in other.rows() {
+            out.push_row(row)?;
+        }
+        Ok(out)
+    }
+
+    /// Returns a frame with one column renamed.
+    ///
+    /// # Errors
+    ///
+    /// * [`FrameError::UnknownColumn`] if `from` is absent.
+    /// * [`FrameError::DuplicateColumn`] if `to` already exists.
+    pub fn rename(&self, from: &str, to: &str) -> Result<DataFrame> {
+        self.index_of(from)?;
+        if from != to && self.has_column(to) {
+            return Err(FrameError::DuplicateColumn(to.to_owned()));
+        }
+        let columns: Vec<(String, Column)> = self
+            .names()
+            .iter()
+            .map(|n| {
+                let name = if n == from { to.to_owned() } else { n.clone() };
+                (name, self.column(n).expect("name exists").clone())
+            })
+            .collect();
+        DataFrame::new(columns)
+    }
+
+    /// Returns a frame without the named column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::UnknownColumn`] if absent.
+    pub fn drop_column(&self, name: &str) -> Result<DataFrame> {
+        self.index_of(name)?;
+        let columns: Vec<(String, Column)> = self
+            .names()
+            .iter()
+            .filter(|n| *n != name)
+            .map(|n| (n.clone(), self.column(n).expect("name exists").clone()))
+            .collect();
+        DataFrame::new(columns)
+    }
+
+    /// Returns the distinct rows (first occurrence kept, order
+    /// preserved), considering all columns.
+    pub fn distinct(&self) -> DataFrame {
+        let mut seen: HashSet<Vec<KeyPart>> = HashSet::new();
+        let mut keep = Vec::new();
+        for i in 0..self.n_rows() {
+            let key: Vec<KeyPart> = self
+                .row(i)
+                .expect("in range")
+                .iter()
+                .map(KeyPart::from_value)
+                .collect();
+            if seen.insert(key) {
+                keep.push(i);
+            }
+        }
+        self.take(&keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![
+            ("maker", Column::from_strs(&["a", "b", "a"])),
+            ("miles", Column::from_f64s(&[1.0, 3.0, 2.0])),
+            ("n", Column::from_opt_i64s(vec![Some(10), None, Some(30)])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn describe_numeric_columns_only() {
+        let d = df().describe().unwrap();
+        assert_eq!(d.n_rows(), 2); // miles and n
+        assert_eq!(d.get(0, "column").unwrap(), Value::from("miles"));
+        assert_eq!(d.get(0, "mean").unwrap(), Value::Float(2.0));
+        assert_eq!(d.get(0, "median").unwrap(), Value::Float(2.0));
+        assert_eq!(d.get(0, "min").unwrap(), Value::Float(1.0));
+        assert_eq!(d.get(0, "max").unwrap(), Value::Float(3.0));
+        // Nullable int column: count skips the null.
+        assert_eq!(d.get(1, "count").unwrap(), Value::Int(2));
+        assert_eq!(d.get(1, "mean").unwrap(), Value::Float(20.0));
+    }
+
+    #[test]
+    fn describe_no_numeric() {
+        let d = DataFrame::new(vec![("s", Column::from_strs(&["x"]))])
+            .unwrap()
+            .describe()
+            .unwrap();
+        assert_eq!(d.n_rows(), 0);
+    }
+
+    #[test]
+    fn concat_same_schema() {
+        let a = df();
+        let b = df();
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.n_rows(), 6);
+        assert_eq!(c.get(3, "maker").unwrap(), Value::from("a"));
+    }
+
+    #[test]
+    fn concat_schema_mismatch() {
+        let a = df();
+        let b = a.rename("miles", "km").unwrap();
+        assert!(a.concat(&b).is_err());
+        let c = DataFrame::new(vec![
+            ("maker", Column::from_strs(&["x"])),
+            ("miles", Column::from_i64s(&[1])), // int, not float
+            ("n", Column::from_i64s(&[1])),
+        ])
+        .unwrap();
+        assert!(matches!(a.concat(&c), Err(FrameError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn rename_and_drop() {
+        let r = df().rename("miles", "distance").unwrap();
+        assert!(r.has_column("distance"));
+        assert!(!r.has_column("miles"));
+        assert!(df().rename("nope", "x").is_err());
+        assert!(df().rename("miles", "maker").is_err());
+        // Self-rename is a no-op.
+        assert!(df().rename("miles", "miles").is_ok());
+
+        let d = df().drop_column("n").unwrap();
+        assert_eq!(d.n_cols(), 2);
+        assert!(df().drop_column("nope").is_err());
+    }
+
+    #[test]
+    fn distinct_keeps_first() {
+        let d = DataFrame::new(vec![
+            ("k", Column::from_strs(&["a", "b", "a", "a"])),
+            ("v", Column::from_i64s(&[1, 2, 1, 3])),
+        ])
+        .unwrap();
+        let u = d.distinct();
+        assert_eq!(u.n_rows(), 3); // (a,1), (b,2), (a,3)
+        assert_eq!(u.get(0, "v").unwrap(), Value::Int(1));
+        assert_eq!(u.get(2, "v").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn distinct_with_nulls() {
+        let d = DataFrame::new(vec![(
+            "x",
+            Column::from_opt_i64s(vec![None, Some(1), None]),
+        )])
+        .unwrap();
+        assert_eq!(d.distinct().n_rows(), 2);
+    }
+}

@@ -1,0 +1,210 @@
+//! Classifier evaluation: confusion matrices and per-tag
+//! precision/recall.
+//!
+//! The paper validates its dictionary manually ("verified by the
+//! authors"); with ground truth available (the synthetic corpus records
+//! its intended tags) the validation can be quantitative.
+
+use crate::ontology::FaultTag;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A confusion matrix over fault tags.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConfusionMatrix {
+    /// `counts[(truth, predicted)]`.
+    counts: BTreeMap<(FaultTag, FaultTag), usize>,
+    total: usize,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix.
+    pub fn new() -> ConfusionMatrix {
+        ConfusionMatrix::default()
+    }
+
+    /// Builds a matrix from aligned (truth, predicted) pairs.
+    pub fn from_pairs<I>(pairs: I) -> ConfusionMatrix
+    where
+        I: IntoIterator<Item = (FaultTag, FaultTag)>,
+    {
+        let mut m = ConfusionMatrix::new();
+        for (truth, predicted) in pairs {
+            m.record(truth, predicted);
+        }
+        m
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, truth: FaultTag, predicted: FaultTag) {
+        *self.counts.entry((truth, predicted)).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The count in one cell.
+    pub fn count(&self, truth: FaultTag, predicted: FaultTag) -> usize {
+        self.counts.get(&(truth, predicted)).copied().unwrap_or(0)
+    }
+
+    /// Overall accuracy (0 for an empty matrix).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let correct: usize = FaultTag::ALL
+            .iter()
+            .map(|&t| self.count(t, t))
+            .sum();
+        correct as f64 / self.total as f64
+    }
+
+    /// Precision for one tag: `TP / (TP + FP)` (`None` if never
+    /// predicted).
+    pub fn precision(&self, tag: FaultTag) -> Option<f64> {
+        let tp = self.count(tag, tag);
+        let predicted: usize = FaultTag::ALL
+            .iter()
+            .map(|&t| self.count(t, tag))
+            .sum();
+        if predicted == 0 {
+            None
+        } else {
+            Some(tp as f64 / predicted as f64)
+        }
+    }
+
+    /// Recall for one tag: `TP / (TP + FN)` (`None` if never true).
+    pub fn recall(&self, tag: FaultTag) -> Option<f64> {
+        let tp = self.count(tag, tag);
+        let actual: usize = FaultTag::ALL
+            .iter()
+            .map(|&t| self.count(tag, t))
+            .sum();
+        if actual == 0 {
+            None
+        } else {
+            Some(tp as f64 / actual as f64)
+        }
+    }
+
+    /// F1 score for one tag (`None` if undefined).
+    pub fn f1(&self, tag: FaultTag) -> Option<f64> {
+        let p = self.precision(tag)?;
+        let r = self.recall(tag)?;
+        if p + r == 0.0 {
+            Some(0.0)
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+
+    /// Macro-averaged F1 over tags that appear (as truth or prediction).
+    pub fn macro_f1(&self) -> f64 {
+        let scores: Vec<f64> = FaultTag::ALL
+            .iter()
+            .filter_map(|&t| self.f1(t))
+            .collect();
+        if scores.is_empty() {
+            0.0
+        } else {
+            scores.iter().sum::<f64>() / scores.len() as f64
+        }
+    }
+
+    /// The most-confused (truth, predicted) off-diagonal pairs, sorted by
+    /// count descending.
+    pub fn top_confusions(&self, k: usize) -> Vec<((FaultTag, FaultTag), usize)> {
+        let mut off: Vec<((FaultTag, FaultTag), usize)> = self
+            .counts
+            .iter()
+            .filter(|((t, p), _)| t != p)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        off.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+        off.truncate(k);
+        off
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "confusion matrix: {} observations, accuracy {:.3}, macro-F1 {:.3}",
+            self.total,
+            self.accuracy(),
+            self.macro_f1()
+        )?;
+        for ((truth, predicted), count) in self.top_confusions(10) {
+            writeln!(f, "  {truth} -> {predicted}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use FaultTag::*;
+
+    fn sample() -> ConfusionMatrix {
+        ConfusionMatrix::from_pairs([
+            (Software, Software),
+            (Software, Software),
+            (Software, HangCrash), // one confusion
+            (Planner, Planner),
+            (UnknownT, UnknownT),
+        ])
+    }
+
+    #[test]
+    fn accuracy_and_counts() {
+        let m = sample();
+        assert_eq!(m.total(), 5);
+        assert_eq!(m.count(Software, Software), 2);
+        assert_eq!(m.count(Software, HangCrash), 1);
+        assert!((m.accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let m = sample();
+        // Software: TP=2, FN=1 (misread as HangCrash), FP=0.
+        assert_eq!(m.precision(Software), Some(1.0));
+        assert!((m.recall(Software).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1(Software).unwrap() - 0.8).abs() < 1e-12);
+        // HangCrash: predicted once, never true.
+        assert_eq!(m.precision(HangCrash), Some(0.0));
+        assert_eq!(m.recall(HangCrash), None);
+        assert_eq!(m.f1(HangCrash), None);
+        // Never seen at all.
+        assert_eq!(m.precision(Network), None);
+    }
+
+    #[test]
+    fn top_confusions_off_diagonal_only() {
+        let m = sample();
+        let top = m.top_confusions(5);
+        assert_eq!(top, vec![((Software, HangCrash), 1)]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = ConfusionMatrix::new();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.macro_f1(), 0.0);
+        assert!(m.top_confusions(3).is_empty());
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = sample().to_string();
+        assert!(s.contains("accuracy 0.800"));
+        assert!(s.contains("Software -> Hang/Crash: 1"));
+    }
+}

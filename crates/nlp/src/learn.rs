@@ -1,0 +1,263 @@
+//! Dictionary learning: build a failure dictionary from a labeled
+//! corpus.
+//!
+//! The paper's authors constructed their dictionary by making "several
+//! passes over the dataset" and selecting the phrases that differentiate
+//! fault classes. This module mechanizes one such pass: aggregate the
+//! descriptions of each fault class into one document, rank terms by
+//! TF-IDF (frequent in the class, rare elsewhere), and take the top
+//! discriminative terms and bigrams per class as that class's phrases.
+
+use crate::dictionary::FailureDictionary;
+use crate::ngram::{count_ngrams, top_ngrams};
+use crate::ontology::FaultTag;
+use crate::tfidf::TfIdf;
+use std::collections::{BTreeMap, HashMap};
+
+/// Options for dictionary learning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearnOptions {
+    /// Discriminative unigrams to keep per tag.
+    pub terms_per_tag: usize,
+    /// Frequent bigrams to keep per tag.
+    pub bigrams_per_tag: usize,
+    /// Minimum occurrences for a bigram to qualify.
+    pub min_bigram_count: usize,
+}
+
+impl Default for LearnOptions {
+    fn default() -> Self {
+        LearnOptions {
+            terms_per_tag: 8,
+            bigrams_per_tag: 5,
+            min_bigram_count: 2,
+        }
+    }
+}
+
+/// Learns a [`FailureDictionary`] from labeled descriptions.
+///
+/// Descriptions labeled [`FaultTag::UnknownT`] are ignored (the fallback
+/// class has no vocabulary by construction). Tags with no examples end
+/// up with no phrases — classification then falls back to `Unknown-T`
+/// for them, exactly like an undertrained real dictionary.
+///
+/// # Examples
+///
+/// ```
+/// use disengage_nlp::learn::{learn_dictionary, LearnOptions};
+/// use disengage_nlp::{Classifier, FaultTag};
+///
+/// let corpus = vec![
+///     (FaultTag::Software, "software module froze".to_owned()),
+///     (FaultTag::Software, "software crash in the module".to_owned()),
+///     (FaultTag::HangCrash, "watchdog error".to_owned()),
+///     (FaultTag::HangCrash, "watchdog timer expired".to_owned()),
+/// ];
+/// let dict = learn_dictionary(&corpus, LearnOptions::default());
+/// let cl = Classifier::new(dict);
+/// assert_eq!(cl.classify("watchdog error").tag, FaultTag::HangCrash);
+/// ```
+pub fn learn_dictionary(
+    labeled: &[(FaultTag, String)],
+    options: LearnOptions,
+) -> FailureDictionary {
+    // Aggregate descriptions per tag.
+    let mut per_tag: BTreeMap<FaultTag, Vec<&str>> = BTreeMap::new();
+    for (tag, text) in labeled {
+        if *tag == FaultTag::UnknownT {
+            continue;
+        }
+        per_tag.entry(*tag).or_default().push(text.as_str());
+    }
+    let tags: Vec<FaultTag> = per_tag.keys().copied().collect();
+    let class_docs: Vec<String> = tags
+        .iter()
+        .map(|t| per_tag[t].join(" "))
+        .collect();
+    let model = TfIdf::fit(class_docs.iter().map(String::as_str));
+
+    // Cross-class document frequency of bigrams, to drop boilerplate
+    // phrases ("driver took", "manual operation") that occur in most
+    // classes' narratives.
+    let mut bigram_df: HashMap<String, usize> = HashMap::new();
+    for doc in &class_docs {
+        for bigram in count_ngrams([doc.as_str()], 2).into_keys() {
+            *bigram_df.entry(bigram).or_insert(0) += 1;
+        }
+    }
+
+    let mut dict = FailureDictionary::new();
+    let n_classes = tags.len().max(1);
+    for (i, &tag) in tags.iter().enumerate() {
+        // Discriminative unigrams: skip boilerplate that appears in more
+        // than half the classes ("driver", "test", ...), which TF-IDF
+        // down-weights but does not eliminate with this few documents.
+        let mut kept = 0usize;
+        for term in model.top_terms(i, options.terms_per_tag * 3) {
+            if kept >= options.terms_per_tag {
+                break;
+            }
+            if model.document_frequency(&term.term) * 2 > n_classes {
+                continue;
+            }
+            dict.add_phrase(tag, &term.term);
+            kept += 1;
+        }
+        // Frequent *discriminative* bigrams within the class give the
+        // phrase-match bonus its contiguous sequences.
+        let mut kept_bigrams = 0usize;
+        for ngram in top_ngrams(
+            per_tag[&tag].iter().copied(),
+            2,
+            options.min_bigram_count,
+            options.bigrams_per_tag * 3,
+        ) {
+            if kept_bigrams >= options.bigrams_per_tag {
+                break;
+            }
+            if bigram_df.get(&ngram.ngram).copied().unwrap_or(0) * 2 > n_classes {
+                continue;
+            }
+            dict.add_phrase(tag, &ngram.ngram);
+            kept_bigrams += 1;
+        }
+    }
+    dict
+}
+
+/// Learned-dictionary quality against a labeled evaluation set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearnEvaluation {
+    /// Fraction of evaluation records tagged correctly.
+    pub tag_accuracy: f64,
+    /// Fraction whose root category is correct.
+    pub category_accuracy: f64,
+    /// Evaluation records.
+    pub n: usize,
+}
+
+/// Trains on `train`, evaluates tag/category accuracy on `eval`.
+pub fn train_and_evaluate(
+    train: &[(FaultTag, String)],
+    eval: &[(FaultTag, String)],
+    options: LearnOptions,
+) -> LearnEvaluation {
+    let dict = learn_dictionary(train, options);
+    let classifier = crate::vote::Classifier::new(dict);
+    let mut tag_hits = 0usize;
+    let mut cat_hits = 0usize;
+    for (want, text) in eval {
+        let got = classifier.classify(text);
+        if got.tag == *want {
+            tag_hits += 1;
+        }
+        if got.category == want.category() {
+            cat_hits += 1;
+        }
+    }
+    let n = eval.len();
+    LearnEvaluation {
+        tag_accuracy: if n == 0 { 0.0 } else { tag_hits as f64 / n as f64 },
+        category_accuracy: if n == 0 { 0.0 } else { cat_hits as f64 / n as f64 },
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vote::Classifier;
+
+    fn toy_corpus() -> Vec<(FaultTag, String)> {
+        let mut out = Vec::new();
+        let add = |out: &mut Vec<(FaultTag, String)>, tag, texts: &[&str]| {
+            for t in texts {
+                out.push((tag, (*t).to_owned()));
+            }
+        };
+        add(&mut out, FaultTag::Software, &[
+            "software module froze during operation",
+            "software crash took down the stack",
+            "software bug corrupted the plan",
+        ]);
+        add(&mut out, FaultTag::HangCrash, &[
+            "watchdog error raised",
+            "watchdog timer expired and rebooted",
+            "system hang with watchdog reset",
+        ]);
+        add(&mut out, FaultTag::Sensor, &[
+            "gps signal lost near the tunnel",
+            "lidar dropout on the highway",
+            "sensor malfunction on the array",
+        ]);
+        add(&mut out, FaultTag::UnknownT, &["event recorded"]);
+        out
+    }
+
+    #[test]
+    fn learned_dictionary_classifies_training_classes() {
+        let dict = learn_dictionary(&toy_corpus(), LearnOptions::default());
+        assert!(!dict.phrases(FaultTag::Software).is_empty());
+        assert!(dict.phrases(FaultTag::UnknownT).is_empty());
+        let cl = Classifier::new(dict);
+        assert_eq!(cl.classify("the software froze again").tag, FaultTag::Software);
+        assert_eq!(cl.classify("watchdog timer error").tag, FaultTag::HangCrash);
+        assert_eq!(cl.classify("gps dropout").tag, FaultTag::Sensor);
+    }
+
+    #[test]
+    fn unseen_tags_have_no_phrases() {
+        let dict = learn_dictionary(&toy_corpus(), LearnOptions::default());
+        assert!(dict.phrases(FaultTag::Network).is_empty());
+        let cl = Classifier::new(dict);
+        assert_eq!(
+            cl.classify("data rate too high for the onboard network").tag,
+            FaultTag::UnknownT
+        );
+    }
+
+    #[test]
+    fn train_evaluate_on_same_distribution() {
+        let corpus = toy_corpus();
+        let eval: Vec<(FaultTag, String)> = vec![
+            (FaultTag::Software, "software froze".to_owned()),
+            (FaultTag::HangCrash, "watchdog reset happened".to_owned()),
+            (FaultTag::Sensor, "lidar dropout again".to_owned()),
+        ];
+        let e = train_and_evaluate(&corpus, &eval, LearnOptions::default());
+        assert_eq!(e.n, 3);
+        assert!(e.tag_accuracy >= 2.0 / 3.0, "accuracy {}", e.tag_accuracy);
+        assert!(e.category_accuracy >= e.tag_accuracy);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let dict = learn_dictionary(&[], LearnOptions::default());
+        assert!(dict.is_empty());
+        let e = train_and_evaluate(&[], &[], LearnOptions::default());
+        assert_eq!(e.n, 0);
+        assert_eq!(e.tag_accuracy, 0.0);
+    }
+
+    #[test]
+    fn more_terms_capture_more_vocabulary() {
+        let small = learn_dictionary(
+            &toy_corpus(),
+            LearnOptions {
+                terms_per_tag: 2,
+                bigrams_per_tag: 1,
+                min_bigram_count: 2,
+            },
+        );
+        let large = learn_dictionary(
+            &toy_corpus(),
+            LearnOptions {
+                terms_per_tag: 10,
+                bigrams_per_tag: 8,
+                min_bigram_count: 1,
+            },
+        );
+        assert!(large.len() > small.len());
+    }
+}

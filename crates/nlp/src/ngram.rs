@@ -1,0 +1,116 @@
+//! N-gram mining for dictionary construction.
+//!
+//! The paper builds its failure dictionary by making several passes over
+//! the raw logs; this module implements the mechanical part of a pass:
+//! extract the frequent n-grams of a corpus as candidate phrases.
+
+use crate::normalize::remove_stop_words;
+use crate::token::tokenize;
+use std::collections::HashMap;
+
+/// A candidate phrase with its corpus frequency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NgramCount {
+    /// The space-joined n-gram.
+    pub ngram: String,
+    /// Occurrences across the corpus.
+    pub count: usize,
+}
+
+/// Counts all `n`-grams (over stop-word-filtered tokens) in a corpus of
+/// documents.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn count_ngrams<'a, I>(documents: I, n: usize) -> HashMap<String, usize>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    assert!(n > 0, "n-gram order must be positive");
+    let mut counts = HashMap::new();
+    for doc in documents {
+        let tokens = remove_stop_words(&tokenize(doc));
+        if tokens.len() < n {
+            continue;
+        }
+        for w in tokens.windows(n) {
+            *counts.entry(w.join(" ")).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// The `top_k` most frequent `n`-grams with at least `min_count`
+/// occurrences, sorted by descending count (ties alphabetical).
+pub fn top_ngrams<'a, I>(documents: I, n: usize, min_count: usize, top_k: usize) -> Vec<NgramCount>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let counts = count_ngrams(documents, n);
+    let mut out: Vec<NgramCount> = counts
+        .into_iter()
+        .filter(|(_, c)| *c >= min_count)
+        .map(|(ngram, count)| NgramCount { ngram, count })
+        .collect();
+    out.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.ngram.cmp(&b.ngram)));
+    out.truncate(top_k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOCS: [&str; 4] = [
+        "software module froze during the test",
+        "the software module froze again",
+        "planner failed to anticipate the cyclist",
+        "software bug in the planner",
+    ];
+
+    #[test]
+    fn unigram_counts() {
+        let c = count_ngrams(DOCS, 1);
+        assert_eq!(c["software"], 3);
+        assert_eq!(c["planner"], 2);
+        assert_eq!(c["cyclist"], 1);
+        assert!(!c.contains_key("the")); // stop word removed
+    }
+
+    #[test]
+    fn bigram_counts() {
+        let c = count_ngrams(DOCS, 2);
+        assert_eq!(c["software module"], 2);
+        assert_eq!(c["module froze"], 2);
+    }
+
+    #[test]
+    fn top_k_sorted_and_thresholded() {
+        let top = top_ngrams(DOCS, 2, 2, 10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].count, 2);
+        // Ties sorted alphabetically.
+        assert_eq!(top[0].ngram, "module froze");
+        assert_eq!(top[1].ngram, "software module");
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let top = top_ngrams(DOCS, 1, 1, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].ngram, "software");
+    }
+
+    #[test]
+    fn short_documents_skipped() {
+        let c = count_ngrams(["hi"], 3);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "n-gram order must be positive")]
+    fn zero_order_panics() {
+        count_ngrams(DOCS, 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! The keyword-voting classifier (step 3 of the pipeline).
+//!
+//! Each tag votes with the number of its dictionary keywords found in the
+//! normalized description; contiguous full-phrase matches vote with
+//! double weight. The highest score wins; a zero score falls back to
+//! `Unknown-T`, exactly as the paper describes.
+
+use crate::dictionary::FailureDictionary;
+use crate::normalize::{normalize, stem};
+use crate::ontology::{FailureCategory, FaultTag};
+use crate::token::tokenize;
+use std::collections::BTreeSet;
+
+/// The classifier's verdict for one description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagAssignment {
+    /// Winning fault tag (`Unknown-T` when nothing matched).
+    pub tag: FaultTag,
+    /// Root category implied by the tag.
+    pub category: FailureCategory,
+    /// The winning score (keyword votes; 0 for `Unknown-T`).
+    pub score: f64,
+    /// Normalized keywords that matched the winning tag.
+    pub matched_keywords: Vec<String>,
+    /// Whether another tag tied the winning score (diagnostic for the
+    /// manual-verification pass the paper describes).
+    pub ambiguous: bool,
+}
+
+/// Keyword-voting classifier over a [`FailureDictionary`].
+#[derive(Debug, Clone)]
+pub struct Classifier {
+    dictionary: FailureDictionary,
+    keyword_sets: Vec<(FaultTag, BTreeSet<String>)>,
+    phrase_sets: Vec<(FaultTag, Vec<Vec<String>>)>,
+}
+
+impl Classifier {
+    /// Builds a classifier from a dictionary.
+    pub fn new(dictionary: FailureDictionary) -> Classifier {
+        let keyword_sets = FaultTag::ALL
+            .iter()
+            .filter(|&&t| t != FaultTag::UnknownT)
+            .map(|&t| (t, dictionary.keyword_set(t)))
+            .collect();
+        let phrase_sets = FaultTag::ALL
+            .iter()
+            .filter(|&&t| t != FaultTag::UnknownT)
+            .map(|&t| (t, dictionary.phrase_tokens(t)))
+            .collect();
+        Classifier {
+            dictionary,
+            keyword_sets,
+            phrase_sets,
+        }
+    }
+
+    /// Builds a classifier over the paper-derived default dictionary.
+    pub fn with_default_dictionary() -> Classifier {
+        Classifier::new(FailureDictionary::default_bank())
+    }
+
+    /// The dictionary backing this classifier.
+    pub fn dictionary(&self) -> &FailureDictionary {
+        &self.dictionary
+    }
+
+    /// Classifies one free-text cause description.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use disengage_nlp::vote::Classifier;
+    /// # use disengage_nlp::ontology::FaultTag;
+    /// let c = Classifier::with_default_dictionary();
+    /// assert_eq!(c.classify("watchdog error").tag, FaultTag::HangCrash);
+    /// assert_eq!(c.classify("odd noise").tag, FaultTag::UnknownT);
+    /// ```
+    pub fn classify(&self, description: &str) -> TagAssignment {
+        let raw_tokens = tokenize(description);
+        let desc_tokens = normalize(&raw_tokens);
+        let desc_set: BTreeSet<&str> = desc_tokens.iter().map(String::as_str).collect();
+        // Stemmed-but-unstopped sequence for contiguous phrase matching.
+        let stem_seq: Vec<String> = raw_tokens.iter().map(|t| stem(t)).collect();
+
+        let mut best: Option<(FaultTag, f64, Vec<String>)> = None;
+        let mut ambiguous = false;
+        for ((tag, keywords), (_, phrases)) in self.keyword_sets.iter().zip(&self.phrase_sets) {
+            let matched: Vec<String> = keywords
+                .iter()
+                .filter(|k| desc_set.contains(k.as_str()))
+                .cloned()
+                .collect();
+            let mut score = matched.len() as f64;
+            // Contiguous multi-word phrase hits vote double.
+            for phrase in phrases {
+                if phrase.len() >= 2 && contains_subsequence(&stem_seq, phrase) {
+                    score += phrase.len() as f64;
+                }
+            }
+            if score <= 0.0 {
+                continue;
+            }
+            match &best {
+                Some((_, best_score, _)) if score < *best_score => {}
+                Some((_, best_score, _)) if (score - best_score).abs() < f64::EPSILON => {
+                    ambiguous = true;
+                }
+                _ => {
+                    ambiguous = false;
+                    best = Some((*tag, score, matched));
+                }
+            }
+        }
+
+        match best {
+            Some((tag, score, matched_keywords)) => TagAssignment {
+                tag,
+                category: tag.category(),
+                score,
+                matched_keywords,
+                ambiguous,
+            },
+            None => TagAssignment {
+                tag: FaultTag::UnknownT,
+                category: FailureCategory::UnknownC,
+                score: 0.0,
+                matched_keywords: Vec::new(),
+                ambiguous: false,
+            },
+        }
+    }
+
+    /// Classifies a batch of descriptions.
+    pub fn classify_all<'a, I>(&self, descriptions: I) -> Vec<TagAssignment>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        descriptions.into_iter().map(|d| self.classify(d)).collect()
+    }
+}
+
+/// Whether `needle` appears as a contiguous subsequence of `haystack`.
+fn contains_subsequence(haystack: &[String], needle: &[String]) -> bool {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return false;
+    }
+    haystack
+        .windows(needle.len())
+        .any(|w| w.iter().zip(needle).all(|(a, b)| a == b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c() -> Classifier {
+        Classifier::with_default_dictionary()
+    }
+
+    #[test]
+    fn paper_table_two_samples() {
+        // Table II's four raw logs and their expected tags.
+        let cases = [
+            (
+                "Software module froze. As a result driver safely disengaged and resumed manual control.",
+                FaultTag::Software,
+                FailureCategory::System,
+            ),
+            (
+                "The AV didn't see the lead vehicle, driver safely disengaged and resumed manual control.",
+                FaultTag::RecognitionSystem,
+                FailureCategory::MlDesign,
+            ),
+            (
+                "Disengage for a recklessly behaving road user",
+                FaultTag::Environment,
+                FailureCategory::MlDesign,
+            ),
+            ("watchdog error", FaultTag::HangCrash, FailureCategory::System),
+        ];
+        let cl = c();
+        for (text, tag, cat) in cases {
+            let a = cl.classify(text);
+            assert_eq!(a.tag, tag, "text: {text}");
+            assert_eq!(a.category, cat, "text: {text}");
+            assert!(a.score > 0.0);
+        }
+    }
+
+    #[test]
+    fn case_study_phrases() {
+        let cl = c();
+        let a = cl.classify("incorrect behavior prediction");
+        assert_eq!(a.tag, FaultTag::IncorrectBehaviorPrediction);
+        assert_eq!(a.category, FailureCategory::MlDesign);
+    }
+
+    #[test]
+    fn av_controller_split_by_context() {
+        let cl = c();
+        let sys = cl.classify("the AV controller did not respond to commands from the planner");
+        assert_eq!(sys.tag, FaultTag::AvControllerUnresponsive);
+        assert_eq!(sys.category, FailureCategory::System);
+        let ml = cl.classify("the controller made a wrong decision at the intersection");
+        assert_eq!(ml.tag, FaultTag::AvControllerDecision);
+        assert_eq!(ml.category, FailureCategory::MlDesign);
+    }
+
+    #[test]
+    fn unmatched_falls_back_to_unknown() {
+        let a = c().classify("operator ended the session early");
+        assert_eq!(a.tag, FaultTag::UnknownT);
+        assert_eq!(a.category, FailureCategory::UnknownC);
+        assert_eq!(a.score, 0.0);
+        assert!(a.matched_keywords.is_empty());
+    }
+
+    #[test]
+    fn empty_description_unknown() {
+        assert_eq!(c().classify("").tag, FaultTag::UnknownT);
+    }
+
+    #[test]
+    fn phrase_match_outvotes_stray_keyword() {
+        // "planner" appears, but the full recognition phrase should win.
+        let a = c().classify(
+            "perception missed the pedestrian; planner was fine, recognition failure confirmed",
+        );
+        assert_eq!(a.tag, FaultTag::RecognitionSystem);
+    }
+
+    #[test]
+    fn inflected_forms_match_via_stemming() {
+        let cl = c();
+        // Dictionary has "failed to detect"; log says "detection failures".
+        let a = cl.classify("repeated detection failures near the crosswalk");
+        assert_eq!(a.tag, FaultTag::RecognitionSystem, "{a:?}");
+    }
+
+    #[test]
+    fn matched_keywords_reported() {
+        let a = c().classify("gps signal lost in the tunnel");
+        assert_eq!(a.tag, FaultTag::Sensor);
+        assert!(a.matched_keywords.iter().any(|k| k == "gps"));
+        assert!(a.matched_keywords.iter().any(|k| k == "signal"));
+    }
+
+    #[test]
+    fn classify_all_batches() {
+        let out = c().classify_all(["watchdog error", "gps signal lost"]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].tag, FaultTag::HangCrash);
+        assert_eq!(out[1].tag, FaultTag::Sensor);
+    }
+
+    #[test]
+    fn subsequence_helper() {
+        let hay: Vec<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        let yes: Vec<String> = ["b", "c"].iter().map(|s| s.to_string()).collect();
+        let no: Vec<String> = ["b", "d"].iter().map(|s| s.to_string()).collect();
+        assert!(contains_subsequence(&hay, &yes));
+        assert!(!contains_subsequence(&hay, &no));
+        assert!(!contains_subsequence(&hay, &[]));
+    }
+
+    #[test]
+    fn custom_dictionary() {
+        let mut d = FailureDictionary::new();
+        d.add_phrase(FaultTag::Software, "blue screen");
+        let cl = Classifier::new(d);
+        assert_eq!(cl.classify("blue screen of death").tag, FaultTag::Software);
+        assert_eq!(cl.classify("watchdog error").tag, FaultTag::UnknownT);
+    }
+}

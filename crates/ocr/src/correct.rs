@@ -1,0 +1,201 @@
+//! Dictionary-based post-correction.
+//!
+//! Tesseract-era OCR pipelines repair recognized words against a
+//! vocabulary; here a word whose exact form is unknown but which sits
+//! within edit distance 1 of exactly one known word snaps to it. Numbers
+//! and punctuation are left untouched (repairing `42` to `41` would
+//! corrupt the data).
+
+use std::collections::HashSet;
+
+/// Levenshtein edit distance between two strings (by `char`).
+///
+/// # Examples
+///
+/// ```
+/// # use disengage_ocr::correct::edit_distance;
+/// assert_eq!(edit_distance("watchdog", "watchdog"), 0);
+/// assert_eq!(edit_distance("watchdog", "watchd0g"), 1);
+/// assert_eq!(edit_distance("kitten", "sitting"), 3);
+/// ```
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// A vocabulary-backed spelling corrector.
+#[derive(Debug, Clone, Default)]
+pub struct Corrector {
+    vocabulary: HashSet<String>,
+}
+
+impl Corrector {
+    /// Builds a corrector from a vocabulary of known words.
+    pub fn new<I, S>(words: I) -> Corrector
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Corrector {
+            vocabulary: words.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of vocabulary words.
+    pub fn len(&self) -> usize {
+        self.vocabulary.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vocabulary.is_empty()
+    }
+
+    /// Whether a word is in the vocabulary.
+    pub fn knows(&self, word: &str) -> bool {
+        self.vocabulary.contains(word)
+    }
+
+    /// Corrects one word: surrounding punctuation is preserved and the
+    /// alphanumeric core is repaired. The core is returned unchanged if
+    /// known, free of alphabetic characters, or ambiguous; otherwise it
+    /// snaps to the unique vocabulary word at edit distance 1.
+    pub fn correct_word(&self, word: &str) -> String {
+        // Split into (leading punctuation, core, trailing punctuation) so
+        // "vehicle," repairs "vehicle" and keeps the comma.
+        let start = word
+            .find(|c: char| c.is_ascii_alphanumeric())
+            .unwrap_or(word.len());
+        let end = word
+            .rfind(|c: char| c.is_ascii_alphanumeric())
+            .map_or(start, |i| i + word[i..].chars().next().map_or(1, char::len_utf8));
+        let (prefix, rest) = word.split_at(start);
+        let (core, suffix) = rest.split_at(end.saturating_sub(start));
+        let fixed = self.correct_core(core);
+        if fixed == core {
+            word.to_owned()
+        } else {
+            format!("{prefix}{fixed}{suffix}")
+        }
+    }
+
+    fn correct_core(&self, core: &str) -> String {
+        if core.is_empty()
+            || self.knows(core)
+            || !core.chars().any(|c| c.is_ascii_alphabetic())
+        {
+            return core.to_owned();
+        }
+        let mut candidate: Option<&String> = None;
+        for v in &self.vocabulary {
+            // Cheap length prefilter before the DP.
+            if v.chars().count().abs_diff(core.chars().count()) > 1 {
+                continue;
+            }
+            if edit_distance(core, v) == 1 {
+                if candidate.is_some() {
+                    return core.to_owned(); // ambiguous: leave it
+                }
+                candidate = Some(v);
+            }
+        }
+        candidate.cloned().unwrap_or_else(|| core.to_owned())
+    }
+
+    /// Corrects every whitespace-delimited word of a text, preserving the
+    /// original spacing structure (single spaces between words per line).
+    pub fn correct_text(&self, text: &str) -> String {
+        text.lines()
+            .map(|line| {
+                line.split(' ')
+                    .map(|w| self.correct_word(w))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corrector() -> Corrector {
+        Corrector::new(["watchdog", "error", "software", "module", "froze", "driver"])
+    }
+
+    #[test]
+    fn known_words_unchanged() {
+        assert_eq!(corrector().correct_word("watchdog"), "watchdog");
+    }
+
+    #[test]
+    fn single_error_repaired() {
+        let c = corrector();
+        assert_eq!(c.correct_word("watchd0g"), "watchdog");
+        assert_eq!(c.correct_word("erro"), "error");
+        assert_eq!(c.correct_word("softwaree"), "software");
+    }
+
+    #[test]
+    fn distance_two_left_alone() {
+        assert_eq!(corrector().correct_word("w4tchd0g"), "w4tchd0g");
+    }
+
+    #[test]
+    fn ambiguity_left_alone() {
+        // "fro" is distance 1 from nothing here; construct a real tie.
+        let c = Corrector::new(["cat", "bat"]);
+        assert_eq!(c.correct_word("rat"), "rat"); // ties cat/bat
+        assert_eq!(c.correct_word("caat"), "cat"); // unique
+    }
+
+    #[test]
+    fn numbers_never_corrected() {
+        let c = Corrector::new(["2016"]);
+        assert_eq!(c.correct_word("2015"), "2015");
+        assert_eq!(c.correct_word("10.5"), "10.5");
+    }
+
+    #[test]
+    fn text_correction_preserves_lines() {
+        let c = corrector();
+        let fixed = c.correct_text("s0ftware module froz\nwatchdog err0r");
+        assert_eq!(fixed, "software module froze\nwatchdog error");
+    }
+
+    #[test]
+    fn edit_distance_cases() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn len_and_knows() {
+        let c = corrector();
+        assert_eq!(c.len(), 6);
+        assert!(!c.is_empty());
+        assert!(c.knows("driver"));
+        assert!(!c.knows("pilot"));
+    }
+}

@@ -1,0 +1,250 @@
+//! The template-matching recognizer.
+//!
+//! Segments the page's fixed character grid and matches every cell
+//! against every font glyph by pixel agreement. Cells with too little ink
+//! read as spaces; cells whose best match is weak are flagged
+//! low-confidence (the manual-review signal).
+
+use crate::font::{all_glyphs, Glyph, GLYPH_H, GLYPH_W};
+use crate::raster::{cell_pixels, grid_dims, Bitmap};
+
+/// Result of recognizing one page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OcrOutput {
+    /// Recognized text, one string with `\n` between page lines.
+    pub text: String,
+    /// Per-character confidence in `[0, 1]`, aligned with the non-newline
+    /// characters of `text`.
+    pub confidences: Vec<f64>,
+}
+
+impl OcrOutput {
+    /// Mean confidence across all recognized characters (1.0 for an empty
+    /// page).
+    pub fn mean_confidence(&self) -> f64 {
+        if self.confidences.is_empty() {
+            1.0
+        } else {
+            self.confidences.iter().sum::<f64>() / self.confidences.len() as f64
+        }
+    }
+
+    /// Fraction of characters below a confidence threshold.
+    pub fn low_confidence_rate(&self, threshold: f64) -> f64 {
+        if self.confidences.is_empty() {
+            return 0.0;
+        }
+        self.confidences.iter().filter(|&&c| c < threshold).count() as f64
+            / self.confidences.len() as f64
+    }
+}
+
+/// Configuration for the recognizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Cells with fewer inked pixels than this read as spaces.
+    pub min_ink: usize,
+    /// Best-match agreement below which a cell reads as a (noise) space
+    /// rather than a glyph. Salt speckle in blank regions produces cells
+    /// with a few random pixels; their agreement with every glyph is low,
+    /// and this threshold suppresses them.
+    pub min_score: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            min_ink: 2,
+            min_score: 0.6,
+        }
+    }
+}
+
+/// A template-matching OCR engine over the built-in font.
+#[derive(Debug, Clone)]
+pub struct OcrEngine {
+    glyphs: Vec<(char, Vec<bool>, usize)>,
+    config: EngineConfig,
+}
+
+impl Default for OcrEngine {
+    fn default() -> Self {
+        OcrEngine::new()
+    }
+}
+
+impl OcrEngine {
+    /// Builds an engine with the default configuration.
+    pub fn new() -> OcrEngine {
+        OcrEngine::with_config(EngineConfig::default())
+    }
+
+    /// Builds an engine with an explicit configuration.
+    pub fn with_config(config: EngineConfig) -> OcrEngine {
+        let glyphs = all_glyphs()
+            .into_iter()
+            .map(|g: Glyph| {
+                let flat: Vec<bool> = g.pixels.iter().flatten().copied().collect();
+                let ink = g.ink();
+                (g.ch, flat, ink)
+            })
+            .collect();
+        OcrEngine { glyphs, config }
+    }
+
+    /// Recognizes a page bitmap into text with per-character confidence.
+    pub fn recognize(&self, page: &Bitmap) -> OcrOutput {
+        let (rows, cols) = grid_dims(page);
+        let mut text = String::new();
+        let mut confidences = Vec::new();
+        for row in 0..rows {
+            let mut line = String::new();
+            let mut line_conf = Vec::new();
+            for col in 0..cols {
+                let cell = cell_pixels(page, row, col);
+                let ink = cell.iter().filter(|&&p| p).count();
+                if ink < self.config.min_ink {
+                    line.push(' ');
+                    line_conf.push(1.0);
+                    continue;
+                }
+                let (ch, score) = self.best_match(&cell);
+                if score < self.config.min_score {
+                    // Too weak a match for any glyph: treat as speckle.
+                    line.push(' ');
+                    line_conf.push(score);
+                } else {
+                    line.push(ch);
+                    line_conf.push(score);
+                }
+            }
+            // Trim trailing spaces (grid padding), along with their
+            // confidences.
+            let trimmed = line.trim_end().len();
+            line_conf.truncate(trimmed);
+            line.truncate(trimmed);
+            text.push_str(&line);
+            confidences.extend(line_conf);
+            if row + 1 < rows {
+                text.push('\n');
+            }
+        }
+        // Trim trailing blank lines.
+        while text.ends_with('\n') {
+            text.pop();
+        }
+        OcrOutput { text, confidences }
+    }
+
+    /// Best glyph for a cell: maximizes the F1-style agreement
+    /// `2·|cell ∩ glyph| / (|cell| + |glyph|)`.
+    fn best_match(&self, cell: &[bool]) -> (char, f64) {
+        debug_assert_eq!(cell.len(), GLYPH_W * GLYPH_H);
+        let cell_ink = cell.iter().filter(|&&p| p).count();
+        let mut best = (' ', f64::MIN);
+        for (ch, flat, glyph_ink) in &self.glyphs {
+            let overlap = cell
+                .iter()
+                .zip(flat)
+                .filter(|(&a, &b)| a && b)
+                .count();
+            let score = 2.0 * overlap as f64 / (cell_ink + glyph_ink) as f64;
+            if score > best.1 {
+                best = (*ch, score);
+            }
+        }
+        best
+    }
+}
+
+/// Convenience: rasterize-free recognition of a noisy page produced
+/// elsewhere, returning just the text.
+pub fn recognize_text(page: &Bitmap) -> String {
+    OcrEngine::new().recognize(page).text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseModel;
+    use crate::raster::rasterize;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_page_is_exact() {
+        let samples = [
+            "THE QUICK BROWN FOX JUMPS OVER THE LAZY DOG 0123456789",
+            "the quick brown fox jumps over the lazy dog",
+            "1/4/16 — 1:25 PM — Leaf #1 (Alfa) — Software froze",
+            "MILEAGE\ncar-0 2016-05 1034.2",
+            "a=b; [reaction: 0.85s] | 50% \"quoted\"",
+        ];
+        let engine = OcrEngine::new();
+        for s in samples {
+            let out = engine.recognize(&rasterize(s));
+            assert_eq!(out.text, s, "mismatch for {s:?}");
+            assert!(out.mean_confidence() > 0.99);
+        }
+    }
+
+    #[test]
+    fn light_noise_mostly_recovered() {
+        let text = "Planned test on 5/12/16 (car 2): sensor failed to localize [road=highway; weather=rain]";
+        let mut rng = StdRng::seed_from_u64(42);
+        let page = NoiseModel::light().degrade(&rasterize(text), &mut rng);
+        let out = OcrEngine::new().recognize(&page);
+        // Most characters survive light noise.
+        let correct = out
+            .text
+            .chars()
+            .zip(text.chars())
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(
+            correct as f64 / text.len() as f64 > 0.9,
+            "only {correct}/{} correct: {}",
+            text.len(),
+            out.text
+        );
+    }
+
+    #[test]
+    fn heavy_noise_lowers_confidence() {
+        let text = "WATCHDOG ERROR WATCHDOG ERROR WATCHDOG ERROR";
+        let clean = OcrEngine::new().recognize(&rasterize(text));
+        let mut rng = StdRng::seed_from_u64(7);
+        let noisy_page = NoiseModel::heavy().degrade(&rasterize(text), &mut rng);
+        let noisy = OcrEngine::new().recognize(&noisy_page);
+        assert!(noisy.mean_confidence() < clean.mean_confidence());
+        assert!(noisy.low_confidence_rate(0.9) > clean.low_confidence_rate(0.9));
+    }
+
+    #[test]
+    fn empty_page_empty_text() {
+        let out = OcrEngine::new().recognize(&rasterize(""));
+        assert_eq!(out.text, "");
+        assert_eq!(out.mean_confidence(), 1.0);
+    }
+
+    #[test]
+    fn multiline_structure_preserved() {
+        let text = "LINE ONE\nLINE TWO\nLINE THREE";
+        let out = OcrEngine::new().recognize(&rasterize(text));
+        assert_eq!(out.text.lines().count(), 3);
+        assert_eq!(out.text, text);
+    }
+
+    #[test]
+    fn confidences_align_with_characters() {
+        let text = "AB CD";
+        let out = OcrEngine::new().recognize(&rasterize(text));
+        let non_newline = out.text.chars().filter(|&c| c != '\n').count();
+        assert_eq!(out.confidences.len(), non_newline);
+    }
+
+    #[test]
+    fn recognize_text_helper() {
+        assert_eq!(recognize_text(&rasterize("OK 123")), "OK 123");
+    }
+}

@@ -1,0 +1,245 @@
+//! A 5×7 monochrome bitmap font covering the DMV-report character set.
+//!
+//! Uppercase letters use classic 5×7 dot-matrix shapes. Lowercase letters
+//! are rendered as *small caps*: the same letterform compressed into the
+//! bottom 5 rows (rows 0–1 blank), which keeps every character visually
+//! distinct from its uppercase form so recognition is case-accurate.
+
+/// Glyph width in pixels.
+pub const GLYPH_W: usize = 5;
+/// Glyph height in pixels.
+pub const GLYPH_H: usize = 7;
+
+/// A single glyph bitmap, row-major, `true` = ink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Glyph {
+    /// The character this glyph renders.
+    pub ch: char,
+    /// Row-major pixels.
+    pub pixels: [[bool; GLYPH_W]; GLYPH_H],
+}
+
+impl Glyph {
+    /// Number of inked pixels.
+    pub fn ink(&self) -> usize {
+        self.pixels
+            .iter()
+            .flatten()
+            .filter(|&&p| p)
+            .count()
+    }
+}
+
+/// Builds a glyph from 7 pattern rows (`#` = ink).
+fn glyph(ch: char, rows: [&str; GLYPH_H]) -> Glyph {
+    let mut pixels = [[false; GLYPH_W]; GLYPH_H];
+    for (r, row) in rows.iter().enumerate() {
+        for (c, byte) in row.bytes().enumerate().take(GLYPH_W) {
+            pixels[r][c] = byte == b'#';
+        }
+    }
+    Glyph { ch, pixels }
+}
+
+/// Compresses an uppercase shape into the bottom 5 rows (small caps).
+fn small_caps(ch: char, upper: &Glyph) -> Glyph {
+    let mut pixels = [[false; GLYPH_W]; GLYPH_H];
+    // Sample the 7 source rows down to 5 (drop rows 1 and 4).
+    let src_rows = [0usize, 2, 3, 5, 6];
+    for (dst, &src) in src_rows.iter().enumerate() {
+        pixels[dst + 2] = upper.pixels[src];
+    }
+    Glyph { ch, pixels }
+}
+
+fn uppercase_rows(ch: char) -> Option<[&'static str; GLYPH_H]> {
+    Some(match ch {
+        'A' => [" ### ", "#   #", "#   #", "#####", "#   #", "#   #", "#   #"],
+        'B' => ["#### ", "#   #", "#   #", "#### ", "#   #", "#   #", "#### "],
+        'C' => [" ### ", "#   #", "#    ", "#    ", "#    ", "#   #", " ### "],
+        'D' => ["#### ", "#   #", "#   #", "#   #", "#   #", "#   #", "#### "],
+        'E' => ["#####", "#    ", "#    ", "#### ", "#    ", "#    ", "#####"],
+        'F' => ["#####", "#    ", "#    ", "#### ", "#    ", "#    ", "#    "],
+        'G' => [" ### ", "#   #", "#    ", "# ###", "#   #", "#   #", " ### "],
+        'H' => ["#   #", "#   #", "#   #", "#####", "#   #", "#   #", "#   #"],
+        'I' => [" ### ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "],
+        'J' => ["  ###", "   # ", "   # ", "   # ", "   # ", "#  # ", " ##  "],
+        'K' => ["#   #", "#  # ", "# #  ", "##   ", "# #  ", "#  # ", "#   #"],
+        'L' => ["#    ", "#    ", "#    ", "#    ", "#    ", "#    ", "#####"],
+        'M' => ["#   #", "## ##", "# # #", "# # #", "#   #", "#   #", "#   #"],
+        'N' => ["#   #", "##  #", "# # #", "#  ##", "#   #", "#   #", "#   #"],
+        'O' => [" ### ", "#   #", "#   #", "#   #", "#   #", "#   #", " ### "],
+        'P' => ["#### ", "#   #", "#   #", "#### ", "#    ", "#    ", "#    "],
+        'Q' => [" ### ", "#   #", "#   #", "#   #", "# # #", "#  # ", " ## #"],
+        'R' => ["#### ", "#   #", "#   #", "#### ", "# #  ", "#  # ", "#   #"],
+        'S' => [" ####", "#    ", "#    ", " ### ", "    #", "    #", "#### "],
+        'T' => ["#####", "  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  "],
+        'U' => ["#   #", "#   #", "#   #", "#   #", "#   #", "#   #", " ### "],
+        'V' => ["#   #", "#   #", "#   #", "#   #", "#   #", " # # ", "  #  "],
+        'W' => ["#   #", "#   #", "#   #", "# # #", "# # #", "## ##", "#   #"],
+        'X' => ["#   #", "#   #", " # # ", "  #  ", " # # ", "#   #", "#   #"],
+        'Y' => ["#   #", "#   #", " # # ", "  #  ", "  #  ", "  #  ", "  #  "],
+        'Z' => ["#####", "    #", "   # ", "  #  ", " #   ", "#    ", "#####"],
+        _ => return None,
+    })
+}
+
+fn digit_rows(ch: char) -> Option<[&'static str; GLYPH_H]> {
+    Some(match ch {
+        '0' => [" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "],
+        '1' => ["  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "],
+        '2' => [" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"],
+        '3' => [" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "],
+        '4' => ["   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "],
+        '5' => ["#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "],
+        '6' => ["  ## ", " #   ", "#    ", "#### ", "#   #", "#   #", " ### "],
+        '7' => ["#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "],
+        '8' => [" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "],
+        '9' => [" ### ", "#   #", "#   #", " ####", "    #", "   # ", " ##  "],
+        _ => return None,
+    })
+}
+
+fn punct_rows(ch: char) -> Option<[&'static str; GLYPH_H]> {
+    Some(match ch {
+        '.' => ["     ", "     ", "     ", "     ", "     ", " ##  ", " ##  "],
+        ',' => ["     ", "     ", "     ", "     ", " ##  ", "  #  ", " #   "],
+        '/' => ["    #", "    #", "   # ", "  #  ", " #   ", "#    ", "#    "],
+        '-' => ["     ", "     ", "     ", " ### ", "     ", "     ", "     "],
+        '—' => ["     ", "     ", "     ", "#####", "     ", "     ", "     "],
+        ':' => ["     ", " ##  ", " ##  ", "     ", " ##  ", " ##  ", "     "],
+        ';' => ["     ", " ##  ", " ##  ", "     ", " ##  ", "  #  ", " #   "],
+        '#' => [" # # ", " # # ", "#####", " # # ", "#####", " # # ", " # # "],
+        '(' => ["   # ", "  #  ", " #   ", " #   ", " #   ", "  #  ", "   # "],
+        ')' => [" #   ", "  #  ", "   # ", "   # ", "   # ", "  #  ", " #   "],
+        '[' => [" ### ", " #   ", " #   ", " #   ", " #   ", " #   ", " ### "],
+        ']' => [" ### ", "   # ", "   # ", "   # ", "   # ", "   # ", " ### "],
+        '|' => ["  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  "],
+        '"' => [" # # ", " # # ", " # # ", "     ", "     ", "     ", "     "],
+        '\'' => ["  #  ", "  #  ", "  #  ", "     ", "     ", "     ", "     "],
+        '?' => [" ### ", "#   #", "    #", "   # ", "  #  ", "     ", "  #  "],
+        '!' => ["  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "     ", "  #  "],
+        '&' => [" ##  ", "#  # ", "#  # ", " ##  ", "# # #", "#  # ", " ## #"],
+        '=' => ["     ", "     ", "#####", "     ", "#####", "     ", "     "],
+        '%' => ["##  #", "##  #", "   # ", "  #  ", " #   ", "#  ##", "#  ##"],
+        '+' => ["     ", "  #  ", "  #  ", "#####", "  #  ", "  #  ", "     "],
+        '@' => [" ### ", "#   #", "# ###", "# # #", "# ###", "#    ", " ### "],
+        '*' => ["     ", "# # #", " ### ", "#####", " ### ", "# # #", "     "],
+        '_' => ["     ", "     ", "     ", "     ", "     ", "     ", "#####"],
+        _ => return None,
+    })
+}
+
+/// The glyph for a character, if the font covers it.
+///
+/// Space is intentionally absent: blank cells are handled by the
+/// rasterizer/recognizer, not as a glyph (an all-blank template would
+/// match every eroded cell).
+pub fn glyph_for(ch: char) -> Option<Glyph> {
+    if let Some(rows) = uppercase_rows(ch) {
+        return Some(glyph(ch, rows));
+    }
+    if ch.is_ascii_lowercase() {
+        let upper = ch.to_ascii_uppercase();
+        let base = glyph(upper, uppercase_rows(upper)?);
+        return Some(small_caps(ch, &base));
+    }
+    if let Some(rows) = digit_rows(ch) {
+        return Some(glyph(ch, rows));
+    }
+    if let Some(rows) = punct_rows(ch) {
+        return Some(glyph(ch, rows));
+    }
+    None
+}
+
+/// Every character the font covers (excluding space), in a stable order.
+pub fn charset() -> Vec<char> {
+    let mut set: Vec<char> = Vec::new();
+    set.extend('A'..='Z');
+    set.extend('a'..='z');
+    set.extend('0'..='9');
+    set.extend(".,/-—:;#()[]|\"'?!&=%+@*_".chars());
+    set
+}
+
+/// All glyphs in the font, in [`charset`] order.
+pub fn all_glyphs() -> Vec<Glyph> {
+    charset()
+        .into_iter()
+        .map(|c| glyph_for(c).expect("charset is covered"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charset_fully_covered() {
+        for c in charset() {
+            assert!(glyph_for(c).is_some(), "missing glyph for {c:?}");
+        }
+    }
+
+    #[test]
+    fn every_glyph_has_ink() {
+        for g in all_glyphs() {
+            assert!(g.ink() > 0, "glyph {:?} is blank", g.ch);
+        }
+    }
+
+    #[test]
+    fn glyphs_are_distinct() {
+        let glyphs = all_glyphs();
+        for (i, a) in glyphs.iter().enumerate() {
+            for b in &glyphs[i + 1..] {
+                assert_ne!(
+                    a.pixels, b.pixels,
+                    "glyphs {:?} and {:?} are identical",
+                    a.ch, b.ch
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lowercase_distinct_from_uppercase() {
+        let upper = glyph_for('A').unwrap();
+        let lower = glyph_for('a').unwrap();
+        assert_ne!(upper.pixels, lower.pixels);
+        // Small caps leave the top two rows blank.
+        assert!(lower.pixels[0].iter().all(|&p| !p));
+        assert!(lower.pixels[1].iter().all(|&p| !p));
+    }
+
+    #[test]
+    fn space_and_exotic_not_covered() {
+        assert!(glyph_for(' ').is_none());
+        assert!(glyph_for('€').is_none());
+        assert!(glyph_for('\n').is_none());
+    }
+
+    #[test]
+    fn em_dash_covered() {
+        // The report formats separate fields with " — ".
+        assert!(glyph_for('—').is_some());
+        assert_ne!(
+            glyph_for('—').unwrap().pixels,
+            glyph_for('-').unwrap().pixels
+        );
+    }
+
+    #[test]
+    fn report_format_characters_covered() {
+        // Every character the disengagement formats emit must be
+        // coverable (or be a space).
+        let sample = "1/4/16 — 1:25 PM — Leaf #2 (Bravo) — Software froze; driver took over [reaction: 0.85s] | car-3 \"quote\" a=b 50%";
+        for ch in sample.chars() {
+            if ch == ' ' {
+                continue;
+            }
+            assert!(glyph_for(ch).is_some(), "format char {ch:?} not covered");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Simulated scanned-document OCR (Stage I of the paper's pipeline).
+//!
+//! The paper digitizes scanned DMV filings with Google Tesseract, falling
+//! back to manual transcription where OCR fails on low-resolution scans.
+//! This crate reproduces that stage end-to-end on synthetic documents:
+//!
+//! * [`font`] — a 5×7 bitmap font covering the report character set,
+//! * [`raster`] — render document text onto a monochrome bitmap on a
+//!   fixed character grid (a "printed page"),
+//! * [`noise`] — a scanner-noise model (salt-and-pepper speckle, ink
+//!   erosion) with configurable severity,
+//! * [`engine`] — a template-matching recognizer: segment the fixed grid,
+//!   correlate each cell against every glyph, emit the best match with a
+//!   confidence score,
+//! * [`correct`] — dictionary post-correction (edit-distance-1 repair
+//!   against a vocabulary),
+//! * [`metrics`] — character/word error rates for measuring the
+//!   noise → accuracy relationship.
+//!
+//! The crucial property for the reproduction: noise level drives a
+//! measurable character-error rate, and recognition errors propagate into
+//! Stage II parsing exactly the way real OCR errors would — some lines
+//! fail to parse and land in the manual-review queue.
+//!
+//! # Examples
+//!
+//! ```
+//! use disengage_ocr::{raster::rasterize, engine::OcrEngine};
+//!
+//! let page = rasterize("WATCHDOG ERROR 42");
+//! let engine = OcrEngine::new();
+//! let out = engine.recognize(&page);
+//! assert_eq!(out.text, "WATCHDOG ERROR 42");
+//! ```
+
+pub mod correct;
+pub mod engine;
+pub mod font;
+pub mod metrics;
+pub mod noise;
+pub mod raster;
+
+pub use engine::{OcrEngine, OcrOutput};
+pub use noise::NoiseModel;
+pub use raster::{rasterize, Bitmap};

@@ -1,0 +1,199 @@
+//! Rasterization: text → monochrome page bitmap on a fixed character
+//! grid.
+
+use crate::font::{glyph_for, GLYPH_H, GLYPH_W};
+
+/// Horizontal pitch of a character cell (glyph + 1px gap).
+pub const CELL_W: usize = GLYPH_W + 1;
+/// Vertical pitch of a text line (glyph + 3px leading).
+pub const CELL_H: usize = GLYPH_H + 3;
+
+/// A monochrome bitmap, row-major, `true` = ink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    width: usize,
+    height: usize,
+    pixels: Vec<bool>,
+}
+
+impl Bitmap {
+    /// An all-white bitmap.
+    pub fn blank(width: usize, height: usize) -> Bitmap {
+        Bitmap {
+            width,
+            height,
+            pixels: vec![false; width * height],
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The pixel at `(x, y)`; out-of-bounds reads are white.
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x]
+        } else {
+            false
+        }
+    }
+
+    /// Sets the pixel at `(x, y)` (out-of-bounds writes are ignored).
+    pub fn set(&mut self, x: usize, y: usize, ink: bool) {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x] = ink;
+        }
+    }
+
+    /// Total inked pixels.
+    pub fn ink(&self) -> usize {
+        self.pixels.iter().filter(|&&p| p).count()
+    }
+
+    /// Flips the pixel at `(x, y)`.
+    pub fn flip(&mut self, x: usize, y: usize) {
+        if x < self.width && y < self.height {
+            let i = y * self.width + x;
+            self.pixels[i] = !self.pixels[i];
+        }
+    }
+
+    /// Renders as ASCII art (`#` ink, `.` background) — debugging aid.
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                out.push(if self.get(x, y) { '#' } else { '.' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Rasterizes multi-line text onto a page bitmap.
+///
+/// Each character occupies a fixed `CELL_W × CELL_H` cell; characters the
+/// font does not cover render as blank cells (and will be recognized as
+/// spaces — the lossy path real OCR hits on unusual symbols). Tabs are
+/// not expanded; trailing newlines produce no extra line.
+pub fn rasterize(text: &str) -> Bitmap {
+    let lines: Vec<&str> = text.lines().collect();
+    let cols = lines.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+    let mut bmp = Bitmap::blank(cols.max(1) * CELL_W, lines.len().max(1) * CELL_H);
+    for (row, line) in lines.iter().enumerate() {
+        for (col, ch) in line.chars().enumerate() {
+            if let Some(g) = glyph_for(ch) {
+                let ox = col * CELL_W;
+                let oy = row * CELL_H;
+                for (gy, grow) in g.pixels.iter().enumerate() {
+                    for (gx, &ink) in grow.iter().enumerate() {
+                        if ink {
+                            bmp.set(ox + gx, oy + gy, true);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    bmp
+}
+
+/// The number of text rows and columns a page bitmap holds.
+pub fn grid_dims(bmp: &Bitmap) -> (usize, usize) {
+    (bmp.height() / CELL_H, bmp.width() / CELL_W)
+}
+
+/// Extracts the glyph-sized window of a cell at text position
+/// `(row, col)` as a flat pixel vector (length `GLYPH_W * GLYPH_H`).
+pub fn cell_pixels(bmp: &Bitmap, row: usize, col: usize) -> Vec<bool> {
+    let ox = col * CELL_W;
+    let oy = row * CELL_H;
+    let mut out = Vec::with_capacity(GLYPH_W * GLYPH_H);
+    for y in 0..GLYPH_H {
+        for x in 0..GLYPH_W {
+            out.push(bmp.get(ox + x, oy + y));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_page_for_empty_text() {
+        let b = rasterize("");
+        assert_eq!(b.ink(), 0);
+        assert!(b.width() >= CELL_W && b.height() >= CELL_H);
+    }
+
+    #[test]
+    fn single_char_has_expected_ink() {
+        let b = rasterize("A");
+        let g = glyph_for('A').unwrap();
+        assert_eq!(b.ink(), g.ink());
+    }
+
+    #[test]
+    fn spaces_are_blank_cells() {
+        let a = rasterize("A A");
+        let (rows, cols) = grid_dims(&a);
+        assert_eq!((rows, cols), (1, 3));
+        let middle = cell_pixels(&a, 0, 1);
+        assert!(middle.iter().all(|&p| !p));
+    }
+
+    #[test]
+    fn multiline_grid() {
+        let b = rasterize("AB\nC");
+        let (rows, cols) = grid_dims(&b);
+        assert_eq!((rows, cols), (2, 2));
+        // 'C' sits at row 1, col 0.
+        let c_cell = cell_pixels(&b, 1, 0);
+        let c_glyph: Vec<bool> = glyph_for('C')
+            .unwrap()
+            .pixels
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        assert_eq!(c_cell, c_glyph);
+    }
+
+    #[test]
+    fn uncovered_chars_render_blank() {
+        let b = rasterize("€");
+        assert_eq!(b.ink(), 0);
+    }
+
+    #[test]
+    fn get_set_flip_bounds() {
+        let mut b = Bitmap::blank(4, 4);
+        b.set(1, 1, true);
+        assert!(b.get(1, 1));
+        b.flip(1, 1);
+        assert!(!b.get(1, 1));
+        // Out of bounds: no panic, reads white.
+        b.set(100, 100, true);
+        b.flip(100, 100);
+        assert!(!b.get(100, 100));
+        assert_eq!(b.ink(), 0);
+    }
+
+    #[test]
+    fn ascii_art_shape() {
+        let b = rasterize("I");
+        let art = b.to_ascii();
+        assert_eq!(art.lines().count(), b.height());
+        assert!(art.contains('#'));
+    }
+}

@@ -1,0 +1,245 @@
+//! Normalization: raw documents → uniform records (step 2 of the
+//! paper's pipeline).
+//!
+//! Parsing is *tolerant*: a scanned report in which OCR mangled some
+//! lines should still yield every parseable record. Failures are
+//! collected, not fatal — mirroring the paper's manual-fallback step for
+//! lines Tesseract could not recover.
+
+use crate::formats::disengagement::format_for;
+use crate::formats::document::{DocumentKind, RawDocument};
+use crate::formats::{parse_accident_form, parse_mileage_table};
+use crate::record::{AccidentRecord, DisengagementRecord, MonthlyMileage};
+use crate::ReportError;
+
+/// Outcome of normalizing one document: the records recovered plus any
+/// per-line failures.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Normalized {
+    /// Disengagement events recovered.
+    pub disengagements: Vec<DisengagementRecord>,
+    /// Accident reports recovered.
+    pub accidents: Vec<AccidentRecord>,
+    /// Monthly mileage rows recovered.
+    pub mileage: Vec<MonthlyMileage>,
+    /// Lines/documents that failed to parse (for the manual-review queue).
+    pub failures: Vec<ReportError>,
+}
+
+impl Normalized {
+    /// Total records recovered across all three kinds.
+    pub fn record_count(&self) -> usize {
+        self.disengagements.len() + self.accidents.len() + self.mileage.len()
+    }
+
+    /// Fraction of parse attempts that succeeded (1.0 when nothing
+    /// failed; counts failures against recovered records).
+    pub fn yield_rate(&self) -> f64 {
+        let total = self.record_count() + self.failures.len();
+        if total == 0 {
+            1.0
+        } else {
+            self.record_count() as f64 / total as f64
+        }
+    }
+
+    /// Merges another normalization outcome into this one.
+    pub fn merge(&mut self, other: Normalized) {
+        self.disengagements.extend(other.disengagements);
+        self.accidents.extend(other.accidents);
+        self.mileage.extend(other.mileage);
+        self.failures.extend(other.failures);
+    }
+}
+
+/// Normalizes one raw document into uniform records.
+///
+/// Disengagement filings are parsed line-by-line with the filer's
+/// manufacturer-specific format; the trailing mileage table (if present)
+/// is parsed with the shared table format. Accident filings are parsed
+/// as OL 316 forms.
+pub fn normalize_document(doc: &RawDocument) -> Normalized {
+    let mut out = Normalized::default();
+    match doc.kind {
+        DocumentKind::Accident => match parse_accident_form(&doc.text) {
+            Ok(mut record) => {
+                // The form is standardized, but a mangled manufacturer
+                // line could mis-attribute the filing; trust provenance.
+                record.manufacturer = doc.manufacturer;
+                out.accidents.push(record);
+            }
+            Err(e) => out.failures.push(e),
+        },
+        DocumentKind::Disengagements => {
+            let format = format_for(doc.manufacturer);
+            let (log_text, mileage_text) = doc.sections();
+            for (i, line) in log_text.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match format.parse_line(line, i + 1) {
+                    Ok(mut record) => {
+                        record.manufacturer = doc.manufacturer;
+                        match record.validate() {
+                            Ok(()) => out.disengagements.push(record),
+                            Err(e) => out.failures.push(e),
+                        }
+                    }
+                    Err(e) => out.failures.push(e),
+                }
+            }
+            if !mileage_text.is_empty() {
+                match parse_mileage_table(doc.manufacturer, mileage_text) {
+                    Ok(rows) => out.mileage.extend(rows),
+                    Err(e) => out.failures.push(e),
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Normalizes a batch of documents, merging all outcomes.
+pub fn normalize_all<'a>(docs: impl IntoIterator<Item = &'a RawDocument>) -> Normalized {
+    let mut out = Normalized::default();
+    for doc in docs {
+        out.merge(normalize_document(doc));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::Date;
+    use crate::formats::disengagement::ReportFormat;
+    use crate::formats::render_accident_form;
+    use crate::record::{CarId, CollisionKind, Severity};
+    use crate::types::{Manufacturer, Modality, ReportYear, RoadType, Weather};
+
+    fn sample_record() -> DisengagementRecord {
+        DisengagementRecord {
+            manufacturer: Manufacturer::Nissan,
+            car: CarId::Known(0),
+            date: Date::new(2016, 1, 4).unwrap(),
+            modality: Modality::Manual,
+            road_type: Some(RoadType::Street),
+            weather: Some(Weather::Clear),
+            reaction_time_s: Some(0.8),
+            description: "software module froze, driver safely disengaged".to_owned(),
+        }
+    }
+
+    #[test]
+    fn disengagement_document_normalizes() {
+        let f = crate::formats::disengagement::NissanFormat;
+        let text = format!(
+            "{}\n{}\n",
+            f.render(&sample_record()),
+            f.render(&sample_record())
+        );
+        let doc = RawDocument::new(
+            Manufacturer::Nissan,
+            ReportYear::R2016,
+            DocumentKind::Disengagements,
+            text,
+        );
+        let n = normalize_document(&doc);
+        assert_eq!(n.disengagements.len(), 2);
+        assert!(n.failures.is_empty());
+        assert_eq!(n.yield_rate(), 1.0);
+    }
+
+    #[test]
+    fn bad_lines_collected_not_fatal() {
+        let f = crate::formats::disengagement::NissanFormat;
+        let text = format!(
+            "{}\nOCR GARBAGE @@@@\n{}\n",
+            f.render(&sample_record()),
+            f.render(&sample_record())
+        );
+        let doc = RawDocument::new(
+            Manufacturer::Nissan,
+            ReportYear::R2016,
+            DocumentKind::Disengagements,
+            text,
+        );
+        let n = normalize_document(&doc);
+        assert_eq!(n.disengagements.len(), 2);
+        assert_eq!(n.failures.len(), 1);
+        assert!((n.yield_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mileage_section_parsed() {
+        let f = crate::formats::disengagement::NissanFormat;
+        let text = format!(
+            "{}\nMILEAGE\ncar-0 2016-01 120.5\ncar-1 2016-01 98.0\n",
+            f.render(&sample_record())
+        );
+        let doc = RawDocument::new(
+            Manufacturer::Nissan,
+            ReportYear::R2016,
+            DocumentKind::Disengagements,
+            text,
+        );
+        let n = normalize_document(&doc);
+        assert_eq!(n.disengagements.len(), 1);
+        assert_eq!(n.mileage.len(), 2);
+        assert_eq!(n.mileage[0].manufacturer, Manufacturer::Nissan);
+    }
+
+    #[test]
+    fn accident_document_normalizes_and_trusts_provenance() {
+        let record = AccidentRecord {
+            manufacturer: Manufacturer::Waymo,
+            car: CarId::Redacted,
+            date: Date::new(2016, 5, 10).unwrap(),
+            location: "Mountain View CA".to_owned(),
+            av_speed_mph: Some(4.0),
+            other_speed_mph: Some(10.0),
+            autonomous_at_impact: true,
+            kind: CollisionKind::RearEnd,
+            severity: Severity::Minor,
+            description: "rear collision".to_owned(),
+        };
+        let doc = RawDocument::new(
+            Manufacturer::GmCruise, // provenance differs from the form body
+            ReportYear::R2016,
+            DocumentKind::Accident,
+            render_accident_form(&record),
+        );
+        let n = normalize_document(&doc);
+        assert_eq!(n.accidents.len(), 1);
+        assert_eq!(n.accidents[0].manufacturer, Manufacturer::GmCruise);
+    }
+
+    #[test]
+    fn unparseable_accident_collected() {
+        let doc = RawDocument::new(
+            Manufacturer::Waymo,
+            ReportYear::R2016,
+            DocumentKind::Accident,
+            "completely garbled scan",
+        );
+        let n = normalize_document(&doc);
+        assert!(n.accidents.is_empty());
+        assert_eq!(n.failures.len(), 1);
+    }
+
+    #[test]
+    fn normalize_all_merges() {
+        let f = crate::formats::disengagement::NissanFormat;
+        let d1 = RawDocument::new(
+            Manufacturer::Nissan,
+            ReportYear::R2016,
+            DocumentKind::Disengagements,
+            f.render(&sample_record()),
+        );
+        let d2 = d1.clone();
+        let n = normalize_all([&d1, &d2]);
+        assert_eq!(n.disengagements.len(), 2);
+        assert_eq!(n.record_count(), 2);
+    }
+}

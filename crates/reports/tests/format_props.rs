@@ -1,0 +1,206 @@
+//! Property tests: every manufacturer format round-trips the fields it
+//! carries, for arbitrary records.
+
+use disengage_reports::formats::disengagement::{
+    BenzFormat, BoschFormat, DelphiFormat, GmCruiseFormat, NissanFormat, ReportFormat,
+    TeslaFormat, VolkswagenFormat, WaymoFormat,
+};
+use disengage_reports::record::CarId;
+use disengage_reports::{Date, DisengagementRecord, Manufacturer, Modality, RoadType, Weather};
+use proptest::prelude::*;
+
+fn arb_date() -> impl Strategy<Value = Date> {
+    (2014u16..=2016, 1u8..=12, 1u8..=28)
+        .prop_map(|(y, m, d)| Date::new(y, m, d).expect("valid"))
+}
+
+fn arb_description() -> impl Strategy<Value = String> {
+    // Word-ish text free of the structural separators each format uses.
+    "[a-z][a-z ]{0,60}[a-z]".prop_map(|s| s.trim().to_owned())
+}
+
+fn arb_road() -> impl Strategy<Value = Option<RoadType>> {
+    proptest::option::of(prop_oneof![
+        Just(RoadType::Street),
+        Just(RoadType::Highway),
+        Just(RoadType::Interstate),
+        Just(RoadType::Freeway),
+        Just(RoadType::ParkingLot),
+        Just(RoadType::Suburban),
+        Just(RoadType::Rural),
+    ])
+}
+
+fn arb_weather() -> impl Strategy<Value = Option<Weather>> {
+    proptest::option::of(prop_oneof![
+        Just(Weather::Clear),
+        Just(Weather::Rain),
+        Just(Weather::Overcast),
+        Just(Weather::Fog),
+    ])
+}
+
+fn arb_record(manufacturer: Manufacturer) -> impl Strategy<Value = DisengagementRecord> {
+    (
+        arb_date(),
+        0u32..30,
+        prop_oneof![
+            Just(Modality::Automatic),
+            Just(Modality::Manual),
+            Just(Modality::Planned)
+        ],
+        proptest::option::of(0.01f64..30.0),
+        arb_description(),
+        arb_road(),
+        arb_weather(),
+    )
+        .prop_map(
+            move |(date, car, modality, rt, description, road_type, weather)| {
+                DisengagementRecord {
+                    manufacturer,
+                    car: CarId::Known(car),
+                    date,
+                    modality,
+                    road_type,
+                    weather,
+                    reaction_time_s: rt.map(|t| (t * 100.0).round() / 100.0),
+                    description,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The full-schema pipe format round-trips everything.
+    #[test]
+    fn benz_round_trips_fully(r in arb_record(Manufacturer::MercedesBenz)) {
+        let f = BenzFormat;
+        let parsed = f.parse_line(&f.render(&r), 1).expect("parses");
+        prop_assert_eq!(parsed, r);
+    }
+
+    /// Nissan carries everything except it renders into its own
+    /// narrative layout; day precision and all optional fields survive.
+    #[test]
+    fn nissan_round_trips(r in arb_record(Manufacturer::Nissan)) {
+        let f = NissanFormat;
+        let parsed = f.parse_line(&f.render(&r), 1).expect("parses");
+        prop_assert_eq!(parsed.date, r.date);
+        prop_assert_eq!(parsed.car, r.car);
+        prop_assert_eq!(parsed.description, r.description);
+        prop_assert_eq!(parsed.reaction_time_s, r.reaction_time_s);
+        prop_assert_eq!(parsed.road_type, r.road_type);
+        prop_assert_eq!(parsed.weather, r.weather);
+        // Planned renders as "system initiated": modality folds to
+        // automatic; manual survives exactly.
+        if r.modality == Modality::Manual {
+            prop_assert_eq!(parsed.modality, Modality::Manual);
+        } else {
+            prop_assert_eq!(parsed.modality, Modality::Automatic);
+        }
+    }
+
+    /// Waymo: month precision, no car, no weather; everything else
+    /// survives.
+    #[test]
+    fn waymo_round_trips_carried_fields(r in arb_record(Manufacturer::Waymo)) {
+        let f = WaymoFormat;
+        let parsed = f.parse_line(&f.render(&r), 1).expect("parses");
+        prop_assert_eq!(parsed.date, Date::month_start(r.date.year(), r.date.month()).expect("valid"));
+        prop_assert_eq!(parsed.car, CarId::Redacted);
+        prop_assert_eq!(parsed.description, r.description);
+        prop_assert_eq!(parsed.reaction_time_s, r.reaction_time_s);
+        prop_assert_eq!(parsed.road_type, r.road_type);
+        if r.modality == Modality::Manual {
+            prop_assert_eq!(parsed.modality, Modality::Manual);
+        } else {
+            prop_assert_eq!(parsed.modality, Modality::Automatic);
+        }
+    }
+
+    /// Volkswagen: automatic-only takeover requests.
+    #[test]
+    fn volkswagen_round_trips_carried_fields(r in arb_record(Manufacturer::Volkswagen)) {
+        let f = VolkswagenFormat;
+        let parsed = f.parse_line(&f.render(&r), 1).expect("parses");
+        prop_assert_eq!(parsed.date, r.date);
+        prop_assert_eq!(parsed.description, r.description);
+        prop_assert_eq!(parsed.reaction_time_s, r.reaction_time_s);
+        prop_assert_eq!(parsed.modality, Modality::Automatic);
+    }
+
+    /// Bosch: planned-only, no reaction times.
+    #[test]
+    fn bosch_round_trips_carried_fields(r in arb_record(Manufacturer::Bosch)) {
+        let f = BoschFormat;
+        let parsed = f.parse_line(&f.render(&r), 1).expect("parses");
+        prop_assert_eq!(parsed.date, r.date);
+        prop_assert_eq!(parsed.car, r.car);
+        prop_assert_eq!(parsed.description, r.description);
+        prop_assert_eq!(parsed.road_type, r.road_type);
+        prop_assert_eq!(parsed.weather, r.weather);
+        prop_assert_eq!(parsed.modality, Modality::Planned);
+        prop_assert_eq!(parsed.reaction_time_s, None);
+    }
+
+    /// Delphi: CSV row; carries everything but weather.
+    #[test]
+    fn delphi_round_trips_carried_fields(r in arb_record(Manufacturer::Delphi)) {
+        let f = DelphiFormat;
+        let parsed = f.parse_line(&f.render(&r), 1).expect("parses");
+        prop_assert_eq!(parsed.date, r.date);
+        prop_assert_eq!(parsed.car, r.car);
+        prop_assert_eq!(parsed.description, r.description);
+        prop_assert_eq!(parsed.modality, r.modality);
+        prop_assert_eq!(parsed.road_type, r.road_type);
+        prop_assert_eq!(parsed.reaction_time_s, r.reaction_time_s);
+        prop_assert_eq!(parsed.weather, None);
+    }
+
+    /// GM Cruise: terse planned rows.
+    #[test]
+    fn gmcruise_round_trips_carried_fields(r in arb_record(Manufacturer::GmCruise)) {
+        let f = GmCruiseFormat;
+        let parsed = f.parse_line(&f.render(&r), 1).expect("parses");
+        prop_assert_eq!(parsed.date, r.date);
+        prop_assert_eq!(parsed.car, r.car);
+        prop_assert_eq!(parsed.description, r.description);
+        prop_assert_eq!(parsed.modality, Modality::Planned);
+    }
+
+    /// Tesla: pipe rows, auto/manual only.
+    #[test]
+    fn tesla_round_trips_carried_fields(r in arb_record(Manufacturer::Tesla)) {
+        let f = TeslaFormat;
+        let parsed = f.parse_line(&f.render(&r), 1).expect("parses");
+        prop_assert_eq!(parsed.date, r.date);
+        prop_assert_eq!(parsed.car, r.car);
+        prop_assert_eq!(parsed.description, r.description);
+        prop_assert_eq!(parsed.reaction_time_s, r.reaction_time_s);
+        if r.modality == Modality::Manual {
+            prop_assert_eq!(parsed.modality, Modality::Manual);
+        } else {
+            prop_assert_eq!(parsed.modality, Modality::Automatic);
+        }
+    }
+
+    /// Every format rejects obviously malformed input rather than
+    /// producing a bogus record.
+    #[test]
+    fn formats_reject_garbage(garbage in "[a-z @#]{0,40}") {
+        for format in [
+            &NissanFormat as &dyn ReportFormat,
+            &WaymoFormat,
+            &VolkswagenFormat,
+            &BenzFormat,
+            &BoschFormat,
+            &DelphiFormat,
+            &GmCruiseFormat,
+            &TeslaFormat,
+        ] {
+            prop_assert!(format.parse_line(&garbage, 1).is_err(), "{garbage:?}");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Non-parametric bootstrap confidence intervals.
+//!
+//! The paper draws conclusions from small accident counts (42 accidents
+//! across 4 manufacturers); bootstrap CIs quantify how fragile statistics
+//! like the median DPM or mean reaction time are at these sample sizes.
+
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// A bootstrap percentile confidence interval for a statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate (the statistic on the original sample).
+    pub estimate: f64,
+    /// Lower confidence bound.
+    pub lower: f64,
+    /// Upper confidence bound.
+    pub upper: f64,
+    /// Confidence level used (e.g. 0.95).
+    pub confidence: f64,
+    /// Number of bootstrap resamples.
+    pub resamples: usize,
+}
+
+impl BootstrapCi {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Whether the interval contains `value`.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower && value <= self.upper
+    }
+}
+
+/// Computes a percentile-bootstrap confidence interval for an arbitrary
+/// statistic.
+///
+/// `statistic` is called on the original sample once (for the point
+/// estimate) and on each of `resamples` with-replacement resamples. A
+/// statistic returning `Err` on some degenerate resample fails the whole
+/// computation; make the statistic total over non-empty samples.
+///
+/// # Errors
+///
+/// * [`StatsError::EmptyInput`] for an empty sample.
+/// * [`StatsError::InvalidParameter`] for `confidence` outside `(0, 1)` or
+///   `resamples == 0`.
+/// * Any error from `statistic`.
+///
+/// # Examples
+///
+/// ```
+/// # use disengage_stats::bootstrap::bootstrap_ci;
+/// # use disengage_stats::descriptive::mean;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let xs: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+/// let ci = bootstrap_ci(&xs, |s| mean(s), 0.95, 1000, &mut rng).unwrap();
+/// assert!(ci.contains(4.5));
+/// ```
+pub fn bootstrap_ci<F, R>(
+    xs: &[f64],
+    mut statistic: F,
+    confidence: f64,
+    resamples: usize,
+    rng: &mut R,
+) -> Result<BootstrapCi>
+where
+    F: FnMut(&[f64]) -> Result<f64>,
+    R: Rng + ?Sized,
+{
+    crate::error::ensure_nonempty_finite(xs)?;
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "confidence",
+            value: confidence,
+        });
+    }
+    if resamples == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "resamples",
+            value: 0.0,
+        });
+    }
+    let estimate = statistic(xs)?;
+    let n = xs.len();
+    let mut stats = Vec::with_capacity(resamples);
+    let mut resample = vec![0.0; n];
+    for _ in 0..resamples {
+        for slot in resample.iter_mut() {
+            *slot = xs[rng.gen_range(0..n)];
+        }
+        stats.push(statistic(&resample)?);
+    }
+    let alpha = 1.0 - confidence;
+    let lower = crate::quantile::quantile(
+        &stats,
+        alpha / 2.0,
+        crate::quantile::QuantileMethod::Linear,
+    )?;
+    let upper = crate::quantile::quantile(
+        &stats,
+        1.0 - alpha / 2.0,
+        crate::quantile::QuantileMethod::Linear,
+    )?;
+    Ok(BootstrapCi {
+        estimate,
+        lower,
+        upper,
+        confidence,
+        resamples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::mean;
+    use crate::quantile::median;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_ci_covers_truth() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let xs: Vec<f64> = (0..200).map(|i| (i % 7) as f64).collect();
+        let true_mean = mean(&xs).unwrap();
+        let ci = bootstrap_ci(&xs, mean, 0.95, 2000, &mut rng).unwrap();
+        assert!(ci.contains(true_mean));
+        assert_eq!(ci.estimate, true_mean);
+        assert!(ci.lower <= ci.upper);
+    }
+
+    #[test]
+    fn median_ci_works() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let xs: Vec<f64> = (1..=101).map(|i| i as f64).collect();
+        let ci = bootstrap_ci(&xs, median, 0.9, 1000, &mut rng).unwrap();
+        assert!(ci.contains(51.0));
+    }
+
+    #[test]
+    fn wider_confidence_wider_interval() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut rng1 = StdRng::seed_from_u64(23);
+        let mut rng2 = StdRng::seed_from_u64(23);
+        let ci90 = bootstrap_ci(&xs, mean, 0.90, 2000, &mut rng1).unwrap();
+        let ci99 = bootstrap_ci(&xs, mean, 0.99, 2000, &mut rng2).unwrap();
+        assert!(ci99.width() > ci90.width());
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let a = bootstrap_ci(&xs, mean, 0.95, 500, &mut r1).unwrap();
+        let b = bootstrap_ci(&xs, mean, 0.95, 500, &mut r2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_args_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(bootstrap_ci(&[], mean, 0.95, 100, &mut rng).is_err());
+        assert!(bootstrap_ci(&[1.0], mean, 1.0, 100, &mut rng).is_err());
+        assert!(bootstrap_ci(&[1.0], mean, 0.95, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn statistic_error_propagates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = bootstrap_ci(
+            &[1.0, 2.0],
+            |_| Err(StatsError::DegenerateSample("forced")),
+            0.95,
+            10,
+            &mut rng,
+        );
+        assert!(matches!(r, Err(StatsError::DegenerateSample(_))));
+    }
+}

@@ -1,0 +1,282 @@
+//! Box-plot (five-number) summaries with notches and outlier detection.
+//!
+//! Figures 4, 7, and 10 of the paper are box plots of per-car
+//! disengagements-per-mile and driver reaction times; this module computes
+//! the statistics those plots display: quartiles, medians, notches
+//! (`median ± 1.57 · IQR / √n`), Tukey whiskers, and fliers.
+
+use crate::quantile::{quantile_sorted, QuantileMethod};
+use crate::{Result, StatsError};
+
+/// The statistics rendered by a single box in a box plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxStats {
+    /// Number of observations.
+    pub n: usize,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Lower notch bound, `median − 1.57 · IQR / √n`.
+    pub notch_lo: f64,
+    /// Upper notch bound, `median + 1.57 · IQR / √n`.
+    pub notch_hi: f64,
+    /// Lower whisker: smallest observation `>= q1 − whisker_mult · IQR`.
+    pub whisker_lo: f64,
+    /// Upper whisker: largest observation `<= q3 + whisker_mult · IQR`.
+    pub whisker_hi: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Observations outside the whiskers.
+    pub fliers: Vec<f64>,
+}
+
+impl BoxStats {
+    /// Interquartile range, `q3 − q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Whether this box's notch overlaps another's.
+    ///
+    /// Non-overlapping notches are the usual visual test for a significant
+    /// difference in medians (at roughly the 95% level).
+    pub fn notch_overlaps(&self, other: &BoxStats) -> bool {
+        self.notch_lo <= other.notch_hi && other.notch_lo <= self.notch_hi
+    }
+}
+
+/// Configuration for box-plot statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxPlotConfig {
+    /// Whisker length in multiples of the IQR (Tukey's default is 1.5).
+    pub whisker_mult: f64,
+    /// Quantile interpolation method for the quartiles.
+    pub method: QuantileMethod,
+}
+
+impl Default for BoxPlotConfig {
+    fn default() -> Self {
+        BoxPlotConfig {
+            whisker_mult: 1.5,
+            method: QuantileMethod::Linear,
+        }
+    }
+}
+
+/// Computes box-plot statistics for one sample with the default
+/// configuration (Tukey 1.5·IQR whiskers, linear quantiles).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty sample and
+/// [`StatsError::NonFinite`] for NaN/infinite observations.
+///
+/// # Examples
+///
+/// ```
+/// # use disengage_stats::boxplot::box_stats;
+/// let b = box_stats(&[1.0, 2.0, 3.0, 4.0, 100.0]).unwrap();
+/// assert_eq!(b.median, 3.0);
+/// assert_eq!(b.fliers, vec![100.0]);
+/// ```
+pub fn box_stats(xs: &[f64]) -> Result<BoxStats> {
+    box_stats_with(xs, BoxPlotConfig::default())
+}
+
+/// Computes box-plot statistics with an explicit configuration.
+///
+/// # Errors
+///
+/// Same conditions as [`box_stats`]; additionally returns
+/// [`StatsError::InvalidParameter`] for a negative `whisker_mult`.
+pub fn box_stats_with(xs: &[f64], config: BoxPlotConfig) -> Result<BoxStats> {
+    if config.whisker_mult < 0.0 || !config.whisker_mult.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "whisker_mult",
+            value: config.whisker_mult,
+        });
+    }
+    crate::error::ensure_nonempty_finite(xs)?;
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+    let n = sorted.len();
+    let q1 = quantile_sorted(&sorted, 0.25, config.method)?;
+    let median = quantile_sorted(&sorted, 0.5, config.method)?;
+    let q3 = quantile_sorted(&sorted, 0.75, config.method)?;
+    let iqr = q3 - q1;
+    let lo_fence = q1 - config.whisker_mult * iqr;
+    let hi_fence = q3 + config.whisker_mult * iqr;
+    let whisker_lo = sorted
+        .iter()
+        .copied()
+        .find(|&x| x >= lo_fence)
+        .unwrap_or(sorted[0]);
+    let whisker_hi = sorted
+        .iter()
+        .rev()
+        .copied()
+        .find(|&x| x <= hi_fence)
+        .unwrap_or(sorted[n - 1]);
+    let fliers = sorted
+        .iter()
+        .copied()
+        .filter(|&x| x < whisker_lo || x > whisker_hi)
+        .collect();
+    // Matplotlib's notch half-width.
+    let notch = 1.57 * iqr / (n as f64).sqrt();
+    Ok(BoxStats {
+        n,
+        q1,
+        median,
+        q3,
+        notch_lo: median - notch,
+        notch_hi: median + notch,
+        whisker_lo,
+        whisker_hi,
+        min: sorted[0],
+        max: sorted[n - 1],
+        fliers,
+    })
+}
+
+/// A labelled group of box statistics — one figure's worth of boxes
+/// (e.g. one box per manufacturer, as in Fig. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedBoxes {
+    /// Label and statistics for each box, in presentation order.
+    pub boxes: Vec<(String, BoxStats)>,
+}
+
+impl GroupedBoxes {
+    /// Builds grouped box statistics from labelled samples, skipping groups
+    /// whose sample is empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StatsError::NonFinite`] from any group.
+    pub fn from_samples<L: Into<String>>(
+        samples: impl IntoIterator<Item = (L, Vec<f64>)>,
+    ) -> Result<GroupedBoxes> {
+        let mut boxes = Vec::new();
+        for (label, xs) in samples {
+            if xs.is_empty() {
+                continue;
+            }
+            boxes.push((label.into(), box_stats(&xs)?));
+        }
+        Ok(GroupedBoxes { boxes })
+    }
+
+    /// Returns the box for a given label, if present.
+    pub fn get(&self, label: &str) -> Option<&BoxStats> {
+        self.boxes.iter().find(|(l, _)| l == label).map(|(_, b)| b)
+    }
+
+    /// Labels in presentation order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.boxes.iter().map(|(l, _)| l.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_ordered() {
+        let b = box_stats(&[5.0, 1.0, 4.0, 2.0, 3.0]).unwrap();
+        assert!(b.q1 <= b.median && b.median <= b.q3);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.n, 5);
+    }
+
+    #[test]
+    fn no_fliers_in_tight_sample() {
+        let b = box_stats(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert!(b.fliers.is_empty());
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 5.0);
+    }
+
+    #[test]
+    fn outlier_detected() {
+        let b = box_stats(&[1.0, 2.0, 3.0, 4.0, 50.0]).unwrap();
+        assert_eq!(b.fliers, vec![50.0]);
+        assert!(b.whisker_hi < 50.0);
+        assert_eq!(b.max, 50.0);
+    }
+
+    #[test]
+    fn zero_whisker_mult_marks_everything_outside_box() {
+        let cfg = BoxPlotConfig {
+            whisker_mult: 0.0,
+            ..Default::default()
+        };
+        let b = box_stats_with(&[1.0, 2.0, 3.0, 4.0, 5.0], cfg).unwrap();
+        assert_eq!(b.whisker_lo, b.q1);
+        assert_eq!(b.whisker_hi, b.q3);
+        assert_eq!(b.fliers.len(), 2); // 1.0 and 5.0
+    }
+
+    #[test]
+    fn negative_whisker_mult_rejected() {
+        let cfg = BoxPlotConfig {
+            whisker_mult: -1.0,
+            ..Default::default()
+        };
+        assert!(box_stats_with(&[1.0], cfg).is_err());
+    }
+
+    #[test]
+    fn notch_width_shrinks_with_n() {
+        let small = box_stats(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let big_data: Vec<f64> = (0..500).map(|i| (i % 5 + 1) as f64).collect();
+        let big = box_stats(&big_data).unwrap();
+        let small_width = small.notch_hi - small.notch_lo;
+        let big_width = big.notch_hi - big.notch_lo;
+        assert!(big_width < small_width);
+    }
+
+    #[test]
+    fn notch_overlap_detects_similar_medians() {
+        let a = box_stats(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let b = box_stats(&[1.5, 2.5, 3.5, 4.5, 5.5]).unwrap();
+        assert!(a.notch_overlaps(&b));
+        let far: Vec<f64> = (100..105).map(|i| i as f64).collect();
+        let c = box_stats(&far).unwrap();
+        assert!(!a.notch_overlaps(&c));
+    }
+
+    #[test]
+    fn single_observation_box() {
+        let b = box_stats(&[7.0]).unwrap();
+        assert_eq!(b.q1, 7.0);
+        assert_eq!(b.median, 7.0);
+        assert_eq!(b.q3, 7.0);
+        assert!(b.fliers.is_empty());
+    }
+
+    #[test]
+    fn grouped_boxes_skip_empty() {
+        let g = GroupedBoxes::from_samples(vec![
+            ("waymo", vec![1.0, 2.0, 3.0]),
+            ("empty", vec![]),
+            ("bosch", vec![5.0]),
+        ])
+        .unwrap();
+        assert_eq!(g.boxes.len(), 2);
+        assert!(g.get("waymo").is_some());
+        assert!(g.get("empty").is_none());
+        assert_eq!(g.labels().collect::<Vec<_>>(), vec!["waymo", "bosch"]);
+    }
+
+    #[test]
+    fn empty_sample_errors() {
+        assert!(matches!(box_stats(&[]), Err(StatsError::EmptyInput)));
+    }
+}

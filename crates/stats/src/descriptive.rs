@@ -1,0 +1,331 @@
+//! Descriptive statistics: means, variances, and moment-based summaries.
+
+use crate::error::ensure_nonempty_finite;
+use crate::{Result, StatsError};
+
+/// Arithmetic mean of a sample.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice and
+/// [`StatsError::NonFinite`] if any value is NaN or infinite.
+///
+/// # Examples
+///
+/// ```
+/// # use disengage_stats::descriptive::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    ensure_nonempty_finite(xs)?;
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (unbiased, `n − 1` denominator).
+///
+/// Uses Welford's online algorithm, which is numerically stable even for
+/// samples with a large common offset.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for fewer than two observations.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    ensure_nonempty_finite(xs)?;
+    if xs.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            required: 2,
+            actual: xs.len(),
+        });
+    }
+    let mut mean = 0.0;
+    let mut m2 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let delta = x - mean;
+        mean += delta / (i + 1) as f64;
+        m2 += delta * (x - mean);
+    }
+    Ok(m2 / (xs.len() - 1) as f64)
+}
+
+/// Population variance (`n` denominator).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice.
+pub fn population_variance(xs: &[f64]) -> Result<f64> {
+    ensure_nonempty_finite(xs)?;
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample standard deviation (square root of the unbiased variance).
+///
+/// # Errors
+///
+/// Same conditions as [`variance`].
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Standard error of the mean, `s / √n`.
+///
+/// # Errors
+///
+/// Same conditions as [`variance`].
+pub fn std_error(xs: &[f64]) -> Result<f64> {
+    Ok(std_dev(xs)? / (xs.len() as f64).sqrt())
+}
+
+/// Geometric mean. All observations must be strictly positive.
+///
+/// Useful for rate data such as disengagements-per-mile, which span several
+/// orders of magnitude across manufacturers (Fig. 4 of the paper).
+///
+/// # Errors
+///
+/// Returns [`StatsError::OutOfDomain`] if any observation is `<= 0`.
+pub fn geometric_mean(xs: &[f64]) -> Result<f64> {
+    ensure_nonempty_finite(xs)?;
+    let mut log_sum = 0.0;
+    for &x in xs {
+        if x <= 0.0 {
+            return Err(StatsError::OutOfDomain {
+                expected: "strictly positive values",
+                value: x,
+            });
+        }
+        log_sum += x.ln();
+    }
+    Ok((log_sum / xs.len() as f64).exp())
+}
+
+/// Sample skewness (adjusted Fisher–Pearson standardized third moment).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for fewer than three
+/// observations, and [`StatsError::DegenerateSample`] for zero variance.
+pub fn skewness(xs: &[f64]) -> Result<f64> {
+    ensure_nonempty_finite(xs)?;
+    let n = xs.len();
+    if n < 3 {
+        return Err(StatsError::InsufficientData {
+            required: 3,
+            actual: n,
+        });
+    }
+    let m = mean(xs)?;
+    let s = std_dev(xs)?;
+    if s == 0.0 {
+        return Err(StatsError::DegenerateSample("zero variance"));
+    }
+    let n_f = n as f64;
+    let m3 = xs.iter().map(|x| ((x - m) / s).powi(3)).sum::<f64>();
+    Ok(n_f / ((n_f - 1.0) * (n_f - 2.0)) * m3)
+}
+
+/// Excess kurtosis (fourth standardized moment minus 3), sample-adjusted.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for fewer than four
+/// observations, and [`StatsError::DegenerateSample`] for zero variance.
+pub fn excess_kurtosis(xs: &[f64]) -> Result<f64> {
+    ensure_nonempty_finite(xs)?;
+    let n = xs.len();
+    if n < 4 {
+        return Err(StatsError::InsufficientData {
+            required: 4,
+            actual: n,
+        });
+    }
+    let m = mean(xs)?;
+    let s2 = variance(xs)?;
+    if s2 == 0.0 {
+        return Err(StatsError::DegenerateSample("zero variance"));
+    }
+    let n_f = n as f64;
+    let m4 = xs.iter().map(|x| (x - m).powi(4)).sum::<f64>();
+    let num = n_f * (n_f + 1.0) * m4;
+    let den = (n_f - 1.0) * (n_f - 2.0) * (n_f - 3.0) * s2 * s2;
+    let corr = 3.0 * (n_f - 1.0).powi(2) / ((n_f - 2.0) * (n_f - 3.0));
+    Ok(num / den - corr)
+}
+
+/// Minimum of a sample.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice.
+pub fn min(xs: &[f64]) -> Result<f64> {
+    ensure_nonempty_finite(xs)?;
+    Ok(xs.iter().copied().fold(f64::INFINITY, f64::min))
+}
+
+/// Maximum of a sample.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice.
+pub fn max(xs: &[f64]) -> Result<f64> {
+    ensure_nonempty_finite(xs)?;
+    Ok(xs.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+}
+
+/// A complete one-pass summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`NaN` when `n < 2`).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+}
+
+/// Computes a [`Summary`] for a sample.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// # use disengage_stats::descriptive::summarize;
+/// let s = summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.n, 4);
+/// assert_eq!(s.median, 2.5);
+/// ```
+pub fn summarize(xs: &[f64]) -> Result<Summary> {
+    ensure_nonempty_finite(xs)?;
+    let median = crate::quantile::median(xs)?;
+    Ok(Summary {
+        n: xs.len(),
+        mean: mean(xs)?,
+        std_dev: if xs.len() >= 2 {
+            std_dev(xs)?
+        } else {
+            f64::NAN
+        },
+        min: min(xs)?,
+        max: max(xs)?,
+        median,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[2.0, 4.0, 6.0]).unwrap(), 4.0);
+        assert_eq!(mean(&[5.0]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn mean_empty_errors() {
+        assert_eq!(mean(&[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // Var([1..5]) with n-1 denominator = 2.5
+        let v = variance(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert!((v - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_stable_under_offset() {
+        // Welford should survive a large common offset.
+        let base = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let shifted: Vec<f64> = base.iter().map(|x| x + 1e9).collect();
+        let v = variance(&shifted).unwrap();
+        assert!((v - 2.5).abs() < 1e-4, "v = {v}");
+    }
+
+    #[test]
+    fn variance_needs_two_points() {
+        assert!(matches!(
+            variance(&[1.0]),
+            Err(StatsError::InsufficientData { required: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn population_variance_differs_from_sample() {
+        let xs = [1.0, 2.0, 3.0];
+        let pv = population_variance(&xs).unwrap();
+        let sv = variance(&xs).unwrap();
+        assert!((pv - 2.0 / 3.0).abs() < 1e-12);
+        assert!((sv - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_log_identity() {
+        let g = geometric_mean(&[1.0, 10.0, 100.0]).unwrap();
+        assert!((g - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_nonpositive() {
+        assert!(matches!(
+            geometric_mean(&[1.0, 0.0]),
+            Err(StatsError::OutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn skewness_sign() {
+        // Right-skewed sample has positive skewness.
+        let right = [1.0, 1.0, 1.0, 2.0, 10.0];
+        assert!(skewness(&right).unwrap() > 0.0);
+        // Symmetric sample has ~zero skewness.
+        let sym = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(skewness(&sym).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewness_degenerate() {
+        assert!(matches!(
+            skewness(&[3.0, 3.0, 3.0]),
+            Err(StatsError::DegenerateSample(_))
+        ));
+    }
+
+    #[test]
+    fn kurtosis_uniformish_is_negative() {
+        // A flat (uniform-like) sample is platykurtic.
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        assert!(excess_kurtosis(&xs).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let xs = [3.0, -1.0, 2.0];
+        assert_eq!(min(&xs).unwrap(), -1.0);
+        assert_eq!(max(&xs).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn summary_single_observation() {
+        let s = summarize(&[7.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 7.0);
+        assert!(s.std_dev.is_nan());
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert_eq!(mean(&[1.0, f64::NAN]), Err(StatsError::NonFinite));
+        assert_eq!(std_dev(&[1.0, f64::NAN]), Err(StatsError::NonFinite));
+    }
+}

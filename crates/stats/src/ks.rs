@@ -1,0 +1,198 @@
+//! Kolmogorov–Smirnov goodness-of-fit tests.
+//!
+//! Used to validate the distribution fits of Figs. 11 and 12 (does the
+//! Exponentiated Weibull actually describe the reaction times?).
+
+use crate::dist::Continuous;
+use crate::Result;
+
+/// Result of a one-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic `D = sup |F_n(x) − F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value (Kolmogorov distribution).
+    pub p_value: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl KsTest {
+    /// Whether the null hypothesis (data follows the distribution) is
+    /// rejected at level `alpha`.
+    pub fn rejects(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// One-sample KS test of `xs` against a fitted continuous distribution.
+///
+/// Uses the asymptotic Kolmogorov distribution for the p-value with the
+/// standard `√n + 0.12 + 0.11/√n` effective-sample-size correction.
+///
+/// # Errors
+///
+/// Returns [`crate::StatsError::EmptyInput`] for an empty sample and
+/// [`crate::StatsError::NonFinite`] for NaN observations.
+///
+/// # Examples
+///
+/// ```
+/// # use disengage_stats::{ks::ks_test, dist::Exponential};
+/// let d = Exponential::new(1.0).unwrap();
+/// // CDF-spaced quantiles of the true distribution fit it well.
+/// let xs: Vec<f64> = (1..100).map(|i| {
+///     use disengage_stats::dist::Continuous;
+///     d.quantile(i as f64 / 100.0).unwrap()
+/// }).collect();
+/// let t = ks_test(&xs, &d).unwrap();
+/// assert!(!t.rejects(0.05));
+/// ```
+pub fn ks_test<D: Continuous + ?Sized>(xs: &[f64], dist: &D) -> Result<KsTest> {
+    crate::error::ensure_nonempty_finite(xs)?;
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+    let n = sorted.len() as f64;
+    let mut d_stat: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        let d_plus = (i as f64 + 1.0) / n - f;
+        let d_minus = f - i as f64 / n;
+        d_stat = d_stat.max(d_plus).max(d_minus);
+    }
+    let en = n.sqrt();
+    let lambda = (en + 0.12 + 0.11 / en) * d_stat;
+    Ok(KsTest {
+        statistic: d_stat,
+        p_value: kolmogorov_sf(lambda),
+        n: sorted.len(),
+    })
+}
+
+/// Two-sample KS test: are `xs` and `ys` drawn from the same distribution?
+///
+/// # Errors
+///
+/// Returns [`crate::StatsError::EmptyInput`] if either sample is empty.
+pub fn ks_two_sample(xs: &[f64], ys: &[f64]) -> Result<KsTest> {
+    crate::error::ensure_nonempty_finite(xs)?;
+    crate::error::ensure_nonempty_finite(ys)?;
+    let mut a = xs.to_vec();
+    let mut b = ys.to_vec();
+    a.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    let (n1, n2) = (a.len() as f64, b.len() as f64);
+    let mut i = 0;
+    let mut j = 0;
+    let mut d_stat: f64 = 0.0;
+    while i < a.len() && j < b.len() {
+        let d1 = a[i];
+        let d2 = b[j];
+        if d1 <= d2 {
+            i += 1;
+        }
+        if d2 <= d1 {
+            j += 1;
+        }
+        let f1 = i as f64 / n1;
+        let f2 = j as f64 / n2;
+        d_stat = d_stat.max((f1 - f2).abs());
+    }
+    let en = (n1 * n2 / (n1 + n2)).sqrt();
+    let lambda = (en + 0.12 + 0.11 / en) * d_stat;
+    Ok(KsTest {
+        statistic: d_stat,
+        p_value: kolmogorov_sf(lambda),
+        n: xs.len() + ys.len(),
+    })
+}
+
+/// Kolmogorov survival function `Q(λ) = 2 Σ (−1)^{k−1} exp(−2k²λ²)`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = sign * (-2.0 * (k as f64 * lambda).powi(2)).exp();
+        sum += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Continuous, Exponential, Normal, Weibull};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn correct_model_not_rejected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Weibull::new(1.4, 2.0).unwrap();
+        let xs = d.sample_n(&mut rng, 1_000);
+        let t = ks_test(&xs, &d).unwrap();
+        assert!(!t.rejects(0.01), "p = {}", t.p_value);
+        assert!(t.statistic < 0.06);
+    }
+
+    #[test]
+    fn wrong_model_rejected() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let truth = Weibull::new(0.5, 1.0).unwrap();
+        let xs = truth.sample_n(&mut rng, 1_000);
+        let wrong = Exponential::new(1.0).unwrap();
+        let t = ks_test(&xs, &wrong).unwrap();
+        assert!(t.rejects(0.01), "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn two_sample_same_distribution() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let xs = d.sample_n(&mut rng, 800);
+        let ys = d.sample_n(&mut rng, 800);
+        let t = ks_two_sample(&xs, &ys).unwrap();
+        assert!(!t.rejects(0.01), "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn two_sample_shifted_rejected() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = Normal::new(0.0, 1.0).unwrap();
+        let b = Normal::new(1.0, 1.0).unwrap();
+        let xs = a.sample_n(&mut rng, 500);
+        let ys = b.sample_n(&mut rng, 500);
+        let t = ks_two_sample(&xs, &ys).unwrap();
+        assert!(t.rejects(0.001), "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn statistic_bounded() {
+        let d = Exponential::new(1.0).unwrap();
+        let t = ks_test(&[100.0, 200.0], &d).unwrap();
+        assert!(t.statistic <= 1.0 && t.statistic > 0.8);
+        assert!(t.p_value < 0.2);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let d = Exponential::new(1.0).unwrap();
+        assert!(ks_test(&[], &d).is_err());
+        assert!(ks_two_sample(&[], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn kolmogorov_sf_limits() {
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+        // Known value: Q(1.0) ≈ 0.2700
+        assert!((kolmogorov_sf(1.0) - 0.27).abs() < 0.001);
+    }
+}

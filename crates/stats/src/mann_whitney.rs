@@ -1,0 +1,186 @@
+//! Mann–Whitney U test (Wilcoxon rank-sum).
+//!
+//! The paper compares reaction-time and DPM distributions across
+//! manufacturers visually (Figs. 4, 7, 10); this nonparametric test makes
+//! those comparisons formal without distributional assumptions — the
+//! right tool given the long tails.
+
+use crate::correlation::average_ranks;
+use crate::special::std_normal_cdf;
+use crate::{Result, StatsError};
+
+/// Result of a two-sample Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitney {
+    /// The U statistic for the first sample.
+    pub u: f64,
+    /// Standardized statistic (normal approximation, tie-corrected,
+    /// continuity-corrected).
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Rank-biserial effect size in `[-1, 1]` (0 = stochastic equality;
+    /// positive means the first sample tends larger).
+    pub effect_size: f64,
+    /// Sizes of the two samples.
+    pub n: (usize, usize),
+}
+
+impl MannWhitney {
+    /// Whether the two distributions differ at level `alpha`.
+    pub fn rejects(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sided Mann–Whitney U test of whether `xs` and `ys` come from the
+/// same distribution, using the normal approximation with tie and
+/// continuity corrections (appropriate for the sample sizes in this
+/// dataset; exact tables are not implemented).
+///
+/// # Errors
+///
+/// * [`StatsError::InsufficientData`] if either sample is empty or the
+///   combined sample has fewer than 8 observations (the approximation is
+///   unreliable below that).
+/// * [`StatsError::NonFinite`] for NaN/infinite inputs.
+/// * [`StatsError::DegenerateSample`] if every observation is identical.
+///
+/// # Examples
+///
+/// ```
+/// # use disengage_stats::mann_whitney::mann_whitney_u;
+/// let fast: Vec<f64> = (0..20).map(|i| 0.5 + i as f64 * 0.01).collect();
+/// let slow: Vec<f64> = (0..20).map(|i| 2.0 + i as f64 * 0.01).collect();
+/// let t = mann_whitney_u(&fast, &slow).unwrap();
+/// assert!(t.rejects(0.001));
+/// assert!(t.effect_size < -0.9); // `fast` is stochastically smaller
+/// ```
+pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> Result<MannWhitney> {
+    crate::error::ensure_finite(xs)?;
+    crate::error::ensure_finite(ys)?;
+    let (n1, n2) = (xs.len(), ys.len());
+    if n1 == 0 || n2 == 0 || n1 + n2 < 8 {
+        return Err(StatsError::InsufficientData {
+            required: 8,
+            actual: n1 + n2,
+        });
+    }
+    // Rank the pooled sample (average ranks over ties).
+    let mut pooled: Vec<f64> = Vec::with_capacity(n1 + n2);
+    pooled.extend_from_slice(xs);
+    pooled.extend_from_slice(ys);
+    if pooled.windows(2).all(|w| w[0] == w[1]) {
+        return Err(StatsError::DegenerateSample("all observations identical"));
+    }
+    let ranks = average_ranks(&pooled);
+    let r1: f64 = ranks[..n1].iter().sum();
+    let n1f = n1 as f64;
+    let n2f = n2 as f64;
+    let u1 = r1 - n1f * (n1f + 1.0) / 2.0;
+    let mean_u = n1f * n2f / 2.0;
+
+    // Tie correction for the variance.
+    let n = n1f + n2f;
+    let tie_term: f64 = {
+        let mut sorted = pooled.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut term = 0.0;
+        let mut i = 0;
+        while i < sorted.len() {
+            let mut j = i;
+            while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+                j += 1;
+            }
+            let t = (j - i + 1) as f64;
+            term += t * t * t - t;
+            i = j + 1;
+        }
+        term
+    };
+    let var_u = n1f * n2f / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    if var_u <= 0.0 {
+        return Err(StatsError::DegenerateSample("zero rank variance"));
+    }
+    // Continuity correction toward the mean.
+    let z = (u1 - mean_u - 0.5 * (u1 - mean_u).signum()) / var_u.sqrt();
+    let p_value = (2.0 * (1.0 - std_normal_cdf(z.abs()))).clamp(0.0, 1.0);
+    Ok(MannWhitney {
+        u: u1,
+        z,
+        p_value,
+        effect_size: 2.0 * u1 / (n1f * n2f) - 1.0,
+        n: (n1, n2),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Continuous, Normal, Weibull};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_distributions_not_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(5.0, 1.0).unwrap();
+        let xs = d.sample_n(&mut rng, 300);
+        let ys = d.sample_n(&mut rng, 300);
+        let t = mann_whitney_u(&xs, &ys).unwrap();
+        assert!(!t.rejects(0.01), "p = {}", t.p_value);
+        assert!(t.effect_size.abs() < 0.15);
+    }
+
+    #[test]
+    fn shifted_distributions_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Normal::new(0.0, 1.0).unwrap();
+        let b = Normal::new(0.8, 1.0).unwrap();
+        let xs = a.sample_n(&mut rng, 150);
+        let ys = b.sample_n(&mut rng, 150);
+        let t = mann_whitney_u(&xs, &ys).unwrap();
+        assert!(t.rejects(0.001), "p = {}", t.p_value);
+        assert!(t.effect_size < 0.0);
+    }
+
+    #[test]
+    fn detects_scale_shift_in_heavy_tailed_data() {
+        // Same Weibull shape, doubled scale: clear stochastic dominance
+        // even with long tails (the reaction-time comparison case).
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Weibull::new(1.5, 1.0).unwrap();
+        let b = Weibull::new(1.5, 2.0).unwrap();
+        let xs = a.sample_n(&mut rng, 200);
+        let ys = b.sample_n(&mut rng, 200);
+        let t = mann_whitney_u(&xs, &ys).unwrap();
+        assert!(t.rejects(0.001), "p = {}", t.p_value);
+        assert!(t.effect_size < -0.2);
+    }
+
+    #[test]
+    fn handles_ties() {
+        let xs = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        let ys = [1.0, 2.0, 3.0, 4.0, 4.0, 4.0];
+        let t = mann_whitney_u(&xs, &ys).unwrap();
+        assert!(t.p_value > 0.0 && t.p_value <= 1.0);
+        assert!(t.effect_size < 0.0); // xs tends smaller
+    }
+
+    #[test]
+    fn effect_size_bounds() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 11.0, 12.0, 13.0];
+        let t = mann_whitney_u(&xs, &ys).unwrap();
+        assert!((t.effect_size + 1.0).abs() < 1e-12); // complete separation
+        let t = mann_whitney_u(&ys, &xs).unwrap();
+        assert!((t.effect_size - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_or_degenerate_rejected() {
+        assert!(mann_whitney_u(&[1.0], &[2.0]).is_err());
+        assert!(mann_whitney_u(&[], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).is_err());
+        assert!(mann_whitney_u(&[5.0; 10], &[5.0; 10]).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Theil–Sen robust regression.
+//!
+//! The monthly DPM series behind Figs. 8–9 have heavy-tailed noise (a
+//! single bad month can swing an OLS fit); the Theil–Sen estimator —
+//! median of pairwise slopes — is robust to ~29% outliers and provides a
+//! cross-check on the paper's least-squares trends.
+
+use crate::quantile::median;
+use crate::{Result, StatsError};
+
+/// A Theil–Sen fit `y = intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TheilSenFit {
+    /// Median of pairwise slopes.
+    pub slope: f64,
+    /// Median of `y − slope·x` residual intercepts.
+    pub intercept: f64,
+    /// Number of points used.
+    pub n: usize,
+    /// Number of finite pairwise slopes the estimate is based on.
+    pub pairs: usize,
+}
+
+impl TheilSenFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits `y = a + b·x` by the Theil–Sen estimator.
+///
+/// Pairs with equal `x` are skipped (vertical slopes carry no
+/// information).
+///
+/// # Errors
+///
+/// * [`StatsError::LengthMismatch`] for unequal input lengths.
+/// * [`StatsError::InsufficientData`] for fewer than 2 points.
+/// * [`StatsError::DegenerateSample`] if every `x` is identical.
+/// * [`StatsError::NonFinite`] for NaN/infinite inputs.
+///
+/// # Examples
+///
+/// ```
+/// # use disengage_stats::theil_sen::theil_sen;
+/// // A gross outlier barely moves the robust slope.
+/// let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+/// let mut ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+/// ys[10] = 1000.0;
+/// let fit = theil_sen(&xs, &ys).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 0.1);
+/// ```
+pub fn theil_sen(xs: &[f64], ys: &[f64]) -> Result<TheilSenFit> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            required: 2,
+            actual: xs.len(),
+        });
+    }
+    crate::error::ensure_finite(xs)?;
+    crate::error::ensure_finite(ys)?;
+    let mut slopes = Vec::with_capacity(xs.len() * (xs.len() - 1) / 2);
+    for i in 0..xs.len() {
+        for j in (i + 1)..xs.len() {
+            let dx = xs[j] - xs[i];
+            if dx != 0.0 {
+                slopes.push((ys[j] - ys[i]) / dx);
+            }
+        }
+    }
+    if slopes.is_empty() {
+        return Err(StatsError::DegenerateSample("all x values identical"));
+    }
+    let slope = median(&slopes)?;
+    let residuals: Vec<f64> = xs.iter().zip(ys).map(|(&x, &y)| y - slope * x).collect();
+    let intercept = median(&residuals)?;
+    Ok(TheilSenFit {
+        slope,
+        intercept,
+        n: xs.len(),
+        pairs: slopes.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regression::fit_linear;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.5 - 0.5 * x).collect();
+        let f = theil_sen(&xs, &ys).unwrap();
+        assert!((f.slope + 0.5).abs() < 1e-12);
+        assert!((f.intercept - 1.5).abs() < 1e-12);
+        assert_eq!(f.n, 10);
+        assert_eq!(f.pairs, 45);
+        assert!((f.predict(20.0) + 8.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robust_where_ols_is_not() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| 2.0 * x).collect();
+        // Corrupt 20% of points catastrophically.
+        for i in [3usize, 9, 15, 21, 27, 29] {
+            ys[i] = -500.0;
+        }
+        let robust = theil_sen(&xs, &ys).unwrap();
+        let ols = fit_linear(&xs, &ys).unwrap();
+        assert!((robust.slope - 2.0).abs() < 0.2, "robust {}", robust.slope);
+        assert!((ols.slope - 2.0).abs() > 1.0, "ols should be dragged: {}", ols.slope);
+    }
+
+    #[test]
+    fn duplicate_x_pairs_skipped() {
+        let xs = [1.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 10.0, 2.0, 3.0];
+        let f = theil_sen(&xs, &ys).unwrap();
+        assert_eq!(f.pairs, 5); // 6 pairs minus the vertical one
+        assert!(f.slope.is_finite());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(theil_sen(&[1.0], &[1.0]).is_err());
+        assert!(theil_sen(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(theil_sen(&[2.0, 2.0], &[1.0, 3.0]).is_err());
+        assert!(theil_sen(&[1.0, f64::NAN], &[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! The three control loops highlighted in Fig. 3.
+
+use crate::component::Component;
+use std::fmt;
+
+/// Identifier of a highlighted control loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LoopId {
+    /// CL-1: the full loop — autonomous control, mechanical system, and
+    /// human drivers (including non-AV drivers).
+    Cl1,
+    /// CL-2: the autonomous stack and the mechanical system.
+    Cl2,
+    /// CL-3: the safety driver supervising the autonomous stack.
+    Cl3,
+}
+
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LoopId::Cl1 => "CL-1",
+            LoopId::Cl2 => "CL-2",
+            LoopId::Cl3 => "CL-3",
+        })
+    }
+}
+
+/// A control loop: an ordered cycle of components.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlLoop {
+    /// Which highlighted loop this is.
+    pub id: LoopId,
+    /// The components on the loop, in traversal order.
+    pub components: Vec<Component>,
+}
+
+impl ControlLoop {
+    /// The standard loops of Fig. 3.
+    pub fn standard() -> Vec<ControlLoop> {
+        use Component::*;
+        vec![
+            ControlLoop {
+                id: LoopId::Cl1,
+                components: vec![
+                    Sensors,
+                    Network,
+                    Recognition,
+                    PlannerController,
+                    Follower,
+                    Actuators,
+                    Mechanical,
+                    NonAvDriver,
+                ],
+            },
+            ControlLoop {
+                id: LoopId::Cl2,
+                components: vec![
+                    Sensors,
+                    Network,
+                    Recognition,
+                    PlannerController,
+                    Follower,
+                    Actuators,
+                    Mechanical,
+                ],
+            },
+            ControlLoop {
+                id: LoopId::Cl3,
+                components: vec![Driver, PlannerController],
+            },
+        ]
+    }
+
+    /// Whether a component lies on this loop.
+    pub fn contains(&self, c: Component) -> bool {
+        self.components.contains(&c)
+    }
+
+    /// The loops (of the standard three) containing a component.
+    pub fn loops_containing(c: Component) -> Vec<LoopId> {
+        ControlLoop::standard()
+            .into_iter()
+            .filter(|l| l.contains(c))
+            .map(|l| l.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Component::*;
+
+    #[test]
+    fn three_standard_loops() {
+        let loops = ControlLoop::standard();
+        assert_eq!(loops.len(), 3);
+        assert_eq!(loops[0].id, LoopId::Cl1);
+    }
+
+    #[test]
+    fn cl1_is_most_complex() {
+        let loops = ControlLoop::standard();
+        let cl1 = &loops[0];
+        let cl2 = &loops[1];
+        let cl3 = &loops[2];
+        assert!(cl1.components.len() > cl2.components.len());
+        assert!(cl2.components.len() > cl3.components.len());
+        assert!(cl1.contains(NonAvDriver));
+        assert!(!cl2.contains(NonAvDriver));
+    }
+
+    #[test]
+    fn planner_on_every_loop() {
+        assert_eq!(
+            ControlLoop::loops_containing(PlannerController),
+            vec![LoopId::Cl1, LoopId::Cl2, LoopId::Cl3]
+        );
+    }
+
+    #[test]
+    fn driver_only_on_cl3() {
+        assert_eq!(ControlLoop::loops_containing(Driver), vec![LoopId::Cl3]);
+    }
+
+    #[test]
+    fn loop_membership_consistent_with_loops() {
+        for l in ControlLoop::standard() {
+            for c in &l.components {
+                assert!(ControlLoop::loops_containing(*c).contains(&l.id));
+            }
+        }
+    }
+}

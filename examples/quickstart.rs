@@ -1,0 +1,55 @@
+//! Quickstart: run the end-to-end pipeline and print the headline
+//! findings of the paper.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use disengage::core::pipeline::{Pipeline, PipelineConfig};
+use disengage::core::{questions, report, tables};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The default configuration regenerates the full calibrated corpus:
+    // 12 manufacturers, 144+ vehicles, ~1.12M autonomous miles, 5,328
+    // disengagements, 42 accidents.
+    let outcome = Pipeline::new(PipelineConfig::default()).run()?;
+
+    println!(
+        "pipeline recovered {} disengagements, {} accidents, {:.0} autonomous miles\n",
+        outcome.database.disengagements().len(),
+        outcome.database.accidents().len(),
+        outcome.database.total_miles()
+    );
+
+    // Table I: the fleet summary.
+    let table1 = tables::table1(&outcome.database)?;
+    println!("{}", report::render_table("Table I", &table1));
+
+    // The paper's four headline findings.
+    let q2 = questions::q2_causes(&outcome.tagged);
+    println!(
+        "finding 1: {:.0}% of disengagements trace to the machine-learning stack (paper: 64%)",
+        q2.global_excluding_tesla.ml_total() * 100.0
+    );
+
+    let q4 = questions::q4_alertness(&outcome.database)?;
+    println!(
+        "finding 2: drivers reacted in {:.2} s on average — human non-AV baseline {:.2} s",
+        q4.mean_reaction_s, q4.human_baseline_s
+    );
+
+    let q5 = questions::q5_comparison(&outcome.database)?;
+    if let Some((lo, hi)) = q5.human_ratio_range {
+        println!(
+            "finding 3: per mile, AVs had {lo:.0}-{hi:.0}x more accidents than human drivers (paper: 15-4000x)"
+        );
+    }
+
+    let q3 = questions::q3_dynamics(&outcome.database)?;
+    println!(
+        "finding 4: DPM falls with cumulative miles, r = {:.2} (paper: -0.87) — but no manufacturer has reached the zero-DPM asymptote",
+        q3.log_log_correlation.r
+    );
+
+    Ok(())
+}

@@ -1,0 +1,251 @@
+//! `disengage` — command-line front-end for the toolkit.
+//!
+//! ```text
+//! disengage summary                      # headline findings
+//! disengage export <dir>                 # all tables as CSV
+//! disengage classify "<log text>"        # Stage III on one description
+//! disengage stpa-dot                     # Fig. 3 as Graphviz DOT
+//! disengage demo-miles <rate> <conf>     # Kalra-Paddock bound
+//! disengage project <manufacturer> <dpm> # miles to reach a target DPM
+//! disengage sweep-ocr                    # scanner-noise sweep
+//! ```
+//!
+//! Full-corpus commands accept `--scale <f>` (default 1.0) and
+//! `--seed <n>` to control the generated corpus.
+
+use disengage::core::pipeline::{OcrMode, Pipeline, PipelineConfig};
+use disengage::core::{exposure, questions, report, tables, whatif};
+use disengage::corpus::CorpusConfig;
+use disengage::dataframe::csv;
+use disengage::nlp::Classifier;
+use disengage::ocr::NoiseModel;
+use disengage::reports::Manufacturer;
+use disengage::stats::kalra_paddock::failure_free_miles;
+use disengage::stpa::dot::to_dot;
+use disengage::stpa::ControlStructure;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  disengage summary [--scale F] [--seed N]
+  disengage export <dir> [--scale F] [--seed N]
+  disengage classify <text>
+  disengage stpa-dot
+  disengage demo-miles <rate-per-mile> <confidence>
+  disengage project <manufacturer> <target-dpm> [--scale F] [--seed N]
+  disengage sweep-ocr [--seed N]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut scale = 1.0f64;
+    let mut seed = 0x5EEDu64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|_| "--scale needs a number")?;
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer")?;
+            }
+            other => positional.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    let command = positional.first().map(String::as_str).unwrap_or("");
+    let config = PipelineConfig {
+        corpus: CorpusConfig { seed, scale },
+        ..Default::default()
+    };
+
+    match command {
+        "summary" => {
+            let o = Pipeline::new(config).run().map_err(|e| e.to_string())?;
+            println!(
+                "{} disengagements, {} accidents, {:.0} autonomous miles\n",
+                o.database.disengagements().len(),
+                o.database.accidents().len(),
+                o.database.total_miles()
+            );
+            let q2 = questions::q2_causes(&o.tagged);
+            println!("{}", report::render_q2(&q2));
+            let q5 = questions::q5_comparison(&o.database).map_err(|e| e.to_string())?;
+            println!("{}", report::render_q5(&q5));
+            let coverage = exposure::field_coverage(&o.database);
+            println!(
+                "field coverage: road {:.0}%, weather {:.0}%, reaction time {:.0}% of {} records",
+                coverage.road_type * 100.0,
+                coverage.weather * 100.0,
+                coverage.reaction_time * 100.0,
+                coverage.n
+            );
+            Ok(())
+        }
+        "export" => {
+            let dir = positional.get(1).ok_or("export needs a directory")?;
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            let o = Pipeline::new(config).run().map_err(|e| e.to_string())?;
+            let classifier = Classifier::with_default_dictionary();
+            let artifacts: Vec<(&str, disengage::dataframe::DataFrame)> = vec![
+                ("table1.csv", tables::table1(&o.database).map_err(|e| e.to_string())?),
+                ("table2.csv", tables::table2(&classifier).map_err(|e| e.to_string())?),
+                ("table3.csv", tables::table3().map_err(|e| e.to_string())?),
+                ("table4.csv", tables::table4(&o.tagged).map_err(|e| e.to_string())?),
+                ("table5.csv", tables::table5(&o.database).map_err(|e| e.to_string())?),
+                ("table6.csv", tables::table6(&o.database).map_err(|e| e.to_string())?),
+                ("table7.csv", tables::table7(&o.database).map_err(|e| e.to_string())?),
+                ("table8.csv", tables::table8(&o.database).map_err(|e| e.to_string())?),
+            ];
+            for (name, frame) in &artifacts {
+                let path = std::path::Path::new(dir).join(name);
+                csv::write_file(frame, &path).map_err(|e| e.to_string())?;
+                println!("wrote {}", path.display());
+            }
+            // Record-level exports (the consolidated failure database).
+            let records: Vec<(&str, disengage::dataframe::DataFrame)> = vec![
+                (
+                    "disengagements.csv",
+                    disengage::core::export::disengagements_frame(&o.database, Some(&o.tagged))
+                        .map_err(|e| e.to_string())?,
+                ),
+                (
+                    "accidents.csv",
+                    disengage::core::export::accidents_frame(&o.database)
+                        .map_err(|e| e.to_string())?,
+                ),
+                (
+                    "mileage.csv",
+                    disengage::core::export::mileage_frame(&o.database)
+                        .map_err(|e| e.to_string())?,
+                ),
+            ];
+            for (name, frame) in &records {
+                let path = std::path::Path::new(dir).join(name);
+                csv::write_file(frame, &path).map_err(|e| e.to_string())?;
+                println!("wrote {}", path.display());
+            }
+            Ok(())
+        }
+        "classify" => {
+            let text = positional.get(1).ok_or("classify needs text")?;
+            let classifier = Classifier::with_default_dictionary();
+            let a = classifier.classify(text);
+            println!("tag:      {}", a.tag);
+            println!("category: {}", a.category);
+            println!("score:    {}", a.score);
+            if !a.matched_keywords.is_empty() {
+                println!("matched:  {}", a.matched_keywords.join(", "));
+            }
+            if a.ambiguous {
+                println!("note:     another tag tied this score (manual review advised)");
+            }
+            let overlay = disengage::stpa::overlay_for(a.tag);
+            if !overlay.components.is_empty() {
+                let components: Vec<&str> =
+                    overlay.components.iter().map(|c| c.name()).collect();
+                println!("stpa:     implicates {}", components.join(", "));
+            }
+            Ok(())
+        }
+        "stpa-dot" => {
+            print!("{}", to_dot(&ControlStructure::standard()));
+            Ok(())
+        }
+        "demo-miles" => {
+            let rate: f64 = positional
+                .get(1)
+                .ok_or("demo-miles needs a rate")?
+                .parse()
+                .map_err(|_| "rate must be a number")?;
+            let confidence: f64 = positional
+                .get(2)
+                .ok_or("demo-miles needs a confidence")?
+                .parse()
+                .map_err(|_| "confidence must be a number")?;
+            let miles = failure_free_miles(rate, confidence).map_err(|e| e.to_string())?;
+            println!(
+                "{miles:.0} failure-free miles demonstrate a rate below {rate:e}/mile at {:.0}% confidence",
+                confidence * 100.0
+            );
+            Ok(())
+        }
+        "project" => {
+            let m = Manufacturer::parse(positional.get(1).ok_or("project needs a manufacturer")?)
+                .map_err(|e| e.to_string())?;
+            let target: f64 = positional
+                .get(2)
+                .ok_or("project needs a target DPM")?
+                .parse()
+                .map_err(|_| "target DPM must be a number")?;
+            let o = Pipeline::new(config).run().map_err(|e| e.to_string())?;
+            let p = whatif::miles_to_target_dpm(&o.database, m, target)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{m}: DPM ~ {:.3e} · miles^{:.2}; current ({:.0} mi) ≈ {:.2e} DPM",
+                p.fit.prefactor, p.fit.exponent, p.current_miles, p.current_dpm
+            );
+            match p.additional_miles() {
+                Some(0.0) => println!("target {target:e} already met"),
+                Some(extra) => println!(
+                    "target {target:e} reached after ~{extra:.0} more autonomous miles"
+                ),
+                None => println!("trend is not improving; target {target:e} is never reached"),
+            }
+            Ok(())
+        }
+        "sweep-ocr" => {
+            println!("{:>8} {:>8} {:>10} {:>9}", "salt", "erosion", "CER", "recovery");
+            for step in 0..=5 {
+                let salt = step as f64 * 0.004;
+                let noise = if step == 0 {
+                    NoiseModel::clean()
+                } else {
+                    NoiseModel::new(salt, salt * 6.0)
+                };
+                let o = Pipeline::new(PipelineConfig {
+                    corpus: CorpusConfig { seed, scale: 0.02 },
+                    ocr: OcrMode::Simulated {
+                        noise,
+                        correct: true,
+                    },
+                    ocr_seed: seed ^ 0xFF,
+                })
+                .run()
+                .map_err(|e| e.to_string())?;
+                let stats = o.ocr.expect("simulated mode reports stats");
+                println!(
+                    "{:>8.3} {:>8.3} {:>10.4} {:>8.1}%",
+                    salt,
+                    salt * 6.0,
+                    stats.mean_cer,
+                    o.recovery_rate() * 100.0
+                );
+            }
+            Ok(())
+        }
+        "" => Err("missing command".to_owned()),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}

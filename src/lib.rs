@@ -1,0 +1,45 @@
+//! # disengage
+//!
+//! A toolkit reproducing *"Hands Off the Wheel in Autonomous Vehicles? A
+//! Systems Perspective on over a Million Miles of Field Data"* (Banerjee et
+//! al., DSN 2018): an end-to-end pipeline for collecting, digitizing,
+//! normalizing, NLP-tagging, and statistically analyzing autonomous-vehicle
+//! disengagement and accident reports.
+//!
+//! This facade crate re-exports the subsystem crates:
+//!
+//! * [`dataframe`] — columnar typed dataframe substrate.
+//! * [`stats`] — statistics: quantiles, regression, correlation,
+//!   distribution fitting, KS tests, Kalra–Paddock reliability model.
+//! * [`corpus`] — calibrated synthetic CA DMV report corpus (Stage I).
+//! * [`ocr`] — simulated scanned-document OCR engine (Stage I).
+//! * [`nlp`] — failure dictionary + keyword-voting fault classifier
+//!   (Stage III).
+//! * [`reports`] — uniform report schema and per-manufacturer parsers
+//!   (Stage II).
+//! * [`stpa`] — STPA hierarchical control-structure model of the AV.
+//! * [`core`] — the wired pipeline plus every table/figure reproduction
+//!   (Stage IV).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use disengage::core::pipeline::{Pipeline, PipelineConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let outcome = Pipeline::new(PipelineConfig::default()).run()?;
+//! let db = &outcome.database;
+//! println!("disengagements: {}", db.disengagements().len());
+//! println!("accidents:      {}", db.accidents().len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use disengage_corpus as corpus;
+pub use disengage_core as core;
+pub use disengage_dataframe as dataframe;
+pub use disengage_nlp as nlp;
+pub use disengage_ocr as ocr;
+pub use disengage_reports as reports;
+pub use disengage_stats as stats;
+pub use disengage_stpa as stpa;

@@ -1,0 +1,105 @@
+//! Dictionary-learning ablation: reproduce the paper's dictionary-
+//! construction workflow on the synthetic corpus and compare the learned
+//! dictionary with the shipped (paper-derived) one.
+
+use disengage::corpus::{CorpusConfig, CorpusGenerator};
+use disengage::nlp::learn::{learn_dictionary, train_and_evaluate, LearnOptions};
+use disengage::nlp::{Classifier, FaultTag};
+
+fn labeled_corpus(seed: u64) -> Vec<(FaultTag, String)> {
+    let corpus = CorpusGenerator::new(CorpusConfig { seed, scale: 0.1 }).generate();
+    corpus
+        .truth
+        .disengagements()
+        .iter()
+        .zip(&corpus.intended_tags)
+        .map(|(r, &t)| (t, r.description.clone()))
+        .collect()
+}
+
+#[test]
+fn learned_dictionary_recovers_most_tags() {
+    let data = labeled_corpus(101);
+    let (train, eval): (Vec<_>, Vec<_>) = data
+        .iter()
+        .cloned()
+        .enumerate()
+        .partition(|(i, _)| i % 2 == 0);
+    let train: Vec<(FaultTag, String)> = train.into_iter().map(|(_, x)| x).collect();
+    let eval: Vec<(FaultTag, String)> = eval.into_iter().map(|(_, x)| x).collect();
+    let result = train_and_evaluate(&train, &eval, LearnOptions::default());
+    assert!(result.n > 200);
+    // The learned dictionary is mined, not hand-curated, so it trails the
+    // shipped dictionary — but must still recover the large majority.
+    assert!(
+        result.tag_accuracy > 0.6,
+        "learned tag accuracy {}",
+        result.tag_accuracy
+    );
+    assert!(
+        result.category_accuracy > 0.7,
+        "learned category accuracy {}",
+        result.category_accuracy
+    );
+}
+
+#[test]
+fn shipped_dictionary_beats_learned_on_tags() {
+    let data = labeled_corpus(102);
+    let (train, eval): (Vec<_>, Vec<_>) = data
+        .iter()
+        .cloned()
+        .enumerate()
+        .partition(|(i, _)| i % 2 == 0);
+    let train: Vec<(FaultTag, String)> = train.into_iter().map(|(_, x)| x).collect();
+    let eval: Vec<(FaultTag, String)> = eval.into_iter().map(|(_, x)| x).collect();
+
+    let learned = train_and_evaluate(&train, &eval, LearnOptions::default());
+
+    let shipped = Classifier::with_default_dictionary();
+    let mut hits = 0usize;
+    for (want, text) in &eval {
+        if shipped.classify(text).tag == *want {
+            hits += 1;
+        }
+    }
+    let shipped_accuracy = hits as f64 / eval.len() as f64;
+    assert!(
+        shipped_accuracy >= learned.tag_accuracy,
+        "shipped {shipped_accuracy} < learned {}",
+        learned.tag_accuracy
+    );
+    assert!(shipped_accuracy > 0.95, "shipped accuracy {shipped_accuracy}");
+}
+
+#[test]
+fn richer_learning_options_do_not_hurt() {
+    let data = labeled_corpus(103);
+    let small = learn_dictionary(
+        &data,
+        LearnOptions {
+            terms_per_tag: 3,
+            bigrams_per_tag: 2,
+            min_bigram_count: 3,
+        },
+    );
+    let large = learn_dictionary(
+        &data,
+        LearnOptions {
+            terms_per_tag: 12,
+            bigrams_per_tag: 8,
+            min_bigram_count: 2,
+        },
+    );
+    assert!(large.len() > small.len());
+    // Richer vocabulary classifies at least as many training examples.
+    let small_cl = Classifier::new(small);
+    let large_cl = Classifier::new(large);
+    let acc = |cl: &Classifier| {
+        data.iter()
+            .filter(|(want, text)| cl.classify(text).tag == *want)
+            .count() as f64
+            / data.len() as f64
+    };
+    assert!(acc(&large_cl) + 0.02 >= acc(&small_cl));
+}

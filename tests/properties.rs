@@ -1,0 +1,158 @@
+//! Property-based tests across crate boundaries.
+
+use disengage::corpus::{CorpusConfig, CorpusGenerator};
+use disengage::dataframe::csv;
+use disengage::nlp::{Classifier, FaultTag};
+use disengage::ocr::correct::edit_distance;
+use disengage::ocr::{engine::OcrEngine, raster::rasterize};
+use disengage::reports::formats::disengagement::format_for;
+use disengage::reports::record::CarId;
+use disengage::reports::{Date, DisengagementRecord, Manufacturer, Modality, RoadType, Weather};
+use disengage::stats::quantile::{quantile, QuantileMethod};
+use proptest::prelude::*;
+
+fn arb_date() -> impl Strategy<Value = Date> {
+    (2014u16..=2016, 1u8..=12, 1u8..=28)
+        .prop_map(|(y, m, d)| Date::new(y, m, d).expect("day <= 28 valid"))
+}
+
+fn arb_description() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("software module froze".to_owned()),
+        Just("the AV didn't see the lead vehicle".to_owned()),
+        Just("watchdog error".to_owned()),
+        Just("planner failed to anticipate the cyclist".to_owned()),
+        Just("gps signal lost under the overpass".to_owned()),
+        "[a-z]{3,12}( [a-z]{3,12}){1,6}",
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = DisengagementRecord> {
+    (
+        arb_date(),
+        0u32..8,
+        prop_oneof![
+            Just(Modality::Automatic),
+            Just(Modality::Manual),
+            Just(Modality::Planned)
+        ],
+        proptest::option::of(0.01f64..30.0),
+        arb_description(),
+        proptest::option::of(prop_oneof![
+            Just(RoadType::Street),
+            Just(RoadType::Highway),
+            Just(RoadType::Freeway)
+        ]),
+        proptest::option::of(prop_oneof![Just(Weather::Clear), Just(Weather::Rain)]),
+    )
+        .prop_map(|(date, car, modality, rt, description, road_type, weather)| {
+            DisengagementRecord {
+                manufacturer: Manufacturer::MercedesBenz,
+                car: CarId::Known(car),
+                date,
+                modality,
+                road_type,
+                weather,
+                reaction_time_s: rt.map(|t| (t * 100.0).round() / 100.0),
+                description,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pipe-table format (used by Mercedes-Benz and the sparse
+    /// reporters) round-trips arbitrary records exactly.
+    #[test]
+    fn benz_format_round_trips(record in arb_record()) {
+        let format = format_for(Manufacturer::MercedesBenz);
+        let line = format.render(&record);
+        let parsed = format.parse_line(&line, 1).expect("round trip parses");
+        prop_assert_eq!(parsed, record);
+    }
+
+    /// Clean rasterize→recognize is the identity over the covered
+    /// character set.
+    #[test]
+    fn ocr_identity_on_clean_pages(words in proptest::collection::vec("[a-zA-Z0-9,:;/#()%=-]{1,12}", 1..6)) {
+        let text = words.join(" ");
+        let out = OcrEngine::new().recognize(&rasterize(&text));
+        prop_assert_eq!(out.text, text);
+    }
+
+    /// Edit distance is a metric: symmetric, zero iff equal, triangle
+    /// inequality.
+    #[test]
+    fn edit_distance_is_a_metric(a in "[a-z]{0,8}", b in "[a-z]{0,8}", c in "[a-z]{0,8}") {
+        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        prop_assert_eq!(edit_distance(&a, &a), 0);
+        if edit_distance(&a, &b) == 0 {
+            prop_assert_eq!(a.clone(), b.clone());
+        }
+        prop_assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
+    }
+
+    /// The classifier is total and consistent: every description gets a
+    /// tag whose category matches the ontology.
+    #[test]
+    fn classifier_total_and_consistent(desc in ".{0,80}") {
+        let cl = Classifier::with_default_dictionary();
+        let a = cl.classify(&desc);
+        prop_assert_eq!(a.category, a.tag.category());
+        if a.tag == FaultTag::UnknownT {
+            prop_assert_eq!(a.score, 0.0);
+        } else {
+            prop_assert!(a.score > 0.0);
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max for any sample.
+    #[test]
+    fn quantiles_monotone_and_bounded(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+        xs.iter_mut().for_each(|x| *x = (*x * 100.0).round() / 100.0);
+        let lo = quantile(&xs, 0.0, QuantileMethod::Linear).expect("q0");
+        let hi = quantile(&xs, 1.0, QuantileMethod::Linear).expect("q1");
+        let mut prev = lo;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let v = quantile(&xs, q, QuantileMethod::Linear).expect("q");
+            prop_assert!(v >= prev - 1e-9);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            prev = v;
+        }
+    }
+
+    /// CSV round-trips any frame of floats (dates of the analysis
+    /// artifacts ride through as strings, floats as floats).
+    #[test]
+    fn csv_round_trips_numeric_frames(xs in proptest::collection::vec(-1e9f64..1e9, 1..40)) {
+        let xs: Vec<f64> = xs.into_iter().map(|x| (x * 1000.0).round() / 1000.0).collect();
+        let df = disengage::dataframe::DataFrame::new(vec![(
+            "x",
+            disengage::dataframe::Column::from_f64s(&xs),
+        )]).expect("frame");
+        let text = csv::write_str(&df);
+        let back = csv::read_str(&text).expect("parse back");
+        prop_assert_eq!(back.n_rows(), xs.len());
+        for (i, &want) in xs.iter().enumerate() {
+            let got = back.get(i, "x").expect("cell").as_f64().expect("float");
+            prop_assert!((got - want).abs() < 1e-9, "row {}: {} vs {}", i, got, want);
+        }
+    }
+
+    /// Corpus scaling: any scale in (0, 1] produces counts proportional
+    /// to the calibration, and every record validates.
+    #[test]
+    fn corpus_scales_proportionally(seed in 0u64..1000, scale in 0.02f64..0.3) {
+        let corpus = CorpusGenerator::new(CorpusConfig { seed, scale }).generate();
+        let n = corpus.truth.disengagements().len() as f64;
+        let expected = 5328.0 * scale;
+        // Rounding per (manufacturer, year) bounds the deviation.
+        prop_assert!((n - expected).abs() < 40.0, "n = {} expected {}", n, expected);
+        for r in corpus.truth.disengagements() {
+            prop_assert!(r.validate().is_ok());
+        }
+        prop_assert_eq!(corpus.intended_tags.len(), corpus.truth.disengagements().len());
+    }
+}
