@@ -6,7 +6,7 @@
 //! * phrase-bonus voting vs plain keyword counting (dictionary size
 //!   sensitivity via a truncated dictionary).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use disengage_bench::timing;
 use disengage_core::pipeline::default_corrector;
 use disengage_corpus::{CorpusConfig, CorpusGenerator};
 use disengage_nlp::{Classifier, FailureDictionary, FaultTag};
@@ -16,7 +16,7 @@ use disengage_ocr::NoiseModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn bench_classifier_ablation(c: &mut Criterion) {
+fn bench_classifier_ablation() {
     let corpus = CorpusGenerator::new(CorpusConfig {
         seed: 0x5EED,
         scale: 0.05,
@@ -40,24 +40,23 @@ fn bench_classifier_ablation(c: &mut Criterion) {
     }
     let truncated = Classifier::new(small_dict);
 
-    let mut g = c.benchmark_group("nlp_ablation");
+    let mut g = timing::group("nlp_ablation");
     g.sample_size(20);
-    g.bench_function("full_dictionary", |b| {
-        b.iter(|| full.classify_all(descriptions.iter().copied()))
+    g.bench("full_dictionary", || {
+        full.classify_all(descriptions.iter().copied())
     });
-    g.bench_function("truncated_dictionary", |b| {
-        b.iter(|| truncated.classify_all(descriptions.iter().copied()))
+    g.bench("truncated_dictionary", || {
+        truncated.classify_all(descriptions.iter().copied())
     });
-    g.finish();
 }
 
-fn bench_ocr_ablation(c: &mut Criterion) {
+fn bench_ocr_ablation() {
     let text = "Planned test on 5/12/16 (car 2): sensor failed to localize in time [road=highway; weather=rain]\n".repeat(20);
     let engine = OcrEngine::new();
     let corrector = default_corrector();
     let page = rasterize(&text);
 
-    let mut g = c.benchmark_group("ocr_ablation");
+    let mut g = timing::group("ocr_ablation");
     g.sample_size(10);
     for (name, noise) in [
         ("light_noise", NoiseModel::light()),
@@ -65,16 +64,15 @@ fn bench_ocr_ablation(c: &mut Criterion) {
     ] {
         let mut rng = StdRng::seed_from_u64(3);
         let noisy = noise.degrade(&page, &mut rng);
-        g.bench_function(format!("recognize_{name}"), |b| {
-            b.iter(|| engine.recognize(&noisy))
-        });
+        g.bench(&format!("recognize_{name}"), || engine.recognize(&noisy));
         let recognized = engine.recognize(&noisy);
-        g.bench_function(format!("correct_{name}"), |b| {
-            b.iter(|| corrector.correct_text(&recognized.text))
+        g.bench(&format!("correct_{name}"), || {
+            corrector.correct_text(&recognized.text)
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_classifier_ablation, bench_ocr_ablation);
-criterion_main!(benches);
+fn main() {
+    bench_classifier_ablation();
+    bench_ocr_ablation();
+}

@@ -1,48 +1,37 @@
 //! One bench per paper figure: the cost of computing each figure's data
 //! series (box statistics, regressions, correlations, MLE fits).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use disengage_bench::bench_outcome;
+use disengage_bench::{bench_outcome, timing};
 use disengage_core::figures;
 use disengage_reports::Manufacturer;
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
     let o = bench_outcome();
-    let mut g = c.benchmark_group("figures");
+    let mut g = timing::group("figures");
     g.sample_size(20);
-    g.bench_function("fig4_dpm_boxes", |b| {
-        b.iter(|| figures::fig4(&o.database).expect("fig4"))
+    g.bench("fig4_dpm_boxes", || figures::fig4(&o.database).expect("fig4"));
+    g.bench("fig5_cumulative_fits", || figures::fig5(&o.database));
+    g.bench("fig6_tag_stacks", || figures::fig6(&o.tagged));
+    g.bench("fig7_yearly_boxes", || {
+        figures::fig7(&o.database).expect("fig7")
     });
-    g.bench_function("fig5_cumulative_fits", |b| {
-        b.iter(|| figures::fig5(&o.database))
+    g.bench("fig8_loglog_correlation", || {
+        figures::fig8(&o.database).expect("fig8")
     });
-    g.bench_function("fig6_tag_stacks", |b| b.iter(|| figures::fig6(&o.tagged)));
-    g.bench_function("fig7_yearly_boxes", |b| {
-        b.iter(|| figures::fig7(&o.database).expect("fig7"))
+    g.bench("fig9_dpm_fits", || figures::fig9(&o.database));
+    g.bench("fig10_reaction_boxes", || {
+        figures::fig10(&o.database).expect("fig10")
     });
-    g.bench_function("fig8_loglog_correlation", |b| {
-        b.iter(|| figures::fig8(&o.database).expect("fig8"))
+    g.bench("fig11_weibull_fit_waymo", || {
+        figures::fig11(&o.database, Manufacturer::Waymo).expect("fig11")
     });
-    g.bench_function("fig9_dpm_fits", |b| b.iter(|| figures::fig9(&o.database)));
-    g.bench_function("fig10_reaction_boxes", |b| {
-        b.iter(|| figures::fig10(&o.database).expect("fig10"))
+    g.bench("fig12_speed_fits", || {
+        for kind in [
+            figures::SpeedKind::Av,
+            figures::SpeedKind::Manual,
+            figures::SpeedKind::Relative,
+        ] {
+            figures::fig12(&o.database, kind).expect("fig12");
+        }
     });
-    g.bench_function("fig11_weibull_fit_waymo", |b| {
-        b.iter(|| figures::fig11(&o.database, Manufacturer::Waymo).expect("fig11"))
-    });
-    g.bench_function("fig12_speed_fits", |b| {
-        b.iter(|| {
-            for kind in [
-                figures::SpeedKind::Av,
-                figures::SpeedKind::Manual,
-                figures::SpeedKind::Relative,
-            ] {
-                figures::fig12(&o.database, kind).expect("fig12");
-            }
-        })
-    });
-    g.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Stage-by-stage pipeline throughput: corpus generation, document
 //! rendering + normalization, OCR digitization, and NLP tagging.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use disengage_bench::timing;
 use disengage_core::pipeline::{Pipeline, PipelineConfig};
 use disengage_core::tagging::tag_records;
 use disengage_corpus::{CorpusConfig, CorpusGenerator};
@@ -13,7 +13,7 @@ use disengage_reports::normalize::normalize_all;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let corpus_cfg = CorpusConfig {
         seed: 0x5EED,
         scale: 0.1,
@@ -21,37 +21,26 @@ fn bench_pipeline(c: &mut Criterion) {
     let corpus = CorpusGenerator::new(corpus_cfg).generate();
     let n_records = corpus.truth.disengagements().len() as u64;
 
-    let mut g = c.benchmark_group("pipeline");
-    g.sample_size(10);
-
-    g.throughput(Throughput::Elements(n_records));
-    g.bench_function("stage1_corpus_generation", |b| {
-        b.iter(|| CorpusGenerator::new(corpus_cfg).generate())
+    let mut g = timing::group("pipeline");
+    g.sample_size(10).throughput_elements(n_records);
+    g.bench("stage1_corpus_generation", || {
+        CorpusGenerator::new(corpus_cfg).generate()
     });
-
-    g.throughput(Throughput::Elements(n_records));
-    g.bench_function("stage2_normalization", |b| {
-        b.iter(|| normalize_all(corpus.documents.iter()))
+    g.bench("stage2_normalization", || {
+        normalize_all(corpus.documents.iter())
     });
-
     let classifier = Classifier::with_default_dictionary();
-    g.throughput(Throughput::Elements(n_records));
-    g.bench_function("stage3_nlp_tagging", |b| {
-        b.iter(|| tag_records(&classifier, corpus.truth.disengagements()))
+    g.bench("stage3_nlp_tagging", || {
+        tag_records(&classifier, corpus.truth.disengagements())
     });
-
-    g.throughput(Throughput::Elements(n_records));
-    g.bench_function("end_to_end_passthrough", |b| {
-        b.iter(|| {
-            Pipeline::new(PipelineConfig {
-                corpus: corpus_cfg,
-                ..Default::default()
-            })
-            .run()
-            .expect("pipeline")
+    g.bench("end_to_end_passthrough", || {
+        Pipeline::new(PipelineConfig {
+            corpus: corpus_cfg,
+            ..Default::default()
         })
+        .run()
+        .expect("pipeline")
     });
-    g.finish();
 
     // OCR throughput on one representative document.
     let doc = corpus
@@ -64,13 +53,8 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
     let noisy = NoiseModel::light().degrade(&page, &mut rng);
     let engine = OcrEngine::new();
-    let mut g = c.benchmark_group("ocr");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(chars));
-    g.bench_function("rasterize_document", |b| b.iter(|| rasterize(&doc.text)));
-    g.bench_function("recognize_document", |b| b.iter(|| engine.recognize(&noisy)));
-    g.finish();
+    let mut g = timing::group("ocr");
+    g.sample_size(10).throughput_elements(chars);
+    g.bench("rasterize_document", || rasterize(&doc.text));
+    g.bench("recognize_document", || engine.recognize(&noisy));
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

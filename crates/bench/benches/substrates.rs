@@ -1,7 +1,7 @@
 //! Substrate micro-benches: the statistics and dataframe kernels behind
 //! the analyses.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use disengage_bench::timing;
 use disengage_dataframe::{Agg, Column, DataFrame};
 use disengage_stats::boxplot::box_stats;
 use disengage_stats::correlation::pearson;
@@ -19,34 +19,29 @@ fn sample(n: usize) -> Vec<f64> {
         .sample_n(&mut rng, n)
 }
 
-fn bench_stats(c: &mut Criterion) {
+fn bench_stats() {
     let xs = sample(5_000);
     let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
 
-    let mut g = c.benchmark_group("stats");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(xs.len() as u64));
-    g.bench_function("quantile_median_5k", |b| {
-        b.iter(|| quantile(&xs, 0.5, QuantileMethod::Linear).expect("quantile"))
+    let mut g = timing::group("stats");
+    g.sample_size(20).throughput_elements(xs.len() as u64);
+    g.bench("quantile_median_5k", || {
+        quantile(&xs, 0.5, QuantileMethod::Linear).expect("quantile")
     });
-    g.bench_function("box_stats_5k", |b| b.iter(|| box_stats(&xs).expect("box")));
-    g.bench_function("pearson_5k", |b| b.iter(|| pearson(&xs, &ys).expect("pearson")));
-    g.bench_function("ols_fit_5k", |b| b.iter(|| fit_linear(&xs, &ys).expect("ols")));
-    g.bench_function("weibull_mle_5k", |b| {
-        b.iter(|| fit_weibull(&xs).expect("weibull fit"))
-    });
-    g.finish();
+    g.bench("box_stats_5k", || box_stats(&xs).expect("box"));
+    g.bench("pearson_5k", || pearson(&xs, &ys).expect("pearson"));
+    g.bench("ols_fit_5k", || fit_linear(&xs, &ys).expect("ols"));
+    g.bench("weibull_mle_5k", || fit_weibull(&xs).expect("weibull fit"));
 
     let small = sample(500);
-    let mut g = c.benchmark_group("stats_slow");
+    let mut g = timing::group("stats_slow");
     g.sample_size(10);
-    g.bench_function("exp_weibull_mle_500", |b| {
-        b.iter(|| fit_exponentiated_weibull(&small).expect("ew fit"))
+    g.bench("exp_weibull_mle_500", || {
+        fit_exponentiated_weibull(&small).expect("ew fit")
     });
-    g.finish();
 }
 
-fn bench_dataframe(c: &mut Criterion) {
+fn bench_dataframe() {
     const N: usize = 10_000;
     let makers: Vec<&str> = (0..N)
         .map(|i| ["waymo", "bosch", "nissan", "delphi"][i % 4])
@@ -58,26 +53,20 @@ fn bench_dataframe(c: &mut Criterion) {
     ])
     .expect("frame");
 
-    let mut g = c.benchmark_group("dataframe");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(N as u64));
-    g.bench_function("group_by_sum_10k", |b| {
-        b.iter(|| {
-            df.group_by(&["maker"], &[("miles", Agg::Sum, "total")])
-                .expect("group_by")
-        })
+    let mut g = timing::group("dataframe");
+    g.sample_size(20).throughput_elements(N as u64);
+    g.bench("group_by_sum_10k", || {
+        df.group_by(&["maker"], &[("miles", Agg::Sum, "total")])
+            .expect("group_by")
     });
-    g.bench_function("sort_10k", |b| {
-        b.iter(|| df.sort_by("miles", true).expect("sort"))
+    g.bench("sort_10k", || df.sort_by("miles", true).expect("sort"));
+    g.bench("csv_round_trip_10k", || {
+        let text = disengage_dataframe::csv::write_str(&df);
+        disengage_dataframe::csv::read_str(&text).expect("csv")
     });
-    g.bench_function("csv_round_trip_10k", |b| {
-        b.iter(|| {
-            let text = disengage_dataframe::csv::write_str(&df);
-            disengage_dataframe::csv::read_str(&text).expect("csv")
-        })
-    });
-    g.finish();
 }
 
-criterion_group!(benches, bench_stats, bench_dataframe);
-criterion_main!(benches);
+fn main() {
+    bench_stats();
+    bench_dataframe();
+}

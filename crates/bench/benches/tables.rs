@@ -1,42 +1,35 @@
 //! One bench per paper table: the cost of regenerating each artifact
 //! from a consolidated database.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use disengage_bench::bench_outcome;
+use disengage_bench::{bench_outcome, timing};
 use disengage_core::tables;
 use disengage_nlp::Classifier;
 
-fn bench_tables(c: &mut Criterion) {
+fn main() {
     let o = bench_outcome();
     let classifier = Classifier::with_default_dictionary();
-    let mut g = c.benchmark_group("tables");
+    let mut g = timing::group("tables");
     g.sample_size(20);
-    g.bench_function("table1_fleet_summary", |b| {
-        b.iter(|| tables::table1(&o.database).expect("table1"))
+    g.bench("table1_fleet_summary", || {
+        tables::table1(&o.database).expect("table1")
     });
-    g.bench_function("table2_sample_logs", |b| {
-        b.iter(|| tables::table2(&classifier).expect("table2"))
+    g.bench("table2_sample_logs", || {
+        tables::table2(&classifier).expect("table2")
     });
-    g.bench_function("table3_ontology", |b| {
-        b.iter(|| tables::table3().expect("table3"))
+    g.bench("table3_ontology", || tables::table3().expect("table3"));
+    g.bench("table4_categories", || {
+        tables::table4(&o.tagged).expect("table4")
     });
-    g.bench_function("table4_categories", |b| {
-        b.iter(|| tables::table4(&o.tagged).expect("table4"))
+    g.bench("table5_modality", || {
+        tables::table5(&o.database).expect("table5")
     });
-    g.bench_function("table5_modality", |b| {
-        b.iter(|| tables::table5(&o.database).expect("table5"))
+    g.bench("table6_accidents_dpa", || {
+        tables::table6(&o.database).expect("table6")
     });
-    g.bench_function("table6_accidents_dpa", |b| {
-        b.iter(|| tables::table6(&o.database).expect("table6"))
+    g.bench("table7_vs_human", || {
+        tables::table7(&o.database).expect("table7")
     });
-    g.bench_function("table7_vs_human", |b| {
-        b.iter(|| tables::table7(&o.database).expect("table7"))
+    g.bench("table8_vs_airline_surgical", || {
+        tables::table8(&o.database).expect("table8")
     });
-    g.bench_function("table8_vs_airline_surgical", |b| {
-        b.iter(|| tables::table8(&o.database).expect("table8"))
-    });
-    g.finish();
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

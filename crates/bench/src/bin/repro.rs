@@ -8,261 +8,357 @@
 //! Usage:
 //!
 //! ```text
-//! repro              # everything
-//! repro table4 fig8  # selected artifacts
-//! repro q5           # one analysis
+//! repro                    # everything
+//! repro table4 fig8        # selected artifacts
+//! repro q5                 # one analysis
+//! repro --telemetry        # append the run's span tree
+//! repro --telemetry=json   # also write repro_metrics.json
 //! ```
+//!
+//! Every run cross-checks the pipeline's telemetry counters
+//! ([`disengage_core::telemetry::reconcile`]) and exits nonzero if a
+//! stage dropped or double-counted records.
 
-use disengage_bench::full_scale_outcome;
+use disengage_bench::full_scale_outcome_with;
+use disengage_core::telemetry::{reconcile, timed};
 use disengage_core::{exposure, figures, questions, report, tables, whatif};
 use disengage_nlp::Classifier;
+use disengage_obs::Collector;
 use disengage_reports::Manufacturer;
 use std::collections::BTreeSet;
+use std::process::ExitCode;
 
-fn main() {
-    let args: BTreeSet<String> = std::env::args().skip(1).collect();
+fn main() -> ExitCode {
+    let mut args: BTreeSet<String> = std::env::args().skip(1).collect();
+    let tree = args.remove("--telemetry");
+    let json = args.remove("--telemetry=json");
     let want = |name: &str| args.is_empty() || args.contains(name);
 
-    eprintln!("running full-scale pipeline (5,328 disengagements, 42 accidents)...");
-    let o = full_scale_outcome();
-    eprintln!(
+    let obs = Collector::with_echo();
+    obs.log("running full-scale pipeline (5,328 disengagements, 42 accidents)...");
+    let o = full_scale_outcome_with(&obs);
+    obs.log(&format!(
         "pipeline done: {} disengagements, {} accidents, {:.0} miles recovered",
         o.database.disengagements().len(),
         o.database.accidents().len(),
         o.database.total_miles()
-    );
+    ));
 
     let classifier = Classifier::with_default_dictionary();
 
     if want("table1") {
-        print(report::render_table(
-            "Table I: fleet, miles, disengagements, accidents",
-            &tables::table1(&o.database).expect("table1"),
-        ));
+        print(timed(&obs, "stage_iv_table1", || {
+            report::render_table(
+                "Table I: fleet, miles, disengagements, accidents",
+                &tables::table1(&o.database).expect("table1"),
+            )
+        }));
     }
     if want("table2") {
-        print(report::render_table(
-            "Table II: sample raw logs with recovered tags",
-            &tables::table2(&classifier).expect("table2"),
-        ));
+        print(timed(&obs, "stage_iv_table2", || {
+            report::render_table(
+                "Table II: sample raw logs with recovered tags",
+                &tables::table2(&classifier).expect("table2"),
+            )
+        }));
     }
     if want("table3") {
-        print(report::render_table(
-            "Table III: fault tags and categories",
-            &tables::table3().expect("table3"),
-        ));
+        print(timed(&obs, "stage_iv_table3", || {
+            report::render_table(
+                "Table III: fault tags and categories",
+                &tables::table3().expect("table3"),
+            )
+        }));
     }
     if want("table4") {
-        print(report::render_table(
-            "Table IV: disengagements by failure category (%)",
-            &tables::table4(&o.tagged).expect("table4"),
-        ));
+        print(timed(&obs, "stage_iv_table4", || {
+            report::render_table(
+                "Table IV: disengagements by failure category (%)",
+                &tables::table4(&o.tagged).expect("table4"),
+            )
+        }));
     }
     if want("table5") {
-        print(report::render_table(
-            "Table V: disengagements by modality (%)",
-            &tables::table5(&o.database).expect("table5"),
-        ));
+        print(timed(&obs, "stage_iv_table5", || {
+            report::render_table(
+                "Table V: disengagements by modality (%)",
+                &tables::table5(&o.database).expect("table5"),
+            )
+        }));
     }
     if want("table6") {
-        print(report::render_table(
-            "Table VI: accidents and DPA",
-            &tables::table6(&o.database).expect("table6"),
-        ));
+        print(timed(&obs, "stage_iv_table6", || {
+            report::render_table(
+                "Table VI: accidents and DPA",
+                &tables::table6(&o.database).expect("table6"),
+            )
+        }));
     }
     if want("table7") {
-        print(report::render_table(
-            "Table VII: reliability vs human drivers",
-            &tables::table7(&o.database).expect("table7"),
-        ));
+        print(timed(&obs, "stage_iv_table7", || {
+            report::render_table(
+                "Table VII: reliability vs human drivers",
+                &tables::table7(&o.database).expect("table7"),
+            )
+        }));
     }
     if want("table8") {
-        print(report::render_table(
-            "Table VIII: reliability vs other safety-critical systems",
-            &tables::table8(&o.database).expect("table8"),
-        ));
+        print(timed(&obs, "stage_iv_table8", || {
+            report::render_table(
+                "Table VIII: reliability vs other safety-critical systems",
+                &tables::table8(&o.database).expect("table8"),
+            )
+        }));
     }
     if want("fig4") {
-        print(report::render_fig4(&figures::fig4(&o.database).expect("fig4")));
+        print(timed(&obs, "stage_iv_fig4", || {
+            report::render_fig4(&figures::fig4(&o.database).expect("fig4"))
+        }));
     }
     if want("fig5") {
-        let series = figures::fig5(&o.database);
-        let mut out = String::from("== Figure 5: cumulative disengagements vs miles ==\n");
-        for s in &series {
-            if let Some(fit) = &s.fit {
-                out.push_str(&format!(
-                    "{:<16} final ({:>10.0} mi, {:>5.0} dis)  log-log slope {:.2}\n",
-                    s.manufacturer.name(),
-                    s.points.last().map_or(0.0, |p| p.0),
-                    s.points.last().map_or(0.0, |p| p.1),
-                    fit.exponent
-                ));
+        timed(&obs, "stage_iv_fig5", || {
+            let series = figures::fig5(&o.database);
+            let mut out = String::from("== Figure 5: cumulative disengagements vs miles ==\n");
+            for s in &series {
+                if let Some(fit) = &s.fit {
+                    out.push_str(&format!(
+                        "{:<16} final ({:>10.0} mi, {:>5.0} dis)  log-log slope {:.2}\n",
+                        s.manufacturer.name(),
+                        s.points.last().map_or(0.0, |p| p.0),
+                        s.points.last().map_or(0.0, |p| p.1),
+                        fit.exponent
+                    ));
+                }
             }
-        }
-        print(out);
+            print(out);
+        });
     }
     if want("fig6") {
-        let f = figures::fig6(&o.tagged);
-        let mut out = String::from("== Figure 6: fault-tag fractions per manufacturer ==\n");
-        for (m, stack) in &f.stacks {
-            out.push_str(&format!("{}:\n", m.name()));
-            let mut sorted = stack.clone();
-            sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-            for (tag, frac) in sorted.iter().take(5) {
-                out.push_str(&format!("    {:<32} {:>5.1}%\n", tag.to_string(), frac * 100.0));
+        timed(&obs, "stage_iv_fig6", || {
+            let f = figures::fig6(&o.tagged);
+            let mut out = String::from("== Figure 6: fault-tag fractions per manufacturer ==\n");
+            for (m, stack) in &f.stacks {
+                out.push_str(&format!("{}:\n", m.name()));
+                let mut sorted = stack.clone();
+                sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                for (tag, frac) in sorted.iter().take(5) {
+                    out.push_str(&format!(
+                        "    {:<32} {:>5.1}%\n",
+                        tag.to_string(),
+                        frac * 100.0
+                    ));
+                }
             }
-        }
-        print(out);
+            print(out);
+        });
     }
     if want("fig7") {
-        let f = figures::fig7(&o.database).expect("fig7");
-        let mut out = String::from("== Figure 7: per-car DPM by manufacturer and year ==\n");
-        for (m, year, b) in &f.panels {
-            out.push_str(&format!(
-                "{:<16} {}  median {:.6}  iqr {:.6}\n",
-                m.name(),
-                year,
-                b.median,
-                b.iqr()
-            ));
-        }
-        print(out);
+        timed(&obs, "stage_iv_fig7", || {
+            let f = figures::fig7(&o.database).expect("fig7");
+            let mut out = String::from("== Figure 7: per-car DPM by manufacturer and year ==\n");
+            for (m, year, b) in &f.panels {
+                out.push_str(&format!(
+                    "{:<16} {}  median {:.6}  iqr {:.6}\n",
+                    m.name(),
+                    year,
+                    b.median,
+                    b.iqr()
+                ));
+            }
+            print(out);
+        });
     }
     if want("fig8") {
-        print(report::render_fig8(&figures::fig8(&o.database).expect("fig8")));
+        print(timed(&obs, "stage_iv_fig8", || {
+            report::render_fig8(&figures::fig8(&o.database).expect("fig8"))
+        }));
     }
     if want("fig9") {
-        let series = figures::fig9(&o.database);
-        let mut out = String::from("== Figure 9: DPM vs cumulative miles (fits) ==\n");
-        for s in &series {
-            if let Some(fit) = &s.fit {
-                out.push_str(&format!(
-                    "{:<16} log-log slope {:.2} over {} months\n",
-                    s.manufacturer.name(),
-                    fit.exponent,
-                    s.points.len()
-                ));
+        timed(&obs, "stage_iv_fig9", || {
+            let series = figures::fig9(&o.database);
+            let mut out = String::from("== Figure 9: DPM vs cumulative miles (fits) ==\n");
+            for s in &series {
+                if let Some(fit) = &s.fit {
+                    out.push_str(&format!(
+                        "{:<16} log-log slope {:.2} over {} months\n",
+                        s.manufacturer.name(),
+                        fit.exponent,
+                        s.points.len()
+                    ));
+                }
             }
-        }
-        print(out);
+            print(out);
+        });
     }
     if want("fig10") {
-        print(report::render_fig10(
-            &figures::fig10(&o.database).expect("fig10"),
-        ));
+        print(timed(&obs, "stage_iv_fig10", || {
+            report::render_fig10(&figures::fig10(&o.database).expect("fig10"))
+        }));
     }
     if want("fig11") {
-        for m in [Manufacturer::MercedesBenz, Manufacturer::Waymo] {
-            match figures::fig11(&o.database, m) {
-                Ok(panel) => print(report::render_fig11(&panel)),
-                Err(e) => eprintln!("fig11 {m}: {e}"),
+        timed(&obs, "stage_iv_fig11", || {
+            for m in [Manufacturer::MercedesBenz, Manufacturer::Waymo] {
+                match figures::fig11(&o.database, m) {
+                    Ok(panel) => print(report::render_fig11(&panel)),
+                    Err(e) => eprintln!("fig11 {m}: {e}"),
+                }
             }
-        }
+        });
     }
     if want("fig12") {
-        for kind in [
-            figures::SpeedKind::Av,
-            figures::SpeedKind::Manual,
-            figures::SpeedKind::Relative,
-        ] {
-            print(report::render_fig12(
-                &figures::fig12(&o.database, kind).expect("fig12"),
-            ));
-        }
-    }
-    if want("q1") {
-        print(report::render_q1(
-            &questions::q1_assessment(&o.database).expect("q1"),
-        ));
-    }
-    if want("q2") {
-        print(report::render_q2(&questions::q2_causes(&o.tagged)));
-    }
-    if want("q3") {
-        print(report::render_q3(
-            &questions::q3_dynamics(&o.database).expect("q3"),
-        ));
-    }
-    if want("q4") {
-        print(report::render_q4(
-            &questions::q4_alertness(&o.database).expect("q4"),
-        ));
-    }
-    if want("q5") {
-        print(report::render_q5(
-            &questions::q5_comparison(&o.database).expect("q5"),
-        ));
-    }
-    if want("exposure") {
-        let road = exposure::road_type_mix(&o.database);
-        let weather = exposure::weather_mix(&o.database);
-        let coverage = exposure::field_coverage(&o.database);
-        let mut out = String::from("== Exposure: road/weather context (SIII-C, SVI) ==\n");
-        for (rt, frac) in &road {
-            out.push_str(&format!("road {:<14} {:>5.1}%\n", rt.to_string(), frac * 100.0));
-        }
-        for (w, frac) in &weather {
-            out.push_str(&format!("weather {:<11} {:>5.1}%\n", w.to_string(), frac * 100.0));
-        }
-        out.push_str(&format!(
-            "field coverage: road {:.0}%, weather {:.0}%, reaction {:.0}% of {} records\n",
-            coverage.road_type * 100.0,
-            coverage.weather * 100.0,
-            coverage.reaction_time * 100.0,
-            coverage.n
-        ));
-        if let Ok(t) = exposure::modality_association(&o.database) {
-            out.push_str(&format!(
-                "modality x manufacturer chi-square = {:.0} (df {}, p = {:.2e})\n",
-                t.statistic, t.df, t.p_value
-            ));
-        }
-        if let Ok(t) = exposure::category_association(&o.tagged) {
-            out.push_str(&format!(
-                "category x manufacturer chi-square = {:.0} (df {}, p = {:.2e})\n",
-                t.statistic, t.df, t.p_value
-            ));
-        }
-        print(out);
-    }
-    if want("whatif") {
-        let mut out = String::from("== What-if projections (SV-C1) ==\n");
-        for m in [Manufacturer::Waymo, Manufacturer::Nissan, Manufacturer::GmCruise] {
-            if let Ok(p) = whatif::miles_to_target_dpm(&o.database, m, 1e-4) {
-                out.push_str(&format!(
-                    "{:<14} DPM ~ miles^{:+.2}; extra miles to 1e-4: {}\n",
-                    m.name(),
-                    p.fit.exponent,
-                    p.additional_miles()
-                        .map_or("never".to_owned(), |x| format!("{x:.0}"))
+        timed(&obs, "stage_iv_fig12", || {
+            for kind in [
+                figures::SpeedKind::Av,
+                figures::SpeedKind::Manual,
+                figures::SpeedKind::Relative,
+            ] {
+                print(report::render_fig12(
+                    &figures::fig12(&o.database, kind).expect("fig12"),
                 ));
             }
-        }
-        if let Ok(g) = whatif::demonstration_gap(&o.database, 0.95) {
+        });
+    }
+    if want("q1") {
+        print(timed(&obs, "stage_iv_q1", || {
+            report::render_q1(&questions::q1_assessment(&o.database).expect("q1"))
+        }));
+    }
+    if want("q2") {
+        print(timed(&obs, "stage_iv_q2", || {
+            report::render_q2(&questions::q2_causes(&o.tagged))
+        }));
+    }
+    if want("q3") {
+        print(timed(&obs, "stage_iv_q3", || {
+            report::render_q3(&questions::q3_dynamics(&o.database).expect("q3"))
+        }));
+    }
+    if want("q4") {
+        print(timed(&obs, "stage_iv_q4", || {
+            report::render_q4(&questions::q4_alertness(&o.database).expect("q4"))
+        }));
+    }
+    if want("q5") {
+        print(timed(&obs, "stage_iv_q5", || {
+            report::render_q5(&questions::q5_comparison(&o.database).expect("q5"))
+        }));
+    }
+    if want("exposure") {
+        timed(&obs, "stage_iv_exposure", || {
+            let road = exposure::road_type_mix(&o.database);
+            let weather = exposure::weather_mix(&o.database);
+            let coverage = exposure::field_coverage(&o.database);
+            let mut out = String::from("== Exposure: road/weather context (SIII-C, SVI) ==\n");
+            for (rt, frac) in &road {
+                out.push_str(&format!(
+                    "road {:<14} {:>5.1}%\n",
+                    rt.to_string(),
+                    frac * 100.0
+                ));
+            }
+            for (w, frac) in &weather {
+                out.push_str(&format!(
+                    "weather {:<11} {:>5.1}%\n",
+                    w.to_string(),
+                    frac * 100.0
+                ));
+            }
             out.push_str(&format!(
-                "demonstrating human-level safety at 95%: {:.2}M failure-free miles ({:.1}x this program)\n",
-                g.required_miles / 1e6,
-                g.programs_needed
+                "field coverage: road {:.0}%, weather {:.0}%, reaction {:.0}% of {} records\n",
+                coverage.road_type * 100.0,
+                coverage.weather * 100.0,
+                coverage.reaction_time * 100.0,
+                coverage.n
             ));
-        }
-        if let Ok(p) = whatif::fleet_scale_projection(2.35e-5) {
-            out.push_str(&format!(
-                "fleet-scale at today's best APM: {:.1}M accidents/year ({:.0}x aviation)\n",
-                p.annual_av_accidents / 1e6,
-                p.ratio_to_aviation
-            ));
-        }
-        print(out);
+            if let Ok(t) = exposure::modality_association(&o.database) {
+                out.push_str(&format!(
+                    "modality x manufacturer chi-square = {:.0} (df {}, p = {:.2e})\n",
+                    t.statistic, t.df, t.p_value
+                ));
+            }
+            if let Ok(t) = exposure::category_association(&o.tagged) {
+                out.push_str(&format!(
+                    "category x manufacturer chi-square = {:.0} (df {}, p = {:.2e})\n",
+                    t.statistic, t.df, t.p_value
+                ));
+            }
+            print(out);
+        });
+    }
+    if want("whatif") {
+        timed(&obs, "stage_iv_whatif", || {
+            let mut out = String::from("== What-if projections (SV-C1) ==\n");
+            for m in [
+                Manufacturer::Waymo,
+                Manufacturer::Nissan,
+                Manufacturer::GmCruise,
+            ] {
+                if let Ok(p) = whatif::miles_to_target_dpm(&o.database, m, 1e-4) {
+                    out.push_str(&format!(
+                        "{:<14} DPM ~ miles^{:+.2}; extra miles to 1e-4: {}\n",
+                        m.name(),
+                        p.fit.exponent,
+                        p.additional_miles()
+                            .map_or("never".to_owned(), |x| format!("{x:.0}"))
+                    ));
+                }
+            }
+            if let Ok(g) = whatif::demonstration_gap(&o.database, 0.95) {
+                out.push_str(&format!(
+                    "demonstrating human-level safety at 95%: {:.2}M failure-free miles ({:.1}x this program)\n",
+                    g.required_miles / 1e6,
+                    g.programs_needed
+                ));
+            }
+            if let Ok(p) = whatif::fleet_scale_projection(2.35e-5) {
+                out.push_str(&format!(
+                    "fleet-scale at today's best APM: {:.1}M accidents/year ({:.0}x aviation)\n",
+                    p.annual_av_accidents / 1e6,
+                    p.ratio_to_aviation
+                ));
+            }
+            print(out);
+        });
     }
     if want("accuracy") {
-        let acc = disengage_core::tagging::tagging_accuracy(&o.tagged, &o.corpus.intended_tags);
-        print(format!(
-            "== Stage III evaluation against generator ground truth ==\n\
-             tag accuracy: {:.1}%  category accuracy: {:.1}%  (n = {})\n",
-            acc.tag_accuracy * 100.0,
-            acc.category_accuracy * 100.0,
-            acc.n
-        ));
+        timed(&obs, "stage_iv_accuracy", || {
+            let acc = disengage_core::tagging::tagging_accuracy(&o.tagged, &o.corpus.intended_tags);
+            print(format!(
+                "== Stage III evaluation against generator ground truth ==\n\
+                 tag accuracy: {:.1}%  category accuracy: {:.1}%  (n = {})\n",
+                acc.tag_accuracy * 100.0,
+                acc.category_accuracy * 100.0,
+                acc.n
+            ));
+        });
+    }
+
+    // Telemetry self-check: refuse to bless a run whose counters do not
+    // reconcile across stages (see disengage_core::telemetry::reconcile).
+    let snapshot = obs.report();
+    let violations = reconcile(&snapshot);
+    for v in &violations {
+        eprintln!("telemetry reconciliation FAILED: {v}");
+    }
+
+    if tree {
+        print!("{}", snapshot.render_tree());
+    }
+    if json {
+        let path = "repro_metrics.json";
+        match std::fs::write(path, snapshot.to_json()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

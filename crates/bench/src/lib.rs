@@ -6,11 +6,21 @@
 
 use disengage_core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
 use disengage_corpus::CorpusConfig;
+use disengage_obs::Collector;
+
+pub mod timing;
 
 /// A pipeline outcome at the paper's full scale (5,328 disengagements),
 /// digitized losslessly. Used by the `repro` harness and the analysis
 /// benches.
 pub fn full_scale_outcome() -> PipelineOutcome {
+    full_scale_outcome_with(&Collector::new())
+}
+
+/// [`full_scale_outcome`] recording telemetry into `obs` (the `repro`
+/// harness shares one collector across the pipeline and every Stage IV
+/// artifact).
+pub fn full_scale_outcome_with(obs: &Collector) -> PipelineOutcome {
     Pipeline::new(PipelineConfig {
         corpus: CorpusConfig {
             seed: 0x5EED,
@@ -18,7 +28,7 @@ pub fn full_scale_outcome() -> PipelineOutcome {
         },
         ..Default::default()
     })
-    .run()
+    .run_with(obs)
     .expect("full-scale pipeline runs")
 }
 

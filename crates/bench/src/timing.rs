@@ -1,0 +1,147 @@
+//! A minimal timing harness for the `harness = false` bench targets.
+//!
+//! Replaces the external `criterion` dependency with the measurement
+//! loop the workspace actually needs: warm up, take N wall-clock
+//! samples, print min/median/mean plus element throughput. No
+//! statistics beyond that — regressions big enough to matter here are
+//! visible at a glance, and the harness must build with zero network
+//! access.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A named group of benchmarks sharing a sample count and an optional
+/// per-iteration element count (for throughput lines).
+pub struct Group {
+    name: String,
+    samples: usize,
+    elements: Option<u64>,
+}
+
+/// Starts a bench group. Mirrors the `criterion` call shape so bench
+/// files read the same way they used to.
+pub fn group(name: &str) -> Group {
+    Group {
+        name: name.to_owned(),
+        samples: default_samples(),
+        elements: None,
+    }
+}
+
+/// Sample-count override for quick smoke runs
+/// (`DISENGAGE_BENCH_SAMPLES=3 cargo bench`).
+fn default_samples() -> usize {
+    std::env::var("DISENGAGE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(20)
+}
+
+impl Group {
+    /// Sets the number of timed samples per benchmark (clamped to ≥ 2 so
+    /// a median exists). The `DISENGAGE_BENCH_SAMPLES` environment
+    /// variable overrides this for every group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Group {
+        if std::env::var_os("DISENGAGE_BENCH_SAMPLES").is_none() {
+            self.samples = n.max(2);
+        }
+        self
+    }
+
+    /// Declares how many logical elements one iteration processes;
+    /// subsequent benches report elements/second.
+    pub fn throughput_elements(&mut self, n: u64) -> &mut Group {
+        self.elements = Some(n);
+        self
+    }
+
+    /// Times `f`: one warm-up call, then `sample_size` measured calls.
+    /// The result is routed through [`black_box`] so the optimizer
+    /// cannot delete the work.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        black_box(f());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed());
+        }
+        times.sort();
+        let min = times[0];
+        let med = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let mut line = format!(
+            "{group}/{name:<32} min {min}  med {med}  mean {mean}  (n={n}",
+            group = self.name,
+            min = fmt_duration(min),
+            med = fmt_duration(med),
+            mean = fmt_duration(mean),
+            n = times.len(),
+        );
+        if let Some(elements) = self.elements {
+            line.push_str(&format!(
+                ", {}",
+                fmt_rate(elements as f64 / med.as_secs_f64())
+            ));
+        }
+        line.push(')');
+        println!("{line}");
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:8.3} s ")
+    } else if s >= 1e-3 {
+        format!("{:8.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:8.3} µs", s * 1e6)
+    } else {
+        format!("{:8.3} ns", s * 1e9)
+    }
+}
+
+fn fmt_rate(per_s: f64) -> String {
+    if per_s >= 1e9 {
+        format!("{:.2} Gelem/s", per_s / 1e9)
+    } else if per_s >= 1e6 {
+        format!("{:.2} Melem/s", per_s / 1e6)
+    } else if per_s >= 1e3 {
+        format!("{:.2} Kelem/s", per_s / 1e3)
+    } else {
+        format!("{per_s:.2} elem/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_closure_samples_plus_warmup() {
+        let mut calls = 0usize;
+        let mut g = group("t");
+        g.sample_size(3).bench("count", || calls += 1);
+        // sample_size may be overridden by the env var; either way the
+        // closure ran at least warmup + 2 times.
+        assert!(calls >= 3, "calls = {calls}");
+    }
+
+    #[test]
+    fn duration_units_scale() {
+        assert!(fmt_duration(Duration::from_secs(2)).contains(" s"));
+        assert!(fmt_duration(Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_duration(Duration::from_micros(5)).contains("µs"));
+        assert!(fmt_duration(Duration::from_nanos(5)).contains("ns"));
+    }
+
+    #[test]
+    fn rate_units_scale() {
+        assert!(fmt_rate(2.5e9).contains("Gelem/s"));
+        assert!(fmt_rate(2.5e6).contains("Melem/s"));
+        assert!(fmt_rate(2.5e3).contains("Kelem/s"));
+        assert!(fmt_rate(42.0).ends_with("elem/s"));
+    }
+}

@@ -14,6 +14,8 @@
 //!   APM, airline/surgical-robot rates, trip length, human reaction
 //!   time).
 //! * [`report`] — plain-text rendering of tables for the `repro` harness.
+//! * [`telemetry`] — Stage IV span helper and the cross-stage counter
+//!   reconciliation check the `repro` harness enforces.
 //!
 //! # Examples
 //!
@@ -41,6 +43,7 @@ pub mod questions;
 pub mod report;
 pub mod tables;
 pub mod tagging;
+pub mod telemetry;
 pub mod whatif;
 
 pub use error::CoreError;

@@ -9,17 +9,18 @@
 //! to the analyses in [`crate::questions`], [`crate::tables`], and
 //! [`crate::figures`].
 
-use crate::tagging::{tag_records, TaggedDisengagement};
+use crate::tagging::{tag_records_with, TaggedDisengagement};
 use crate::Result;
 use disengage_corpus::{Corpus, CorpusConfig, CorpusGenerator};
 use disengage_nlp::Classifier;
+use disengage_obs::{Collector, TelemetryReport};
 use disengage_ocr::correct::Corrector;
 use disengage_ocr::engine::OcrEngine;
 use disengage_ocr::metrics::cer;
 use disengage_ocr::raster::rasterize;
 use disengage_ocr::NoiseModel;
 use disengage_reports::formats::RawDocument;
-use disengage_reports::normalize::normalize_all;
+use disengage_reports::normalize::normalize_all_with;
 use disengage_reports::{FailureDatabase, ReportError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -85,6 +86,9 @@ pub struct PipelineOutcome {
     pub parse_failures: Vec<ReportError>,
     /// OCR statistics (`None` under [`OcrMode::Passthrough`]).
     pub ocr: Option<OcrStats>,
+    /// Telemetry snapshot for the run: per-stage spans, counters,
+    /// gauges, and histograms (see [`crate::telemetry::reconcile`]).
+    pub telemetry: TelemetryReport,
 }
 
 impl PipelineOutcome {
@@ -127,73 +131,153 @@ impl Pipeline {
 
     /// Runs Stages I–III and returns the consolidated outcome.
     ///
+    /// Telemetry is collected into a throwaway [`Collector`]; use
+    /// [`Pipeline::run_with`] to share one across a wider run.
+    ///
     /// # Errors
     ///
     /// Currently infallible in practice (parse failures are collected,
     /// not raised); the `Result` guards future fallible stages.
     pub fn run(&self) -> Result<PipelineOutcome> {
-        // Stage I: corpus generation.
-        let corpus = CorpusGenerator::new(self.config.corpus).generate();
+        self.run_with(&Collector::new())
+    }
 
-        // Stage I (continued): digitization.
-        let (documents, ocr_stats) = match self.config.ocr {
-            OcrMode::Passthrough => (corpus.documents.clone(), None),
-            OcrMode::Simulated { noise, correct } => {
-                let mut rng = StdRng::seed_from_u64(self.config.ocr_seed);
-                let engine = OcrEngine::new();
-                let corrector = if correct {
-                    Some(default_corrector())
+    /// Runs Stages I–III, recording spans and metrics into `obs`.
+    ///
+    /// The run is wrapped in a `pipeline` span with one child span per
+    /// stage; [`PipelineOutcome::telemetry`] carries a snapshot taken
+    /// after the root span closes, so per-stage durations are complete
+    /// even if the caller keeps using `obs` afterwards.
+    ///
+    /// # Errors
+    ///
+    /// See [`Pipeline::run`].
+    pub fn run_with(&self, obs: &Collector) -> Result<PipelineOutcome> {
+        let outcome = {
+            let mut root = obs.span("pipeline");
+            root.field("seed", self.config.corpus.seed);
+            root.field("scale", self.config.corpus.scale);
+            obs.gauge(
+                "pipeline.passthrough",
+                if self.config.ocr == OcrMode::Passthrough {
+                    1.0
                 } else {
-                    None
-                };
-                let mut out = Vec::with_capacity(corpus.documents.len());
-                let mut cer_sum = 0.0;
-                let mut conf_sum = 0.0;
-                for doc in &corpus.documents {
-                    let page = noise.degrade(&rasterize(&doc.text), &mut rng);
-                    let recognized = engine.recognize(&page);
-                    let text = match &corrector {
-                        Some(c) => c.correct_text(&recognized.text),
-                        None => recognized.text.clone(),
-                    };
-                    cer_sum += cer(doc.text.trim_end(), &text);
-                    conf_sum += recognized.mean_confidence();
-                    out.push(RawDocument::new(
-                        doc.manufacturer,
-                        doc.report_year,
-                        doc.kind,
-                        text,
-                    ));
+                    0.0
+                },
+            );
+
+            // Stage I: corpus generation.
+            let corpus = {
+                let mut span = obs.span("stage_i_corpus");
+                let corpus = CorpusGenerator::new(self.config.corpus).generate_with(obs);
+                span.field("records", corpus.truth.disengagements().len() as u64);
+                corpus
+            };
+
+            // Stage I (continued): digitization.
+            let (documents, ocr_stats) = {
+                let mut span = obs.span("stage_i_ocr");
+                match self.config.ocr {
+                    OcrMode::Passthrough => {
+                        span.field("mode", "passthrough");
+                        obs.add("ocr.documents", corpus.documents.len() as u64);
+                        obs.gauge("ocr.mean_cer", 0.0);
+                        (corpus.documents.clone(), None)
+                    }
+                    OcrMode::Simulated { noise, correct } => {
+                        span.field("mode", "simulated");
+                        let mut rng = StdRng::seed_from_u64(self.config.ocr_seed);
+                        let engine = OcrEngine::new();
+                        let corrector = if correct {
+                            Some(default_corrector())
+                        } else {
+                            None
+                        };
+                        let mut out = Vec::with_capacity(corpus.documents.len());
+                        let mut cer_sum = 0.0;
+                        let mut conf_sum = 0.0;
+                        for doc in &corpus.documents {
+                            let page = noise.degrade(&rasterize(&doc.text), &mut rng);
+                            let recognized = engine.recognize(&page);
+                            let text = match &corrector {
+                                Some(c) => {
+                                    let (fixed, hits) = c.correct_text_counted(&recognized.text);
+                                    obs.add("ocr.corrections", hits);
+                                    fixed
+                                }
+                                None => recognized.text.clone(),
+                            };
+                            let doc_cer = cer(doc.text.trim_end(), &text);
+                            obs.incr("ocr.documents");
+                            obs.record("ocr.cer", doc_cer);
+                            obs.record("ocr.confidence", recognized.mean_confidence());
+                            cer_sum += doc_cer;
+                            conf_sum += recognized.mean_confidence();
+                            out.push(RawDocument::new(
+                                doc.manufacturer,
+                                doc.report_year,
+                                doc.kind,
+                                text,
+                            ));
+                        }
+                        let n = corpus.documents.len().max(1) as f64;
+                        obs.gauge("ocr.mean_cer", cer_sum / n);
+                        (
+                            out,
+                            Some(OcrStats {
+                                documents: corpus.documents.len(),
+                                mean_cer: cer_sum / n,
+                                mean_confidence: conf_sum / n,
+                            }),
+                        )
+                    }
                 }
-                let n = corpus.documents.len().max(1) as f64;
-                (
-                    out,
-                    Some(OcrStats {
-                        documents: corpus.documents.len(),
-                        mean_cer: cer_sum / n,
-                        mean_confidence: conf_sum / n,
-                    }),
-                )
+            };
+
+            // Stage II: parse + filter + normalize.
+            let (database, failures) = {
+                let mut span = obs.span("stage_ii_parse");
+                // Pre-register the headline counters so a clean run still
+                // exports them (at zero) for machine consumers.
+                for name in ["parse.dis.lines", "parse.dis.parsed", "parse.dis.failed"] {
+                    obs.add(name, 0);
+                }
+                let normalized = normalize_all_with(documents.iter(), obs);
+                span.field("parsed", normalized.record_count() as u64);
+                span.field("failed", normalized.failures.len() as u64);
+                let database = FailureDatabase::from_records(
+                    normalized.disengagements,
+                    normalized.accidents,
+                    normalized.mileage,
+                );
+                (database, normalized.failures)
+            };
+
+            // Stage III: NLP tagging.
+            let tagged = {
+                let mut span = obs.span("stage_iii_tag");
+                for name in ["nlp.tagged", "nlp.unknown_t"] {
+                    obs.add(name, 0);
+                }
+                let tagged = tag_records_with(&self.classifier, database.disengagements(), obs);
+                span.field("tagged", tagged.len() as u64);
+                tagged
+            };
+
+            PipelineOutcome {
+                corpus,
+                database,
+                tagged,
+                parse_failures: failures,
+                ocr: ocr_stats,
+                telemetry: TelemetryReport::default(),
             }
         };
-
-        // Stage II: parse + filter + normalize.
-        let normalized = normalize_all(documents.iter());
-        let database = FailureDatabase::from_records(
-            normalized.disengagements,
-            normalized.accidents,
-            normalized.mileage,
-        );
-
-        // Stage III: NLP tagging.
-        let tagged = tag_records(&self.classifier, database.disengagements());
-
+        // Snapshot after the root span guard has dropped so the
+        // `pipeline` span (and all children) carry final durations.
         Ok(PipelineOutcome {
-            corpus,
-            database,
-            tagged,
-            parse_failures: normalized.failures,
-            ocr: ocr_stats,
+            telemetry: obs.report(),
+            ..outcome
         })
     }
 }

@@ -28,6 +28,44 @@ pub fn tag_records(
         .collect()
 }
 
+/// [`tag_records`], recording Stage III telemetry into `obs`: per-tag
+/// verdict counters (`nlp.tag.<tag>`), Unknown-T and ambiguous-tie
+/// counts, vote-margin and dictionary-hit histograms, and the overall
+/// Unknown-T rate gauge.
+pub fn tag_records_with(
+    classifier: &Classifier,
+    records: &[DisengagementRecord],
+    obs: &disengage_obs::Collector,
+) -> Vec<TaggedDisengagement> {
+    let tagged = tag_records(classifier, records);
+    for t in &tagged {
+        obs.incr("nlp.tagged");
+        obs.incr(&format!(
+            "nlp.tag.{}",
+            disengage_obs::key_segment(t.assignment.tag.name())
+        ));
+        if t.assignment.tag == FaultTag::UnknownT {
+            obs.incr("nlp.unknown_t");
+        }
+        if t.assignment.ambiguous {
+            obs.incr("nlp.ambiguous");
+        }
+        obs.record("nlp.vote_margin", t.assignment.margin);
+        obs.record(
+            "nlp.dictionary_hits",
+            t.assignment.matched_keywords.len() as f64,
+        );
+    }
+    if !tagged.is_empty() {
+        let unknown = tagged
+            .iter()
+            .filter(|t| t.assignment.tag == FaultTag::UnknownT)
+            .count();
+        obs.gauge("nlp.unknown_t_rate", unknown as f64 / tagged.len() as f64);
+    }
+    tagged
+}
+
 /// Per-manufacturer tag counts (Fig. 6's ingredients).
 pub fn tag_counts_by_manufacturer(
     tagged: &[TaggedDisengagement],

@@ -1,0 +1,148 @@
+//! Telemetry helpers for Stage IV and run-level self-checks.
+//!
+//! The pipeline's counters are recorded at independent points (Stage I
+//! generation, Stage II per-line parsing, Stage III verdicts), so
+//! cross-checking them catches real wiring bugs: a stage silently
+//! dropping records, a counter incremented on the wrong branch, a
+//! filter applied twice. [`reconcile`] states those identities; the
+//! `repro` harness refuses to bless a run that violates them.
+
+use disengage_obs::{Collector, TelemetryReport};
+
+/// Runs `f` inside a span named `name` — the one-liner for wrapping
+/// Stage IV artifacts (tables, figures, exports) at their call sites.
+///
+/// # Examples
+///
+/// ```
+/// use disengage_core::telemetry::timed;
+/// let obs = disengage_obs::Collector::new();
+/// let four = timed(&obs, "stage_iv_example", || 2 + 2);
+/// assert_eq!(four, 4);
+/// assert!(obs.report().find_span("stage_iv_example").is_some());
+/// ```
+pub fn timed<T>(obs: &Collector, name: &str, f: impl FnOnce() -> T) -> T {
+    let _span = obs.span(name);
+    f()
+}
+
+/// Checks the cross-stage counter identities on a pipeline telemetry
+/// snapshot, returning one human-readable line per violation (empty
+/// means the run reconciles).
+///
+/// Always checked:
+///
+/// * every attempted disengagement line parsed or failed, never both:
+///   `parse.dis.lines == parse.dis.parsed + parse.dis.failed`;
+/// * every parsed disengagement received exactly one Stage III verdict:
+///   `nlp.tagged == parse.dis.parsed`;
+/// * per-tag verdict counters partition the verdicts:
+///   `nlp.tagged == Σ nlp.tag.*`.
+///
+/// Under passthrough OCR (gauge `pipeline.passthrough == 1`) the scan
+/// is pristine, so recovery must be exact as well:
+/// `corpus.disengagements == parse.dis.lines` and
+/// `corpus.accidents == parse.acc.parsed`. Simulated noise legitimately
+/// loses lines, so those identities are skipped there.
+pub fn reconcile(report: &TelemetryReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut check = |label: &str, left: (&str, u64), right: (&str, u64)| {
+        if left.1 != right.1 {
+            violations.push(format!(
+                "{label}: {} = {} but {} = {}",
+                left.0, left.1, right.0, right.1
+            ));
+        }
+    };
+
+    let lines = report.counter("parse.dis.lines");
+    let parsed = report.counter("parse.dis.parsed");
+    let failed = report.counter("parse.dis.failed");
+    check(
+        "stage II line accounting",
+        ("parse.dis.lines", lines),
+        ("parse.dis.parsed + parse.dis.failed", parsed + failed),
+    );
+    check(
+        "stage III coverage",
+        ("nlp.tagged", report.counter("nlp.tagged")),
+        ("parse.dis.parsed", parsed),
+    );
+    check(
+        "stage III tag partition",
+        ("nlp.tagged", report.counter("nlp.tagged")),
+        ("sum(nlp.tag.*)", report.counter_prefix_sum("nlp.tag.")),
+    );
+
+    if report.gauge("pipeline.passthrough") == Some(1.0) {
+        check(
+            "passthrough disengagement recovery",
+            ("corpus.disengagements", report.counter("corpus.disengagements")),
+            ("parse.dis.lines", lines),
+        );
+        check(
+            "passthrough accident recovery",
+            ("corpus.accidents", report.counter("corpus.accidents")),
+            ("parse.acc.parsed", report.counter("parse.acc.parsed")),
+        );
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balanced() -> TelemetryReport {
+        let mut r = TelemetryReport::default();
+        r.counters.insert("parse.dis.lines".into(), 10);
+        r.counters.insert("parse.dis.parsed".into(), 8);
+        r.counters.insert("parse.dis.failed".into(), 2);
+        r.counters.insert("nlp.tagged".into(), 8);
+        r.counters.insert("nlp.tag.software".into(), 5);
+        r.counters.insert("nlp.tag.unknown_t".into(), 3);
+        r
+    }
+
+    #[test]
+    fn balanced_report_reconciles() {
+        assert!(reconcile(&balanced()).is_empty());
+    }
+
+    #[test]
+    fn dropped_verdict_detected() {
+        let mut r = balanced();
+        r.counters.insert("nlp.tagged".into(), 7);
+        let v = reconcile(&r);
+        assert_eq!(v.len(), 2, "{v:?}"); // coverage AND partition break
+        assert!(v[0].contains("stage III coverage"));
+    }
+
+    #[test]
+    fn lost_line_detected() {
+        let mut r = balanced();
+        r.counters.insert("parse.dis.lines".into(), 11);
+        let v = reconcile(&r);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("line accounting"));
+    }
+
+    #[test]
+    fn passthrough_recovery_checked_only_when_flagged() {
+        let mut r = balanced();
+        r.counters.insert("corpus.disengagements".into(), 99);
+        assert!(reconcile(&r).is_empty(), "not flagged as passthrough");
+        r.gauges.insert("pipeline.passthrough".into(), 1.0);
+        let v = reconcile(&r);
+        assert!(v.iter().any(|m| m.contains("disengagement recovery")), "{v:?}");
+    }
+
+    #[test]
+    fn timed_closes_span_around_result() {
+        let obs = Collector::new();
+        let n = timed(&obs, "work", || 41 + 1);
+        assert_eq!(n, 42);
+        let span = obs.report().find_span("work").unwrap().clone();
+        assert!(span.closed);
+    }
+}

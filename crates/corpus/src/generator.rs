@@ -124,6 +124,27 @@ impl CorpusGenerator {
         }
     }
 
+    /// [`CorpusGenerator::generate`], recording Stage I telemetry into
+    /// `obs`: total and per-manufacturer record counters, document
+    /// counts, and the total-mileage gauge.
+    pub fn generate_with(&self, obs: &disengage_obs::Collector) -> Corpus {
+        let corpus = self.generate();
+        obs.add(
+            "corpus.disengagements",
+            corpus.truth.disengagements().len() as u64,
+        );
+        obs.add("corpus.accidents", corpus.truth.accidents().len() as u64);
+        obs.add("corpus.documents", corpus.documents.len() as u64);
+        for r in corpus.truth.disengagements() {
+            obs.incr(&format!(
+                "corpus.dis.{}",
+                disengage_obs::key_segment(r.manufacturer.name())
+            ));
+        }
+        obs.gauge("corpus.total_miles", corpus.truth.total_miles());
+        corpus
+    }
+
     fn scale_year(&self, year: &YearProfile) -> YearProfile {
         let s = self.config.scale;
         if (s - 1.0).abs() < f64::EPSILON {
@@ -170,6 +191,10 @@ impl CorpusGenerator {
             profile.dis_miles_exponent,
         );
 
+        let total: u64 = counts.iter().flat_map(|row| row.iter()).sum();
+        let mut modalities = modality_quota(&profile.modalities, total as usize, rng);
+        let mut year_tags = tag_quota(&profile.categories, total as usize, rng);
+
         let mut records = Vec::new();
         let mut tags = Vec::new();
         for (car, row) in counts.iter().enumerate() {
@@ -182,8 +207,8 @@ impl CorpusGenerator {
                 // windows.
                 let miles_frac = (month.month_index() as f64 - 8.0) / 26.0;
                 for _ in 0..n {
-                    let tag = sample_tag(&profile.categories, rng);
-                    let modality = sample_modality(&profile.modalities, rng);
+                    let tag = year_tags.pop().expect("quota sized to record count");
+                    let modality = modalities.pop().expect("quota sized to record count");
                     let reaction_time_s = sample_reaction(
                         profile,
                         modality,
@@ -276,46 +301,105 @@ fn mileage_rows(manufacturer: Manufacturer, grid: &MileageGrid) -> Vec<MonthlyMi
     rows
 }
 
-/// Samples a fault tag from a category mix, using the within-category
-/// splits that produce Fig. 6's tag distribution.
-fn sample_tag<R: Rng + ?Sized>(mix: &crate::profile::CategoryMix, rng: &mut R) -> FaultTag {
-    let u: f64 = rng.gen();
-    if u < mix.perception {
-        if rng.gen_bool(0.7) {
+/// Largest-remainder apportionment: integer counts summing to `n`,
+/// proportional to `shares` (which need not be normalized exactly).
+fn apportion<const K: usize>(shares: [f64; K], n: usize) -> [usize; K] {
+    let total: f64 = shares.iter().sum();
+    let mut counts = [0usize; K];
+    let mut fracs = [0f64; K];
+    let mut assigned = 0usize;
+    for i in 0..K {
+        let exact = if total > 0.0 {
+            shares[i] / total * n as f64
+        } else {
+            0.0
+        };
+        counts[i] = exact.floor() as usize;
+        fracs[i] = exact - exact.floor();
+        assigned += counts[i];
+    }
+    while assigned < n {
+        let i = (0..K)
+            .max_by(|&a, &b| fracs[a].total_cmp(&fracs[b]))
+            .expect("K > 0");
+        counts[i] += 1;
+        fracs[i] = -1.0;
+        assigned += 1;
+    }
+    counts
+}
+
+/// Fisher–Yates shuffle with the corpus generator's own source.
+fn shuffle<T, R: Rng + ?Sized>(xs: &mut [T], rng: &mut R) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+/// Allocates a year's fault tags by quota: the category mix is
+/// apportioned exactly (Table IV holds at every seed, instead of
+/// drifting with sampling noise on small fleets like Nissan's), then
+/// each slot samples a specific tag from the within-category splits
+/// that produce Fig. 6's tag distribution.
+fn tag_quota<R: Rng + ?Sized>(
+    mix: &crate::profile::CategoryMix,
+    n: usize,
+    rng: &mut R,
+) -> Vec<FaultTag> {
+    let counts = apportion([mix.perception, mix.planner, mix.system, mix.unknown], n);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..counts[0] {
+        out.push(if rng.gen_bool(0.7) {
             FaultTag::RecognitionSystem
         } else {
             FaultTag::Environment
-        }
-    } else if u < mix.perception + mix.planner {
-        match rng.gen_range(0..100) {
+        });
+    }
+    for _ in 0..counts[1] {
+        out.push(match rng.gen_range(0..100) {
             0..=59 => FaultTag::Planner,
             60..=84 => FaultTag::IncorrectBehaviorPrediction,
             85..=94 => FaultTag::AvControllerDecision,
             _ => FaultTag::DesignBug,
-        }
-    } else if u < mix.perception + mix.planner + mix.system {
-        match rng.gen_range(0..100) {
+        });
+    }
+    for _ in 0..counts[2] {
+        out.push(match rng.gen_range(0..100) {
             0..=39 => FaultTag::Software,
             40..=59 => FaultTag::ComputerSystem,
             60..=74 => FaultTag::HangCrash,
             75..=89 => FaultTag::Sensor,
             90..=94 => FaultTag::Network,
             _ => FaultTag::AvControllerUnresponsive,
-        }
-    } else {
-        FaultTag::UnknownT
+        });
     }
+    out.extend(std::iter::repeat(FaultTag::UnknownT).take(counts[3]));
+    shuffle(&mut out, rng);
+    out
 }
 
-fn sample_modality<R: Rng + ?Sized>(mix: &crate::profile::ModalityMix, rng: &mut R) -> Modality {
-    let u: f64 = rng.gen();
-    if u < mix.automatic {
-        Modality::Automatic
-    } else if u < mix.automatic + mix.manual {
-        Modality::Manual
-    } else {
-        Modality::Planned
+/// Allocates a year's modalities by quota — largest-remainder
+/// apportionment of the profile's mix over `n` records, then a seeded
+/// shuffle so modality is uncorrelated with car and month. Table V's
+/// percentages hold exactly (up to per-year rounding) at every seed,
+/// instead of drifting with sampling noise on small fleets like
+/// Nissan's.
+fn modality_quota<R: Rng + ?Sized>(
+    mix: &crate::profile::ModalityMix,
+    n: usize,
+    rng: &mut R,
+) -> Vec<Modality> {
+    let counts = apportion([mix.automatic, mix.manual, mix.planned], n);
+    let mut out = Vec::with_capacity(n);
+    for (m, c) in [Modality::Automatic, Modality::Manual, Modality::Planned]
+        .into_iter()
+        .zip(counts)
+    {
+        out.extend(std::iter::repeat(m).take(c));
     }
+    shuffle(&mut out, rng);
+    out
 }
 
 /// Road-type mix from Section III-C (31.7% city streets, 29.26%

@@ -20,6 +20,10 @@ pub struct TagAssignment {
     pub category: FailureCategory,
     /// The winning score (keyword votes; 0 for `Unknown-T`).
     pub score: f64,
+    /// Vote margin: winning score minus the best losing score (0 when
+    /// nothing matched or another tag tied). Low margins flag verdicts
+    /// that one extra keyword could have flipped.
+    pub margin: f64,
     /// Normalized keywords that matched the winning tag.
     pub matched_keywords: Vec<String>,
     /// Whether another tag tied the winning score (diagnostic for the
@@ -84,6 +88,7 @@ impl Classifier {
         let stem_seq: Vec<String> = raw_tokens.iter().map(|t| stem(t)).collect();
 
         let mut best: Option<(FaultTag, f64, Vec<String>)> = None;
+        let mut second_score = 0.0f64;
         let mut ambiguous = false;
         for ((tag, keywords), (_, phrases)) in self.keyword_sets.iter().zip(&self.phrase_sets) {
             let matched: Vec<String> = keywords
@@ -102,11 +107,17 @@ impl Classifier {
                 continue;
             }
             match &best {
-                Some((_, best_score, _)) if score < *best_score => {}
+                Some((_, best_score, _)) if score < *best_score => {
+                    second_score = second_score.max(score);
+                }
                 Some((_, best_score, _)) if (score - best_score).abs() < f64::EPSILON => {
                     ambiguous = true;
+                    second_score = *best_score;
                 }
                 _ => {
+                    if let Some((_, prev_best, _)) = &best {
+                        second_score = second_score.max(*prev_best);
+                    }
                     ambiguous = false;
                     best = Some((*tag, score, matched));
                 }
@@ -118,6 +129,7 @@ impl Classifier {
                 tag,
                 category: tag.category(),
                 score,
+                margin: score - second_score,
                 matched_keywords,
                 ambiguous,
             },
@@ -125,6 +137,7 @@ impl Classifier {
                 tag: FaultTag::UnknownT,
                 category: FailureCategory::UnknownC,
                 score: 0.0,
+                margin: 0.0,
                 matched_keywords: Vec::new(),
                 ambiguous: false,
             },
@@ -137,6 +150,33 @@ impl Classifier {
         I: IntoIterator<Item = &'a str>,
     {
         descriptions.into_iter().map(|d| self.classify(d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod margin_tests {
+    use super::*;
+
+    #[test]
+    fn margin_zero_when_unknown_or_tied() {
+        let c = Classifier::with_default_dictionary();
+        let unknown = c.classify("odd noise");
+        assert_eq!(unknown.tag, FaultTag::UnknownT);
+        assert_eq!(unknown.margin, 0.0);
+        // A clear single-tag winner has a positive margin no larger than
+        // its score.
+        let clear = c.classify("watchdog error");
+        assert!(clear.margin > 0.0);
+        assert!(clear.margin <= clear.score);
+        // An ambiguous verdict (tie) reports zero margin.
+        let all: Vec<TagAssignment> = c.classify_all(
+            ["software module froze", "the AV didn't see the lead vehicle"],
+        );
+        for a in &all {
+            if a.ambiguous {
+                assert_eq!(a.margin, 0.0);
+            }
+        }
     }
 }
 

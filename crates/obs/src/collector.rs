@@ -1,0 +1,342 @@
+//! The collector: explicit, thread-safe accumulation of spans and
+//! metrics.
+//!
+//! No global state is required — the pipeline threads a `&Collector`
+//! through its stages. Interior mutability (a `Mutex` around the whole
+//! state) keeps the API `&self` so a collector can be shared freely;
+//! contention is irrelevant at the pipeline's instrumentation
+//! granularity (thousands of updates per run, not millions per second).
+
+use crate::hist::Histogram;
+use crate::report::{FieldValue, LogEvent, SpanNode, TelemetryReport};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct SpanData {
+    name: String,
+    parent: Option<usize>,
+    start: Duration,
+    end: Option<Duration>,
+    fields: Vec<(String, FieldValue)>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    spans: Vec<SpanData>,
+    stack: Vec<usize>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    logs: Vec<LogEvent>,
+}
+
+/// Accumulates spans, counters, gauges, histograms, and log events.
+#[derive(Debug)]
+pub struct Collector {
+    inner: Mutex<Inner>,
+    epoch: Instant,
+    echo: bool,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::new()
+    }
+}
+
+impl Collector {
+    /// An empty collector whose clock starts now.
+    pub fn new() -> Collector {
+        Collector {
+            inner: Mutex::new(Inner::default()),
+            epoch: Instant::now(),
+            echo: false,
+        }
+    }
+
+    /// An empty collector that also echoes [`Collector::log`] events to
+    /// stderr — the CLI progress-line mode.
+    pub fn with_echo() -> Collector {
+        Collector {
+            echo: true,
+            ..Collector::new()
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned lock means a panic mid-update; telemetry is
+        // best-effort diagnostics, so keep collecting.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Opens a span as a child of the innermost open span. The span
+    /// closes when the returned guard drops (or via
+    /// [`SpanGuard::finish`]).
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        let start = self.epoch.elapsed();
+        let mut inner = self.lock();
+        let parent = inner.stack.last().copied();
+        let index = inner.spans.len();
+        inner.spans.push(SpanData {
+            name: name.to_owned(),
+            parent,
+            start,
+            end: None,
+            fields: Vec::new(),
+        });
+        inner.stack.push(index);
+        SpanGuard {
+            collector: self,
+            index,
+            closed: false,
+        }
+    }
+
+    /// Adds to a counter (creating it at zero).
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Increments a counter by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets a gauge (last write wins).
+    pub fn gauge(&self, name: &str, value: f64) {
+        self.lock().gauges.insert(name.to_owned(), value);
+    }
+
+    /// Records a sample into a histogram (creating it empty).
+    pub fn record(&self, name: &str, sample: f64) {
+        self.lock()
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(sample);
+    }
+
+    /// Records a timestamped log event (echoed to stderr when the
+    /// collector was built with [`Collector::with_echo`]).
+    pub fn log(&self, message: &str) {
+        let t_s = self.epoch.elapsed().as_secs_f64();
+        if self.echo {
+            eprintln!("[{t_s:9.3}s] {message}");
+        }
+        self.lock().logs.push(LogEvent {
+            t_s,
+            message: message.to_owned(),
+        });
+    }
+
+    /// Snapshots everything accumulated so far. Spans still open are
+    /// exported with their duration-so-far and `closed: false`.
+    pub fn report(&self) -> TelemetryReport {
+        let now = self.epoch.elapsed();
+        let inner = self.lock();
+        // Build the forest bottom-up: children vectors indexed like the
+        // arena, then move each node under its parent (children always
+        // follow parents in arena order, so draining back-to-front is
+        // safe).
+        let mut nodes: Vec<Option<SpanNode>> = inner
+            .spans
+            .iter()
+            .map(|s| {
+                Some(SpanNode {
+                    name: s.name.clone(),
+                    start_s: s.start.as_secs_f64(),
+                    duration_s: s.end.unwrap_or(now).saturating_sub(s.start).as_secs_f64(),
+                    closed: s.end.is_some(),
+                    fields: s.fields.clone(),
+                    children: Vec::new(),
+                })
+            })
+            .collect();
+        let mut roots = Vec::new();
+        for i in (0..inner.spans.len()).rev() {
+            let node = nodes[i].take().expect("unmoved");
+            match inner.spans[i].parent {
+                Some(p) => nodes[p]
+                    .as_mut()
+                    .expect("parents precede children")
+                    .children
+                    .insert(0, node),
+                None => roots.insert(0, node),
+            }
+        }
+        TelemetryReport {
+            spans: roots,
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+            logs: inner.logs.clone(),
+        }
+    }
+
+    fn close_span(&self, index: usize) {
+        let end = self.epoch.elapsed();
+        let mut inner = self.lock();
+        if inner.spans[index].end.is_none() {
+            inner.spans[index].end = Some(end);
+        }
+        // Normally `index` is the innermost open span; dropping guards
+        // out of order just removes the span from wherever it sits.
+        if let Some(at) = inner.stack.iter().rposition(|&i| i == index) {
+            inner.stack.remove(at);
+        }
+    }
+
+    fn span_field(&self, index: usize, key: &str, value: FieldValue) {
+        self.lock().spans[index].fields.push((key.to_owned(), value));
+    }
+}
+
+/// Guard for an open span; the span closes when this drops.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    collector: &'a Collector,
+    index: usize,
+    closed: bool,
+}
+
+impl SpanGuard<'_> {
+    /// Annotates the span with a key/value field.
+    pub fn field(&mut self, key: &str, value: impl Into<FieldValue>) {
+        self.collector.span_field(self.index, key, value.into());
+    }
+
+    /// Closes the span now (equivalent to dropping the guard).
+    pub fn finish(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            self.collector.close_span(self.index);
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_by_guard_scope() {
+        let c = Collector::new();
+        {
+            let _outer = c.span("outer");
+            {
+                let _inner = c.span("inner");
+            }
+            let _sibling = c.span("sibling");
+        }
+        let r = c.report();
+        assert_eq!(r.spans.len(), 1);
+        let outer = &r.spans[0];
+        assert_eq!(outer.name, "outer");
+        let names: Vec<&str> = outer.children.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["inner", "sibling"]);
+        assert!(outer.children.iter().all(|s| s.closed));
+    }
+
+    #[test]
+    fn span_timing_monotone_and_contained() {
+        let c = Collector::new();
+        {
+            let _outer = c.span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let inner = c.span("inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            inner.finish();
+        }
+        let r = c.report();
+        let outer = &r.spans[0];
+        let inner = &outer.children[0];
+        assert!(outer.duration_s >= inner.duration_s);
+        assert!(inner.start_s >= outer.start_s);
+        assert!(inner.duration_s > 0.0);
+        assert!(
+            inner.start_s + inner.duration_s <= outer.start_s + outer.duration_s + 1e-9
+        );
+    }
+
+    #[test]
+    fn open_spans_snapshot_with_duration_so_far() {
+        let c = Collector::new();
+        let _open = c.span("still_running");
+        let r = c.report();
+        assert!(!r.spans[0].closed);
+        assert!(r.spans[0].duration_s >= 0.0);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let c = Collector::new();
+        c.add("parse.records", 3);
+        c.incr("parse.records");
+        c.gauge("ocr.mean_cer", 0.2);
+        c.gauge("ocr.mean_cer", 0.1); // last write wins
+        c.record("nlp.vote_margin", 1.0);
+        c.record("nlp.vote_margin", 3.0);
+        let r = c.report();
+        assert_eq!(r.counter("parse.records"), 4);
+        assert_eq!(r.gauge("ocr.mean_cer"), Some(0.1));
+        let h = r.histogram("nlp.vote_margin").unwrap();
+        assert_eq!(h.count, 2);
+        assert!((h.sum - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fields_attach_in_order() {
+        let c = Collector::new();
+        {
+            let mut s = c.span("stage");
+            s.field("records", 5328u64);
+            s.field("mode", "passthrough");
+        }
+        let r = c.report();
+        let fields = &r.spans[0].fields;
+        assert_eq!(fields[0].0, "records");
+        assert_eq!(fields[0].1, FieldValue::U64(5328));
+        assert_eq!(fields[1].1, FieldValue::Str("passthrough".to_owned()));
+    }
+
+    #[test]
+    fn logs_recorded_in_order() {
+        let c = Collector::new();
+        c.log("first");
+        c.log("second");
+        let r = c.report();
+        let msgs: Vec<&str> = r.logs.iter().map(|l| l.message.as_str()).collect();
+        assert_eq!(msgs, ["first", "second"]);
+        assert!(r.logs[0].t_s <= r.logs[1].t_s);
+    }
+
+    #[test]
+    fn out_of_order_guard_drop_does_not_corrupt_tree() {
+        let c = Collector::new();
+        let a = c.span("a");
+        let b = c.span("b");
+        drop(a); // closed before its child's guard
+        drop(b);
+        let r = c.report();
+        assert_eq!(r.spans.len(), 1);
+        assert_eq!(r.spans[0].children[0].name, "b");
+        assert!(r.spans[0].closed && r.spans[0].children[0].closed);
+    }
+}

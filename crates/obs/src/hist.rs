@@ -1,0 +1,230 @@
+//! Log-bucketed histograms.
+//!
+//! The bucketing mirrors the 1–2–5-per-decade scheme measurement tools
+//! conventionally use (and `disengage-stats` uses for its plot
+//! histograms): upper bounds 1·10ᵏ, 2·10ᵏ, 5·10ᵏ for k in −9..=9, with
+//! an overflow bucket above. That covers nanosecond-scale durations
+//! through ~10⁹-scale mile counts in 58 fixed buckets, so recording is
+//! allocation-free after construction.
+
+/// Smallest decade exponent covered by the fixed buckets.
+const MIN_EXP: i32 = -9;
+/// Largest decade exponent covered by the fixed buckets.
+const MAX_EXP: i32 = 9;
+/// Mantissa steps per decade.
+const STEPS: [f64; 3] = [1.0, 2.0, 5.0];
+/// Total bucket count: 3 per decade plus the overflow bucket.
+const N_BUCKETS: usize = ((MAX_EXP - MIN_EXP + 1) as usize) * STEPS.len() + 1;
+
+/// The upper bound of bucket `i` (`f64::INFINITY` for the overflow
+/// bucket).
+fn bucket_bound(i: usize) -> f64 {
+    if i + 1 >= N_BUCKETS {
+        return f64::INFINITY;
+    }
+    let exp = MIN_EXP + (i / STEPS.len()) as i32;
+    STEPS[i % STEPS.len()] * 10f64.powi(exp)
+}
+
+/// Index of the first bucket whose upper bound is ≥ `x`.
+fn bucket_index(x: f64) -> usize {
+    if !x.is_finite() {
+        return N_BUCKETS - 1;
+    }
+    for i in 0..N_BUCKETS - 1 {
+        if x <= bucket_bound(i) {
+            return i;
+        }
+    }
+    N_BUCKETS - 1
+}
+
+/// An accumulating log-bucketed histogram over non-negative-ish `f64`
+/// samples (negative samples land in the smallest bucket; the pipeline
+/// records durations, rates, and scores, all non-negative).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.counts[bucket_index(x)] += 1;
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Bucket-resolution quantile estimate: the upper bound of the
+    /// bucket containing the q-th sample (`None` when empty). Exact to
+    /// within one 1–2–5 step, which is all a perf snapshot needs.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i + 1 >= N_BUCKETS {
+                    self.max
+                } else {
+                    bucket_bound(i).min(self.max)
+                });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Condenses into the exportable summary.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            mean: self.mean(),
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            p50: self.quantile(0.5).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+            buckets: self
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (bucket_bound(i), c))
+                .collect(),
+        }
+    }
+}
+
+/// The exportable condensation of a [`Histogram`]: moments, extremes,
+/// bucket-resolution quantiles, and the non-empty `(upper bound, count)`
+/// buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median estimate (bucket upper bound).
+    pub p50: f64,
+    /// 99th-percentile estimate (bucket upper bound).
+    pub p99: f64,
+    /// Non-empty buckets as `(upper bound, count)`.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+        assert!(h.summary().buckets.is_empty());
+    }
+
+    #[test]
+    fn accumulates_count_sum_extremes() {
+        let mut h = Histogram::new();
+        for x in [0.5, 1.5, 2.5, 100.0] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 104.5).abs() < 1e-12);
+        let s = h.summary();
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 26.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buckets_use_one_two_five_bounds() {
+        let mut h = Histogram::new();
+        h.record(0.3); // → bound 0.5
+        h.record(3.0); // → bound 5.0
+        let s = h.summary();
+        assert_eq!(s.buckets, vec![(0.5, 1), (5.0, 1)]);
+    }
+
+    #[test]
+    fn quantiles_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 / 100.0); // 0.01 ..= 10.0
+        }
+        let mut prev = 0.0;
+        for q in [0.1, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!(v >= prev, "q={q}: {v} < {prev}");
+            assert!(v <= h.summary().max);
+            prev = v;
+        }
+        // The median of 0.01..10 is ~5; bucket resolution gives 5.0.
+        assert_eq!(h.quantile(0.5), Some(5.0));
+    }
+
+    #[test]
+    fn overflow_and_tiny_samples_land_somewhere() {
+        let mut h = Histogram::new();
+        h.record(1e300);
+        h.record(1e-300);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        let total: u64 = h.summary().buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,369 @@
+//! A minimal JSON document model: render and parse, no reflection.
+//!
+//! The exporters build [`Value`] trees by hand (object key order is
+//! preserved — a `Vec` of pairs, not a map), render them with
+//! [`Value::render`], and machine consumers (tests, the `repro`
+//! metrics snapshot) read them back with [`Value::parse`]. Only what
+//! the telemetry format needs is implemented: the full JSON grammar
+//! minus `\u` escapes beyond the BMP shortcuts we emit.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite floats must be encoded by callers).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object with preserved key order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A number, downgrading non-finite floats to their string names so
+    /// the document stays valid JSON.
+    pub fn num(x: f64) -> Value {
+        if x.is_finite() {
+            Value::Num(x)
+        } else if x.is_nan() {
+            Value::Str("nan".to_owned())
+        } else if x > 0.0 {
+            Value::Str("inf".to_owned())
+        } else {
+            Value::Str("-inf".to_owned())
+        }
+    }
+
+    /// Looks up a key in an object (`None` on missing key or non-object).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// Renders compact single-line JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(x) => render_number(*x, out),
+            Value::Str(s) => render_string(s, out),
+            Value::Arr(xs) => {
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    x.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a position-annotated message on malformed input.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn render_number(x: f64, out: &mut String) {
+    debug_assert!(x.is_finite(), "use Value::num for non-finite floats");
+    if x == x.trunc() && x.abs() < 1e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        // 17 significant digits round-trip any f64.
+        let compact = format!("{x}");
+        if compact.parse::<f64>() == Ok(x) {
+            out.push_str(&compact);
+        } else {
+            let _ = write!(out, "{x:.17e}");
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut xs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(xs));
+            }
+            loop {
+                xs.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(xs));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    let text = std::str::from_utf8(bytes).map_err(|e| e.to_string())?;
+    let mut chars = text[*pos..].char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                *pos += i + 1;
+                return Ok(out);
+            }
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'b')) => out.push('\u{8}'),
+                Some((_, 'f')) => out.push('\u{c}'),
+                Some((j, 'u')) => {
+                    let start = *pos + j + 1;
+                    let hex = text
+                        .get(start..start + 4)
+                        .ok_or_else(|| "truncated \\u escape".to_owned())?;
+                    let code =
+                        u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_owned())?;
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    for _ in 0..4 {
+                        chars.next();
+                    }
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Num(0.0),
+            Value::Num(-17.0),
+            Value::Num(0.004_217),
+            Value::Num(1e-9),
+            Value::Num(123_456_789.0),
+            Value::Str("plain".to_owned()),
+            Value::Str("quote \" slash \\ newline \n tab \t".to_owned()),
+        ] {
+            let text = v.render();
+            assert_eq!(Value::parse(&text).unwrap(), v, "text = {text}");
+        }
+    }
+
+    #[test]
+    fn nested_round_trips_preserving_order() {
+        let v = Value::Obj(vec![
+            ("z".to_owned(), Value::Num(1.0)),
+            (
+                "a".to_owned(),
+                Value::Arr(vec![Value::Null, Value::Obj(vec![])]),
+            ),
+            ("empty".to_owned(), Value::Arr(vec![])),
+        ]);
+        let text = v.render();
+        assert_eq!(Value::parse(&text).unwrap(), v);
+        assert!(text.starts_with("{\"z\""), "order lost: {text}");
+    }
+
+    #[test]
+    fn non_finite_downgrade() {
+        assert_eq!(Value::num(f64::INFINITY), Value::Str("inf".to_owned()));
+        assert_eq!(Value::num(f64::NEG_INFINITY), Value::Str("-inf".to_owned()));
+        assert_eq!(Value::num(f64::NAN), Value::Str("nan".to_owned()));
+        assert_eq!(Value::num(2.5), Value::Num(2.5));
+    }
+
+    #[test]
+    fn parses_foreign_whitespace_and_escapes() {
+        let v = Value::parse(" { \"k\" : [ 1 , 2.5e1 , \"\\u0041\" ] } ").unwrap();
+        assert_eq!(
+            v.get("k").unwrap().as_arr().unwrap(),
+            &[
+                Value::Num(1.0),
+                Value::Num(25.0),
+                Value::Str("A".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Value::parse("").is_err());
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("\"open").is_err());
+        assert!(Value::parse("12 34").is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::Obj(vec![("n".to_owned(), Value::Num(4.0))]);
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(4.0));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Num(1.0).get("n"), None);
+    }
+}

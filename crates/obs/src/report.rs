@@ -1,0 +1,204 @@
+//! Telemetry snapshots: the immutable view a [`crate::Collector`]
+//! exports.
+
+use crate::hist::HistogramSummary;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A span field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned count.
+    U64(u64),
+    /// A signed value.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// Free text.
+    Str(String),
+    /// A flag.
+    Bool(bool),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(x) => write!(f, "{x}"),
+            FieldValue::I64(x) => write!(f, "{x}"),
+            FieldValue::F64(x) => write!(f, "{x}"),
+            FieldValue::Str(s) => write!(f, "{s}"),
+            FieldValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+macro_rules! impl_from_field {
+    ($($t:ty => $variant:ident via $conv:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(x: $t) -> FieldValue {
+                FieldValue::$variant(x as $conv)
+            }
+        }
+    )*};
+}
+
+impl_from_field!(u64 => U64 via u64, u32 => U64 via u64, usize => U64 via u64,
+                 i64 => I64 via i64, i32 => I64 via i64,
+                 f64 => F64 via f64, f32 => F64 via f64);
+
+impl From<bool> for FieldValue {
+    fn from(b: bool) -> FieldValue {
+        FieldValue::Bool(b)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(s: &str) -> FieldValue {
+        FieldValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(s: String) -> FieldValue {
+        FieldValue::Str(s)
+    }
+}
+
+/// One closed (or still-open) span in the exported tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// Start offset from the collector's epoch, in seconds.
+    pub start_s: f64,
+    /// Wall-clock duration in seconds (time-to-snapshot for spans still
+    /// open when the report was taken).
+    pub duration_s: f64,
+    /// Whether the span had closed by snapshot time.
+    pub closed: bool,
+    /// Key/value annotations, in insertion order.
+    pub fields: Vec<(String, FieldValue)>,
+    /// Child spans, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+/// A timestamped log event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEvent {
+    /// Offset from the collector's epoch, in seconds.
+    pub t_s: f64,
+    /// Message text.
+    pub message: String,
+}
+
+/// An immutable telemetry snapshot: the span forest plus all
+/// accumulated metrics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryReport {
+    /// Root spans in start order.
+    pub spans: Vec<SpanNode>,
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Log events in time order.
+    pub logs: Vec<LogEvent>,
+}
+
+impl TelemetryReport {
+    /// A counter's value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram's summary, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+
+    /// Sum of all counters whose name starts with `prefix` — the
+    /// reconciliation primitive (`tagged == Σ nlp.tag.*`).
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Depth-first search for a span by name anywhere in the forest.
+    pub fn find_span(&self, name: &str) -> Option<&SpanNode> {
+        fn walk<'a>(nodes: &'a [SpanNode], name: &str) -> Option<&'a SpanNode> {
+            for n in nodes {
+                if n.name == name {
+                    return Some(n);
+                }
+                if let Some(hit) = walk(&n.children, name) {
+                    return Some(hit);
+                }
+            }
+            None
+        }
+        walk(&self.spans, name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(name: &str) -> SpanNode {
+        SpanNode {
+            name: name.to_owned(),
+            start_s: 0.0,
+            duration_s: 0.1,
+            closed: true,
+            fields: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn counter_defaults_to_zero() {
+        let r = TelemetryReport::default();
+        assert_eq!(r.counter("nope"), 0);
+        assert_eq!(r.gauge("nope"), None);
+    }
+
+    #[test]
+    fn prefix_sum() {
+        let mut r = TelemetryReport::default();
+        r.counters.insert("nlp.tag.planner".to_owned(), 3);
+        r.counters.insert("nlp.tag.software".to_owned(), 2);
+        r.counters.insert("nlp.tagged".to_owned(), 5);
+        assert_eq!(r.counter_prefix_sum("nlp.tag."), 5);
+    }
+
+    #[test]
+    fn find_span_recurses() {
+        let mut root = leaf("pipeline");
+        root.children.push(leaf("stage_ii_parse"));
+        let r = TelemetryReport {
+            spans: vec![root],
+            ..Default::default()
+        };
+        assert!(r.find_span("stage_ii_parse").is_some());
+        assert!(r.find_span("missing").is_none());
+    }
+
+    #[test]
+    fn field_value_display_and_from() {
+        assert_eq!(FieldValue::from(3u64).to_string(), "3");
+        assert_eq!(FieldValue::from(2.5f64).to_string(), "2.5");
+        assert_eq!(FieldValue::from("x").to_string(), "x");
+        assert_eq!(FieldValue::from(true).to_string(), "true");
+        assert_eq!(FieldValue::from(7usize), FieldValue::U64(7));
+    }
+}

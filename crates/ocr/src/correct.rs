@@ -122,15 +122,31 @@ impl Corrector {
     /// Corrects every whitespace-delimited word of a text, preserving the
     /// original spacing structure (single spaces between words per line).
     pub fn correct_text(&self, text: &str) -> String {
-        text.lines()
+        self.correct_text_counted(text).0
+    }
+
+    /// [`Corrector::correct_text`], also returning how many words were
+    /// repaired — the correction-hit count the pipeline telemetry
+    /// reports per run.
+    pub fn correct_text_counted(&self, text: &str) -> (String, u64) {
+        let mut hits = 0u64;
+        let out = text
+            .lines()
             .map(|line| {
                 line.split(' ')
-                    .map(|w| self.correct_word(w))
+                    .map(|w| {
+                        let fixed = self.correct_word(w);
+                        if fixed != w {
+                            hits += 1;
+                        }
+                        fixed
+                    })
                     .collect::<Vec<_>>()
                     .join(" ")
             })
             .collect::<Vec<_>>()
-            .join("\n")
+            .join("\n");
+        (out, hits)
     }
 }
 
@@ -180,6 +196,17 @@ mod tests {
         let c = corrector();
         let fixed = c.correct_text("s0ftware module froz\nwatchdog err0r");
         assert_eq!(fixed, "software module froze\nwatchdog error");
+    }
+
+    #[test]
+    fn correction_hits_counted() {
+        let c = corrector();
+        let (fixed, hits) = c.correct_text_counted("s0ftware module froz\nwatchdog err0r");
+        assert_eq!(fixed, "software module froze\nwatchdog error");
+        assert_eq!(hits, 3);
+        let (clean, none) = c.correct_text_counted("software module froze");
+        assert_eq!(clean, "software module froze");
+        assert_eq!(none, 0);
     }
 
     #[test]

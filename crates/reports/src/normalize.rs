@@ -59,17 +59,51 @@ impl Normalized {
 /// is parsed with the shared table format. Accident filings are parsed
 /// as OL 316 forms.
 pub fn normalize_document(doc: &RawDocument) -> Normalized {
+    normalize_document_inner(doc, None)
+}
+
+/// [`normalize_document`], recording Stage II telemetry into `obs`:
+/// attempted/parsed/failed line counters, total and per-manufacturer
+/// (the within-stage identity `parse.dis.lines == parse.dis.parsed +
+/// parse.dis.failed` holds by construction — each attempted line lands
+/// in exactly one bucket).
+pub fn normalize_document_with(doc: &RawDocument, obs: &disengage_obs::Collector) -> Normalized {
+    normalize_document_inner(doc, Some(obs))
+}
+
+fn normalize_document_inner(doc: &RawDocument, obs: Option<&disengage_obs::Collector>) -> Normalized {
+    let count = |name: &str| {
+        if let Some(obs) = obs {
+            obs.incr(name);
+        }
+    };
+    let count_m = |stem: &str| {
+        if let Some(obs) = obs {
+            obs.incr(stem);
+            obs.incr(&format!(
+                "{stem}.{}",
+                disengage_obs::key_segment(doc.manufacturer.name())
+            ));
+        }
+    };
     let mut out = Normalized::default();
     match doc.kind {
-        DocumentKind::Accident => match parse_accident_form(&doc.text) {
-            Ok(mut record) => {
-                // The form is standardized, but a mangled manufacturer
-                // line could mis-attribute the filing; trust provenance.
-                record.manufacturer = doc.manufacturer;
-                out.accidents.push(record);
+        DocumentKind::Accident => {
+            count("parse.acc.docs");
+            match parse_accident_form(&doc.text) {
+                Ok(mut record) => {
+                    // The form is standardized, but a mangled manufacturer
+                    // line could mis-attribute the filing; trust provenance.
+                    record.manufacturer = doc.manufacturer;
+                    out.accidents.push(record);
+                    count("parse.acc.parsed");
+                }
+                Err(e) => {
+                    out.failures.push(e);
+                    count("parse.acc.failed");
+                }
             }
-            Err(e) => out.failures.push(e),
-        },
+        }
         DocumentKind::Disengagements => {
             let format = format_for(doc.manufacturer);
             let (log_text, mileage_text) = doc.sections();
@@ -78,21 +112,39 @@ pub fn normalize_document(doc: &RawDocument) -> Normalized {
                 if line.is_empty() {
                     continue;
                 }
+                count("parse.dis.lines");
                 match format.parse_line(line, i + 1) {
                     Ok(mut record) => {
                         record.manufacturer = doc.manufacturer;
                         match record.validate() {
-                            Ok(()) => out.disengagements.push(record),
-                            Err(e) => out.failures.push(e),
+                            Ok(()) => {
+                                out.disengagements.push(record);
+                                count_m("parse.dis.parsed");
+                            }
+                            Err(e) => {
+                                out.failures.push(e);
+                                count_m("parse.dis.failed");
+                            }
                         }
                     }
-                    Err(e) => out.failures.push(e),
+                    Err(e) => {
+                        out.failures.push(e);
+                        count_m("parse.dis.failed");
+                    }
                 }
             }
             if !mileage_text.is_empty() {
                 match parse_mileage_table(doc.manufacturer, mileage_text) {
-                    Ok(rows) => out.mileage.extend(rows),
-                    Err(e) => out.failures.push(e),
+                    Ok(rows) => {
+                        if let Some(obs) = obs {
+                            obs.add("parse.mileage.rows", rows.len() as u64);
+                        }
+                        out.mileage.extend(rows);
+                    }
+                    Err(e) => {
+                        out.failures.push(e);
+                        count("parse.mileage.tables_failed");
+                    }
                 }
             }
         }
@@ -105,6 +157,19 @@ pub fn normalize_all<'a>(docs: impl IntoIterator<Item = &'a RawDocument>) -> Nor
     let mut out = Normalized::default();
     for doc in docs {
         out.merge(normalize_document(doc));
+    }
+    out
+}
+
+/// [`normalize_all`] with Stage II telemetry (see
+/// [`normalize_document_with`]).
+pub fn normalize_all_with<'a>(
+    docs: impl IntoIterator<Item = &'a RawDocument>,
+    obs: &disengage_obs::Collector,
+) -> Normalized {
+    let mut out = Normalized::default();
+    for doc in docs {
+        out.merge(normalize_document_with(doc, obs));
     }
     out
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Offline verification: tier-1 build + tests with warnings denied, the
+# full workspace test suite, and the repro harness's telemetry
+# self-check (nonzero exit if the pipeline's counters fail to
+# reconcile). No network access is required at any step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+export RUSTFLAGS="-D warnings"
+
+echo "== tier-1: cargo build --release =="
+cargo build --release --offline
+
+echo "== tier-1: cargo test -q =="
+cargo test -q --offline
+
+echo "== workspace: cargo test --workspace -q =="
+cargo test --workspace -q --offline
+
+echo "== repro telemetry self-check (counter reconciliation) =="
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    table1 --telemetry=json >/dev/null
+
+echo "verify: OK"

@@ -11,10 +11,14 @@
 //! ```
 //!
 //! Full-corpus commands accept `--scale <f>` (default 1.0) and
-//! `--seed <n>` to control the generated corpus.
+//! `--seed <n>` to control the generated corpus, and
+//! `--telemetry[=json]` to print the run's span tree (or JSON metrics
+//! document) after the command's own output.
 
 use disengage::core::pipeline::{OcrMode, Pipeline, PipelineConfig};
+use disengage::core::telemetry::timed;
 use disengage::core::{exposure, questions, report, tables, whatif};
+use disengage::obs::Collector;
 use disengage::corpus::CorpusConfig;
 use disengage::dataframe::csv;
 use disengage::nlp::Classifier;
@@ -39,18 +43,26 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  disengage summary [--scale F] [--seed N]
-  disengage export <dir> [--scale F] [--seed N]
+  disengage summary [--scale F] [--seed N] [--telemetry[=json]]
+  disengage export <dir> [--scale F] [--seed N] [--telemetry[=json]]
   disengage classify <text>
   disengage stpa-dot
   disengage demo-miles <rate-per-mile> <confidence>
   disengage project <manufacturer> <target-dpm> [--scale F] [--seed N]
   disengage sweep-ocr [--seed N]";
 
+#[derive(Clone, Copy, PartialEq)]
+enum Telemetry {
+    Off,
+    Tree,
+    Json,
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let mut positional = Vec::new();
     let mut scale = 1.0f64;
     let mut seed = 0x5EEDu64;
+    let mut telemetry = Telemetry::Off;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -70,6 +82,14 @@ fn run(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "--seed needs an integer")?;
             }
+            "--telemetry" => telemetry = Telemetry::Tree,
+            "--telemetry=json" => telemetry = Telemetry::Json,
+            other if other.starts_with("--telemetry=") => {
+                return Err(format!(
+                    "unknown telemetry format `{}` (supported: json)",
+                    &other["--telemetry=".len()..]
+                ));
+            }
             other => positional.push(other.to_owned()),
         }
         i += 1;
@@ -79,21 +99,25 @@ fn run(args: &[String]) -> Result<(), String> {
         corpus: CorpusConfig { seed, scale },
         ..Default::default()
     };
+    let obs = Collector::new();
 
-    match command {
+    let result = match command {
         "summary" => {
-            let o = Pipeline::new(config).run().map_err(|e| e.to_string())?;
+            let o = Pipeline::new(config).run_with(&obs).map_err(|e| e.to_string())?;
             println!(
                 "{} disengagements, {} accidents, {:.0} autonomous miles\n",
                 o.database.disengagements().len(),
                 o.database.accidents().len(),
                 o.database.total_miles()
             );
-            let q2 = questions::q2_causes(&o.tagged);
+            let (q2, q5, coverage) =
+                timed(&obs, "stage_iv_summary", || -> Result<_, String> {
+                    let q2 = questions::q2_causes(&o.tagged);
+                    let q5 = questions::q5_comparison(&o.database).map_err(|e| e.to_string())?;
+                    Ok((q2, q5, exposure::field_coverage(&o.database)))
+                })?;
             println!("{}", report::render_q2(&q2));
-            let q5 = questions::q5_comparison(&o.database).map_err(|e| e.to_string())?;
             println!("{}", report::render_q5(&q5));
-            let coverage = exposure::field_coverage(&o.database);
             println!(
                 "field coverage: road {:.0}%, weather {:.0}%, reaction time {:.0}% of {} records",
                 coverage.road_type * 100.0,
@@ -106,41 +130,50 @@ fn run(args: &[String]) -> Result<(), String> {
         "export" => {
             let dir = positional.get(1).ok_or("export needs a directory")?;
             std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-            let o = Pipeline::new(config).run().map_err(|e| e.to_string())?;
+            let o = Pipeline::new(config).run_with(&obs).map_err(|e| e.to_string())?;
             let classifier = Classifier::with_default_dictionary();
-            let artifacts: Vec<(&str, disengage::dataframe::DataFrame)> = vec![
-                ("table1.csv", tables::table1(&o.database).map_err(|e| e.to_string())?),
-                ("table2.csv", tables::table2(&classifier).map_err(|e| e.to_string())?),
-                ("table3.csv", tables::table3().map_err(|e| e.to_string())?),
-                ("table4.csv", tables::table4(&o.tagged).map_err(|e| e.to_string())?),
-                ("table5.csv", tables::table5(&o.database).map_err(|e| e.to_string())?),
-                ("table6.csv", tables::table6(&o.database).map_err(|e| e.to_string())?),
-                ("table7.csv", tables::table7(&o.database).map_err(|e| e.to_string())?),
-                ("table8.csv", tables::table8(&o.database).map_err(|e| e.to_string())?),
-            ];
+            let artifacts: Vec<(&str, disengage::dataframe::DataFrame)> =
+                timed(&obs, "stage_iv_tables", || -> Result<_, String> {
+                    Ok(vec![
+                        ("table1.csv", tables::table1(&o.database).map_err(|e| e.to_string())?),
+                        ("table2.csv", tables::table2(&classifier).map_err(|e| e.to_string())?),
+                        ("table3.csv", tables::table3().map_err(|e| e.to_string())?),
+                        ("table4.csv", tables::table4(&o.tagged).map_err(|e| e.to_string())?),
+                        ("table5.csv", tables::table5(&o.database).map_err(|e| e.to_string())?),
+                        ("table6.csv", tables::table6(&o.database).map_err(|e| e.to_string())?),
+                        ("table7.csv", tables::table7(&o.database).map_err(|e| e.to_string())?),
+                        ("table8.csv", tables::table8(&o.database).map_err(|e| e.to_string())?),
+                    ])
+                })?;
             for (name, frame) in &artifacts {
                 let path = std::path::Path::new(dir).join(name);
                 csv::write_file(frame, &path).map_err(|e| e.to_string())?;
                 println!("wrote {}", path.display());
             }
             // Record-level exports (the consolidated failure database).
-            let records: Vec<(&str, disengage::dataframe::DataFrame)> = vec![
-                (
-                    "disengagements.csv",
-                    disengage::core::export::disengagements_frame(&o.database, Some(&o.tagged))
-                        .map_err(|e| e.to_string())?,
-                ),
-                (
-                    "accidents.csv",
-                    disengage::core::export::accidents_frame(&o.database)
-                        .map_err(|e| e.to_string())?,
-                ),
-                (
-                    "mileage.csv",
-                    disengage::core::export::mileage_frame(&o.database)
-                        .map_err(|e| e.to_string())?,
-                ),
-            ];
+            let records: Vec<(&str, disengage::dataframe::DataFrame)> =
+                timed(&obs, "stage_iv_records", || -> Result<_, String> {
+                    Ok(vec![
+                        (
+                            "disengagements.csv",
+                            disengage::core::export::disengagements_frame(
+                                &o.database,
+                                Some(&o.tagged),
+                            )
+                            .map_err(|e| e.to_string())?,
+                        ),
+                        (
+                            "accidents.csv",
+                            disengage::core::export::accidents_frame(&o.database)
+                                .map_err(|e| e.to_string())?,
+                        ),
+                        (
+                            "mileage.csv",
+                            disengage::core::export::mileage_frame(&o.database)
+                                .map_err(|e| e.to_string())?,
+                        ),
+                    ])
+                })?;
             for (name, frame) in &records {
                 let path = std::path::Path::new(dir).join(name);
                 csv::write_file(frame, &path).map_err(|e| e.to_string())?;
@@ -199,7 +232,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .ok_or("project needs a target DPM")?
                 .parse()
                 .map_err(|_| "target DPM must be a number")?;
-            let o = Pipeline::new(config).run().map_err(|e| e.to_string())?;
+            let o = Pipeline::new(config).run_with(&obs).map_err(|e| e.to_string())?;
             let p = whatif::miles_to_target_dpm(&o.database, m, target)
                 .map_err(|e| e.to_string())?;
             println!(
@@ -247,5 +280,12 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "" => Err("missing command".to_owned()),
         other => Err(format!("unknown command `{other}`")),
+    };
+    result?;
+    match telemetry {
+        Telemetry::Off => {}
+        Telemetry::Tree => print!("{}", obs.report().render_tree()),
+        Telemetry::Json => println!("{}", obs.report().to_json()),
     }
+    Ok(())
 }

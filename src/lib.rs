@@ -18,6 +18,8 @@
 //! * [`reports`] — uniform report schema and per-manufacturer parsers
 //!   (Stage II).
 //! * [`stpa`] — STPA hierarchical control-structure model of the AV.
+//! * [`obs`] — zero-dependency tracing/metrics substrate (spans,
+//!   counters, histograms, exporters) threaded through the pipeline.
 //! * [`core`] — the wired pipeline plus every table/figure reproduction
 //!   (Stage IV).
 //!
@@ -39,6 +41,7 @@ pub use disengage_corpus as corpus;
 pub use disengage_core as core;
 pub use disengage_dataframe as dataframe;
 pub use disengage_nlp as nlp;
+pub use disengage_obs as obs;
 pub use disengage_ocr as ocr;
 pub use disengage_reports as reports;
 pub use disengage_stats as stats;

@@ -1,4 +1,9 @@
-//! Property-based tests across crate boundaries.
+//! Randomized property tests across crate boundaries.
+//!
+//! Formerly `proptest` strategies; now seeded loops over the in-tree
+//! PRNG so the suite runs with zero external dependencies. Each test
+//! draws a few hundred cases from a fixed seed, so failures are exactly
+//! reproducible.
 
 use disengage::corpus::{CorpusConfig, CorpusGenerator};
 use disengage::dataframe::csv;
@@ -9,150 +14,235 @@ use disengage::reports::formats::disengagement::format_for;
 use disengage::reports::record::CarId;
 use disengage::reports::{Date, DisengagementRecord, Manufacturer, Modality, RoadType, Weather};
 use disengage::stats::quantile::{quantile, QuantileMethod};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_date() -> impl Strategy<Value = Date> {
-    (2014u16..=2016, 1u8..=12, 1u8..=28)
-        .prop_map(|(y, m, d)| Date::new(y, m, d).expect("day <= 28 valid"))
-}
-
-fn arb_description() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("software module froze".to_owned()),
-        Just("the AV didn't see the lead vehicle".to_owned()),
-        Just("watchdog error".to_owned()),
-        Just("planner failed to anticipate the cyclist".to_owned()),
-        Just("gps signal lost under the overpass".to_owned()),
-        "[a-z]{3,12}( [a-z]{3,12}){1,6}",
-    ]
-}
-
-fn arb_record() -> impl Strategy<Value = DisengagementRecord> {
-    (
-        arb_date(),
-        0u32..8,
-        prop_oneof![
-            Just(Modality::Automatic),
-            Just(Modality::Manual),
-            Just(Modality::Planned)
-        ],
-        proptest::option::of(0.01f64..30.0),
-        arb_description(),
-        proptest::option::of(prop_oneof![
-            Just(RoadType::Street),
-            Just(RoadType::Highway),
-            Just(RoadType::Freeway)
-        ]),
-        proptest::option::of(prop_oneof![Just(Weather::Clear), Just(Weather::Rain)]),
+fn gen_date(rng: &mut StdRng) -> Date {
+    Date::new(
+        rng.gen_range(2014..=2016u16),
+        rng.gen_range(1..=12u8),
+        rng.gen_range(1..=28u8),
     )
-        .prop_map(|(date, car, modality, rt, description, road_type, weather)| {
-            DisengagementRecord {
-                manufacturer: Manufacturer::MercedesBenz,
-                car: CarId::Known(car),
-                date,
-                modality,
-                road_type,
-                weather,
-                reaction_time_s: rt.map(|t| (t * 100.0).round() / 100.0),
-                description,
-            }
-        })
+    .expect("day <= 28 valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn gen_word(rng: &mut StdRng, min: usize, max: usize) -> String {
+    let len = rng.gen_range(min..=max);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect()
+}
 
-    /// The pipe-table format (used by Mercedes-Benz and the sparse
-    /// reporters) round-trips arbitrary records exactly.
-    #[test]
-    fn benz_format_round_trips(record in arb_record()) {
-        let format = format_for(Manufacturer::MercedesBenz);
+fn gen_description(rng: &mut StdRng) -> String {
+    const CANNED: [&str; 5] = [
+        "software module froze",
+        "the AV didn't see the lead vehicle",
+        "watchdog error",
+        "planner failed to anticipate the cyclist",
+        "gps signal lost under the overpass",
+    ];
+    if rng.gen_bool(0.5) {
+        CANNED[rng.gen_range(0..CANNED.len())].to_owned()
+    } else {
+        let words = rng.gen_range(2..=7usize);
+        (0..words)
+            .map(|_| gen_word(rng, 3, 12))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+fn gen_record(rng: &mut StdRng) -> DisengagementRecord {
+    let modality = match rng.gen_range(0..3u8) {
+        0 => Modality::Automatic,
+        1 => Modality::Manual,
+        _ => Modality::Planned,
+    };
+    let reaction_time_s = if rng.gen_bool(0.5) {
+        Some((rng.gen_range(0.01..30.0f64) * 100.0).round() / 100.0)
+    } else {
+        None
+    };
+    let road_type = if rng.gen_bool(0.5) {
+        Some(match rng.gen_range(0..3u8) {
+            0 => RoadType::Street,
+            1 => RoadType::Highway,
+            _ => RoadType::Freeway,
+        })
+    } else {
+        None
+    };
+    let weather = if rng.gen_bool(0.5) {
+        Some(if rng.gen_bool(0.5) {
+            Weather::Clear
+        } else {
+            Weather::Rain
+        })
+    } else {
+        None
+    };
+    DisengagementRecord {
+        manufacturer: Manufacturer::MercedesBenz,
+        car: CarId::Known(rng.gen_range(0..8u32)),
+        date: gen_date(rng),
+        modality,
+        road_type,
+        weather,
+        reaction_time_s,
+        description: gen_description(rng),
+    }
+}
+
+/// The pipe-table format (used by Mercedes-Benz and the sparse
+/// reporters) round-trips arbitrary records exactly.
+#[test]
+fn benz_format_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xB312);
+    let format = format_for(Manufacturer::MercedesBenz);
+    for _ in 0..256 {
+        let record = gen_record(&mut rng);
         let line = format.render(&record);
         let parsed = format.parse_line(&line, 1).expect("round trip parses");
-        prop_assert_eq!(parsed, record);
+        assert_eq!(parsed, record);
     }
+}
 
-    /// Clean rasterize→recognize is the identity over the covered
-    /// character set.
-    #[test]
-    fn ocr_identity_on_clean_pages(words in proptest::collection::vec("[a-zA-Z0-9,:;/#()%=-]{1,12}", 1..6)) {
-        let text = words.join(" ");
-        let out = OcrEngine::new().recognize(&rasterize(&text));
-        prop_assert_eq!(out.text, text);
+/// Clean rasterize→recognize is the identity over the covered
+/// character set.
+#[test]
+fn ocr_identity_on_clean_pages() {
+    const COVERED: &[u8] = b"abcdefghijklmnopqrstuvwxyz\
+                             ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789,:;/#()%=-";
+    let mut rng = StdRng::seed_from_u64(0x0C12);
+    let engine = OcrEngine::new();
+    for _ in 0..64 {
+        let words = rng.gen_range(1..6usize);
+        let text = (0..words)
+            .map(|_| {
+                let len = rng.gen_range(1..=12usize);
+                (0..len)
+                    .map(|_| COVERED[rng.gen_range(0..COVERED.len())] as char)
+                    .collect::<String>()
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        let out = engine.recognize(&rasterize(&text));
+        assert_eq!(out.text, text);
     }
+}
 
-    /// Edit distance is a metric: symmetric, zero iff equal, triangle
-    /// inequality.
-    #[test]
-    fn edit_distance_is_a_metric(a in "[a-z]{0,8}", b in "[a-z]{0,8}", c in "[a-z]{0,8}") {
-        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
-        prop_assert_eq!(edit_distance(&a, &a), 0);
+/// Edit distance is a metric: symmetric, zero iff equal, triangle
+/// inequality.
+#[test]
+fn edit_distance_is_a_metric() {
+    let mut rng = StdRng::seed_from_u64(0xED17);
+    for _ in 0..512 {
+        let a = gen_word(&mut rng, 0, 8);
+        let b = gen_word(&mut rng, 0, 8);
+        let c = gen_word(&mut rng, 0, 8);
+        assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        assert_eq!(edit_distance(&a, &a), 0);
         if edit_distance(&a, &b) == 0 {
-            prop_assert_eq!(a.clone(), b.clone());
+            assert_eq!(a, b);
         }
-        prop_assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
+        assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
     }
+}
 
-    /// The classifier is total and consistent: every description gets a
-    /// tag whose category matches the ontology.
-    #[test]
-    fn classifier_total_and_consistent(desc in ".{0,80}") {
-        let cl = Classifier::with_default_dictionary();
+/// The classifier is total and consistent: every description gets a
+/// tag whose category matches the ontology.
+#[test]
+fn classifier_total_and_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xC1A5);
+    let cl = Classifier::with_default_dictionary();
+    for case in 0..256 {
+        let desc = match case % 4 {
+            // Mix printable-ASCII noise with word-ish text, as the
+            // proptest `.{0,80}` strategy did.
+            0 => {
+                let len = rng.gen_range(0..80usize);
+                (0..len)
+                    .map(|_| (b' ' + rng.gen_range(0..95u8)) as char)
+                    .collect()
+            }
+            _ => gen_description(&mut rng),
+        };
         let a = cl.classify(&desc);
-        prop_assert_eq!(a.category, a.tag.category());
+        assert_eq!(a.category, a.tag.category());
         if a.tag == FaultTag::UnknownT {
-            prop_assert_eq!(a.score, 0.0);
+            assert_eq!(a.score, 0.0);
         } else {
-            prop_assert!(a.score > 0.0);
+            assert!(a.score > 0.0);
         }
     }
+}
 
-    /// Quantiles are monotone in q and bounded by min/max for any sample.
-    #[test]
-    fn quantiles_monotone_and_bounded(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
-        xs.iter_mut().for_each(|x| *x = (*x * 100.0).round() / 100.0);
+/// Quantiles are monotone in q and bounded by min/max for any sample.
+#[test]
+fn quantiles_monotone_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x0A41);
+    for _ in 0..128 {
+        let n = rng.gen_range(1..50usize);
+        let xs: Vec<f64> = (0..n)
+            .map(|_| (rng.gen_range(-1e6..1e6f64) * 100.0).round() / 100.0)
+            .collect();
         let lo = quantile(&xs, 0.0, QuantileMethod::Linear).expect("q0");
         let hi = quantile(&xs, 1.0, QuantileMethod::Linear).expect("q1");
         let mut prev = lo;
         for i in 0..=10 {
             let q = i as f64 / 10.0;
             let v = quantile(&xs, q, QuantileMethod::Linear).expect("q");
-            prop_assert!(v >= prev - 1e-9);
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            assert!(v >= prev - 1e-9);
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
             prev = v;
         }
     }
+}
 
-    /// CSV round-trips any frame of floats (dates of the analysis
-    /// artifacts ride through as strings, floats as floats).
-    #[test]
-    fn csv_round_trips_numeric_frames(xs in proptest::collection::vec(-1e9f64..1e9, 1..40)) {
-        let xs: Vec<f64> = xs.into_iter().map(|x| (x * 1000.0).round() / 1000.0).collect();
+/// CSV round-trips any frame of floats (dates of the analysis
+/// artifacts ride through as strings, floats as floats).
+#[test]
+fn csv_round_trips_numeric_frames() {
+    let mut rng = StdRng::seed_from_u64(0xC5F7);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..40usize);
+        let xs: Vec<f64> = (0..n)
+            .map(|_| (rng.gen_range(-1e9..1e9f64) * 1000.0).round() / 1000.0)
+            .collect();
         let df = disengage::dataframe::DataFrame::new(vec![(
             "x",
             disengage::dataframe::Column::from_f64s(&xs),
-        )]).expect("frame");
+        )])
+        .expect("frame");
         let text = csv::write_str(&df);
         let back = csv::read_str(&text).expect("parse back");
-        prop_assert_eq!(back.n_rows(), xs.len());
+        assert_eq!(back.n_rows(), xs.len());
         for (i, &want) in xs.iter().enumerate() {
             let got = back.get(i, "x").expect("cell").as_f64().expect("float");
-            prop_assert!((got - want).abs() < 1e-9, "row {}: {} vs {}", i, got, want);
+            assert!((got - want).abs() < 1e-9, "row {i}: {got} vs {want}");
         }
     }
+}
 
-    /// Corpus scaling: any scale in (0, 1] produces counts proportional
-    /// to the calibration, and every record validates.
-    #[test]
-    fn corpus_scales_proportionally(seed in 0u64..1000, scale in 0.02f64..0.3) {
+/// Corpus scaling: any scale in (0, 1] produces counts proportional
+/// to the calibration, and every record validates.
+#[test]
+fn corpus_scales_proportionally() {
+    let mut rng = StdRng::seed_from_u64(0x5CA1);
+    for _ in 0..24 {
+        let seed = rng.gen_range(0..1000u64);
+        let scale = rng.gen_range(0.02..0.3f64);
         let corpus = CorpusGenerator::new(CorpusConfig { seed, scale }).generate();
         let n = corpus.truth.disengagements().len() as f64;
         let expected = 5328.0 * scale;
         // Rounding per (manufacturer, year) bounds the deviation.
-        prop_assert!((n - expected).abs() < 40.0, "n = {} expected {}", n, expected);
+        assert!((n - expected).abs() < 40.0, "n = {n} expected {expected}");
         for r in corpus.truth.disengagements() {
-            prop_assert!(r.validate().is_ok());
+            assert!(r.validate().is_ok());
         }
-        prop_assert_eq!(corpus.intended_tags.len(), corpus.truth.disengagements().len());
+        assert_eq!(
+            corpus.intended_tags.len(),
+            corpus.truth.disengagements().len()
+        );
     }
 }
