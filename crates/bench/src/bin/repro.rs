@@ -13,107 +13,180 @@
 //! repro q5                 # one analysis
 //! repro --telemetry        # append the run's span tree
 //! repro --telemetry=json   # also write repro_metrics.json
+//! repro --chaos=0.05       # fault-injection campaign at 5%/line
+//! repro --chaos=0.05,7     # same, explicit injection seed
 //! ```
 //!
 //! Every run cross-checks the pipeline's telemetry counters
 //! ([`disengage_core::telemetry::reconcile`]) and exits nonzero if a
-//! stage dropped or double-counted records.
+//! stage dropped or double-counted records. A chaos campaign
+//! additionally writes `chaos_report.json` (injected vs corrected vs
+//! quarantined vs silently absorbed, per fault kind) and exits nonzero
+//! unless the outcome ledger reconciles; `--chaos=0` proves the
+//! injection path is inert by diffing against a clean run. Under chaos
+//! an artifact that cannot be produced at full fidelity prints itself
+//! as DEGRADED and the run continues — one broken table never takes
+//! down the campaign.
 
-use disengage_bench::full_scale_outcome_with;
+use disengage_bench::{full_scale_chaos_outcome_with, full_scale_outcome_with};
+use disengage_chaos::FaultPlan;
 use disengage_core::telemetry::{reconcile, timed};
-use disengage_core::{exposure, figures, questions, report, tables, whatif};
+use disengage_core::{degrade, exposure, figures, questions, report, tables, whatif};
 use disengage_nlp::Classifier;
 use disengage_obs::Collector;
 use disengage_reports::Manufacturer;
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
+/// Tracks artifacts that degraded instead of rendering, so the run can
+/// summarize them (and the chaos report can list them) at the end.
+#[derive(Default)]
+struct Degradations(Vec<&'static str>);
+
+impl Degradations {
+    /// Prints a rendered artifact, or its degradation notice; never
+    /// propagates the error.
+    fn emit(&mut self, artifact: &'static str, result: disengage_core::Result<String>) {
+        match degrade(artifact, result) {
+            Ok(text) => print(text),
+            Err(e) => {
+                print(format!("== {artifact}: DEGRADED ==\n{e}"));
+                self.0.push(artifact);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let mut args: BTreeSet<String> = std::env::args().skip(1).collect();
     let tree = args.remove("--telemetry");
     let json = args.remove("--telemetry=json");
+    let chaos_arg = args.iter().find(|a| a.starts_with("--chaos=")).cloned();
+    if let Some(a) = &chaos_arg {
+        args.remove(a);
+    }
+    let plan = match chaos_arg.as_deref() {
+        Some(a) => match FaultPlan::parse(&a["--chaos=".len()..]) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let want = |name: &str| args.is_empty() || args.contains(name);
 
     let obs = Collector::with_echo();
     obs.log("running full-scale pipeline (5,328 disengagements, 42 accidents)...");
-    let o = full_scale_outcome_with(&obs);
+    let o = match plan {
+        Some(p) if p.active() => {
+            obs.log(&format!(
+                "chaos campaign armed: rate {:.3}, seed {:#x}",
+                p.rate, p.seed
+            ));
+            full_scale_chaos_outcome_with(&obs, p)
+        }
+        _ => full_scale_outcome_with(&obs),
+    };
     obs.log(&format!(
         "pipeline done: {} disengagements, {} accidents, {:.0} miles recovered",
         o.database.disengagements().len(),
         o.database.accidents().len(),
         o.database.total_miles()
     ));
+    if let Some(audit) = &o.chaos {
+        obs.log(&format!(
+            "chaos: {} injected = {} corrected + {} quarantined + {} absorbed",
+            audit.totals.injected,
+            audit.totals.corrected,
+            audit.totals.quarantined,
+            audit.totals.absorbed
+        ));
+    }
+
+    // The rate-0 invariant: an inert plan must leave every byte of the
+    // outcome untouched. Proven by rerunning clean and diffing.
+    if let Some(p) = plan {
+        if !p.active() {
+            obs.log("chaos rate 0: diffing against a clean reference run...");
+            let reference = full_scale_outcome_with(&Collector::new());
+            let identical = format!("{:?}", reference.database) == format!("{:?}", o.database)
+                && reference.tagged == o.tagged
+                && reference.parse_failures == o.parse_failures;
+            if !identical {
+                eprintln!("chaos rate 0 diverged from the clean run: injection path is not inert");
+                return ExitCode::FAILURE;
+            }
+            obs.log("chaos rate 0: byte-identical to the clean run");
+        }
+    }
 
     let classifier = Classifier::with_default_dictionary();
+    let mut deg = Degradations::default();
 
     if want("table1") {
-        print(timed(&obs, "stage_iv_table1", || {
-            report::render_table(
-                "Table I: fleet, miles, disengagements, accidents",
-                &tables::table1(&o.database).expect("table1"),
-            )
-        }));
+        let r = timed(&obs, "stage_iv_table1", || tables::table1(&o.database));
+        deg.emit(
+            "table1",
+            r.map(|t| report::render_table("Table I: fleet, miles, disengagements, accidents", &t)),
+        );
     }
     if want("table2") {
-        print(timed(&obs, "stage_iv_table2", || {
-            report::render_table(
-                "Table II: sample raw logs with recovered tags",
-                &tables::table2(&classifier).expect("table2"),
-            )
-        }));
+        let r = timed(&obs, "stage_iv_table2", || tables::table2(&classifier));
+        deg.emit(
+            "table2",
+            r.map(|t| report::render_table("Table II: sample raw logs with recovered tags", &t)),
+        );
     }
     if want("table3") {
-        print(timed(&obs, "stage_iv_table3", || {
-            report::render_table(
-                "Table III: fault tags and categories",
-                &tables::table3().expect("table3"),
-            )
-        }));
+        let r = timed(&obs, "stage_iv_table3", tables::table3);
+        deg.emit(
+            "table3",
+            r.map(|t| report::render_table("Table III: fault tags and categories", &t)),
+        );
     }
     if want("table4") {
-        print(timed(&obs, "stage_iv_table4", || {
-            report::render_table(
-                "Table IV: disengagements by failure category (%)",
-                &tables::table4(&o.tagged).expect("table4"),
-            )
-        }));
+        let r = timed(&obs, "stage_iv_table4", || tables::table4(&o.tagged));
+        deg.emit(
+            "table4",
+            r.map(|t| report::render_table("Table IV: disengagements by failure category (%)", &t)),
+        );
     }
     if want("table5") {
-        print(timed(&obs, "stage_iv_table5", || {
-            report::render_table(
-                "Table V: disengagements by modality (%)",
-                &tables::table5(&o.database).expect("table5"),
-            )
-        }));
+        let r = timed(&obs, "stage_iv_table5", || tables::table5(&o.database));
+        deg.emit(
+            "table5",
+            r.map(|t| report::render_table("Table V: disengagements by modality (%)", &t)),
+        );
     }
     if want("table6") {
-        print(timed(&obs, "stage_iv_table6", || {
-            report::render_table(
-                "Table VI: accidents and DPA",
-                &tables::table6(&o.database).expect("table6"),
-            )
-        }));
+        let r = timed(&obs, "stage_iv_table6", || tables::table6(&o.database));
+        deg.emit(
+            "table6",
+            r.map(|t| report::render_table("Table VI: accidents and DPA", &t)),
+        );
     }
     if want("table7") {
-        print(timed(&obs, "stage_iv_table7", || {
-            report::render_table(
-                "Table VII: reliability vs human drivers",
-                &tables::table7(&o.database).expect("table7"),
-            )
-        }));
+        let r = timed(&obs, "stage_iv_table7", || tables::table7(&o.database));
+        deg.emit(
+            "table7",
+            r.map(|t| report::render_table("Table VII: reliability vs human drivers", &t)),
+        );
     }
     if want("table8") {
-        print(timed(&obs, "stage_iv_table8", || {
-            report::render_table(
-                "Table VIII: reliability vs other safety-critical systems",
-                &tables::table8(&o.database).expect("table8"),
-            )
-        }));
+        let r = timed(&obs, "stage_iv_table8", || tables::table8(&o.database));
+        deg.emit(
+            "table8",
+            r.map(|t| {
+                report::render_table("Table VIII: reliability vs other safety-critical systems", &t)
+            }),
+        );
     }
     if want("fig4") {
-        print(timed(&obs, "stage_iv_fig4", || {
-            report::render_fig4(&figures::fig4(&o.database).expect("fig4"))
-        }));
+        let r = timed(&obs, "stage_iv_fig4", || figures::fig4(&o.database));
+        deg.emit("fig4", r.map(|f| report::render_fig4(&f)));
     }
     if want("fig5") {
         timed(&obs, "stage_iv_fig5", || {
@@ -140,7 +213,7 @@ fn main() -> ExitCode {
             for (m, stack) in &f.stacks {
                 out.push_str(&format!("{}:\n", m.name()));
                 let mut sorted = stack.clone();
-                sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
                 for (tag, frac) in sorted.iter().take(5) {
                     out.push_str(&format!(
                         "    {:<32} {:>5.1}%\n",
@@ -153,25 +226,27 @@ fn main() -> ExitCode {
         });
     }
     if want("fig7") {
-        timed(&obs, "stage_iv_fig7", || {
-            let f = figures::fig7(&o.database).expect("fig7");
-            let mut out = String::from("== Figure 7: per-car DPM by manufacturer and year ==\n");
-            for (m, year, b) in &f.panels {
-                out.push_str(&format!(
-                    "{:<16} {}  median {:.6}  iqr {:.6}\n",
-                    m.name(),
-                    year,
-                    b.median,
-                    b.iqr()
-                ));
-            }
-            print(out);
-        });
+        let r = timed(&obs, "stage_iv_fig7", || figures::fig7(&o.database));
+        deg.emit(
+            "fig7",
+            r.map(|f| {
+                let mut out = String::from("== Figure 7: per-car DPM by manufacturer and year ==\n");
+                for (m, year, b) in &f.panels {
+                    out.push_str(&format!(
+                        "{:<16} {}  median {:.6}  iqr {:.6}\n",
+                        m.name(),
+                        year,
+                        b.median,
+                        b.iqr()
+                    ));
+                }
+                out
+            }),
+        );
     }
     if want("fig8") {
-        print(timed(&obs, "stage_iv_fig8", || {
-            report::render_fig8(&figures::fig8(&o.database).expect("fig8"))
-        }));
+        let r = timed(&obs, "stage_iv_fig8", || figures::fig8(&o.database));
+        deg.emit("fig8", r.map(|f| report::render_fig8(&f)));
     }
     if want("fig9") {
         timed(&obs, "stage_iv_fig9", || {
@@ -191,17 +266,16 @@ fn main() -> ExitCode {
         });
     }
     if want("fig10") {
-        print(timed(&obs, "stage_iv_fig10", || {
-            report::render_fig10(&figures::fig10(&o.database).expect("fig10"))
-        }));
+        let r = timed(&obs, "stage_iv_fig10", || figures::fig10(&o.database));
+        deg.emit("fig10", r.map(|f| report::render_fig10(&f)));
     }
     if want("fig11") {
         timed(&obs, "stage_iv_fig11", || {
             for m in [Manufacturer::MercedesBenz, Manufacturer::Waymo] {
-                match figures::fig11(&o.database, m) {
-                    Ok(panel) => print(report::render_fig11(&panel)),
-                    Err(e) => eprintln!("fig11 {m}: {e}"),
-                }
+                deg.emit(
+                    "fig11",
+                    figures::fig11(&o.database, m).map(|p| report::render_fig11(&p)),
+                );
             }
         });
     }
@@ -212,16 +286,16 @@ fn main() -> ExitCode {
                 figures::SpeedKind::Manual,
                 figures::SpeedKind::Relative,
             ] {
-                print(report::render_fig12(
-                    &figures::fig12(&o.database, kind).expect("fig12"),
-                ));
+                deg.emit(
+                    "fig12",
+                    figures::fig12(&o.database, kind).map(|f| report::render_fig12(&f)),
+                );
             }
         });
     }
     if want("q1") {
-        print(timed(&obs, "stage_iv_q1", || {
-            report::render_q1(&questions::q1_assessment(&o.database).expect("q1"))
-        }));
+        let r = timed(&obs, "stage_iv_q1", || questions::q1_assessment(&o.database));
+        deg.emit("q1", r.map(|q| report::render_q1(&q)));
     }
     if want("q2") {
         print(timed(&obs, "stage_iv_q2", || {
@@ -229,19 +303,16 @@ fn main() -> ExitCode {
         }));
     }
     if want("q3") {
-        print(timed(&obs, "stage_iv_q3", || {
-            report::render_q3(&questions::q3_dynamics(&o.database).expect("q3"))
-        }));
+        let r = timed(&obs, "stage_iv_q3", || questions::q3_dynamics(&o.database));
+        deg.emit("q3", r.map(|q| report::render_q3(&q)));
     }
     if want("q4") {
-        print(timed(&obs, "stage_iv_q4", || {
-            report::render_q4(&questions::q4_alertness(&o.database).expect("q4"))
-        }));
+        let r = timed(&obs, "stage_iv_q4", || questions::q4_alertness(&o.database));
+        deg.emit("q4", r.map(|q| report::render_q4(&q)));
     }
     if want("q5") {
-        print(timed(&obs, "stage_iv_q5", || {
-            report::render_q5(&questions::q5_comparison(&o.database).expect("q5"))
-        }));
+        let r = timed(&obs, "stage_iv_q5", || questions::q5_comparison(&o.database));
+        deg.emit("q5", r.map(|q| report::render_q5(&q)));
     }
     if want("exposure") {
         timed(&obs, "stage_iv_exposure", || {
@@ -270,17 +341,19 @@ fn main() -> ExitCode {
                 coverage.reaction_time * 100.0,
                 coverage.n
             ));
-            if let Ok(t) = exposure::modality_association(&o.database) {
-                out.push_str(&format!(
+            match exposure::modality_association(&o.database) {
+                Ok(t) => out.push_str(&format!(
                     "modality x manufacturer chi-square = {:.0} (df {}, p = {:.2e})\n",
                     t.statistic, t.df, t.p_value
-                ));
+                )),
+                Err(e) => out.push_str(&format!("modality association DEGRADED: {e}\n")),
             }
-            if let Ok(t) = exposure::category_association(&o.tagged) {
-                out.push_str(&format!(
+            match exposure::category_association(&o.tagged) {
+                Ok(t) => out.push_str(&format!(
                     "category x manufacturer chi-square = {:.0} (df {}, p = {:.2e})\n",
                     t.statistic, t.df, t.p_value
-                ));
+                )),
+                Err(e) => out.push_str(&format!("category association DEGRADED: {e}\n")),
             }
             print(out);
         });
@@ -293,14 +366,15 @@ fn main() -> ExitCode {
                 Manufacturer::Nissan,
                 Manufacturer::GmCruise,
             ] {
-                if let Ok(p) = whatif::miles_to_target_dpm(&o.database, m, 1e-4) {
-                    out.push_str(&format!(
+                match whatif::miles_to_target_dpm(&o.database, m, 1e-4) {
+                    Ok(p) => out.push_str(&format!(
                         "{:<14} DPM ~ miles^{:+.2}; extra miles to 1e-4: {}\n",
                         m.name(),
                         p.fit.exponent,
                         p.additional_miles()
                             .map_or("never".to_owned(), |x| format!("{x:.0}"))
-                    ));
+                    )),
+                    Err(e) => out.push_str(&format!("{:<14} DEGRADED: {e}\n", m.name())),
                 }
             }
             if let Ok(g) = whatif::demonstration_gap(&o.database, 0.95) {
@@ -333,12 +407,52 @@ fn main() -> ExitCode {
         });
     }
 
+    if !deg.0.is_empty() {
+        eprintln!(
+            "{} artifact(s) degraded under this run: {}",
+            deg.0.len(),
+            deg.0.join(", ")
+        );
+    }
+
     // Telemetry self-check: refuse to bless a run whose counters do not
     // reconcile across stages (see disengage_core::telemetry::reconcile).
     let snapshot = obs.report();
     let violations = reconcile(&snapshot);
     for v in &violations {
         eprintln!("telemetry reconciliation FAILED: {v}");
+    }
+
+    // Chaos campaigns leave an auditable report on disk and must
+    // account for every injected fault.
+    let mut chaos_ok = true;
+    if let Some(audit) = &o.chaos {
+        if !audit.totals.reconciles() {
+            eprintln!(
+                "chaos ledger FAILED to reconcile: {} injected vs {} corrected + {} quarantined + {} absorbed",
+                audit.totals.injected,
+                audit.totals.corrected,
+                audit.totals.quarantined,
+                audit.totals.absorbed
+            );
+            chaos_ok = false;
+        }
+        let degraded: Vec<String> = deg.0.iter().map(|a| format!("\"{a}\"")).collect();
+        let body = format!(
+            "{{\"audit\":{},\"dict_dropped\":{},\"quarantine_records\":{},\"degraded_artifacts\":[{}]}}",
+            audit.to_json(),
+            snapshot.counter("chaos.dict.dropped"),
+            snapshot.counter("quarantine.records"),
+            degraded.join(",")
+        );
+        let path = "chaos_report.json";
+        match std::fs::write(path, body) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                chaos_ok = false;
+            }
+        }
     }
 
     if tree {
@@ -355,7 +469,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if violations.is_empty() {
+    if violations.is_empty() && chaos_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

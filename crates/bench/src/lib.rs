@@ -4,6 +4,7 @@
 //! artifact from; building one per iteration would swamp the measurement,
 //! so the fixtures here build it once.
 
+use disengage_chaos::FaultPlan;
 use disengage_core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
 use disengage_corpus::CorpusConfig;
 use disengage_obs::Collector;
@@ -21,15 +22,29 @@ pub fn full_scale_outcome() -> PipelineOutcome {
 /// harness shares one collector across the pipeline and every Stage IV
 /// artifact).
 pub fn full_scale_outcome_with(obs: &Collector) -> PipelineOutcome {
-    Pipeline::new(PipelineConfig {
+    Pipeline::new(full_scale_config())
+        .run_with(obs)
+        .expect("full-scale pipeline runs")
+}
+
+/// [`full_scale_outcome_with`] under an armed fault-injection plan (the
+/// `repro --chaos` campaign). A rate-0 plan is inert and reproduces the
+/// clean run byte for byte.
+pub fn full_scale_chaos_outcome_with(obs: &Collector, plan: FaultPlan) -> PipelineOutcome {
+    Pipeline::new(full_scale_config())
+        .with_chaos(plan)
+        .run_with(obs)
+        .expect("full-scale chaos pipeline runs")
+}
+
+fn full_scale_config() -> PipelineConfig {
+    PipelineConfig {
         corpus: CorpusConfig {
             seed: 0x5EED,
             scale: 1.0,
         },
         ..Default::default()
-    })
-    .run_with(obs)
-    .expect("full-scale pipeline runs")
+    }
 }
 
 /// A smaller outcome (~10% scale) for benches where per-iteration work

@@ -1,0 +1,72 @@
+//! Seeded fault injection and resilience auditing for the Stage I–IV
+//! pipeline.
+//!
+//! The paper's premise is surviving messy inputs — scanned DMV PDFs with
+//! OCR noise, twelve manufacturer-specific schemas, free-text causes
+//! that resist tagging. This crate makes that a testable property
+//! instead of a hope: a seeded [`FaultPlan`] perturbs the raw documents
+//! between Stage I (digitization) and Stage II (parsing), and an
+//! [`audit`](crate::audit::audit) pass classifies every injected fault
+//! into exactly one outcome:
+//!
+//! * **corrected** — the pipeline neutralized the fault (the recovered
+//!   records match a fault-free parse of the same document);
+//! * **quarantined** — the fault surfaced as a parse/validation failure
+//!   in the manual-review queue (detected, not silently wrong);
+//! * **absorbed** — the run completed but the output silently differs
+//!   (a dropped row nobody noticed, a duplicated record, a corrupted
+//!   field that still parsed).
+//!
+//! The identity `injected == corrected + quarantined + absorbed` holds
+//! by construction and is enforced by
+//! `disengage_core::telemetry::reconcile` and the `repro --chaos`
+//! campaign runner.
+//!
+//! Fault taxonomy (see `FaultKind`): OCR-style character corruption and
+//! truncation beyond the calibrated CER, dropped/duplicated/reordered
+//! report rows, schema drift (mangled numeric fields and dates, corrupt
+//! section headers), and blanked free-text causes. Two further
+//! injectors sit outside the document path: [`poison`] degrades the
+//! Stage III failure dictionary, and [`degenerate`] produces the
+//! pathological numeric series (empty, constant, NaN-laced) that the
+//! `stats` crate must reject without panicking.
+//!
+//! Everything is a pure function of the plan's seed: rate 0 injects
+//! nothing and byte-identical output to a clean run is guaranteed (and
+//! checked by the campaign runner).
+//!
+//! # Examples
+//!
+//! ```
+//! use disengage_chaos::{inject_documents, FaultPlan};
+//! use disengage_reports::formats::{DocumentKind, RawDocument};
+//! use disengage_reports::{Manufacturer, ReportYear};
+//!
+//! let docs = vec![RawDocument::new(
+//!     Manufacturer::Nissan,
+//!     ReportYear::R2016,
+//!     DocumentKind::Disengagements,
+//!     "car-0: 2016-01-04 auto disengage 0.8s software froze\n",
+//! )];
+//! let plan = FaultPlan::new(1.0, 7); // fault every line
+//! let (faulted, log) = inject_documents(&plan, &docs);
+//! assert_eq!(log.total(), 1);
+//! assert_ne!(faulted[0].text, docs[0].text);
+//!
+//! // Rate 0 is the identity.
+//! let (clean, log) = inject_documents(&FaultPlan::new(0.0, 7), &docs);
+//! assert_eq!(log.total(), 0);
+//! assert_eq!(clean[0].text, docs[0].text);
+//! ```
+
+pub mod audit;
+pub mod degenerate;
+pub mod inject;
+pub mod plan;
+pub mod poison;
+
+pub use audit::{audit, ChaosAudit, KindOutcomes};
+pub use degenerate::DegenerateKind;
+pub use inject::{inject_documents, FaultLog, InjectedFault};
+pub use plan::{FaultKind, FaultPlan};
+pub use poison::poison_dictionary;

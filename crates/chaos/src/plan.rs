@@ -1,0 +1,167 @@
+//! The fault plan: a seeded, `Copy` description of how hard to shake
+//! the pipeline.
+
+use std::fmt;
+
+/// What kind of perturbation an injector applied to a document line.
+///
+/// The taxonomy maps onto the failure modes of the paper's Stage I–II
+/// data path: OCR noise past the calibrated character-error rate
+/// ([`FaultKind::CharNoise`], [`FaultKind::Truncate`]), record-stream
+/// corruption ([`FaultKind::RowDrop`], [`FaultKind::RowDup`],
+/// [`FaultKind::RowSwap`]), schema drift in the manufacturer formats
+/// ([`FaultKind::FieldDrift`]), and free-text causes that vanish before
+/// Stage III can tag them ([`FaultKind::BlankCause`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Random characters replaced with OCR-style confusables/junk.
+    CharNoise,
+    /// The line cut off mid-field (a torn or mis-cropped scan).
+    Truncate,
+    /// The line silently removed (a lost record).
+    RowDrop,
+    /// The line emitted twice (a double scan).
+    RowDup,
+    /// The line swapped with its successor (shuffled pages).
+    RowSwap,
+    /// A numeric or date field mangled out of its valid range.
+    FieldDrift,
+    /// The free-text cause stripped, leaving only structured fields.
+    BlankCause,
+}
+
+impl FaultKind {
+    /// Every fault kind, in injection-weight order.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::CharNoise,
+        FaultKind::Truncate,
+        FaultKind::RowDrop,
+        FaultKind::RowDup,
+        FaultKind::RowSwap,
+        FaultKind::FieldDrift,
+        FaultKind::BlankCause,
+    ];
+
+    /// Stable snake_case name (used as a telemetry key segment).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::CharNoise => "char_noise",
+            FaultKind::Truncate => "truncate",
+            FaultKind::RowDrop => "row_drop",
+            FaultKind::RowDup => "row_dup",
+            FaultKind::RowSwap => "row_swap",
+            FaultKind::FieldDrift => "field_drift",
+            FaultKind::BlankCause => "blank_cause",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A seeded fault-injection plan.
+///
+/// `Copy` on purpose: it rides inside pipeline configuration structs
+/// without breaking their `Copy`/`Clone` derives. The plan is the only
+/// source of randomness for injection — two runs with the same plan
+/// perturb the same lines the same way.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injection RNG (independent of corpus/OCR seeds).
+    pub seed: u64,
+    /// Per-line fault probability in `[0, 1]`. Rate `0` injects
+    /// nothing and leaves every byte untouched.
+    pub rate: f64,
+    /// Bound on OCR dictionary-correction retries under chaos (attempt
+    /// `k` escalates the repair edit-distance, capped at 2).
+    pub repair_attempts: u32,
+}
+
+impl FaultPlan {
+    /// A plan at `rate` with the default repair budget.
+    pub fn new(rate: f64, seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+            repair_attempts: 2,
+        }
+    }
+
+    /// Whether this plan injects anything at all.
+    pub fn active(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// Parses the CLI form `<rate>[,<seed>]` (e.g. `0.05` or `0.05,7`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for a malformed rate/seed or a
+    /// rate outside `[0, 1]`.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let (rate_s, seed_s) = match s.split_once(',') {
+            Some((r, sd)) => (r, Some(sd)),
+            None => (s, None),
+        };
+        let rate: f64 = rate_s
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid chaos rate `{rate_s}`"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("chaos rate {rate} outside [0, 1]"));
+        }
+        let seed: u64 = match seed_s {
+            Some(sd) => sd
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid chaos seed `{sd}`"))?,
+            None => 0xC4A05,
+        };
+        Ok(FaultPlan::new(rate, seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rate_only() {
+        let p = FaultPlan::parse("0.05").unwrap();
+        assert!((p.rate - 0.05).abs() < 1e-12);
+        assert_eq!(p.seed, 0xC4A05);
+    }
+
+    #[test]
+    fn parse_rate_and_seed() {
+        let p = FaultPlan::parse("0.25,42").unwrap();
+        assert!((p.rate - 0.25).abs() < 1e-12);
+        assert_eq!(p.seed, 42);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("lots").is_err());
+        assert!(FaultPlan::parse("1.5").is_err());
+        assert!(FaultPlan::parse("-0.1").is_err());
+        assert!(FaultPlan::parse("0.1,x").is_err());
+    }
+
+    #[test]
+    fn rate_clamped_and_active() {
+        assert!(!FaultPlan::new(0.0, 1).active());
+        assert!(FaultPlan::new(0.5, 1).active());
+        assert_eq!(FaultPlan::new(7.0, 1).rate, 1.0);
+    }
+
+    #[test]
+    fn kind_names_unique_and_stable() {
+        let names: std::collections::BTreeSet<&str> =
+            FaultKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), FaultKind::ALL.len());
+        assert_eq!(FaultKind::RowDrop.to_string(), "row_drop");
+    }
+}

@@ -1,6 +1,29 @@
 use std::error::Error;
 use std::fmt;
 
+/// One record routed to the manual-review queue instead of the database.
+///
+/// The paper's pipeline never discards a row silently: anything a stage
+/// cannot process lands here, tagged with where and why, so an operator
+/// can replay the queue after the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// Pipeline stage that rejected the record (span name, e.g.
+    /// `stage_ii_parse`).
+    pub stage: &'static str,
+    /// Best-effort identity of the rejected record (manufacturer +
+    /// line, document index, …).
+    pub record_id: String,
+    /// Why the stage refused it.
+    pub reason: String,
+}
+
+impl fmt::Display for Quarantined {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.stage, self.record_id, self.reason)
+    }
+}
+
 /// Error type for pipeline and analysis operations.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -13,6 +36,37 @@ pub enum CoreError {
     Report(disengage_reports::ReportError),
     /// An analysis had no data to work with.
     NoData(&'static str),
+    /// A record was rejected into the manual-review queue.
+    Quarantine(Quarantined),
+    /// An artifact could not be produced at full fidelity; the run
+    /// continues with this artifact marked degraded instead of failing.
+    Degraded {
+        /// The artifact that degraded (table, figure, question).
+        artifact: &'static str,
+        /// Why full fidelity was impossible.
+        reason: String,
+    },
+}
+
+impl CoreError {
+    /// Builds a [`CoreError::Degraded`] for `artifact`.
+    pub fn degraded(artifact: &'static str, reason: impl Into<String>) -> CoreError {
+        CoreError::Degraded {
+            artifact,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// Downgrades any error on `result` into [`CoreError::Degraded`] for
+/// `artifact` — the Stage IV contract under chaos: one broken table must
+/// not take the run down, it reports itself degraded and the remaining
+/// artifacts still render.
+pub fn degrade<T>(artifact: &'static str, result: crate::Result<T>) -> crate::Result<T> {
+    result.map_err(|e| match e {
+        already @ CoreError::Degraded { .. } => already,
+        other => CoreError::degraded(artifact, other.to_string()),
+    })
 }
 
 impl fmt::Display for CoreError {
@@ -22,6 +76,10 @@ impl fmt::Display for CoreError {
             CoreError::Frame(e) => write!(f, "dataframe error: {e}"),
             CoreError::Report(e) => write!(f, "report error: {e}"),
             CoreError::NoData(what) => write!(f, "no data for {what}"),
+            CoreError::Quarantine(q) => write!(f, "quarantined: {q}"),
+            CoreError::Degraded { artifact, reason } => {
+                write!(f, "degraded {artifact}: {reason}")
+            }
         }
     }
 }
@@ -32,7 +90,7 @@ impl Error for CoreError {
             CoreError::Stats(e) => Some(e),
             CoreError::Frame(e) => Some(e),
             CoreError::Report(e) => Some(e),
-            CoreError::NoData(_) => None,
+            CoreError::NoData(_) | CoreError::Quarantine(_) | CoreError::Degraded { .. } => None,
         }
     }
 }
@@ -68,6 +126,38 @@ mod tests {
         assert!(e.to_string().contains("dataframe"));
         let e = CoreError::NoData("fig 4");
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn quarantine_and_degraded_render() {
+        let q = CoreError::Quarantine(Quarantined {
+            stage: "stage_ii_parse",
+            record_id: "nissan:17".to_owned(),
+            reason: "malformed line".to_owned(),
+        });
+        assert!(q.to_string().contains("stage_ii_parse"));
+        assert!(q.source().is_none());
+        let d = CoreError::degraded("table VII", "weibull fit refused constant sample");
+        assert!(d.to_string().contains("degraded table VII"));
+    }
+
+    #[test]
+    fn degrade_wraps_and_preserves() {
+        let r: crate::Result<()> = Err(disengage_stats::StatsError::EmptyInput.into());
+        match degrade("fig 9", r) {
+            Err(CoreError::Degraded { artifact, reason }) => {
+                assert_eq!(artifact, "fig 9");
+                assert!(reason.contains("statistics"));
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        // Already-degraded errors pass through untouched.
+        let r: crate::Result<()> = Err(CoreError::degraded("fig 4", "n = 0"));
+        match degrade("fig 9", r) {
+            Err(CoreError::Degraded { artifact, .. }) => assert_eq!(artifact, "fig 4"),
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        assert_eq!(degrade("fig 9", Ok(7)).unwrap(), 7);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod tagging;
 pub mod telemetry;
 pub mod whatif;
 
-pub use error::CoreError;
+pub use error::{degrade, CoreError, Quarantined};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
 
 /// Convenience result alias used throughout the crate.

@@ -9,8 +9,10 @@
 //! to the analyses in [`crate::questions`], [`crate::tables`], and
 //! [`crate::figures`].
 
+use crate::error::Quarantined;
 use crate::tagging::{tag_records_with, TaggedDisengagement};
 use crate::Result;
+use disengage_chaos::{audit, inject_documents, poison_dictionary, ChaosAudit, FaultKind, FaultPlan};
 use disengage_corpus::{Corpus, CorpusConfig, CorpusGenerator};
 use disengage_nlp::Classifier;
 use disengage_obs::{Collector, TelemetryReport};
@@ -84,6 +86,13 @@ pub struct PipelineOutcome {
     pub tagged: Vec<TaggedDisengagement>,
     /// Per-line parse failures (the manual-review queue).
     pub parse_failures: Vec<ReportError>,
+    /// The structured quarantine lane: every record a stage rejected,
+    /// tagged with the stage and reason (same events as
+    /// `parse_failures`, in review-queue form).
+    pub quarantined: Vec<Quarantined>,
+    /// Fault-injection audit (`None` unless the run had an active
+    /// chaos plan; see [`Pipeline::with_chaos`]).
+    pub chaos: Option<ChaosAudit>,
     /// OCR statistics (`None` under [`OcrMode::Passthrough`]).
     pub ocr: Option<OcrStats>,
     /// Telemetry snapshot for the run: per-stage spans, counters,
@@ -108,6 +117,7 @@ impl PipelineOutcome {
 pub struct Pipeline {
     config: PipelineConfig,
     classifier: Classifier,
+    chaos: Option<FaultPlan>,
 }
 
 impl Pipeline {
@@ -116,17 +126,38 @@ impl Pipeline {
         Pipeline {
             config,
             classifier: Classifier::with_default_dictionary(),
+            chaos: None,
         }
     }
 
     /// Builds a pipeline with a custom classifier (dictionary ablations).
     pub fn with_classifier(config: PipelineConfig, classifier: Classifier) -> Pipeline {
-        Pipeline { config, classifier }
+        Pipeline {
+            config,
+            classifier,
+            chaos: None,
+        }
+    }
+
+    /// Arms a fault-injection plan: documents are perturbed between
+    /// Stage I and Stage II, the failure dictionary is poisoned, and
+    /// the run carries a [`ChaosAudit`] reconciling every injected
+    /// fault against its outcome. A plan with rate 0 is inert — the
+    /// run is byte-identical to one with no plan at all.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Pipeline {
+        self.chaos = Some(plan);
+        self
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    /// The active fault plan, if the run is a chaos campaign.
+    fn active_chaos(&self) -> Option<FaultPlan> {
+        self.chaos.filter(FaultPlan::active)
     }
 
     /// Runs Stages I–III and returns the consolidated outcome.
@@ -201,8 +232,15 @@ impl Pipeline {
                             let recognized = engine.recognize(&page);
                             let text = match &corrector {
                                 Some(c) => {
-                                    let (fixed, hits) = c.correct_text_counted(&recognized.text);
-                                    obs.add("ocr.corrections", hits);
+                                    // Under chaos the plan buys extra repair
+                                    // attempts (escalating edit distance);
+                                    // a clean run keeps the single pass.
+                                    let attempts = self
+                                        .active_chaos()
+                                        .map_or(1, |p| p.repair_attempts.max(1));
+                                    let (fixed, per_attempt) =
+                                        c.correct_text_bounded(&recognized.text, attempts);
+                                    record_repair_attempts(obs, &per_attempt);
                                     fixed
                                 }
                                 None => recognized.text.clone(),
@@ -234,6 +272,41 @@ impl Pipeline {
                 }
             };
 
+            // Chaos: perturb the digitized batch between Stage I and
+            // Stage II (where real corruption enters), run the bounded
+            // dictionary-repair ladder over it, and audit every fault
+            // against its outcome.
+            let (documents, chaos_audit) = match self.active_chaos() {
+                None => (documents, None),
+                Some(plan) => {
+                    let mut span = obs.span("chaos_inject");
+                    span.field("rate_pct", (plan.rate * 100.0) as u64);
+                    span.field("seed", plan.seed);
+                    obs.gauge("chaos.rate", plan.rate);
+                    let (faulted, log) = inject_documents(&plan, &documents);
+                    obs.add("chaos.injected.total", log.total());
+                    for kind in FaultKind::ALL {
+                        obs.add(&format!("chaos.injected.{}", kind.name()), log.count(kind));
+                    }
+                    let corrector = default_corrector();
+                    let repaired: Vec<RawDocument> = faulted
+                        .iter()
+                        .map(|doc| {
+                            let (fixed, per_attempt) =
+                                corrector.correct_text_bounded(&doc.text, plan.repair_attempts);
+                            record_repair_attempts(obs, &per_attempt);
+                            RawDocument::new(doc.manufacturer, doc.report_year, doc.kind, fixed)
+                        })
+                        .collect();
+                    let audited = audit(&plan, &log, &documents, &repaired);
+                    obs.add("chaos.outcome.corrected", audited.totals.corrected);
+                    obs.add("chaos.outcome.quarantined", audited.totals.quarantined);
+                    obs.add("chaos.outcome.absorbed", audited.totals.absorbed);
+                    span.field("faults", log.total());
+                    (repaired, Some(audited))
+                }
+            };
+
             // Stage II: parse + filter + normalize.
             let (database, failures) = {
                 let mut span = obs.span("stage_ii_parse");
@@ -253,22 +326,53 @@ impl Pipeline {
                 (database, normalized.failures)
             };
 
-            // Stage III: NLP tagging.
+            // Stage III: NLP tagging. Under chaos the dictionary is
+            // poisoned first — the classifier must keep answering
+            // (degrading to Unknown-T), never fail.
             let tagged = {
                 let mut span = obs.span("stage_iii_tag");
                 for name in ["nlp.tagged", "nlp.unknown_t"] {
                     obs.add(name, 0);
                 }
-                let tagged = tag_records_with(&self.classifier, database.disengagements(), obs);
+                let classifier = match self.active_chaos() {
+                    Some(plan) => {
+                        let (dict, dropped) =
+                            poison_dictionary(&plan, self.classifier.dictionary());
+                        obs.add("chaos.dict.dropped", dropped);
+                        span.field("dict_dropped", dropped);
+                        Classifier::new(dict)
+                    }
+                    None => self.classifier.clone(),
+                };
+                let tagged = tag_records_with(&classifier, database.disengagements(), obs);
                 span.field("tagged", tagged.len() as u64);
                 tagged
             };
+
+            // The structured quarantine lane: one entry per rejected
+            // record, attributed to the stage that refused it.
+            let quarantined: Vec<Quarantined> = failures
+                .iter()
+                .map(|e| Quarantined {
+                    stage: "stage_ii_parse",
+                    record_id: match e {
+                        ReportError::MalformedLine {
+                            manufacturer, line, ..
+                        } => format!("{manufacturer}:{line}"),
+                        _ => "unattributed".to_owned(),
+                    },
+                    reason: e.to_string(),
+                })
+                .collect();
+            obs.add("quarantine.records", quarantined.len() as u64);
 
             PipelineOutcome {
                 corpus,
                 database,
                 tagged,
                 parse_failures: failures,
+                quarantined,
+                chaos: chaos_audit,
                 ocr: ocr_stats,
                 telemetry: TelemetryReport::default(),
             }
@@ -280,6 +384,15 @@ impl Pipeline {
             ..outcome
         })
     }
+}
+
+/// Records the per-attempt hit counts of one bounded repair ladder:
+/// `ocr.correct.attempt<k>` per rung, `ocr.corrections` in total.
+fn record_repair_attempts(obs: &Collector, per_attempt: &[u64]) {
+    for (k, &hits) in per_attempt.iter().enumerate() {
+        obs.add(&format!("ocr.correct.attempt{}", k + 1), hits);
+    }
+    obs.add("ocr.corrections", per_attempt.iter().sum());
 }
 
 /// The post-correction vocabulary: every word of the failure dictionary
@@ -457,6 +570,44 @@ mod tests {
             with.recovery_rate(),
             without.recovery_rate()
         );
+    }
+
+    #[test]
+    fn chaos_rate_zero_is_byte_identical() {
+        let clean = Pipeline::new(small(0.05)).run().unwrap();
+        let zero = Pipeline::new(small(0.05))
+            .with_chaos(FaultPlan::new(0.0, 42))
+            .run()
+            .unwrap();
+        assert_eq!(
+            format!("{:?}", clean.database),
+            format!("{:?}", zero.database)
+        );
+        assert_eq!(clean.tagged, zero.tagged);
+        assert!(zero.chaos.is_none(), "inert plan must not audit");
+        assert_eq!(zero.telemetry.counter("chaos.injected.total"), 0);
+    }
+
+    #[test]
+    fn chaos_run_audits_and_reconciles() {
+        let outcome = Pipeline::new(small(0.05))
+            .with_chaos(FaultPlan::new(0.05, 7))
+            .run()
+            .unwrap();
+        let audit = outcome.chaos.as_ref().expect("active plan must audit");
+        assert!(audit.totals.injected > 0, "rate 0.05 injected nothing");
+        assert!(audit.totals.reconciles(), "{audit:?}");
+        assert_eq!(
+            outcome.telemetry.counter("chaos.injected.total"),
+            audit.totals.injected
+        );
+        let violations = crate::telemetry::reconcile(&outcome.telemetry);
+        assert!(violations.is_empty(), "{violations:?}");
+        // The quarantine lane mirrors the parse-failure queue.
+        assert_eq!(outcome.quarantined.len(), outcome.parse_failures.len());
+        for q in &outcome.quarantined {
+            assert_eq!(q.stage, "stage_ii_parse");
+        }
     }
 
     #[test]

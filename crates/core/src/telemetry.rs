@@ -39,11 +39,17 @@ pub fn timed<T>(obs: &Collector, name: &str, f: impl FnOnce() -> T) -> T {
 /// * per-tag verdict counters partition the verdicts:
 ///   `nlp.tagged == Σ nlp.tag.*`.
 ///
+/// Chaos campaigns (counter `chaos.injected.total > 0`) add a fourth
+/// identity — every injected fault received exactly one outcome:
+/// `chaos.injected.total == chaos.outcome.corrected +
+/// chaos.outcome.quarantined + chaos.outcome.absorbed`.
+///
 /// Under passthrough OCR (gauge `pipeline.passthrough == 1`) the scan
 /// is pristine, so recovery must be exact as well:
 /// `corpus.disengagements == parse.dis.lines` and
 /// `corpus.accidents == parse.acc.parsed`. Simulated noise legitimately
-/// loses lines, so those identities are skipped there.
+/// loses lines — and chaos corrupts them on purpose — so those
+/// identities are skipped there.
 pub fn reconcile(report: &TelemetryReport) -> Vec<String> {
     let mut violations = Vec::new();
     let mut check = |label: &str, left: (&str, u64), right: (&str, u64)| {
@@ -74,7 +80,25 @@ pub fn reconcile(report: &TelemetryReport) -> Vec<String> {
         ("sum(nlp.tag.*)", report.counter_prefix_sum("nlp.tag.")),
     );
 
-    if report.gauge("pipeline.passthrough") == Some(1.0) {
+    // Chaos runs carry a fourth identity: every injected fault got
+    // exactly one outcome. Deliberate corruption also voids the
+    // pristine-scan recovery guarantees below, so they are skipped.
+    let injected = report.counter("chaos.injected.total");
+    if injected > 0 {
+        let corrected = report.counter("chaos.outcome.corrected");
+        let quarantined = report.counter("chaos.outcome.quarantined");
+        let absorbed = report.counter("chaos.outcome.absorbed");
+        check(
+            "chaos outcome partition",
+            ("chaos.injected.total", injected),
+            (
+                "chaos.outcome.corrected + .quarantined + .absorbed",
+                corrected + quarantined + absorbed,
+            ),
+        );
+    }
+
+    if report.gauge("pipeline.passthrough") == Some(1.0) && injected == 0 {
         check(
             "passthrough disengagement recovery",
             ("corpus.disengagements", report.counter("corpus.disengagements")),
@@ -135,6 +159,34 @@ mod tests {
         r.gauges.insert("pipeline.passthrough".into(), 1.0);
         let v = reconcile(&r);
         assert!(v.iter().any(|m| m.contains("disengagement recovery")), "{v:?}");
+    }
+
+    #[test]
+    fn chaos_partition_checked_only_when_injecting() {
+        let mut r = balanced();
+        assert!(reconcile(&r).is_empty());
+        r.counters.insert("chaos.injected.total".into(), 12);
+        r.counters.insert("chaos.outcome.corrected".into(), 5);
+        r.counters.insert("chaos.outcome.quarantined".into(), 4);
+        r.counters.insert("chaos.outcome.absorbed".into(), 3);
+        assert!(reconcile(&r).is_empty(), "{:?}", reconcile(&r));
+        r.counters.insert("chaos.outcome.absorbed".into(), 2);
+        let v = reconcile(&r);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("chaos outcome partition"));
+    }
+
+    #[test]
+    fn chaos_voids_passthrough_recovery_checks() {
+        let mut r = balanced();
+        r.gauges.insert("pipeline.passthrough".into(), 1.0);
+        r.counters.insert("corpus.disengagements".into(), 99);
+        assert!(!reconcile(&r).is_empty(), "mismatch should trip cleanly");
+        // Same mismatch under an active chaos plan: corruption is
+        // deliberate, the recovery identity no longer applies.
+        r.counters.insert("chaos.injected.total".into(), 3);
+        r.counters.insert("chaos.outcome.corrected".into(), 3);
+        assert!(reconcile(&r).is_empty(), "{:?}", reconcile(&r));
     }
 
     #[test]

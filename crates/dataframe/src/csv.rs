@@ -49,9 +49,22 @@ pub fn read_str(text: &str) -> Result<DataFrame> {
     let mut columns = Vec::with_capacity(header.len());
     for (c, name) in header.into_iter().enumerate() {
         let fields: Vec<&str> = rows.iter().map(|r| r[c].as_str()).collect();
-        columns.push((name, infer_column(&fields)));
+        let col = build_column(&name, &fields)?;
+        columns.push((name, col));
     }
     DataFrame::new(columns)
+}
+
+/// Parses raw bytes as CSV, converting non-UTF-8 junk losslessly into
+/// replacement characters first — a corrupted scan or a binary blob in
+/// the interchange directory yields positioned parse errors (or a frame
+/// with `�` in the affected cells), never a panic or a hard I/O error.
+///
+/// # Errors
+///
+/// Everything [`read_str`] can return.
+pub fn read_bytes(bytes: &[u8]) -> Result<DataFrame> {
+    read_str(&String::from_utf8_lossy(bytes))
 }
 
 /// Reads a CSV file into a [`DataFrame`].
@@ -61,8 +74,8 @@ pub fn read_str(text: &str) -> Result<DataFrame> {
 /// [`FrameError::Io`] on filesystem failure, plus everything
 /// [`read_str`] can return.
 pub fn read_file<P: AsRef<Path>>(path: P) -> Result<DataFrame> {
-    let text = std::fs::read_to_string(path)?;
-    read_str(&text)
+    let bytes = std::fs::read(path)?;
+    read_bytes(&bytes)
 }
 
 /// Serializes a frame to CSV text (with header).
@@ -173,8 +186,9 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
 }
 
 /// Infers the tightest column type for the string fields and builds the
-/// column. Empty fields are nulls in every type.
-fn infer_column(fields: &[&str]) -> Column {
+/// column. Empty fields are nulls in every type. Errors carry the cell
+/// position (1-based line, header is line 1) rather than panicking.
+fn build_column(name: &str, fields: &[&str]) -> Result<Column> {
     let non_empty: Vec<&str> = fields.iter().copied().filter(|f| !f.is_empty()).collect();
     let dtype = if non_empty.is_empty() {
         DType::Str
@@ -190,21 +204,33 @@ fn infer_column(fields: &[&str]) -> Column {
     } else {
         DType::Str
     };
+    let cell_err = |row: usize, message: String| FrameError::CsvCell {
+        line: row + 2,
+        column: name.to_owned(),
+        message,
+    };
     let mut col = Column::empty(dtype);
-    for &f in fields {
+    for (row, &f) in fields.iter().enumerate() {
         let value = if f.is_empty() {
             Value::Null
         } else {
             match dtype {
-                DType::Int => Value::Int(f.parse().expect("checked")),
-                DType::Float => Value::Float(f.parse().expect("checked")),
+                DType::Int => Value::Int(
+                    f.parse()
+                        .map_err(|e| cell_err(row, format!("`{f}` is not an integer: {e}")))?,
+                ),
+                DType::Float => Value::Float(
+                    f.parse()
+                        .map_err(|e| cell_err(row, format!("`{f}` is not a number: {e}")))?,
+                ),
                 DType::Bool => Value::Bool(f.eq_ignore_ascii_case("true")),
                 DType::Str => Value::Str(f.to_owned()),
             }
         };
-        col.push(value).expect("inferred type admits value");
+        col.push(value)
+            .map_err(|e| cell_err(row, format!("inferred {dtype:?} rejected `{f}`: {e}")))?;
     }
-    col
+    Ok(col)
 }
 
 #[cfg(test)]
@@ -315,6 +341,43 @@ mod tests {
         let df = read_str("x,y\n,1\n,2\n").unwrap();
         assert_eq!(df.column("x").unwrap().dtype(), DType::Str);
         assert_eq!(df.column("x").unwrap().null_count(), 2);
+    }
+
+    #[test]
+    fn non_utf8_bytes_read_lossy_never_panic() {
+        // 0xFF 0xFE is invalid UTF-8 mid-cell; the bytes still parse,
+        // with replacement characters standing in for the junk.
+        let mut bytes = b"maker,miles\nway".to_vec();
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        bytes.extend_from_slice(b"mo,100.5\n");
+        let df = read_bytes(&bytes).unwrap();
+        assert_eq!(df.n_rows(), 1);
+        match df.get(0, "maker").unwrap() {
+            Value::Str(s) => assert!(s.contains('\u{FFFD}'), "{s}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(df.get(0, "miles").unwrap(), Value::Float(100.5));
+    }
+
+    #[test]
+    fn non_utf8_ragged_bytes_positioned_error() {
+        let mut bytes = b"a,b\n1,2\n".to_vec();
+        bytes.extend_from_slice(&[0xC0, 0xAF]); // junk-only short row
+        bytes.push(b'\n');
+        match read_bytes(&bytes) {
+            Err(FrameError::CsvParse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cell_error_positions() {
+        let e = FrameError::CsvCell {
+            line: 4,
+            column: "miles".into(),
+            message: "bad".into(),
+        };
+        assert_eq!(e.to_string(), "csv cell error at line 4, column `miles`: bad");
     }
 
     #[test]

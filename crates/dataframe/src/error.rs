@@ -46,6 +46,15 @@ pub enum FrameError {
         /// Description of the problem.
         message: String,
     },
+    /// A CSV cell could not be converted to its column's type.
+    CsvCell {
+        /// 1-based line number (header is line 1).
+        line: usize,
+        /// Name of the column the cell belongs to.
+        column: String,
+        /// Description of the problem.
+        message: String,
+    },
     /// An operation that requires rows was applied to an empty frame.
     Empty(&'static str),
     /// An aggregation could not be computed (e.g. mean of a non-numeric
@@ -85,6 +94,11 @@ impl fmt::Display for FrameError {
             FrameError::CsvParse { line, message } => {
                 write!(f, "csv parse error at line {line}: {message}")
             }
+            FrameError::CsvCell {
+                line,
+                column,
+                message,
+            } => write!(f, "csv cell error at line {line}, column `{column}`: {message}"),
             FrameError::Empty(op) => write!(f, "operation `{op}` requires a non-empty frame"),
             FrameError::BadAggregation { column, message } => {
                 write!(f, "cannot aggregate column `{column}`: {message}")

@@ -80,6 +80,46 @@ impl Corrector {
     pub fn correct_word(&self, word: &str) -> String {
         // Split into (leading punctuation, core, trailing punctuation) so
         // "vehicle," repairs "vehicle" and keeps the comma.
+        self.correct_word_within(word, 1)
+    }
+
+    /// Repairs `core` against the vocabulary at exactly edit distance
+    /// `distance`: unknown words with a *unique* candidate snap to it;
+    /// ambiguity leaves the word alone (a wrong repair is worse than a
+    /// missing one).
+    fn correct_core_within(&self, core: &str, distance: usize) -> String {
+        if core.is_empty()
+            || self.knows(core)
+            || !core.chars().any(|c| c.is_ascii_alphabetic())
+        {
+            return core.to_owned();
+        }
+        // Beyond distance 1, digit-bearing cores are off limits: an OCR
+        // digit↔letter confusion is a single substitution, while a
+        // two-edit "repair" of an identifier like `car-7` would snap it
+        // to a dictionary word and corrupt the record.
+        if distance > 1 && core.chars().any(|c| c.is_ascii_digit()) {
+            return core.to_owned();
+        }
+        let mut candidate: Option<&String> = None;
+        for v in &self.vocabulary {
+            // Cheap length prefilter before the DP.
+            if v.chars().count().abs_diff(core.chars().count()) > distance {
+                continue;
+            }
+            if edit_distance(core, v) == distance {
+                if candidate.is_some() {
+                    return core.to_owned(); // ambiguous: leave it
+                }
+                candidate = Some(v);
+            }
+        }
+        candidate.cloned().unwrap_or_else(|| core.to_owned())
+    }
+
+    /// Corrects one word at a given repair distance (see
+    /// [`Corrector::correct_word`], which is the distance-1 form).
+    fn correct_word_within(&self, word: &str, distance: usize) -> String {
         let start = word
             .find(|c: char| c.is_ascii_alphanumeric())
             .unwrap_or(word.len());
@@ -88,35 +128,12 @@ impl Corrector {
             .map_or(start, |i| i + word[i..].chars().next().map_or(1, char::len_utf8));
         let (prefix, rest) = word.split_at(start);
         let (core, suffix) = rest.split_at(end.saturating_sub(start));
-        let fixed = self.correct_core(core);
+        let fixed = self.correct_core_within(core, distance);
         if fixed == core {
             word.to_owned()
         } else {
             format!("{prefix}{fixed}{suffix}")
         }
-    }
-
-    fn correct_core(&self, core: &str) -> String {
-        if core.is_empty()
-            || self.knows(core)
-            || !core.chars().any(|c| c.is_ascii_alphabetic())
-        {
-            return core.to_owned();
-        }
-        let mut candidate: Option<&String> = None;
-        for v in &self.vocabulary {
-            // Cheap length prefilter before the DP.
-            if v.chars().count().abs_diff(core.chars().count()) > 1 {
-                continue;
-            }
-            if edit_distance(core, v) == 1 {
-                if candidate.is_some() {
-                    return core.to_owned(); // ambiguous: leave it
-                }
-                candidate = Some(v);
-            }
-        }
-        candidate.cloned().unwrap_or_else(|| core.to_owned())
     }
 
     /// Corrects every whitespace-delimited word of a text, preserving the
@@ -129,24 +146,51 @@ impl Corrector {
     /// repaired — the correction-hit count the pipeline telemetry
     /// reports per run.
     pub fn correct_text_counted(&self, text: &str) -> (String, u64) {
-        let mut hits = 0u64;
-        let out = text
-            .lines()
-            .map(|line| {
-                line.split(' ')
-                    .map(|w| {
-                        let fixed = self.correct_word(w);
-                        if fixed != w {
-                            hits += 1;
-                        }
-                        fixed
-                    })
-                    .collect::<Vec<_>>()
-                    .join(" ")
-            })
-            .collect::<Vec<_>>()
-            .join("\n");
-        (out, hits)
+        let (out, attempts) = self.correct_text_bounded(text, 1);
+        (out, attempts.first().copied().unwrap_or(0))
+    }
+
+    /// Bounded-retry correction: attempt `k` repairs words still
+    /// unknown after attempt `k − 1`, at repair edit distance `k`
+    /// (capped at 2 — beyond that, "repairs" are fabrications).
+    /// Returns the corrected text plus the per-attempt hit counts; the
+    /// ladder stops early once an attempt repairs nothing.
+    ///
+    /// This is the degraded-scan path: past the calibrated CER a single
+    /// distance-1 pass leaves too many words broken, and a second,
+    /// more aggressive pass buys real recovery at bounded risk.
+    pub fn correct_text_bounded(&self, text: &str, max_attempts: u32) -> (String, Vec<u64>) {
+        let mut current = text.to_owned();
+        let mut per_attempt = Vec::new();
+        for attempt in 1..=max_attempts.max(1) {
+            let distance = (attempt as usize).min(2);
+            let mut hits = 0u64;
+            let out = current
+                .lines()
+                .map(|line| {
+                    line.split(' ')
+                        .map(|w| {
+                            let fixed = self.correct_word_within(w, distance);
+                            if fixed != w {
+                                hits += 1;
+                            }
+                            fixed
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            per_attempt.push(hits);
+            current = out;
+            // A dry attempt ends the ladder only once the distance has
+            // stopped rising — a fruitless distance-1 pass says nothing
+            // about what distance 2 can still recover.
+            if hits == 0 && distance >= 2 {
+                break;
+            }
+        }
+        (current, per_attempt)
     }
 }
 
@@ -207,6 +251,56 @@ mod tests {
         let (clean, none) = c.correct_text_counted("software module froze");
         assert_eq!(clean, "software module froze");
         assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn bounded_retry_reaches_distance_two() {
+        let c = corrector();
+        // "watchdqq" is distance 2 from "watchdog": one pass leaves it,
+        // the second (distance-2) pass repairs it.
+        let (one, hits1) = c.correct_text_bounded("watchdqq error", 1);
+        assert_eq!(one, "watchdqq error");
+        assert_eq!(hits1, vec![0]);
+        let (two, hits2) = c.correct_text_bounded("watchdqq error", 2);
+        assert_eq!(two, "watchdog error");
+        assert_eq!(hits2, vec![0, 1]);
+    }
+
+    #[test]
+    fn bounded_retry_stops_early_when_dry() {
+        let c = corrector();
+        // Attempt 1 repairs everything; attempt 2 finds nothing and the
+        // ladder stops — no attempt 3 even with max_attempts = 4.
+        let (fixed, hits) = c.correct_text_bounded("watchd0g err0r", 4);
+        assert_eq!(fixed, "watchdog error");
+        assert_eq!(hits, vec![2, 0]);
+    }
+
+    #[test]
+    fn bounded_retry_distance_capped_at_two() {
+        let c = corrector();
+        // Distance 3 from every vocabulary word: never repaired no
+        // matter how many attempts (the cap keeps repairs honest).
+        let (fixed, _) = c.correct_text_bounded("errqqq", 5);
+        assert_eq!(fixed, "errqqq");
+    }
+
+    #[test]
+    fn digit_bearing_words_never_repaired_beyond_distance_one() {
+        let c = corrector();
+        // "w4tchd0g" is two digit substitutions from "watchdog", but a
+        // two-edit repair of a digit-bearing token is forbidden — it
+        // could just as well be an identifier.
+        let (fixed, _) = c.correct_text_bounded("w4tchd0g car-7", 3);
+        assert_eq!(fixed, "w4tchd0g car-7");
+    }
+
+    #[test]
+    fn bounded_zero_attempts_behaves_like_one() {
+        let c = corrector();
+        let (fixed, hits) = c.correct_text_bounded("err0r", 0);
+        assert_eq!(fixed, "error");
+        assert_eq!(hits, vec![1]);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Offline verification: tier-1 build + tests with warnings denied, the
-# full workspace test suite, and the repro harness's telemetry
-# self-check (nonzero exit if the pipeline's counters fail to
-# reconcile). No network access is required at any step.
+# full workspace test suite, the repro harness's telemetry self-check
+# (nonzero exit if the pipeline's counters fail to reconcile), and a
+# seeded chaos smoke campaign (nonzero exit on any panic, unreconciled
+# fault ledger, or rate-0 divergence from the clean run). No network
+# access is required at any step.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,5 +23,17 @@ cargo test --workspace -q --offline
 echo "== repro telemetry self-check (counter reconciliation) =="
 cargo run --release --offline -p disengage-bench --bin repro -- \
     table1 --telemetry=json >/dev/null
+
+echo "== chaos smoke: seeded fault-injection campaign =="
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    --chaos=0.05,7 >/dev/null
+test -s chaos_report.json || {
+    echo "verify: chaos campaign wrote no chaos_report.json" >&2
+    exit 1
+}
+
+echo "== chaos smoke: rate 0 must match the clean run =="
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    --chaos=0 >/dev/null
 
 echo "verify: OK"

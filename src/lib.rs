@@ -18,6 +18,8 @@
 //! * [`reports`] — uniform report schema and per-manufacturer parsers
 //!   (Stage II).
 //! * [`stpa`] — STPA hierarchical control-structure model of the AV.
+//! * [`chaos`] — seeded fault injection + outcome auditing (the
+//!   `repro --chaos` resilience campaign).
 //! * [`obs`] — zero-dependency tracing/metrics substrate (spans,
 //!   counters, histograms, exporters) threaded through the pipeline.
 //! * [`core`] — the wired pipeline plus every table/figure reproduction
@@ -37,6 +39,7 @@
 //! # }
 //! ```
 
+pub use disengage_chaos as chaos;
 pub use disengage_corpus as corpus;
 pub use disengage_core as core;
 pub use disengage_dataframe as dataframe;

@@ -1,0 +1,162 @@
+//! Seeded chaos properties across the whole pipeline.
+//!
+//! Same discipline as `tests/properties.rs`: a few hundred cases drawn
+//! from fixed seeds, exactly reproducible, zero external dependencies.
+//! The contract under fault injection is threefold:
+//!
+//! 1. a no-fault plan is *inert* — the outcome is identical to a run
+//!    with no plan at all;
+//! 2. every injected fault is accounted for — corrected, quarantined,
+//!    or absorbed, with the ledger reconciling exactly;
+//! 3. the pipeline and the stats substrate *never panic*, no matter
+//!    what the injectors produce (guarded by `catch_unwind`).
+
+use disengage::chaos::{inject_documents, poison_dictionary, DegenerateKind, FaultPlan};
+use disengage::core::pipeline::{Pipeline, PipelineConfig};
+use disengage::core::telemetry::reconcile;
+use disengage::corpus::CorpusConfig;
+use disengage::nlp::{Classifier, FailureDictionary, FaultTag};
+use disengage::stats::dist::Exponential;
+use disengage::stats::fit::{fit_exponential, fit_exponentiated_weibull, fit_weibull};
+use disengage::stats::ks::{ks_test, ks_two_sample};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn config(seed: u64) -> PipelineConfig {
+    PipelineConfig {
+        corpus: CorpusConfig { seed, scale: 0.03 },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn no_fault_plan_is_inert() {
+    for seed in 0..6u64 {
+        let clean = Pipeline::new(config(seed)).run().expect("clean run");
+        let zero = Pipeline::new(config(seed))
+            .with_chaos(FaultPlan::new(0.0, seed ^ 0xABC))
+            .run()
+            .expect("rate-0 run");
+        assert_eq!(
+            format!("{:?}", clean.database),
+            format!("{:?}", zero.database),
+            "seed {seed}: rate-0 chaos changed the database"
+        );
+        assert_eq!(clean.tagged, zero.tagged, "seed {seed}");
+        assert_eq!(clean.parse_failures, zero.parse_failures, "seed {seed}");
+        assert!(zero.chaos.is_none(), "seed {seed}: inert plan audited");
+    }
+}
+
+#[test]
+fn every_fault_corrected_quarantined_or_absorbed_never_a_panic() {
+    let mut rng = StdRng::seed_from_u64(0xFA17);
+    for case in 0..8u64 {
+        let rate = rng.gen_range(0.01..0.3);
+        let plan = FaultPlan::new(rate, 0x1000 + case);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Pipeline::new(config(case))
+                .with_chaos(plan)
+                .run()
+                .expect("chaos run returns, never panics")
+        }));
+        let outcome = result.unwrap_or_else(|_| {
+            panic!("case {case}: pipeline panicked under chaos rate {rate:.3}")
+        });
+        let audit = outcome.chaos.expect("active plan audits");
+        assert!(
+            audit.totals.reconciles(),
+            "case {case} rate {rate:.3}: {:?}",
+            audit.totals
+        );
+        for (kind, o) in &audit.per_kind {
+            assert!(o.reconciles(), "case {case} kind {kind}: {o:?}");
+        }
+        let violations = reconcile(&outcome.telemetry);
+        assert!(violations.is_empty(), "case {case}: {violations:?}");
+        // The quarantine lane mirrors the failure queue one-to-one.
+        assert_eq!(outcome.quarantined.len(), outcome.parse_failures.len());
+    }
+}
+
+#[test]
+fn chaos_runs_are_deterministic() {
+    let plan = FaultPlan::new(0.12, 0xD5);
+    let a = Pipeline::new(config(3)).with_chaos(plan).run().unwrap();
+    let b = Pipeline::new(config(3)).with_chaos(plan).run().unwrap();
+    assert_eq!(format!("{:?}", a.database), format!("{:?}", b.database));
+    assert_eq!(a.tagged, b.tagged);
+    assert_eq!(a.chaos, b.chaos);
+}
+
+#[test]
+fn injection_only_touches_documents_it_logs() {
+    // Documents with no logged fault come through byte-identical.
+    for seed in 0..12u64 {
+        let corpus = disengage::corpus::CorpusGenerator::new(CorpusConfig { seed, scale: 0.02 })
+            .generate();
+        let plan = FaultPlan::new(0.1, seed * 31 + 7);
+        let (faulted, log) = inject_documents(&plan, &corpus.documents);
+        assert_eq!(faulted.len(), corpus.documents.len());
+        let touched: std::collections::BTreeSet<usize> =
+            log.faults.iter().map(|f| f.doc).collect();
+        for (d, (clean, chaos)) in corpus.documents.iter().zip(&faulted).enumerate() {
+            if !touched.contains(&d) {
+                assert_eq!(clean.text, chaos.text, "seed {seed} doc {d} silently changed");
+            }
+        }
+    }
+}
+
+#[test]
+fn stats_substrate_never_panics_on_degenerate_series() {
+    for kind in DegenerateKind::ALL {
+        for seed in 0..4u64 {
+            let xs = kind.series(seed, 24);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let _ = fit_exponential(&xs);
+                let _ = fit_weibull(&xs);
+                let _ = fit_exponentiated_weibull(&xs);
+                if let Ok(d) = Exponential::new(1.0) {
+                    let _ = ks_test(&xs, &d);
+                }
+                let _ = ks_two_sample(&xs, &[1.0, 2.0, 3.0]);
+            }));
+            assert!(outcome.is_ok(), "{kind:?} seed {seed} panicked the stats layer");
+        }
+    }
+}
+
+#[test]
+fn poisoned_classifier_always_answers() {
+    let dict = FailureDictionary::default_bank();
+    let mut rng = StdRng::seed_from_u64(0xC1A5);
+    for case in 0..50u64 {
+        let rate = rng.gen_range(0.2..=1.0);
+        let (poisoned, dropped) = poison_dictionary(&FaultPlan::new(rate, case), &dict);
+        assert_eq!(poisoned.len() + dropped as usize, dict.len());
+        let classifier = Classifier::new(poisoned);
+        // Arbitrary junk text, including empty and digit-only lines.
+        let text: String = match case % 4 {
+            0 => String::new(),
+            1 => "#### 999913 ^^^^".to_owned(),
+            2 => (0..rng.gen_range(1..20usize))
+                .map(|_| {
+                    let len = rng.gen_range(1..10usize);
+                    (0..len)
+                        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+                        .collect::<String>()
+                })
+                .collect::<Vec<_>>()
+                .join(" "),
+            _ => "software module froze watchdog error".to_owned(),
+        };
+        let verdict = catch_unwind(AssertUnwindSafe(|| classifier.classify(&text)))
+            .unwrap_or_else(|_| panic!("case {case}: classifier panicked on {text:?}"));
+        assert!(
+            FaultTag::ALL.contains(&verdict.tag),
+            "case {case}: verdict outside the tag set"
+        );
+    }
+}
