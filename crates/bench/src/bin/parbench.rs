@@ -1,0 +1,126 @@
+//! `parbench` — measure the Stage I–III worker-pool speedup.
+//!
+//! Runs the simulated-OCR pipeline (the per-document-heavy
+//! rasterize→degrade→recognize→correct path) once sequentially
+//! (`jobs = 1`) and once across every available core (`jobs = 0`),
+//! verifies the two outcomes are byte-identical, and writes the
+//! measurement to `bench_par.json`.
+//!
+//! ```text
+//! parbench                    # measure, write bench_par.json
+//! parbench --scale 0.1        # smaller corpus (default 0.2)
+//! parbench --samples 5        # timed samples per configuration
+//! parbench --require-speedup  # exit nonzero if < 2x on 4+ cores
+//! ```
+//!
+//! `--require-speedup` is gated on the machine actually having 4+
+//! cores: on a 1- or 2-core box the pool cannot double throughput and
+//! the flag only checks that parallel output still matches sequential.
+
+use disengage_core::pipeline::{OcrMode, Pipeline, PipelineConfig, PipelineOutcome};
+use disengage_corpus::CorpusConfig;
+use disengage_ocr::NoiseModel;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn config(scale: f64) -> PipelineConfig {
+    PipelineConfig {
+        corpus: CorpusConfig { seed: 0x5EED, scale },
+        ocr: OcrMode::Simulated {
+            noise: NoiseModel::light(),
+            correct: true,
+        },
+        ocr_seed: 0xD0C5,
+    }
+}
+
+/// Fingerprint of everything Stage I–III produced, for the
+/// byte-identity check (telemetry is compared in canonical form, with
+/// wall-clock fields zeroed).
+fn fingerprint(o: &PipelineOutcome) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{}",
+        o.database,
+        o.tagged,
+        o.parse_failures,
+        o.ocr,
+        o.telemetry.clone().canonical().to_json()
+    )
+}
+
+/// Minimum wall-clock over `samples` runs (minimum, not mean: the
+/// cleanest estimate of the work itself on a shared machine).
+fn time_runs(cfg: PipelineConfig, jobs: usize, samples: usize) -> (f64, PipelineOutcome) {
+    let mut best = f64::INFINITY;
+    let mut outcome = None;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let o = Pipeline::new(cfg)
+            .with_jobs(jobs)
+            .run()
+            .expect("pipeline runs");
+        best = best.min(t0.elapsed().as_secs_f64());
+        outcome = Some(o);
+    }
+    (best, outcome.expect("at least one sample"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.2f64;
+    let mut samples = 3usize;
+    let mut require_speedup = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale needs a number");
+            }
+            "--samples" => {
+                i += 1;
+                samples = args[i].parse().expect("--samples needs an integer");
+            }
+            "--require-speedup" => require_speedup = true,
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let cores = disengage_par::available_jobs();
+    eprintln!("measuring simulated-OCR pipeline at scale {scale} on {cores} core(s)...");
+
+    let (seq_s, seq) = time_runs(config(scale), 1, samples);
+    eprintln!("jobs=1: {seq_s:.3} s");
+    let (par_s, par) = time_runs(config(scale), 0, samples);
+    eprintln!("jobs=0 ({cores} workers): {par_s:.3} s");
+
+    let identical = fingerprint(&seq) == fingerprint(&par);
+    let speedup = seq_s / par_s;
+    eprintln!("speedup {speedup:.2}x, outputs identical: {identical}");
+
+    let body = format!(
+        "{{\"bench\":\"simulated_ocr_pipeline\",\"scale\":{scale},\"cores\":{cores},\
+         \"samples\":{samples},\"sequential_s\":{seq_s:.6},\"parallel_s\":{par_s:.6},\
+         \"speedup\":{speedup:.3},\"identical\":{identical}}}"
+    );
+    let path = "bench_par.json";
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("error: could not write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {path}");
+
+    if !identical {
+        eprintln!("FAILED: parallel outcome diverged from sequential");
+        return ExitCode::FAILURE;
+    }
+    if require_speedup && cores >= 4 && speedup < 2.0 {
+        eprintln!("FAILED: {speedup:.2}x < 2x required on {cores} cores");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -13,9 +13,19 @@
 //! repro q5                 # one analysis
 //! repro --telemetry        # append the run's span tree
 //! repro --telemetry=json   # also write repro_metrics.json
+//! repro --telemetry=stable-json  # same, with wall-clock fields zeroed
 //! repro --chaos=0.05       # fault-injection campaign at 5%/line
 //! repro --chaos=0.05,7     # same, explicit injection seed
+//! repro --jobs=8           # Stage I–III across 8 workers
+//! repro --jobs=0           # ... across all available cores
 //! ```
+//!
+//! `--jobs` only changes wall-clock time: the pipeline is
+//! deterministic at every worker count, so stdout and
+//! `repro_metrics.json` under `--telemetry=stable-json` (which zeroes
+//! the only nondeterministic fields, the span/log timestamps) are
+//! byte-identical between `--jobs=1` and `--jobs=N`. `scripts/verify.sh`
+//! diffs exactly that.
 //!
 //! Every run cross-checks the pipeline's telemetry counters
 //! ([`disengage_core::telemetry::reconcile`]) and exits nonzero if a
@@ -28,7 +38,7 @@
 //! as DEGRADED and the run continues — one broken table never takes
 //! down the campaign.
 
-use disengage_bench::{full_scale_chaos_outcome_with, full_scale_outcome_with};
+use disengage_bench::{full_scale_chaos_outcome_jobs, full_scale_outcome_jobs};
 use disengage_chaos::FaultPlan;
 use disengage_core::telemetry::{reconcile, timed};
 use disengage_core::{degrade, exposure, figures, questions, report, tables, whatif};
@@ -62,6 +72,7 @@ fn main() -> ExitCode {
     let mut args: BTreeSet<String> = std::env::args().skip(1).collect();
     let tree = args.remove("--telemetry");
     let json = args.remove("--telemetry=json");
+    let stable_json = args.remove("--telemetry=stable-json");
     let chaos_arg = args.iter().find(|a| a.starts_with("--chaos=")).cloned();
     if let Some(a) = &chaos_arg {
         args.remove(a);
@@ -76,6 +87,23 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    let jobs_arg = args.iter().find(|a| a.starts_with("--jobs=")).cloned();
+    if let Some(a) = &jobs_arg {
+        args.remove(a);
+    }
+    // Stage I–III worker count; 0 (the default) means all available
+    // cores. Safe as a default because the pipeline is byte-identical
+    // at every worker count.
+    let jobs: usize = match jobs_arg.as_deref() {
+        Some(a) => match a["--jobs=".len()..].parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("error: --jobs needs an integer (0 = all cores)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 0,
+    };
     let want = |name: &str| args.is_empty() || args.contains(name);
 
     let obs = Collector::with_echo();
@@ -86,9 +114,9 @@ fn main() -> ExitCode {
                 "chaos campaign armed: rate {:.3}, seed {:#x}",
                 p.rate, p.seed
             ));
-            full_scale_chaos_outcome_with(&obs, p)
+            full_scale_chaos_outcome_jobs(&obs, p, jobs)
         }
-        _ => full_scale_outcome_with(&obs),
+        _ => full_scale_outcome_jobs(&obs, jobs),
     };
     obs.log(&format!(
         "pipeline done: {} disengagements, {} accidents, {:.0} miles recovered",
@@ -111,7 +139,7 @@ fn main() -> ExitCode {
     if let Some(p) = plan {
         if !p.active() {
             obs.log("chaos rate 0: diffing against a clean reference run...");
-            let reference = full_scale_outcome_with(&Collector::new());
+            let reference = full_scale_outcome_jobs(&Collector::new(), jobs);
             let identical = format!("{:?}", reference.database) == format!("{:?}", o.database)
                 && reference.tagged == o.tagged
                 && reference.parse_failures == o.parse_failures;
@@ -458,9 +486,16 @@ fn main() -> ExitCode {
     if tree {
         print!("{}", snapshot.render_tree());
     }
-    if json {
+    if json || stable_json {
+        // stable-json zeroes every wall-clock field so the file is
+        // byte-comparable across runs and worker counts.
+        let body = if stable_json {
+            snapshot.clone().canonical().to_json()
+        } else {
+            snapshot.to_json()
+        };
         let path = "repro_metrics.json";
-        match std::fs::write(path, snapshot.to_json()) {
+        match std::fs::write(path, body) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => {
                 eprintln!("error: could not write {path}: {e}");

@@ -22,7 +22,14 @@ pub fn full_scale_outcome() -> PipelineOutcome {
 /// harness shares one collector across the pipeline and every Stage IV
 /// artifact).
 pub fn full_scale_outcome_with(obs: &Collector) -> PipelineOutcome {
+    full_scale_outcome_jobs(obs, 1)
+}
+
+/// [`full_scale_outcome_with`] across a `jobs`-wide worker pool (0 =
+/// all available cores). Byte-identical to `jobs = 1` at any setting.
+pub fn full_scale_outcome_jobs(obs: &Collector, jobs: usize) -> PipelineOutcome {
     Pipeline::new(full_scale_config())
+        .with_jobs(jobs)
         .run_with(obs)
         .expect("full-scale pipeline runs")
 }
@@ -31,8 +38,19 @@ pub fn full_scale_outcome_with(obs: &Collector) -> PipelineOutcome {
 /// `repro --chaos` campaign). A rate-0 plan is inert and reproduces the
 /// clean run byte for byte.
 pub fn full_scale_chaos_outcome_with(obs: &Collector, plan: FaultPlan) -> PipelineOutcome {
+    full_scale_chaos_outcome_jobs(obs, plan, 1)
+}
+
+/// [`full_scale_chaos_outcome_with`] across a `jobs`-wide worker pool
+/// (0 = all available cores).
+pub fn full_scale_chaos_outcome_jobs(
+    obs: &Collector,
+    plan: FaultPlan,
+    jobs: usize,
+) -> PipelineOutcome {
     Pipeline::new(full_scale_config())
         .with_chaos(plan)
+        .with_jobs(jobs)
         .run_with(obs)
         .expect("full-scale chaos pipeline runs")
 }

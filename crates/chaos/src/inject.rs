@@ -67,11 +67,12 @@ pub fn inject_documents(plan: &FaultPlan, docs: &[RawDocument]) -> (Vec<RawDocum
         .iter()
         .enumerate()
         .map(|(d, doc)| {
-            // One RNG per document, keyed by (seed, index): a document's
-            // perturbation never depends on its neighbours.
-            let mut rng = StdRng::seed_from_u64(
-                plan.seed ^ (d as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
+            // One RNG per document, keyed by (seed, index) through the
+            // workspace-wide SplitMix64 derivation — the same scheme
+            // Stage I uses for OCR noise, so a document's perturbation
+            // never depends on its neighbours or its batch position
+            // history.
+            let mut rng = StdRng::seed_from_u64(rand::derive_seed(plan.seed, d as u64));
             let text = inject_text(plan, &mut rng, d, &doc.text, &mut log);
             RawDocument::new(doc.manufacturer, doc.report_year, doc.kind, text)
         })

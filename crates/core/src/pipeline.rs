@@ -10,7 +10,7 @@
 //! [`crate::figures`].
 
 use crate::error::Quarantined;
-use crate::tagging::{tag_records_with, TaggedDisengagement};
+use crate::tagging::{tag_records_par_with, TaggedDisengagement};
 use crate::Result;
 use disengage_chaos::{audit, inject_documents, poison_dictionary, ChaosAudit, FaultKind, FaultPlan};
 use disengage_corpus::{Corpus, CorpusConfig, CorpusGenerator};
@@ -21,8 +21,9 @@ use disengage_ocr::engine::OcrEngine;
 use disengage_ocr::metrics::cer;
 use disengage_ocr::raster::rasterize;
 use disengage_ocr::NoiseModel;
+use disengage_par as par;
 use disengage_reports::formats::RawDocument;
-use disengage_reports::normalize::normalize_all_with;
+use disengage_reports::normalize::{normalize_document_with, Normalized};
 use disengage_reports::{FailureDatabase, ReportError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -118,6 +119,7 @@ pub struct Pipeline {
     config: PipelineConfig,
     classifier: Classifier,
     chaos: Option<FaultPlan>,
+    jobs: usize,
 }
 
 impl Pipeline {
@@ -127,6 +129,7 @@ impl Pipeline {
             config,
             classifier: Classifier::with_default_dictionary(),
             chaos: None,
+            jobs: 0,
         }
     }
 
@@ -136,7 +139,18 @@ impl Pipeline {
             config,
             classifier,
             chaos: None,
+            jobs: 0,
         }
+    }
+
+    /// Sets the Stage I–III worker-pool size. `0` (the default) uses
+    /// every available core. Output is byte-identical at every
+    /// setting — `jobs` only changes wall-clock time — so this never
+    /// needs to appear in a reproducibility manifest.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Pipeline {
+        self.jobs = jobs;
+        self
     }
 
     /// Arms a fault-injection plan: documents are perturbed between
@@ -217,57 +231,22 @@ impl Pipeline {
                     }
                     OcrMode::Simulated { noise, correct } => {
                         span.field("mode", "simulated");
-                        let mut rng = StdRng::seed_from_u64(self.config.ocr_seed);
-                        let engine = OcrEngine::new();
-                        let corrector = if correct {
-                            Some(default_corrector())
-                        } else {
-                            None
+                        let digitize = DigitizeConfig {
+                            noise,
+                            correct,
+                            ocr_seed: self.config.ocr_seed,
+                            base_index: 0,
+                            // Under chaos the plan buys extra repair
+                            // attempts (escalating edit distance); a
+                            // clean run keeps the single pass.
+                            repair_attempts: self
+                                .active_chaos()
+                                .map_or(1, |p| p.repair_attempts.max(1)),
+                            jobs: self.jobs,
                         };
-                        let mut out = Vec::with_capacity(corpus.documents.len());
-                        let mut cer_sum = 0.0;
-                        let mut conf_sum = 0.0;
-                        for doc in &corpus.documents {
-                            let page = noise.degrade(&rasterize(&doc.text), &mut rng);
-                            let recognized = engine.recognize(&page);
-                            let text = match &corrector {
-                                Some(c) => {
-                                    // Under chaos the plan buys extra repair
-                                    // attempts (escalating edit distance);
-                                    // a clean run keeps the single pass.
-                                    let attempts = self
-                                        .active_chaos()
-                                        .map_or(1, |p| p.repair_attempts.max(1));
-                                    let (fixed, per_attempt) =
-                                        c.correct_text_bounded(&recognized.text, attempts);
-                                    record_repair_attempts(obs, &per_attempt);
-                                    fixed
-                                }
-                                None => recognized.text.clone(),
-                            };
-                            let doc_cer = cer(doc.text.trim_end(), &text);
-                            obs.incr("ocr.documents");
-                            obs.record("ocr.cer", doc_cer);
-                            obs.record("ocr.confidence", recognized.mean_confidence());
-                            cer_sum += doc_cer;
-                            conf_sum += recognized.mean_confidence();
-                            out.push(RawDocument::new(
-                                doc.manufacturer,
-                                doc.report_year,
-                                doc.kind,
-                                text,
-                            ));
-                        }
-                        let n = corpus.documents.len().max(1) as f64;
-                        obs.gauge("ocr.mean_cer", cer_sum / n);
-                        (
-                            out,
-                            Some(OcrStats {
-                                documents: corpus.documents.len(),
-                                mean_cer: cer_sum / n,
-                                mean_confidence: conf_sum / n,
-                            }),
-                        )
+                        let (out, stats) =
+                            digitize_simulated_with(digitize, &corpus.documents, obs);
+                        (out, Some(stats))
                     }
                 }
             };
@@ -289,13 +268,21 @@ impl Pipeline {
                         obs.add(&format!("chaos.injected.{}", kind.name()), log.count(kind));
                     }
                     let corrector = default_corrector();
-                    let repaired: Vec<RawDocument> = faulted
-                        .iter()
-                        .map(|doc| {
-                            let (fixed, per_attempt) =
-                                corrector.correct_text_bounded(&doc.text, plan.repair_attempts);
-                            record_repair_attempts(obs, &per_attempt);
-                            RawDocument::new(doc.manufacturer, doc.report_year, doc.kind, fixed)
+                    let per_doc = par::par_map_indexed(self.jobs, &faulted, |_, doc| {
+                        let shard = obs.shard();
+                        let (fixed, per_attempt) =
+                            corrector.correct_text_bounded(&doc.text, plan.repair_attempts);
+                        record_repair_attempts(&shard, &per_attempt);
+                        (
+                            RawDocument::new(doc.manufacturer, doc.report_year, doc.kind, fixed),
+                            shard,
+                        )
+                    });
+                    let repaired: Vec<RawDocument> = per_doc
+                        .into_iter()
+                        .map(|(doc, shard)| {
+                            obs.absorb(shard);
+                            doc
                         })
                         .collect();
                     let audited = audit(&plan, &log, &documents, &repaired);
@@ -307,15 +294,39 @@ impl Pipeline {
                 }
             };
 
-            // Stage II: parse + filter + normalize.
-            let (database, failures) = {
+            // Stage II: parse + filter + normalize, one task per
+            // document. A panicking parser quarantines that document
+            // alone; the rest of the batch parses normally.
+            let (database, failures, panicked) = {
                 let mut span = obs.span("stage_ii_parse");
                 // Pre-register the headline counters so a clean run still
                 // exports them (at zero) for machine consumers.
                 for name in ["parse.dis.lines", "parse.dis.parsed", "parse.dis.failed"] {
                     obs.add(name, 0);
                 }
-                let normalized = normalize_all_with(documents.iter(), obs);
+                let per_doc = par::par_map_catch(self.jobs, &documents, |_, doc| {
+                    let shard = obs.shard();
+                    let normalized = normalize_document_with(doc, &shard);
+                    (normalized, shard)
+                });
+                let mut normalized = Normalized::default();
+                let mut panicked: Vec<Quarantined> = Vec::new();
+                for outcome in per_doc {
+                    match outcome {
+                        Ok((n, shard)) => {
+                            obs.absorb(shard);
+                            normalized.merge(n);
+                        }
+                        Err(p) => {
+                            obs.incr("parse.docs.panicked");
+                            panicked.push(Quarantined {
+                                stage: "stage_ii_parse",
+                                record_id: format!("doc:{}", p.index),
+                                reason: format!("parser panicked: {}", p.message),
+                            });
+                        }
+                    }
+                }
                 span.field("parsed", normalized.record_count() as u64);
                 span.field("failed", normalized.failures.len() as u64);
                 let database = FailureDatabase::from_records(
@@ -323,7 +334,7 @@ impl Pipeline {
                     normalized.accidents,
                     normalized.mileage,
                 );
-                (database, normalized.failures)
+                (database, normalized.failures, panicked)
             };
 
             // Stage III: NLP tagging. Under chaos the dictionary is
@@ -344,14 +355,16 @@ impl Pipeline {
                     }
                     None => self.classifier.clone(),
                 };
-                let tagged = tag_records_with(&classifier, database.disengagements(), obs);
+                let tagged =
+                    tag_records_par_with(&classifier, database.disengagements(), self.jobs, obs);
                 span.field("tagged", tagged.len() as u64);
                 tagged
             };
 
             // The structured quarantine lane: one entry per rejected
-            // record, attributed to the stage that refused it.
-            let quarantined: Vec<Quarantined> = failures
+            // record, attributed to the stage that refused it. Parser
+            // panics quarantine alongside ordinary parse failures.
+            let mut quarantined: Vec<Quarantined> = failures
                 .iter()
                 .map(|e| Quarantined {
                     stage: "stage_ii_parse",
@@ -364,6 +377,7 @@ impl Pipeline {
                     reason: e.to_string(),
                 })
                 .collect();
+            quarantined.extend(panicked);
             obs.add("quarantine.records", quarantined.len() as u64);
 
             PipelineOutcome {
@@ -384,6 +398,102 @@ impl Pipeline {
             ..outcome
         })
     }
+}
+
+/// Stage I digitization parameters for [`digitize_simulated_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DigitizeConfig {
+    /// The scanner-noise profile.
+    pub noise: NoiseModel,
+    /// Whether to run dictionary post-correction.
+    pub correct: bool,
+    /// Root seed of the OCR noise process.
+    pub ocr_seed: u64,
+    /// Corpus index of `docs[0]`: document `i` of the slice seeds from
+    /// `(ocr_seed, base_index + i)`, so a slice digitizes exactly as it
+    /// would at the same positions inside the full corpus.
+    pub base_index: usize,
+    /// Bound on the dictionary-repair ladder (1 = single pass; chaos
+    /// plans buy more). Ignored unless `correct` is set.
+    pub repair_attempts: u32,
+    /// Worker-pool size (0 = all available cores).
+    pub jobs: usize,
+}
+
+/// Digitizes `docs` — rasterize, degrade with scanner noise, recognize,
+/// optionally dictionary-correct — across a worker pool, recording
+/// per-document telemetry into `obs`.
+///
+/// Each document's noise stream seeds from `derive_seed(ocr_seed,
+/// base_index + i)` (SplitMix64), never from a shared RNG advanced
+/// across the batch: document `i`'s digitization is invariant to the
+/// presence, content, and byte lengths of every other document. That
+/// order-decoupling is what lets the worker pool run documents in any
+/// schedule and still produce output byte-identical to the sequential
+/// run; per-document collector shards are absorbed into `obs` in index
+/// order so the telemetry (including order-sensitive f64 histogram
+/// sums) matches bit for bit too.
+pub fn digitize_simulated_with(
+    config: DigitizeConfig,
+    docs: &[RawDocument],
+    obs: &Collector,
+) -> (Vec<RawDocument>, OcrStats) {
+    let engine = OcrEngine::new();
+    let corrector = config.correct.then(default_corrector);
+    let per_doc = par::par_map_indexed(config.jobs, docs, |i, doc| {
+        let shard = obs.shard();
+        let mut rng = StdRng::seed_from_u64(rand::derive_seed(
+            config.ocr_seed,
+            (config.base_index + i) as u64,
+        ));
+        let page = config.noise.degrade(&rasterize(&doc.text), &mut rng);
+        let recognized = engine.recognize(&page);
+        let text = match &corrector {
+            Some(c) => {
+                let (fixed, per_attempt) =
+                    c.correct_text_bounded(&recognized.text, config.repair_attempts.max(1));
+                record_repair_attempts(&shard, &per_attempt);
+                fixed
+            }
+            None => recognized.text.clone(),
+        };
+        let doc_cer = cer(doc.text.trim_end(), &text);
+        shard.incr("ocr.documents");
+        shard.record("ocr.cer", doc_cer);
+        shard.record("ocr.confidence", recognized.mean_confidence());
+        (
+            RawDocument::new(doc.manufacturer, doc.report_year, doc.kind, text),
+            doc_cer,
+            recognized.mean_confidence(),
+            shard,
+        )
+    });
+    let mut out = Vec::with_capacity(docs.len());
+    let (mut cer_sum, mut conf_sum) = (0.0f64, 0.0f64);
+    for (doc, doc_cer, confidence, shard) in per_doc {
+        obs.absorb(shard);
+        cer_sum += doc_cer;
+        conf_sum += confidence;
+        out.push(doc);
+    }
+    // An empty batch reports 0.0 means, not 0/0 = NaN (NaN would
+    // poison the gauge and fail every downstream comparison).
+    let stats = if docs.is_empty() {
+        OcrStats {
+            documents: 0,
+            mean_cer: 0.0,
+            mean_confidence: 0.0,
+        }
+    } else {
+        let n = docs.len() as f64;
+        OcrStats {
+            documents: docs.len(),
+            mean_cer: cer_sum / n,
+            mean_confidence: conf_sum / n,
+        }
+    };
+    obs.gauge("ocr.mean_cer", stats.mean_cer);
+    (out, stats)
 }
 
 /// Records the per-attempt hit counts of one bounded repair ladder:

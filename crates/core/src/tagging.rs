@@ -28,34 +28,72 @@ pub fn tag_records(
         .collect()
 }
 
-/// [`tag_records`], recording Stage III telemetry into `obs`: per-tag
-/// verdict counters (`nlp.tag.<tag>`), Unknown-T and ambiguous-tie
-/// counts, vote-margin and dictionary-hit histograms, and the overall
-/// Unknown-T rate gauge.
+/// Tags one record, recording its Stage III telemetry into `obs`:
+/// per-tag verdict counter (`nlp.tag.<tag>`), Unknown-T and
+/// ambiguous-tie counts, vote-margin and dictionary-hit samples. The
+/// per-record body of [`tag_records_with`]; parallel callers hand each
+/// task its own collector shard.
+pub fn tag_record_with(
+    classifier: &Classifier,
+    record: &DisengagementRecord,
+    obs: &disengage_obs::Collector,
+) -> TaggedDisengagement {
+    let t = TaggedDisengagement {
+        record: record.clone(),
+        assignment: classifier.classify(&record.description),
+    };
+    obs.incr("nlp.tagged");
+    obs.incr(&format!(
+        "nlp.tag.{}",
+        disengage_obs::key_segment(t.assignment.tag.name())
+    ));
+    if t.assignment.tag == FaultTag::UnknownT {
+        obs.incr("nlp.unknown_t");
+    }
+    if t.assignment.ambiguous {
+        obs.incr("nlp.ambiguous");
+    }
+    obs.record("nlp.vote_margin", t.assignment.margin);
+    obs.record(
+        "nlp.dictionary_hits",
+        t.assignment.matched_keywords.len() as f64,
+    );
+    t
+}
+
+/// [`tag_records`], recording Stage III telemetry into `obs` (see
+/// [`tag_record_with`]) plus the overall Unknown-T rate gauge.
 pub fn tag_records_with(
     classifier: &Classifier,
     records: &[DisengagementRecord],
     obs: &disengage_obs::Collector,
 ) -> Vec<TaggedDisengagement> {
-    let tagged = tag_records(classifier, records);
-    for t in &tagged {
-        obs.incr("nlp.tagged");
-        obs.incr(&format!(
-            "nlp.tag.{}",
-            disengage_obs::key_segment(t.assignment.tag.name())
-        ));
-        if t.assignment.tag == FaultTag::UnknownT {
-            obs.incr("nlp.unknown_t");
-        }
-        if t.assignment.ambiguous {
-            obs.incr("nlp.ambiguous");
-        }
-        obs.record("nlp.vote_margin", t.assignment.margin);
-        obs.record(
-            "nlp.dictionary_hits",
-            t.assignment.matched_keywords.len() as f64,
-        );
-    }
+    tag_records_par_with(classifier, records, 1, obs)
+}
+
+/// [`tag_records_with`] across a `jobs`-wide worker pool (0 = all
+/// available cores). Each record classifies into its own collector
+/// shard; shards are absorbed into `obs` in record order, so the
+/// output — records, verdicts, and telemetry alike — is byte-identical
+/// to the sequential run at any worker count.
+pub fn tag_records_par_with(
+    classifier: &Classifier,
+    records: &[DisengagementRecord],
+    jobs: usize,
+    obs: &disengage_obs::Collector,
+) -> Vec<TaggedDisengagement> {
+    let per_record = disengage_par::par_map_indexed(jobs, records, |_, r| {
+        let shard = obs.shard();
+        let t = tag_record_with(classifier, r, &shard);
+        (t, shard)
+    });
+    let tagged: Vec<TaggedDisengagement> = per_record
+        .into_iter()
+        .map(|(t, shard)| {
+            obs.absorb(shard);
+            t
+        })
+        .collect();
     if !tagged.is_empty() {
         let unknown = tagged
             .iter()

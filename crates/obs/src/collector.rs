@@ -132,6 +132,57 @@ impl Collector {
         });
     }
 
+    /// An empty shard collector sharing this collector's epoch — the
+    /// thread-local accumulator a parallel worker records into.
+    ///
+    /// Workers on a pool complete in arbitrary order, so they must not
+    /// write into a shared collector directly: interleaved counter
+    /// updates and histogram samples would make the merged state (and
+    /// its float sums) schedule-dependent. Instead each task records
+    /// into its own shard and the caller folds the shards back with
+    /// [`Collector::absorb`] **in task-index order**, which reproduces
+    /// the sequential recording sequence exactly. The shared epoch
+    /// keeps any shard span timestamps on this collector's clock.
+    pub fn shard(&self) -> Collector {
+        Collector {
+            inner: Mutex::new(Inner::default()),
+            epoch: self.epoch,
+            echo: false,
+        }
+    }
+
+    /// Folds a shard's accumulated state into this collector: counters
+    /// add, gauges overwrite (the shard is the later writer),
+    /// histograms merge ([`Histogram::merge`]), logs append, and shard
+    /// root spans attach under this collector's innermost open span.
+    ///
+    /// Absorbing per-task shards in task-index order is deterministic:
+    /// the result is identical at any worker count, bit-for-bit even
+    /// in the order-sensitive float accumulations.
+    pub fn absorb(&self, shard: Collector) {
+        let shard = shard.inner.into_inner().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.lock();
+        let base = inner.spans.len();
+        let attach = inner.stack.last().copied();
+        for mut span in shard.spans {
+            span.parent = match span.parent {
+                Some(p) => Some(base + p),
+                None => attach,
+            };
+            inner.spans.push(span);
+        }
+        for (name, delta) in shard.counters {
+            *inner.counters.entry(name).or_insert(0) += delta;
+        }
+        for (name, value) in shard.gauges {
+            inner.gauges.insert(name, value);
+        }
+        for (name, hist) in shard.histograms {
+            inner.histograms.entry(name).or_default().merge(&hist);
+        }
+        inner.logs.extend(shard.logs);
+    }
+
     /// Snapshots everything accumulated so far. Spans still open are
     /// exported with their duration-so-far and `closed: false`.
     pub fn report(&self) -> TelemetryReport {
@@ -325,6 +376,62 @@ mod tests {
         let msgs: Vec<&str> = r.logs.iter().map(|l| l.message.as_str()).collect();
         assert_eq!(msgs, ["first", "second"]);
         assert!(r.logs[0].t_s <= r.logs[1].t_s);
+    }
+
+    #[test]
+    fn shard_absorb_matches_direct_recording() {
+        // Record the same event stream directly and via per-item
+        // shards merged in item order; the reports must be identical
+        // (modulo span timing, which this stream does not use).
+        let direct = Collector::new();
+        let sharded = Collector::new();
+        for i in 0..50u64 {
+            let x = 0.01 * i as f64;
+            direct.add("stage.items", 1);
+            direct.record("stage.score", x);
+            direct.gauge("stage.last", x);
+
+            let shard = sharded.shard();
+            shard.add("stage.items", 1);
+            shard.record("stage.score", x);
+            shard.gauge("stage.last", x);
+            sharded.absorb(shard);
+        }
+        let (d, s) = (direct.report(), sharded.report());
+        assert_eq!(d.counters, s.counters);
+        assert_eq!(d.gauges, s.gauges);
+        assert_eq!(d.histograms, s.histograms);
+        let dh = d.histogram("stage.score").unwrap();
+        let sh = s.histogram("stage.score").unwrap();
+        assert_eq!(dh.sum.to_bits(), sh.sum.to_bits());
+    }
+
+    #[test]
+    fn absorbed_spans_attach_under_open_span() {
+        let c = Collector::new();
+        let stage = c.span("stage_iii_tag");
+        let shard = c.shard();
+        {
+            let mut task = shard.span("classify");
+            task.field("record", 7u64);
+        }
+        c.absorb(shard);
+        stage.finish();
+        let r = c.report();
+        assert_eq!(r.spans.len(), 1);
+        assert_eq!(r.spans[0].children[0].name, "classify");
+        assert!(r.spans[0].children[0].closed);
+    }
+
+    #[test]
+    fn absorb_into_idle_collector_roots_shard_spans() {
+        let c = Collector::new();
+        let shard = c.shard();
+        drop(shard.span("orphan"));
+        c.absorb(shard);
+        let r = c.report();
+        assert_eq!(r.spans.len(), 1);
+        assert_eq!(r.spans[0].name, "orphan");
     }
 
     #[test]

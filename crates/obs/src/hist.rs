@@ -78,6 +78,24 @@ impl Histogram {
         self.max = self.max.max(x);
     }
 
+    /// Folds another histogram into this one, as if `other`'s samples
+    /// had been recorded here after this histogram's own.
+    ///
+    /// Bucket counts and totals add; extremes take the elementwise
+    /// min/max. The `sum` accumulates left-to-right (`self.sum +
+    /// other.sum`), so merging per-item shards in item order reproduces
+    /// the sequential accumulation bit for bit — the property the
+    /// parallel pipeline's deterministic shard merge relies on.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
@@ -215,6 +233,38 @@ mod tests {
         }
         // The median of 0.01..10 is ~5; bucket resolution gives 5.0.
         assert_eq!(h.quantile(0.5), Some(5.0));
+    }
+
+    #[test]
+    fn merge_equals_sequential_recording() {
+        // Record 0..n sequentially; record the same samples into
+        // per-item shards and merge in item order. Every field —
+        // including the order-sensitive f64 sum — must match exactly.
+        let samples: Vec<f64> = (0..100).map(|i| 0.013 * i as f64 + 1e-4).collect();
+        let mut sequential = Histogram::new();
+        for &s in &samples {
+            sequential.record(s);
+        }
+        let mut merged = Histogram::new();
+        for &s in &samples {
+            let mut shard = Histogram::new();
+            shard.record(s);
+            merged.merge(&shard);
+        }
+        assert_eq!(merged, sequential);
+        assert_eq!(merged.sum().to_bits(), sequential.sum().to_bits());
+    }
+
+    #[test]
+    fn merging_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(2.0);
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
     }
 
     #[test]

@@ -133,6 +133,32 @@ impl TelemetryReport {
             .sum()
     }
 
+    /// The canonical form for byte-for-byte comparison: every
+    /// wall-clock field (span start/duration, log timestamps) zeroed,
+    /// all structure and metrics kept.
+    ///
+    /// Two runs of the same deterministic workload differ only in
+    /// timing, so their canonical reports serialize identically — the
+    /// `repro --telemetry=stable-json` / `scripts/verify.sh` contract
+    /// that a parallel run is byte-identical to `--jobs=1`.
+    #[must_use]
+    pub fn canonical(mut self) -> TelemetryReport {
+        fn strip(node: &mut SpanNode) {
+            node.start_s = 0.0;
+            node.duration_s = 0.0;
+            for child in &mut node.children {
+                strip(child);
+            }
+        }
+        for span in &mut self.spans {
+            strip(span);
+        }
+        for log in &mut self.logs {
+            log.t_s = 0.0;
+        }
+        self
+    }
+
     /// Depth-first search for a span by name anywhere in the forest.
     pub fn find_span(&self, name: &str) -> Option<&SpanNode> {
         fn walk<'a>(nodes: &'a [SpanNode], name: &str) -> Option<&'a SpanNode> {
@@ -191,6 +217,33 @@ mod tests {
         };
         assert!(r.find_span("stage_ii_parse").is_some());
         assert!(r.find_span("missing").is_none());
+    }
+
+    #[test]
+    fn canonical_zeroes_wall_clock_only() {
+        let mut root = leaf("pipeline");
+        root.start_s = 0.5;
+        root.children.push(leaf("stage_ii_parse"));
+        let mut r = TelemetryReport {
+            spans: vec![root],
+            ..Default::default()
+        };
+        r.counters.insert("parse.dis.parsed".to_owned(), 9);
+        r.logs.push(LogEvent {
+            t_s: 1.25,
+            message: "done".to_owned(),
+        });
+        let c = r.clone().canonical();
+        assert_eq!(c.spans[0].start_s, 0.0);
+        assert_eq!(c.spans[0].duration_s, 0.0);
+        assert_eq!(c.spans[0].children[0].duration_s, 0.0);
+        assert_eq!(c.logs[0].t_s, 0.0);
+        // Structure and metrics survive.
+        assert_eq!(c.spans[0].children[0].name, "stage_ii_parse");
+        assert_eq!(c.counter("parse.dis.parsed"), 9);
+        assert_eq!(c.logs[0].message, "done");
+        // Idempotent.
+        assert_eq!(c.clone().canonical(), c);
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! The chunked work-stealing pool behind [`par_map_indexed`].
+//!
+//! Shape: the input is split into fixed chunks (a pure function of its
+//! length, so the partition is identical at every worker count), the
+//! chunks are dealt round-robin into per-worker deques, and each
+//! worker drains its own deque front-to-back, stealing from the back
+//! of a sibling's deque when its own runs dry. Results are written
+//! into per-chunk slots and stitched back together in chunk order, so
+//! the output is in input order no matter which worker ran what.
+//!
+//! Workers are scoped threads ([`std::thread::scope`]): the pool
+//! borrows the input slice and the closure directly, spawns for one
+//! call, and joins before returning — no global state, no channels, no
+//! task leak. Chunks are never subdivided and no task spawns new work,
+//! so the steal loop terminates as soon as every deque is empty.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// A captured panic from one parallel task: which item raised it and
+/// the stringified payload. The pool quarantines the panic to the
+/// item's own result slot; sibling items are unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the item whose task panicked.
+    pub index: usize,
+    /// The panic payload rendered as text (`&str`/`String` payloads
+    /// verbatim, anything else a placeholder).
+    pub message: String,
+}
+
+impl fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// The machine's available parallelism (1 when it cannot be queried).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a `--jobs` request: `0` means "use every available core",
+/// anything else is taken literally.
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        available_jobs()
+    } else {
+        requested
+    }
+}
+
+/// The chunk length for an input of `n` items — a pure function of `n`
+/// alone. Worker count must never influence the partition: per-chunk
+/// state (collector shards, float accumulation order) merges in chunk
+/// order, so a jobs-dependent partition would leak the thread count
+/// into the output. 256 chunks bounds per-chunk imbalance while
+/// keeping scheduling overhead amortized over many items.
+fn chunk_len(n: usize) -> usize {
+    n.div_ceil(256).max(1)
+}
+
+/// Runs one item under [`catch_unwind`], quarantining a panic into the
+/// item's own result.
+fn run_one<T, R>(index: usize, item: &T, f: &(impl Fn(usize, &T) -> R + Sync)) -> Result<R, TaskPanic> {
+    catch_unwind(AssertUnwindSafe(|| f(index, item))).map_err(|payload| TaskPanic {
+        index,
+        message: panic_text(payload.as_ref()),
+    })
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Claims the next chunk for worker `w`: front of its own deque first,
+/// then the back of the fullest sibling deque (the steal). `None` when
+/// every deque is empty — terminal, since chunks never respawn.
+fn next_chunk(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(c) = queues[w].lock().ok()?.pop_front() {
+        return Some(c);
+    }
+    // Steal: scan siblings for the deepest queue, take from its back
+    // (the cold end — the owner works the front).
+    let victim = (0..queues.len())
+        .filter(|&v| v != w)
+        .max_by_key(|&v| queues[v].lock().map(|q| q.len()).unwrap_or(0))?;
+    queues[victim].lock().ok()?.pop_back()
+}
+
+/// Maps `f(index, &item)` over `items` on a pool of `jobs` workers
+/// (0 = all available cores), quarantining per-item panics: the output
+/// slot for a panicking item carries its [`TaskPanic`] and every other
+/// item still completes. Output order is input order.
+pub fn par_map_catch<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<Result<R, TaskPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = resolve_jobs(jobs).min(n.max(1));
+    if jobs <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| run_one(i, item, &f))
+            .collect();
+    }
+
+    let chunk = chunk_len(n);
+    let n_chunks = n.div_ceil(chunk);
+    // Deal chunks round-robin so every worker starts loaded; slots are
+    // per chunk, filled by whichever worker claims the chunk.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| Mutex::new((0..n_chunks).filter(|c| c % jobs == w).collect()))
+        .collect();
+    let slots: Vec<Mutex<Option<Vec<Result<R, TaskPanic>>>>> =
+        (0..n_chunks).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let (queues, slots, f) = (&queues, &slots, &f);
+            scope.spawn(move || {
+                while let Some(c) = next_chunk(queues, w) {
+                    let start = c * chunk;
+                    let end = (start + chunk).min(n);
+                    let out: Vec<Result<R, TaskPanic>> = (start..end)
+                        .map(|i| run_one(i, &items[i], f))
+                        .collect();
+                    if let Ok(mut slot) = slots[c].lock() {
+                        *slot = Some(out);
+                    }
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .flat_map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("scope joined every worker, so every chunk has a result")
+        })
+        .collect()
+}
+
+/// Maps `f(index, &item)` over `items` on a pool of `jobs` workers
+/// (0 = all available cores), preserving input order in the output.
+///
+/// This is the strict form: the whole batch runs to completion (the
+/// pool never hangs), then the first panic by input index — if any —
+/// is re-raised on the caller's thread with the task index attached.
+/// Use [`par_map_catch`] to quarantine per-item panics instead.
+///
+/// # Panics
+///
+/// Re-raises the lowest-index task panic, if any task panicked.
+pub fn par_map_indexed<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_catch(jobs, items, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(value) => value,
+            Err(p) => panic!("{p}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map_indexed(8, &items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 3 + 1
+        });
+        assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_at_every_worker_count() {
+        let items: Vec<u64> = (0..777).collect();
+        let reference = par_map_indexed(1, &items, |i, &x| x.wrapping_mul(i as u64 + 7));
+        for jobs in [2, 3, 8, 0] {
+            let out = par_map_indexed(jobs, &items, |i, &x| x.wrapping_mul(i as u64 + 7));
+            assert_eq!(out, reference, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn unbalanced_work_still_ordered() {
+        // Early items are much heavier: stealing has to kick in for
+        // the run to finish promptly, and order must survive it.
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map_indexed(4, &items, |_, &x| {
+            let mut acc = 0u64;
+            let spins = if x < 4 { 200_000 } else { 200 };
+            for k in 0..spins {
+                acc = acc.wrapping_add(k).rotate_left(7);
+            }
+            (x, acc != 1)
+        });
+        let indices: Vec<usize> = out.iter().map(|&(x, _)| x).collect();
+        assert_eq!(indices, items);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_indexed(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map_indexed(8, &[5u32], |i, &x| x + i as u32), vec![5]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..513).collect();
+        par_map_indexed(6, &items, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), items.len());
+    }
+
+    #[test]
+    fn panic_quarantined_to_its_item() {
+        let items: Vec<u32> = (0..40).collect();
+        let out = par_map_catch(4, &items, |_, &x| {
+            assert!(x != 17, "poisoned item");
+            x + 1
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 17 {
+                let p = r.as_ref().unwrap_err();
+                assert_eq!(p.index, 17);
+                assert!(p.message.contains("poisoned item"), "{}", p.message);
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), items[i] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn many_panics_do_not_hang_the_pool() {
+        let items: Vec<u32> = (0..200).collect();
+        let out = par_map_catch(8, &items, |_, &x| {
+            assert!(x % 2 == 0, "odd item {x}");
+            x
+        });
+        let (ok, err): (Vec<_>, Vec<_>) = out.iter().partition(|r| r.is_ok());
+        assert_eq!(ok.len(), 100);
+        assert_eq!(err.len(), 100);
+    }
+
+    #[test]
+    fn strict_form_reraises_lowest_index_panic() {
+        let items: Vec<u32> = (0..50).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_map_indexed(4, &items, |_, &x| {
+                assert!(x != 9 && x != 33, "bad item {x}");
+                x
+            })
+        }))
+        .unwrap_err();
+        let text = panic_text(caught.as_ref());
+        assert!(text.contains("task 9"), "{text}");
+    }
+
+    #[test]
+    fn jobs_resolution() {
+        assert!(available_jobs() >= 1);
+        assert_eq!(resolve_jobs(0), available_jobs());
+        assert_eq!(resolve_jobs(3), 3);
+    }
+
+    #[test]
+    fn chunk_partition_is_a_function_of_len_only() {
+        assert_eq!(chunk_len(0), 1);
+        assert_eq!(chunk_len(1), 1);
+        assert_eq!(chunk_len(256), 1);
+        assert_eq!(chunk_len(257), 2);
+        assert_eq!(chunk_len(5328), 21);
+        // The partition covers the input exactly.
+        for n in [1usize, 2, 255, 256, 257, 1000, 5328] {
+            let c = chunk_len(n);
+            assert!(n.div_ceil(c) * c >= n);
+            assert!((n.div_ceil(c) - 1) * c < n);
+        }
+    }
+}

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Offline verification: tier-1 build + tests with warnings denied, the
 # full workspace test suite, the repro harness's telemetry self-check
-# (nonzero exit if the pipeline's counters fail to reconcile), and a
+# (nonzero exit if the pipeline's counters fail to reconcile), a
 # seeded chaos smoke campaign (nonzero exit on any panic, unreconciled
-# fault ledger, or rate-0 divergence from the clean run). No network
+# fault ledger, or rate-0 divergence from the clean run), and the
+# parallel-determinism byte-diffs (repro output and metrics at
+# --jobs=1 vs the default worker pool, clean and chaos). No network
 # access is required at any step.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -35,5 +37,31 @@ test -s chaos_report.json || {
 echo "== chaos smoke: rate 0 must match the clean run =="
 cargo run --release --offline -p disengage-bench --bin repro -- \
     --chaos=0 >/dev/null
+
+echo "== parallel determinism: repro --jobs=1 vs the default pool =="
+# Stage I-III are deterministic at every worker count; stdout and the
+# canonical (wall-clock-zeroed) metrics must match byte for byte.
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    --jobs=1 --telemetry=stable-json > repro_output.jobs1.txt
+mv repro_metrics.json repro_metrics.jobs1.json
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    --telemetry=stable-json > repro_output.txt
+diff repro_output.jobs1.txt repro_output.txt
+diff repro_metrics.jobs1.json repro_metrics.json
+rm -f repro_output.jobs1.txt repro_metrics.jobs1.json
+
+echo "== parallel determinism: chaos campaign at --jobs=1 vs --jobs=8 =="
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    --chaos=0.05,7 --jobs=1 > chaos_output.jobs1.txt
+mv chaos_report.json chaos_report.jobs1.json
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    --chaos=0.05,7 --jobs=8 > chaos_output.txt
+diff chaos_output.jobs1.txt chaos_output.txt
+diff chaos_report.jobs1.json chaos_report.json
+rm -f chaos_output.jobs1.txt chaos_output.txt chaos_report.jobs1.json
+
+echo "== parallel speedup bench (enforced on 4+ cores) =="
+cargo run --release --offline -p disengage-bench --bin parbench -- \
+    --require-speedup
 
 echo "verify: OK"

@@ -11,9 +11,11 @@
 //! ```
 //!
 //! Full-corpus commands accept `--scale <f>` (default 1.0) and
-//! `--seed <n>` to control the generated corpus, and
-//! `--telemetry[=json]` to print the run's span tree (or JSON metrics
-//! document) after the command's own output.
+//! `--seed <n>` to control the generated corpus, `--jobs <n>` to size
+//! the Stage I–III worker pool (0 = all cores, the default; output is
+//! byte-identical at every setting), and `--telemetry[=json]` to print
+//! the run's span tree (or JSON metrics document) after the command's
+//! own output.
 
 use disengage::core::pipeline::{OcrMode, Pipeline, PipelineConfig};
 use disengage::core::telemetry::timed;
@@ -43,13 +45,13 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  disengage summary [--scale F] [--seed N] [--telemetry[=json]]
-  disengage export <dir> [--scale F] [--seed N] [--telemetry[=json]]
+  disengage summary [--scale F] [--seed N] [--jobs N] [--telemetry[=json]]
+  disengage export <dir> [--scale F] [--seed N] [--jobs N] [--telemetry[=json]]
   disengage classify <text>
   disengage stpa-dot
   disengage demo-miles <rate-per-mile> <confidence>
-  disengage project <manufacturer> <target-dpm> [--scale F] [--seed N]
-  disengage sweep-ocr [--seed N]";
+  disengage project <manufacturer> <target-dpm> [--scale F] [--seed N] [--jobs N]
+  disengage sweep-ocr [--seed N] [--jobs N]";
 
 #[derive(Clone, Copy, PartialEq)]
 enum Telemetry {
@@ -62,6 +64,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut positional = Vec::new();
     let mut scale = 1.0f64;
     let mut seed = 0x5EEDu64;
+    let mut jobs = 0usize;
     let mut telemetry = Telemetry::Off;
     let mut i = 0;
     while i < args.len() {
@@ -73,6 +76,14 @@ fn run(args: &[String]) -> Result<(), String> {
                     .ok_or("--scale needs a value")?
                     .parse()
                     .map_err(|_| "--scale needs a number")?;
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|_| "--jobs needs an integer (0 = all cores)")?;
             }
             "--seed" => {
                 i += 1;
@@ -103,7 +114,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
     let result = match command {
         "summary" => {
-            let o = Pipeline::new(config).run_with(&obs).map_err(|e| e.to_string())?;
+            let o = Pipeline::new(config).with_jobs(jobs).run_with(&obs).map_err(|e| e.to_string())?;
             println!(
                 "{} disengagements, {} accidents, {:.0} autonomous miles\n",
                 o.database.disengagements().len(),
@@ -130,7 +141,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "export" => {
             let dir = positional.get(1).ok_or("export needs a directory")?;
             std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-            let o = Pipeline::new(config).run_with(&obs).map_err(|e| e.to_string())?;
+            let o = Pipeline::new(config).with_jobs(jobs).run_with(&obs).map_err(|e| e.to_string())?;
             let classifier = Classifier::with_default_dictionary();
             let artifacts: Vec<(&str, disengage::dataframe::DataFrame)> =
                 timed(&obs, "stage_iv_tables", || -> Result<_, String> {
@@ -232,7 +243,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .ok_or("project needs a target DPM")?
                 .parse()
                 .map_err(|_| "target DPM must be a number")?;
-            let o = Pipeline::new(config).run_with(&obs).map_err(|e| e.to_string())?;
+            let o = Pipeline::new(config).with_jobs(jobs).run_with(&obs).map_err(|e| e.to_string())?;
             let p = whatif::miles_to_target_dpm(&o.database, m, target)
                 .map_err(|e| e.to_string())?;
             println!(
@@ -265,6 +276,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     },
                     ocr_seed: seed ^ 0xFF,
                 })
+                .with_jobs(jobs)
                 .run()
                 .map_err(|e| e.to_string())?;
                 let stats = o.ocr.expect("simulated mode reports stats");

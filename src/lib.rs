@@ -22,6 +22,9 @@
 //!   `repro --chaos` resilience campaign).
 //! * [`obs`] — zero-dependency tracing/metrics substrate (spans,
 //!   counters, histograms, exporters) threaded through the pipeline.
+//! * [`par`] — zero-dependency chunked work-stealing thread pool with
+//!   a deterministic, order-preserving parallel map (Stages I–III run
+//!   on it; output is byte-identical at any `--jobs` count).
 //! * [`core`] — the wired pipeline plus every table/figure reproduction
 //!   (Stage IV).
 //!
@@ -46,6 +49,7 @@ pub use disengage_dataframe as dataframe;
 pub use disengage_nlp as nlp;
 pub use disengage_obs as obs;
 pub use disengage_ocr as ocr;
+pub use disengage_par as par;
 pub use disengage_reports as reports;
 pub use disengage_stats as stats;
 pub use disengage_stpa as stpa;
