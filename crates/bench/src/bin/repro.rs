@@ -18,6 +18,8 @@
 //! repro --chaos=0.05,7     # same, explicit injection seed
 //! repro --jobs=8           # Stage I–III across 8 workers
 //! repro --jobs=0           # ... across all available cores
+//! repro --lineage=lineage.jsonl  # export the per-record provenance log
+//! repro --trace=trace.json       # export a Chrome trace-event timeline
 //! ```
 //!
 //! `--jobs` only changes wall-clock time: the pipeline is
@@ -38,22 +40,24 @@
 //! as DEGRADED and the run continues — one broken table never takes
 //! down the campaign.
 
-use disengage_bench::{full_scale_chaos_outcome_jobs, full_scale_outcome_jobs};
+use disengage_bench::{full_scale_chaos_outcome_traced, full_scale_outcome_traced};
 use disengage_chaos::FaultPlan;
-use disengage_core::telemetry::{reconcile, timed};
+use disengage_core::pipeline::RunTrace;
+use disengage_core::telemetry::{execution_trace_json, reconcile, timed};
 use disengage_core::{degrade, exposure, figures, questions, report, tables, whatif};
 use disengage_nlp::Classifier;
-use disengage_obs::Collector;
+use disengage_obs::{Collector, ProvenanceEvent, ProvenanceLog, Subject};
 use disengage_reports::Manufacturer;
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 /// Tracks artifacts that degraded instead of rendering, so the run can
-/// summarize them (and the chaos report can list them) at the end.
-#[derive(Default)]
-struct Degradations(Vec<&'static str>);
+/// summarize them (and the chaos report can list them) at the end. Each
+/// degradation also lands in the run's provenance log as a Stage IV
+/// `Degraded` event, so `--lineage` exports carry the full story.
+struct Degradations<'a>(Vec<&'static str>, &'a ProvenanceLog);
 
-impl Degradations {
+impl Degradations<'_> {
     /// Prints a rendered artifact, or its degradation notice; never
     /// propagates the error.
     fn emit(&mut self, artifact: &'static str, result: disengage_core::Result<String>) {
@@ -61,6 +65,15 @@ impl Degradations {
             Ok(text) => print(text),
             Err(e) => {
                 print(format!("== {artifact}: DEGRADED ==\n{e}"));
+                if self.1.is_enabled() {
+                    self.1.push(
+                        Subject::Run,
+                        ProvenanceEvent::Degraded {
+                            artifact: artifact.to_owned(),
+                            reason: e.to_string(),
+                        },
+                    );
+                }
                 self.0.push(artifact);
             }
         }
@@ -104,9 +117,27 @@ fn main() -> ExitCode {
         },
         None => 0,
     };
+    // Optional provenance / execution-trace exports. `--lineage=FILE`
+    // writes the per-record audit log (wall-clock-free JSONL,
+    // byte-identical at any --jobs); `--trace=FILE` writes Chrome
+    // trace-event JSON for chrome://tracing or Perfetto.
+    let take_path = |args: &mut BTreeSet<String>, prefix: &str| {
+        let arg = args.iter().find(|a| a.starts_with(prefix)).cloned();
+        if let Some(a) = &arg {
+            args.remove(a);
+        }
+        arg.map(|a| a[prefix.len()..].to_owned())
+    };
+    let lineage_path = take_path(&mut args, "--lineage=");
+    let trace_path = take_path(&mut args, "--trace=");
     let want = |name: &str| args.is_empty() || args.contains(name);
 
     let obs = Collector::with_echo();
+    let trace = if lineage_path.is_some() || trace_path.is_some() {
+        RunTrace::new(&obs)
+    } else {
+        RunTrace::disabled()
+    };
     obs.log("running full-scale pipeline (5,328 disengagements, 42 accidents)...");
     let o = match plan {
         Some(p) if p.active() => {
@@ -114,9 +145,9 @@ fn main() -> ExitCode {
                 "chaos campaign armed: rate {:.3}, seed {:#x}",
                 p.rate, p.seed
             ));
-            full_scale_chaos_outcome_jobs(&obs, p, jobs)
+            full_scale_chaos_outcome_traced(&obs, p, jobs, &trace)
         }
-        _ => full_scale_outcome_jobs(&obs, jobs),
+        _ => full_scale_outcome_traced(&obs, jobs, &trace),
     };
     obs.log(&format!(
         "pipeline done: {} disengagements, {} accidents, {:.0} miles recovered",
@@ -139,7 +170,8 @@ fn main() -> ExitCode {
     if let Some(p) = plan {
         if !p.active() {
             obs.log("chaos rate 0: diffing against a clean reference run...");
-            let reference = full_scale_outcome_jobs(&Collector::new(), jobs);
+            let reference =
+                full_scale_outcome_traced(&Collector::new(), jobs, &RunTrace::disabled());
             let identical = format!("{:?}", reference.database) == format!("{:?}", o.database)
                 && reference.tagged == o.tagged
                 && reference.parse_failures == o.parse_failures;
@@ -152,7 +184,7 @@ fn main() -> ExitCode {
     }
 
     let classifier = Classifier::with_default_dictionary();
-    let mut deg = Degradations::default();
+    let mut deg = Degradations(Vec::new(), trace.provenance());
 
     if want("table1") {
         let r = timed(&obs, "stage_iv_table1", || tables::table1(&o.database));
@@ -479,6 +511,31 @@ fn main() -> ExitCode {
             Err(e) => {
                 eprintln!("error: could not write {path}: {e}");
                 chaos_ok = false;
+            }
+        }
+    }
+
+    // Provenance and execution-trace exports. The lineage log is
+    // wall-clock-free and entry-ordered, so the file is byte-identical
+    // across worker counts; the Chrome trace is wall-clock by nature
+    // and only format-checked.
+    if let Some(path) = &lineage_path {
+        let prov = trace.provenance();
+        match std::fs::write(path, prov.to_jsonl()) {
+            Ok(()) => eprintln!("wrote {path} ({} events)", prov.len()),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &trace_path {
+        let body = execution_trace_json(&snapshot, trace.timeline());
+        match std::fs::write(path, body) {
+            Ok(()) => eprintln!("wrote {path} ({} tasks)", trace.timeline().len()),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::FAILURE;
             }
         }
     }

@@ -5,7 +5,7 @@
 //! so the fixtures here build it once.
 
 use disengage_chaos::FaultPlan;
-use disengage_core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
+use disengage_core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome, RunTrace};
 use disengage_corpus::CorpusConfig;
 use disengage_obs::Collector;
 
@@ -28,9 +28,20 @@ pub fn full_scale_outcome_with(obs: &Collector) -> PipelineOutcome {
 /// [`full_scale_outcome_with`] across a `jobs`-wide worker pool (0 =
 /// all available cores). Byte-identical to `jobs = 1` at any setting.
 pub fn full_scale_outcome_jobs(obs: &Collector, jobs: usize) -> PipelineOutcome {
+    full_scale_outcome_traced(obs, jobs, &RunTrace::disabled())
+}
+
+/// [`full_scale_outcome_jobs`] with run-level tracing: per-record
+/// lineage into `trace.provenance()`, pool tasks onto
+/// `trace.timeline()` (the `repro --lineage=` / `--trace=` exports).
+pub fn full_scale_outcome_traced(
+    obs: &Collector,
+    jobs: usize,
+    trace: &RunTrace,
+) -> PipelineOutcome {
     Pipeline::new(full_scale_config())
         .with_jobs(jobs)
-        .run_with(obs)
+        .run_traced(obs, trace)
         .expect("full-scale pipeline runs")
 }
 
@@ -48,10 +59,21 @@ pub fn full_scale_chaos_outcome_jobs(
     plan: FaultPlan,
     jobs: usize,
 ) -> PipelineOutcome {
+    full_scale_chaos_outcome_traced(obs, plan, jobs, &RunTrace::disabled())
+}
+
+/// [`full_scale_chaos_outcome_jobs`] with run-level tracing (see
+/// [`full_scale_outcome_traced`]).
+pub fn full_scale_chaos_outcome_traced(
+    obs: &Collector,
+    plan: FaultPlan,
+    jobs: usize,
+    trace: &RunTrace,
+) -> PipelineOutcome {
     Pipeline::new(full_scale_config())
         .with_chaos(plan)
         .with_jobs(jobs)
-        .run_with(obs)
+        .run_traced(obs, trace)
         .expect("full-scale chaos pipeline runs")
 }
 

@@ -22,7 +22,7 @@
 //! `injected == corrected + quarantined + absorbed` is exact by
 //! construction, which is what `telemetry::reconcile` enforces.
 
-use crate::inject::FaultLog;
+use crate::inject::{FaultLog, InjectedFault};
 use crate::plan::{FaultKind, FaultPlan};
 use disengage_reports::formats::RawDocument;
 use disengage_reports::normalize::normalize_document;
@@ -39,6 +39,37 @@ pub struct KindOutcomes {
     pub quarantined: u64,
     /// Silent: the run completed with different output.
     pub absorbed: u64,
+}
+
+/// The audited fate of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultFate {
+    /// Neutralized: output indistinguishable from the clean parse.
+    Corrected,
+    /// Detected: surfaced as a failure in the manual-review queue.
+    Quarantined,
+    /// Silent: the run completed with different output.
+    Absorbed,
+}
+
+impl FaultFate {
+    /// Stable snake_case name (the provenance/export rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultFate::Corrected => "corrected",
+            FaultFate::Quarantined => "quarantined",
+            FaultFate::Absorbed => "absorbed",
+        }
+    }
+}
+
+/// One injected fault together with its audited outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditedFault {
+    /// The fault as injected (kind, document, 1-based line).
+    pub fault: InjectedFault,
+    /// What became of it.
+    pub outcome: FaultFate,
 }
 
 impl KindOutcomes {
@@ -66,6 +97,10 @@ pub struct ChaosAudit {
     pub totals: KindOutcomes,
     /// Outcomes per fault kind (stable snake_case keys).
     pub per_kind: BTreeMap<&'static str, KindOutcomes>,
+    /// Every fault with its individual outcome, in injection order —
+    /// the per-fault ledger behind the counts above (provenance
+    /// consumes it; `to_json` stays aggregate-only).
+    pub faults: Vec<AuditedFault>,
 }
 
 impl ChaosAudit {
@@ -157,15 +192,22 @@ pub fn audit(plan: &FaultPlan, log: &FaultLog, clean: &[RawDocument], faulted: &
                 .get_mut(f.kind.name())
                 .expect("all kinds pre-seeded");
             slot.injected += 1;
-            if q > 0 {
+            let fate = if q > 0 {
                 q -= 1;
                 slot.quarantined += 1;
+                FaultFate::Quarantined
             } else if a > 0 {
                 a -= 1;
                 slot.absorbed += 1;
+                FaultFate::Absorbed
             } else {
                 slot.corrected += 1;
-            }
+                FaultFate::Corrected
+            };
+            out.faults.push(AuditedFault {
+                fault: f,
+                outcome: fate,
+            });
         }
         out.totals.add(KindOutcomes {
             injected: k,
@@ -237,6 +279,14 @@ mod tests {
             for (k, o) in &a.per_kind {
                 assert!(o.reconciles(), "seed {seed} kind {k}: {o:?}");
             }
+            // The per-fault ledger partitions exactly like the totals.
+            assert_eq!(a.faults.len() as u64, a.totals.injected, "seed {seed}");
+            let count = |fate: FaultFate| {
+                a.faults.iter().filter(|f| f.outcome == fate).count() as u64
+            };
+            assert_eq!(count(FaultFate::Corrected), a.totals.corrected);
+            assert_eq!(count(FaultFate::Quarantined), a.totals.quarantined);
+            assert_eq!(count(FaultFate::Absorbed), a.totals.absorbed);
         }
     }
 

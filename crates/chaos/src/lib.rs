@@ -65,7 +65,7 @@ pub mod inject;
 pub mod plan;
 pub mod poison;
 
-pub use audit::{audit, ChaosAudit, KindOutcomes};
+pub use audit::{audit, AuditedFault, ChaosAudit, FaultFate, KindOutcomes};
 pub use degenerate::DegenerateKind;
 pub use inject::{inject_documents, FaultLog, InjectedFault};
 pub use plan::{FaultKind, FaultPlan};

@@ -47,7 +47,7 @@ pub mod telemetry;
 pub mod whatif;
 
 pub use error::{degrade, CoreError, Quarantined};
-pub use pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineOutcome, RunTrace};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -10,23 +10,76 @@
 //! [`crate::figures`].
 
 use crate::error::Quarantined;
-use crate::tagging::{tag_records_par_with, TaggedDisengagement};
+use crate::tagging::{tag_records_traced, TaggedDisengagement};
 use crate::Result;
 use disengage_chaos::{audit, inject_documents, poison_dictionary, ChaosAudit, FaultKind, FaultPlan};
 use disengage_corpus::{Corpus, CorpusConfig, CorpusGenerator};
 use disengage_nlp::Classifier;
-use disengage_obs::{Collector, TelemetryReport};
+use disengage_obs::{
+    Collector, ProvenanceEvent, ProvenanceLog, RecordId, Subject, TelemetryReport,
+};
 use disengage_ocr::correct::Corrector;
 use disengage_ocr::engine::OcrEngine;
 use disengage_ocr::metrics::cer;
 use disengage_ocr::raster::rasterize;
 use disengage_ocr::NoiseModel;
 use disengage_par as par;
+use disengage_par::TaskTimeline;
 use disengage_reports::formats::RawDocument;
-use disengage_reports::normalize::{normalize_document_with, Normalized};
+use disengage_reports::normalize::{normalize_document_traced, Normalized};
 use disengage_reports::{FailureDatabase, ReportError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Optional run-level tracing: the per-record [`ProvenanceLog`] behind
+/// `disengage explain` / `--lineage`, plus the [`TaskTimeline`] behind
+/// the `--trace` Chrome-trace export. A disabled trace (the default for
+/// [`Pipeline::run_with`]) turns every push into a no-op, so untraced
+/// runs pay nothing.
+///
+/// The provenance log shares the shard/absorb discipline of the
+/// telemetry [`Collector`]: worker tasks log into per-task shards that
+/// merge in task-index order, so the lineage export is byte-identical
+/// at any `jobs` setting. The timeline is wall-clock by construction
+/// and deliberately outside that determinism contract.
+pub struct RunTrace {
+    provenance: ProvenanceLog,
+    timeline: TaskTimeline,
+}
+
+impl RunTrace {
+    /// An enabled trace whose timeline shares `obs`'s epoch, so span
+    /// and pool-task timestamps land on one clock in the trace export.
+    pub fn new(obs: &Collector) -> RunTrace {
+        RunTrace {
+            provenance: ProvenanceLog::new(),
+            timeline: TaskTimeline::with_epoch(obs.epoch()),
+        }
+    }
+
+    /// A trace that records nothing.
+    pub fn disabled() -> RunTrace {
+        RunTrace {
+            provenance: ProvenanceLog::disabled(),
+            timeline: TaskTimeline::disabled(),
+        }
+    }
+
+    /// Whether any channel is recording.
+    pub fn is_enabled(&self) -> bool {
+        self.provenance.is_enabled() || self.timeline.is_enabled()
+    }
+
+    /// The per-record lineage log.
+    pub fn provenance(&self) -> &ProvenanceLog {
+        &self.provenance
+    }
+
+    /// The worker-pool execution timeline.
+    pub fn timeline(&self) -> &TaskTimeline {
+        &self.timeline
+    }
+}
 
 /// How Stage I digitizes the raw documents.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,6 +138,12 @@ pub struct PipelineOutcome {
     pub database: FailureDatabase,
     /// Stage III verdicts, aligned with `database.disengagements()`.
     pub tagged: Vec<TaggedDisengagement>,
+    /// Stable content-derived identity of every recovered record,
+    /// aligned with `database.disengagements()` (and therefore with
+    /// `tagged`). Ids derive from report content — manufacturer, filing
+    /// year, car, per-car ordinal — never from batch position, so the
+    /// same record keeps the same id across scales and worker counts.
+    pub record_ids: Vec<RecordId>,
     /// Per-line parse failures (the manual-review queue).
     pub parse_failures: Vec<ReportError>,
     /// The structured quarantine lane: every record a stage rejected,
@@ -198,6 +257,20 @@ impl Pipeline {
     ///
     /// See [`Pipeline::run`].
     pub fn run_with(&self, obs: &Collector) -> Result<PipelineOutcome> {
+        self.run_traced(obs, &RunTrace::disabled())
+    }
+
+    /// [`Pipeline::run_with`] plus lineage and execution tracing: every
+    /// stage appends its per-record decisions to `trace.provenance()`
+    /// (OCR repairs, injected faults and their audited fates, Stage II
+    /// acceptances and quarantines, Stage III ballots and verdicts) and
+    /// every worker-pool task lands on `trace.timeline()`. With a
+    /// disabled trace this is exactly `run_with`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Pipeline::run`].
+    pub fn run_traced(&self, obs: &Collector, trace: &RunTrace) -> Result<PipelineOutcome> {
         let outcome = {
             let mut root = obs.span("pipeline");
             root.field("seed", self.config.corpus.seed);
@@ -245,7 +318,7 @@ impl Pipeline {
                             jobs: self.jobs,
                         };
                         let (out, stats) =
-                            digitize_simulated_with(digitize, &corpus.documents, obs);
+                            digitize_simulated_traced(digitize, &corpus.documents, obs, trace);
                         (out, Some(stats))
                     }
                 }
@@ -267,21 +340,63 @@ impl Pipeline {
                     for kind in FaultKind::ALL {
                         obs.add(&format!("chaos.injected.{}", kind.name()), log.count(kind));
                     }
+                    let prov = trace.provenance();
+                    if prov.is_enabled() {
+                        for f in &log.faults {
+                            prov.push(
+                                Subject::Line {
+                                    doc: f.doc,
+                                    line: f.line,
+                                },
+                                ProvenanceEvent::FaultInjected {
+                                    kind: f.kind.name().to_owned(),
+                                    line: f.line,
+                                },
+                            );
+                        }
+                    }
                     let corrector = default_corrector();
-                    let per_doc = par::par_map_indexed(self.jobs, &faulted, |_, doc| {
-                        let shard = obs.shard();
-                        let (fixed, per_attempt) =
-                            corrector.correct_text_bounded(&doc.text, plan.repair_attempts);
-                        record_repair_attempts(&shard, &per_attempt);
-                        (
-                            RawDocument::new(doc.manufacturer, doc.report_year, doc.kind, fixed),
-                            shard,
-                        )
-                    });
+                    let per_doc = par::par_map_indexed_timed(
+                        self.jobs,
+                        &faulted,
+                        |i, doc| {
+                            let shard = obs.shard();
+                            let pshard = prov.shard();
+                            let (fixed, per_attempt, repairs) =
+                                corrector.correct_text_audited(&doc.text, plan.repair_attempts);
+                            record_repair_attempts(&shard, &per_attempt);
+                            if pshard.is_enabled() {
+                                for r in &repairs {
+                                    pshard.push(
+                                        Subject::Line { doc: i, line: r.line },
+                                        ProvenanceEvent::OcrRepair {
+                                            line: r.line,
+                                            before: r.before.clone(),
+                                            after: r.after.clone(),
+                                            attempt: r.attempt,
+                                        },
+                                    );
+                                }
+                            }
+                            (
+                                RawDocument::new(
+                                    doc.manufacturer,
+                                    doc.report_year,
+                                    doc.kind,
+                                    fixed,
+                                ),
+                                shard,
+                                pshard,
+                            )
+                        },
+                        trace.timeline(),
+                        "chaos_repair",
+                    );
                     let repaired: Vec<RawDocument> = per_doc
                         .into_iter()
-                        .map(|(doc, shard)| {
+                        .map(|(doc, shard, pshard)| {
                             obs.absorb(shard);
+                            prov.absorb(pshard);
                             doc
                         })
                         .collect();
@@ -289,6 +404,21 @@ impl Pipeline {
                     obs.add("chaos.outcome.corrected", audited.totals.corrected);
                     obs.add("chaos.outcome.quarantined", audited.totals.quarantined);
                     obs.add("chaos.outcome.absorbed", audited.totals.absorbed);
+                    if prov.is_enabled() {
+                        for af in &audited.faults {
+                            prov.push(
+                                Subject::Line {
+                                    doc: af.fault.doc,
+                                    line: af.fault.line,
+                                },
+                                ProvenanceEvent::FaultOutcome {
+                                    kind: af.fault.kind.name().to_owned(),
+                                    line: af.fault.line,
+                                    outcome: af.outcome.name().to_owned(),
+                                },
+                            );
+                        }
+                    }
                     span.field("faults", log.total());
                     (repaired, Some(audited))
                 }
@@ -297,28 +427,49 @@ impl Pipeline {
             // Stage II: parse + filter + normalize, one task per
             // document. A panicking parser quarantines that document
             // alone; the rest of the batch parses normally.
-            let (database, failures, panicked) = {
+            let (database, failures, panicked, record_ids) = {
                 let mut span = obs.span("stage_ii_parse");
                 // Pre-register the headline counters so a clean run still
                 // exports them (at zero) for machine consumers.
                 for name in ["parse.dis.lines", "parse.dis.parsed", "parse.dis.failed"] {
                     obs.add(name, 0);
                 }
-                let per_doc = par::par_map_catch(self.jobs, &documents, |_, doc| {
-                    let shard = obs.shard();
-                    let normalized = normalize_document_with(doc, &shard);
-                    (normalized, shard)
-                });
+                let prov = trace.provenance();
+                let per_doc = par::par_map_catch_timed(
+                    self.jobs,
+                    &documents,
+                    |i, doc| {
+                        let shard = obs.shard();
+                        let pshard = prov.shard();
+                        let (normalized, ids) =
+                            normalize_document_traced(doc, i, Some(&shard), &pshard);
+                        (normalized, ids, shard, pshard)
+                    },
+                    trace.timeline(),
+                    "stage_ii_parse",
+                );
                 let mut normalized = Normalized::default();
+                let mut record_ids: Vec<RecordId> = Vec::new();
                 let mut panicked: Vec<Quarantined> = Vec::new();
                 for outcome in per_doc {
                     match outcome {
-                        Ok((n, shard)) => {
+                        Ok((n, ids, shard, pshard)) => {
                             obs.absorb(shard);
+                            prov.absorb(pshard);
+                            record_ids.extend(ids);
                             normalized.merge(n);
                         }
                         Err(p) => {
                             obs.incr("parse.docs.panicked");
+                            if prov.is_enabled() {
+                                prov.push(
+                                    Subject::Document(p.index),
+                                    ProvenanceEvent::Quarantined {
+                                        stage: "stage_ii_parse".to_owned(),
+                                        reason: format!("parser panicked: {}", p.message),
+                                    },
+                                );
+                            }
                             panicked.push(Quarantined {
                                 stage: "stage_ii_parse",
                                 record_id: format!("doc:{}", p.index),
@@ -334,7 +485,7 @@ impl Pipeline {
                     normalized.accidents,
                     normalized.mileage,
                 );
-                (database, normalized.failures, panicked)
+                (database, normalized.failures, panicked, record_ids)
             };
 
             // Stage III: NLP tagging. Under chaos the dictionary is
@@ -355,8 +506,15 @@ impl Pipeline {
                     }
                     None => self.classifier.clone(),
                 };
-                let tagged =
-                    tag_records_par_with(&classifier, database.disengagements(), self.jobs, obs);
+                let tagged = tag_records_traced(
+                    &classifier,
+                    database.disengagements(),
+                    &record_ids,
+                    self.jobs,
+                    obs,
+                    trace.provenance(),
+                    trace.timeline(),
+                );
                 span.field("tagged", tagged.len() as u64);
                 tagged
             };
@@ -384,6 +542,7 @@ impl Pipeline {
                 corpus,
                 database,
                 tagged,
+                record_ids,
                 parse_failures: failures,
                 quarantined,
                 chaos: chaos_audit,
@@ -438,40 +597,79 @@ pub fn digitize_simulated_with(
     docs: &[RawDocument],
     obs: &Collector,
 ) -> (Vec<RawDocument>, OcrStats) {
+    digitize_simulated_traced(config, docs, obs, &RunTrace::disabled())
+}
+
+/// [`digitize_simulated_with`] plus tracing: every dictionary repair is
+/// logged as an `OcrRepair` provenance event against its source line
+/// (document index = `base_index + i`, matching Stage II's subjects),
+/// and each pool task lands on the timeline under `stage_i_ocr`.
+pub fn digitize_simulated_traced(
+    config: DigitizeConfig,
+    docs: &[RawDocument],
+    obs: &Collector,
+    trace: &RunTrace,
+) -> (Vec<RawDocument>, OcrStats) {
     let engine = OcrEngine::new();
     let corrector = config.correct.then(default_corrector);
-    let per_doc = par::par_map_indexed(config.jobs, docs, |i, doc| {
-        let shard = obs.shard();
-        let mut rng = StdRng::seed_from_u64(rand::derive_seed(
-            config.ocr_seed,
-            (config.base_index + i) as u64,
-        ));
-        let page = config.noise.degrade(&rasterize(&doc.text), &mut rng);
-        let recognized = engine.recognize(&page);
-        let text = match &corrector {
-            Some(c) => {
-                let (fixed, per_attempt) =
-                    c.correct_text_bounded(&recognized.text, config.repair_attempts.max(1));
-                record_repair_attempts(&shard, &per_attempt);
-                fixed
-            }
-            None => recognized.text.clone(),
-        };
-        let doc_cer = cer(doc.text.trim_end(), &text);
-        shard.incr("ocr.documents");
-        shard.record("ocr.cer", doc_cer);
-        shard.record("ocr.confidence", recognized.mean_confidence());
-        (
-            RawDocument::new(doc.manufacturer, doc.report_year, doc.kind, text),
-            doc_cer,
-            recognized.mean_confidence(),
-            shard,
-        )
-    });
+    let prov = trace.provenance();
+    let per_doc = par::par_map_indexed_timed(
+        config.jobs,
+        docs,
+        |i, doc| {
+            let shard = obs.shard();
+            let pshard = prov.shard();
+            let mut rng = StdRng::seed_from_u64(rand::derive_seed(
+                config.ocr_seed,
+                (config.base_index + i) as u64,
+            ));
+            let page = config.noise.degrade(&rasterize(&doc.text), &mut rng);
+            let recognized = engine.recognize(&page);
+            let text = match &corrector {
+                Some(c) => {
+                    let (fixed, per_attempt, repairs) =
+                        c.correct_text_audited(&recognized.text, config.repair_attempts.max(1));
+                    record_repair_attempts(&shard, &per_attempt);
+                    if pshard.is_enabled() {
+                        for r in &repairs {
+                            pshard.push(
+                                Subject::Line {
+                                    doc: config.base_index + i,
+                                    line: r.line,
+                                },
+                                ProvenanceEvent::OcrRepair {
+                                    line: r.line,
+                                    before: r.before.clone(),
+                                    after: r.after.clone(),
+                                    attempt: r.attempt,
+                                },
+                            );
+                        }
+                    }
+                    fixed
+                }
+                None => recognized.text.clone(),
+            };
+            let doc_cer = cer(doc.text.trim_end(), &text);
+            shard.incr("ocr.documents");
+            shard.record("ocr.cer", doc_cer);
+            shard.record("ocr.confidence", recognized.mean_confidence());
+            (
+                RawDocument::new(doc.manufacturer, doc.report_year, doc.kind, text),
+                doc_cer,
+                recognized.mean_confidence(),
+                shard,
+                pshard,
+            )
+        },
+        trace.timeline(),
+        "stage_i_ocr",
+    );
     let mut out = Vec::with_capacity(docs.len());
     let (mut cer_sum, mut conf_sum) = (0.0f64, 0.0f64);
-    for (doc, doc_cer, confidence, shard) in per_doc {
+    for (doc, doc_cer, confidence, shard, pshard) in per_doc {
         obs.absorb(shard);
+        prov.absorb(pshard);
         cer_sum += doc_cer;
         conf_sum += confidence;
         out.push(doc);
@@ -718,6 +916,101 @@ mod tests {
         for q in &outcome.quarantined {
             assert_eq!(q.stage, "stage_ii_parse");
         }
+    }
+
+    #[test]
+    fn record_ids_align_with_database_and_are_unique() {
+        let outcome = Pipeline::new(small(0.05)).run().unwrap();
+        assert_eq!(outcome.record_ids.len(), outcome.database.disengagements().len());
+        let unique: std::collections::BTreeSet<_> = outcome.record_ids.iter().collect();
+        assert_eq!(unique.len(), outcome.record_ids.len(), "duplicate record ids");
+        // Ids are content-derived: manufacturer and filing year match the
+        // aligned record.
+        for (id, r) in outcome.record_ids.iter().zip(outcome.database.disengagements()) {
+            assert_eq!(
+                id.manufacturer,
+                disengage_obs::key_segment(r.manufacturer.name())
+            );
+        }
+    }
+
+    #[test]
+    fn traced_chaos_run_logs_full_lineage() {
+        let obs = Collector::new();
+        let trace = RunTrace::new(&obs);
+        let outcome = Pipeline::new(small(0.05))
+            .with_chaos(FaultPlan::new(0.05, 7))
+            .run_traced(&obs, &trace)
+            .unwrap();
+        let prov = trace.provenance();
+        assert!(!prov.is_empty());
+        // Every injected fault appears twice: once at injection, once
+        // with its audited fate.
+        let audit = outcome.chaos.as_ref().unwrap();
+        let injected = prov
+            .entries()
+            .iter()
+            .filter(|e| e.event.kind() == "fault_injected")
+            .count();
+        let outcomes = prov
+            .entries()
+            .iter()
+            .filter(|e| e.event.kind() == "fault_outcome")
+            .count();
+        assert_eq!(injected as u64, audit.totals.injected);
+        assert_eq!(outcomes as u64, audit.totals.injected);
+        // Every recovered record got a Normalized event and a Tagged
+        // verdict on its id.
+        let normalized = prov
+            .entries()
+            .iter()
+            .filter(|e| e.event.kind() == "normalized")
+            .count();
+        let tagged = prov
+            .entries()
+            .iter()
+            .filter(|e| e.event.kind() == "tagged")
+            .count();
+        assert_eq!(normalized, outcome.database.disengagements().len());
+        assert_eq!(tagged, outcome.database.disengagements().len());
+        // The three exemplar classes the `explain` command surfaces all
+        // exist at this rate, and each explains to a non-empty chain.
+        let exemplars = prov.exemplars();
+        assert_eq!(exemplars.len(), 3, "{exemplars:?}");
+        for (_, subject) in &exemplars {
+            let chain = prov.explain(subject).expect(subject);
+            assert!(chain.contains("stage"), "{chain}");
+        }
+        // Pool tasks cover all three parallel stages.
+        let labels: std::collections::BTreeSet<String> = trace
+            .timeline()
+            .tasks()
+            .iter()
+            .map(|t| t.label.clone())
+            .collect();
+        assert!(labels.contains("chaos_repair"), "{labels:?}");
+        assert!(labels.contains("stage_ii_parse"), "{labels:?}");
+        assert!(labels.contains("stage_iii_tag"), "{labels:?}");
+        // And the export round-trips through the trace validator.
+        let json = crate::telemetry::execution_trace_json(&outcome.telemetry, trace.timeline());
+        let n = disengage_obs::validate_chrome_trace(&json).unwrap();
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn disabled_trace_matches_run_with() {
+        let plain = Pipeline::new(small(0.05)).run().unwrap();
+        let obs = Collector::new();
+        let trace = RunTrace::disabled();
+        let traced = Pipeline::new(small(0.05)).run_traced(&obs, &trace).unwrap();
+        assert_eq!(
+            format!("{:?}", plain.database),
+            format!("{:?}", traced.database)
+        );
+        assert_eq!(plain.tagged, traced.tagged);
+        assert_eq!(plain.record_ids, traced.record_ids);
+        assert!(trace.provenance().is_empty());
+        assert!(trace.timeline().tasks().is_empty());
     }
 
     #[test]

@@ -38,10 +38,59 @@ pub fn tag_record_with(
     record: &DisengagementRecord,
     obs: &disengage_obs::Collector,
 ) -> TaggedDisengagement {
+    tag_record_traced(
+        classifier,
+        record,
+        obs,
+        &disengage_obs::ProvenanceLog::disabled(),
+        None,
+    )
+}
+
+/// [`tag_record_with`] plus per-record provenance: when `prov` is
+/// enabled and the record carries an id, the full ballot lands in the
+/// log — one `DictVote` event per scoring tag (tag, category, score,
+/// matched keywords) followed by the `Tagged` verdict with its margin
+/// and ambiguity flag. Telemetry is identical to the untraced path; the
+/// record is classified exactly once either way.
+pub fn tag_record_traced(
+    classifier: &Classifier,
+    record: &DisengagementRecord,
+    obs: &disengage_obs::Collector,
+    prov: &disengage_obs::ProvenanceLog,
+    id: Option<&disengage_obs::RecordId>,
+) -> TaggedDisengagement {
+    let (assignment, votes) = classifier.classify_detailed(&record.description);
     let t = TaggedDisengagement {
         record: record.clone(),
-        assignment: classifier.classify(&record.description),
+        assignment,
     };
+    if prov.is_enabled() {
+        if let Some(id) = id {
+            let subject = disengage_obs::Subject::Record(id.clone());
+            for v in &votes {
+                prov.push(
+                    subject.clone(),
+                    disengage_obs::ProvenanceEvent::DictVote {
+                        tag: v.tag.name().to_owned(),
+                        category: v.tag.category().name().to_owned(),
+                        score: v.score,
+                        keywords: v.matched_keywords.clone(),
+                    },
+                );
+            }
+            prov.push(
+                subject,
+                disengage_obs::ProvenanceEvent::Tagged {
+                    tag: t.assignment.tag.name().to_owned(),
+                    category: t.assignment.category.name().to_owned(),
+                    score: t.assignment.score,
+                    margin: t.assignment.margin,
+                    ambiguous: t.assignment.ambiguous,
+                },
+            );
+        }
+    }
     obs.incr("nlp.tagged");
     obs.incr(&format!(
         "nlp.tag.{}",
@@ -82,15 +131,49 @@ pub fn tag_records_par_with(
     jobs: usize,
     obs: &disengage_obs::Collector,
 ) -> Vec<TaggedDisengagement> {
-    let per_record = disengage_par::par_map_indexed(jobs, records, |_, r| {
-        let shard = obs.shard();
-        let t = tag_record_with(classifier, r, &shard);
-        (t, shard)
-    });
+    tag_records_traced(
+        classifier,
+        records,
+        &[],
+        jobs,
+        obs,
+        &disengage_obs::ProvenanceLog::disabled(),
+        &disengage_par::TaskTimeline::disabled(),
+    )
+}
+
+/// [`tag_records_par_with`] plus lineage and execution tracing: each
+/// record's ballot is logged against `ids[i]` (see
+/// [`tag_record_traced`]; records past the end of `ids` trace nothing),
+/// and every pool task lands on `timeline` under the `stage_iii_tag`
+/// label. Provenance shards absorb in record order, so the merged log —
+/// like the telemetry — is byte-identical at any worker count.
+pub fn tag_records_traced(
+    classifier: &Classifier,
+    records: &[DisengagementRecord],
+    ids: &[disengage_obs::RecordId],
+    jobs: usize,
+    obs: &disengage_obs::Collector,
+    prov: &disengage_obs::ProvenanceLog,
+    timeline: &disengage_par::TaskTimeline,
+) -> Vec<TaggedDisengagement> {
+    let per_record = disengage_par::par_map_indexed_timed(
+        jobs,
+        records,
+        |i, r| {
+            let shard = obs.shard();
+            let pshard = prov.shard();
+            let t = tag_record_traced(classifier, r, &shard, &pshard, ids.get(i));
+            (t, shard, pshard)
+        },
+        timeline,
+        "stage_iii_tag",
+    );
     let tagged: Vec<TaggedDisengagement> = per_record
         .into_iter()
-        .map(|(t, shard)| {
+        .map(|(t, shard, pshard)| {
             obs.absorb(shard);
+            prov.absorb(pshard);
             t
         })
         .collect();

@@ -26,6 +26,30 @@ pub fn timed<T>(obs: &Collector, name: &str, f: impl FnOnce() -> T) -> T {
     f()
 }
 
+/// Renders a run's execution timeline as Chrome trace-event JSON: the
+/// telemetry span tree lands on `tid 0`, every worker-pool task on
+/// `tid worker + 1`, so chrome://tracing (or Perfetto) shows the stage
+/// structure above per-worker swimlanes. Tasks are labeled
+/// `<stage>#<chunk>`. Timestamps are wall-clock — the export is for
+/// humans and deliberately outside the byte-identity contract that
+/// covers the lineage log.
+pub fn execution_trace_json(
+    report: &TelemetryReport,
+    timeline: &disengage_par::TaskTimeline,
+) -> String {
+    let tasks: Vec<disengage_obs::TraceTask> = timeline
+        .tasks()
+        .iter()
+        .map(|t| disengage_obs::TraceTask {
+            label: format!("{}#{}", t.label, t.chunk),
+            worker: t.worker,
+            start_s: t.start_s,
+            end_s: t.end_s,
+        })
+        .collect();
+    disengage_obs::render_chrome_trace(report, &tasks)
+}
+
 /// Checks the cross-stage counter identities on a pipeline telemetry
 /// snapshot, returning one human-readable line per violation (empty
 /// means the run reconciles).

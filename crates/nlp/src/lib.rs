@@ -45,4 +45,4 @@ pub mod vote;
 
 pub use dictionary::FailureDictionary;
 pub use ontology::{FailureCategory, FaultTag};
-pub use vote::{Classifier, TagAssignment};
+pub use vote::{Classifier, TagAssignment, TagVote};

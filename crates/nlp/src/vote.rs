@@ -31,6 +31,19 @@ pub struct TagAssignment {
     pub ambiguous: bool,
 }
 
+/// One tag's vote tally for a description — the per-candidate
+/// breakdown behind a [`TagAssignment`]. Only tags that scored are
+/// reported, in [`FaultTag::ALL`] order (so the list is deterministic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagVote {
+    /// The candidate tag.
+    pub tag: FaultTag,
+    /// Its keyword + phrase score.
+    pub score: f64,
+    /// Normalized keywords that hit for this tag.
+    pub matched_keywords: Vec<String>,
+}
+
 /// Keyword-voting classifier over a [`FailureDictionary`].
 #[derive(Debug, Clone)]
 pub struct Classifier {
@@ -81,6 +94,14 @@ impl Classifier {
     /// assert_eq!(c.classify("odd noise").tag, FaultTag::UnknownT);
     /// ```
     pub fn classify(&self, description: &str) -> TagAssignment {
+        self.classify_detailed(description).0
+    }
+
+    /// [`Classifier::classify`], also returning every scoring tag's
+    /// [`TagVote`] — the full ballot the verdict was decided from. The
+    /// verdict is computed by the same single pass, so the detailed and
+    /// plain forms can never disagree.
+    pub fn classify_detailed(&self, description: &str) -> (TagAssignment, Vec<TagVote>) {
         let raw_tokens = tokenize(description);
         let desc_tokens = normalize(&raw_tokens);
         let desc_set: BTreeSet<&str> = desc_tokens.iter().map(String::as_str).collect();
@@ -90,6 +111,7 @@ impl Classifier {
         let mut best: Option<(FaultTag, f64, Vec<String>)> = None;
         let mut second_score = 0.0f64;
         let mut ambiguous = false;
+        let mut votes = Vec::new();
         for ((tag, keywords), (_, phrases)) in self.keyword_sets.iter().zip(&self.phrase_sets) {
             let matched: Vec<String> = keywords
                 .iter()
@@ -106,6 +128,11 @@ impl Classifier {
             if score <= 0.0 {
                 continue;
             }
+            votes.push(TagVote {
+                tag: *tag,
+                score,
+                matched_keywords: matched.clone(),
+            });
             match &best {
                 Some((_, best_score, _)) if score < *best_score => {
                     second_score = second_score.max(score);
@@ -124,7 +151,7 @@ impl Classifier {
             }
         }
 
-        match best {
+        let assignment = match best {
             Some((tag, score, matched_keywords)) => TagAssignment {
                 tag,
                 category: tag.category(),
@@ -141,7 +168,8 @@ impl Classifier {
                 matched_keywords: Vec::new(),
                 ambiguous: false,
             },
-        }
+        };
+        (assignment, votes)
     }
 
     /// Classifies a batch of descriptions.
@@ -292,6 +320,32 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].tag, FaultTag::HangCrash);
         assert_eq!(out[1].tag, FaultTag::Sensor);
+    }
+
+    #[test]
+    fn detailed_ballot_contains_the_winner_and_only_scorers() {
+        let cl = c();
+        let (assignment, votes) = cl.classify_detailed(
+            "perception missed the pedestrian; planner was fine, recognition failure confirmed",
+        );
+        assert_eq!(assignment, cl.classify(
+            "perception missed the pedestrian; planner was fine, recognition failure confirmed",
+        ));
+        assert!(!votes.is_empty());
+        let winner = votes
+            .iter()
+            .find(|v| v.tag == assignment.tag)
+            .expect("winner is on the ballot");
+        assert_eq!(winner.score, assignment.score);
+        assert_eq!(winner.matched_keywords, assignment.matched_keywords);
+        for v in &votes {
+            assert!(v.score > 0.0, "only scoring tags are reported: {v:?}");
+            assert!(v.score <= assignment.score);
+        }
+        // Unknown text yields an empty ballot.
+        let (unknown, no_votes) = cl.classify_detailed("odd noise");
+        assert_eq!(unknown.tag, FaultTag::UnknownT);
+        assert!(no_votes.is_empty());
     }
 
     #[test]

@@ -9,8 +9,9 @@
 
 use crate::hist::Histogram;
 use crate::report::{FieldValue, LogEvent, SpanNode, TelemetryReport};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
+use std::thread::ThreadId;
 use std::time::{Duration, Instant};
 
 #[derive(Debug)]
@@ -25,7 +26,12 @@ struct SpanData {
 #[derive(Debug, Default)]
 struct Inner {
     spans: Vec<SpanData>,
-    stack: Vec<usize>,
+    // Per-thread open-span stacks. A single shared stack would parent a
+    // span opened on a pool worker under whatever span another thread
+    // pushed last; keying by thread id keeps nesting a per-thread
+    // property, so worker-opened spans root at the top level instead of
+    // mis-parenting under an unrelated sibling.
+    stacks: HashMap<ThreadId, Vec<usize>>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
@@ -71,13 +77,21 @@ impl Collector {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Opens a span as a child of the innermost open span. The span
-    /// closes when the returned guard drops (or via
+    /// The instant this collector's clock started; timestamps (span
+    /// starts, pool-task timelines) are measured relative to it.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Opens a span as a child of the *calling thread's* innermost open
+    /// span (a span opened on a thread with no open span becomes a
+    /// root). The span closes when the returned guard drops (or via
     /// [`SpanGuard::finish`]).
     pub fn span(&self, name: &str) -> SpanGuard<'_> {
         let start = self.epoch.elapsed();
+        let thread = std::thread::current().id();
         let mut inner = self.lock();
-        let parent = inner.stack.last().copied();
+        let parent = inner.stacks.get(&thread).and_then(|s| s.last()).copied();
         let index = inner.spans.len();
         inner.spans.push(SpanData {
             name: name.to_owned(),
@@ -86,7 +100,7 @@ impl Collector {
             end: None,
             fields: Vec::new(),
         });
-        inner.stack.push(index);
+        inner.stacks.entry(thread).or_default().push(index);
         SpanGuard {
             collector: self,
             index,
@@ -154,16 +168,18 @@ impl Collector {
     /// Folds a shard's accumulated state into this collector: counters
     /// add, gauges overwrite (the shard is the later writer),
     /// histograms merge ([`Histogram::merge`]), logs append, and shard
-    /// root spans attach under this collector's innermost open span.
+    /// root spans attach under the calling thread's innermost open
+    /// span.
     ///
     /// Absorbing per-task shards in task-index order is deterministic:
     /// the result is identical at any worker count, bit-for-bit even
     /// in the order-sensitive float accumulations.
     pub fn absorb(&self, shard: Collector) {
         let shard = shard.inner.into_inner().unwrap_or_else(|e| e.into_inner());
+        let thread = std::thread::current().id();
         let mut inner = self.lock();
         let base = inner.spans.len();
-        let attach = inner.stack.last().copied();
+        let attach = inner.stacks.get(&thread).and_then(|s| s.last()).copied();
         for mut span in shard.spans {
             span.parent = match span.parent {
                 Some(p) => Some(base + p),
@@ -233,15 +249,30 @@ impl Collector {
 
     fn close_span(&self, index: usize) {
         let end = self.epoch.elapsed();
+        let thread = std::thread::current().id();
         let mut inner = self.lock();
         if inner.spans[index].end.is_none() {
             inner.spans[index].end = Some(end);
         }
-        // Normally `index` is the innermost open span; dropping guards
-        // out of order just removes the span from wherever it sits.
-        if let Some(at) = inner.stack.iter().rposition(|&i| i == index) {
-            inner.stack.remove(at);
+        // Normally `index` is the calling thread's innermost open span;
+        // guards dropped out of order (or moved across threads) just
+        // remove the span from whichever stack it sits on.
+        let mut removed = false;
+        if let Some(stack) = inner.stacks.get_mut(&thread) {
+            if let Some(at) = stack.iter().rposition(|&i| i == index) {
+                stack.remove(at);
+                removed = true;
+            }
         }
+        if !removed {
+            for stack in inner.stacks.values_mut() {
+                if let Some(at) = stack.iter().rposition(|&i| i == index) {
+                    stack.remove(at);
+                    break;
+                }
+            }
+        }
+        inner.stacks.retain(|_, stack| !stack.is_empty());
     }
 
     fn span_field(&self, index: usize, key: &str, value: FieldValue) {
@@ -432,6 +463,42 @@ mod tests {
         let r = c.report();
         assert_eq!(r.spans.len(), 1);
         assert_eq!(r.spans[0].name, "orphan");
+    }
+
+    #[test]
+    fn worker_thread_spans_do_not_parent_under_other_threads() {
+        // Regression: with a single shared span stack, a span opened on
+        // a pool worker parented under whatever span another thread had
+        // pushed last. Per-thread stacks make worker-opened spans roots
+        // (their thread has no open span) and keep same-thread nesting.
+        let c = Collector::new();
+        let main_stage = c.span("main_stage");
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let c = &c;
+                scope.spawn(move || {
+                    let outer = c.span(&format!("worker_{w}"));
+                    {
+                        let _inner = c.span(&format!("worker_{w}_inner"));
+                    }
+                    outer.finish();
+                });
+            }
+        });
+        main_stage.finish();
+        let r = c.report();
+        // main_stage has no children; each worker span is its own root
+        // with exactly its own inner span nested beneath.
+        let main = r.find_span("main_stage").expect("main stage recorded");
+        assert!(main.children.is_empty(), "no worker span may mis-parent");
+        assert_eq!(r.spans.len(), 5);
+        for w in 0..4 {
+            let root = r
+                .find_span(&format!("worker_{w}"))
+                .expect("worker span is a root");
+            assert_eq!(root.children.len(), 1);
+            assert_eq!(root.children[0].name, format!("worker_{w}_inner"));
+        }
     }
 
     #[test]

@@ -31,8 +31,16 @@ impl TelemetryReport {
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {name:<40} n={} mean={:.6} p50={:.6} p99={:.6} max={:.6}",
-                    h.count, h.mean, h.p50, h.p99, h.max
+                    "  {name:<40} n={} mean={:.6} min={:.6} max={:.6}",
+                    h.count, h.mean, h.min, h.max
+                );
+                let _ = writeln!(
+                    out,
+                    "  {blank:<40} p50={:.6} p95={:.6} p99={:.6}",
+                    h.p50,
+                    h.p95,
+                    h.p99,
+                    blank = ""
                 );
             }
         }
@@ -85,6 +93,7 @@ impl TelemetryReport {
                                     ("min".to_owned(), Value::num(h.min)),
                                     ("max".to_owned(), Value::num(h.max)),
                                     ("p50".to_owned(), Value::num(h.p50)),
+                                    ("p95".to_owned(), Value::num(h.p95)),
                                     ("p99".to_owned(), Value::num(h.p99)),
                                     (
                                         "buckets".to_owned(),
@@ -218,6 +227,10 @@ mod tests {
         assert!(text.contains("parse.dis.parsed"));
         assert!(text.contains("nlp.unknown_t_rate"));
         assert!(text.contains("ocr.cer"));
+        // Each histogram surfaces its quantile triple on its own line.
+        assert!(text.contains("p50="), "{text}");
+        assert!(text.contains("p95="), "{text}");
+        assert!(text.contains("p99="), "{text}");
     }
 
     #[test]

@@ -147,6 +147,7 @@ impl Histogram {
             min: if self.count == 0 { 0.0 } else { self.min },
             max: if self.count == 0 { 0.0 } else { self.max },
             p50: self.quantile(0.5).unwrap_or(0.0),
+            p95: self.quantile(0.95).unwrap_or(0.0),
             p99: self.quantile(0.99).unwrap_or(0.0),
             buckets: self
                 .counts
@@ -176,6 +177,8 @@ pub struct HistogramSummary {
     pub max: f64,
     /// Median estimate (bucket upper bound).
     pub p50: f64,
+    /// 95th-percentile estimate (bucket upper bound).
+    pub p95: f64,
     /// 99th-percentile estimate (bucket upper bound).
     pub p99: f64,
     /// Non-empty buckets as `(upper bound, count)`.
@@ -233,6 +236,10 @@ mod tests {
         }
         // The median of 0.01..10 is ~5; bucket resolution gives 5.0.
         assert_eq!(h.quantile(0.5), Some(5.0));
+        // The summary surfaces an ordered p50 ≤ p95 ≤ p99 triple.
+        let s = h.summary();
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+        assert_eq!(s.p95, h.quantile(0.95).unwrap());
     }
 
     #[test]

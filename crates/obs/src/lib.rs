@@ -44,11 +44,15 @@ pub mod collector;
 pub mod export;
 pub mod hist;
 pub mod json;
+pub mod provenance;
 pub mod report;
+pub mod trace;
 
 pub use collector::{Collector, SpanGuard};
 pub use hist::{Histogram, HistogramSummary};
+pub use provenance::{ProvenanceEntry, ProvenanceEvent, ProvenanceLog, RecordId, Subject};
 pub use report::{FieldValue, LogEvent, SpanNode, TelemetryReport};
+pub use trace::{chrome_trace, render_chrome_trace, validate_chrome_trace, TraceTask};
 
 /// Normalizes a display name into a metric-key segment: lowercase,
 /// with every non-alphanumeric run collapsed to one underscore

@@ -8,6 +8,21 @@
 
 use std::collections::HashSet;
 
+/// One audited token repair from the correction ladder: which line the
+/// token sat on (1-based, matching the parsers' line numbering), what
+/// it read before and after, and which ladder attempt fixed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenRepair {
+    /// 1-based line number of the repaired token.
+    pub line: usize,
+    /// Token as digitized, before correction.
+    pub before: String,
+    /// Token after dictionary correction.
+    pub after: String,
+    /// Ladder attempt that applied the repair (1 = distance 1).
+    pub attempt: u32,
+}
+
 /// Levenshtein edit distance between two strings (by `char`).
 ///
 /// # Examples
@@ -160,19 +175,41 @@ impl Corrector {
     /// distance-1 pass leaves too many words broken, and a second,
     /// more aggressive pass buys real recovery at bounded risk.
     pub fn correct_text_bounded(&self, text: &str, max_attempts: u32) -> (String, Vec<u64>) {
+        let (out, per_attempt, _) = self.correct_text_audited(text, max_attempts);
+        (out, per_attempt)
+    }
+
+    /// [`Corrector::correct_text_bounded`], also returning the audited
+    /// per-token repairs — the provenance feed. The corrected text and
+    /// hit counts are computed by the same single pass, so the audited
+    /// and unaudited paths can never diverge; repairs are listed in
+    /// ladder order (attempt ascending, then line, then token order).
+    pub fn correct_text_audited(
+        &self,
+        text: &str,
+        max_attempts: u32,
+    ) -> (String, Vec<u64>, Vec<TokenRepair>) {
         let mut current = text.to_owned();
         let mut per_attempt = Vec::new();
+        let mut repairs = Vec::new();
         for attempt in 1..=max_attempts.max(1) {
             let distance = (attempt as usize).min(2);
             let mut hits = 0u64;
             let out = current
                 .lines()
-                .map(|line| {
+                .enumerate()
+                .map(|(line_idx, line)| {
                     line.split(' ')
                         .map(|w| {
                             let fixed = self.correct_word_within(w, distance);
                             if fixed != w {
                                 hits += 1;
+                                repairs.push(TokenRepair {
+                                    line: line_idx + 1,
+                                    before: w.to_owned(),
+                                    after: fixed.clone(),
+                                    attempt,
+                                });
                             }
                             fixed
                         })
@@ -190,7 +227,7 @@ impl Corrector {
                 break;
             }
         }
-        (current, per_attempt)
+        (current, per_attempt, repairs)
     }
 }
 
@@ -293,6 +330,41 @@ mod tests {
         // could just as well be an identifier.
         let (fixed, _) = c.correct_text_bounded("w4tchd0g car-7", 3);
         assert_eq!(fixed, "w4tchd0g car-7");
+    }
+
+    #[test]
+    fn audited_repairs_carry_lines_tokens_and_attempts() {
+        let c = corrector();
+        let (fixed, hits, repairs) =
+            c.correct_text_audited("s0ftware module\nwatchdqq err0r", 2);
+        assert_eq!(fixed, "software module\nwatchdog error");
+        assert_eq!(hits, vec![2, 1]);
+        assert_eq!(
+            repairs,
+            vec![
+                TokenRepair {
+                    line: 1,
+                    before: "s0ftware".to_owned(),
+                    after: "software".to_owned(),
+                    attempt: 1,
+                },
+                TokenRepair {
+                    line: 2,
+                    before: "err0r".to_owned(),
+                    after: "error".to_owned(),
+                    attempt: 1,
+                },
+                TokenRepair {
+                    line: 2,
+                    before: "watchdqq".to_owned(),
+                    after: "watchdog".to_owned(),
+                    attempt: 2,
+                },
+            ]
+        );
+        // The unaudited form is the same pass with the audit dropped.
+        let (same, same_hits) = c.correct_text_bounded("s0ftware module\nwatchdqq err0r", 2);
+        assert_eq!((same, same_hits), (fixed, hits));
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod metrics;
 pub mod noise;
 pub mod raster;
 
+pub use correct::{Corrector, TokenRepair};
 pub use engine::{OcrEngine, OcrOutput};
 pub use noise::NoiseModel;
 pub use raster::{rasterize, Bitmap};

@@ -37,5 +37,10 @@
 //! ```
 
 mod pool;
+mod timeline;
 
-pub use pool::{available_jobs, par_map_catch, par_map_indexed, resolve_jobs, TaskPanic};
+pub use pool::{
+    available_jobs, par_map_catch, par_map_catch_timed, par_map_indexed, par_map_indexed_timed,
+    resolve_jobs, TaskPanic,
+};
+pub use timeline::{TaskSpan, TaskTimeline};

@@ -14,6 +14,7 @@
 //! task leak. Chunks are never subdivided and no task spawns new work,
 //! so the steal loop terminates as soon as every deque is empty.
 
+use crate::timeline::TaskTimeline;
 use std::collections::VecDeque;
 use std::fmt;
 use std::num::NonZeroUsize;
@@ -111,18 +112,43 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_catch_timed(jobs, items, f, &TaskTimeline::disabled(), "par")
+}
+
+/// [`par_map_catch`] that also records one [`crate::TaskSpan`] per
+/// executed chunk into `timeline`, labeled `label` — the execution
+/// timeline behind the Chrome-trace export. The sequential (`jobs <=
+/// 1`) path records the same chunk structure on worker 0, so the set
+/// of tasks is identical at every worker count; only their timings
+/// and worker assignments differ.
+pub fn par_map_catch_timed<T, R, F>(
+    jobs: usize,
+    items: &[T],
+    f: F,
+    timeline: &TaskTimeline,
+    label: &str,
+) -> Vec<Result<R, TaskPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
     let jobs = resolve_jobs(jobs).min(n.max(1));
-    if jobs <= 1 {
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| run_one(i, item, &f))
-            .collect();
-    }
-
     let chunk = chunk_len(n);
     let n_chunks = n.div_ceil(chunk);
+    if jobs <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for c in 0..n_chunks {
+            let stamp = timeline.stamp();
+            let start = c * chunk;
+            let end = (start + chunk).min(n);
+            out.extend((start..end).map(|i| run_one(i, &items[i], &f)));
+            timeline.record(label, 0, c, start, end - start, stamp);
+        }
+        return out;
+    }
+
     // Deal chunks round-robin so every worker starts loaded; slots are
     // per chunk, filled by whichever worker claims the chunk.
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
@@ -136,11 +162,13 @@ where
             let (queues, slots, f) = (&queues, &slots, &f);
             scope.spawn(move || {
                 while let Some(c) = next_chunk(queues, w) {
+                    let stamp = timeline.stamp();
                     let start = c * chunk;
                     let end = (start + chunk).min(n);
                     let out: Vec<Result<R, TaskPanic>> = (start..end)
                         .map(|i| run_one(i, &items[i], f))
                         .collect();
+                    timeline.record(label, w, c, start, end - start, stamp);
                     if let Ok(mut slot) = slots[c].lock() {
                         *slot = Some(out);
                     }
@@ -176,7 +204,28 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    par_map_catch(jobs, items, f)
+    par_map_indexed_timed(jobs, items, f, &TaskTimeline::disabled(), "par")
+}
+
+/// [`par_map_indexed`] that also records one [`crate::TaskSpan`] per
+/// executed chunk into `timeline` (see [`par_map_catch_timed`]).
+///
+/// # Panics
+///
+/// Re-raises the lowest-index task panic, if any task panicked.
+pub fn par_map_indexed_timed<T, R, F>(
+    jobs: usize,
+    items: &[T],
+    f: F,
+    timeline: &TaskTimeline,
+    label: &str,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_catch_timed(jobs, items, f, timeline, label)
         .into_iter()
         .map(|r| match r {
             Ok(value) => value,
@@ -286,6 +335,32 @@ mod tests {
         .unwrap_err();
         let text = panic_text(caught.as_ref());
         assert!(text.contains("task 9"), "{text}");
+    }
+
+    #[test]
+    fn timeline_covers_every_item_at_any_worker_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        for jobs in [1usize, 4] {
+            let timeline = TaskTimeline::new();
+            let out =
+                par_map_indexed_timed(jobs, &items, |_, &x| x + 1, &timeline, "stage_test");
+            assert_eq!(out.len(), items.len());
+            let mut tasks = timeline.tasks();
+            tasks.sort_by_key(|t| t.chunk);
+            // Same chunk structure at every worker count: chunks 0..n
+            // covering the input exactly, each labeled with the stage.
+            let covered: usize = tasks.iter().map(|t| t.len).sum();
+            assert_eq!(covered, items.len(), "jobs = {jobs}");
+            let mut next = 0;
+            for (c, t) in tasks.iter().enumerate() {
+                assert_eq!(t.chunk, c);
+                assert_eq!(t.first_index, next);
+                assert_eq!(t.label, "stage_test");
+                assert!(t.end_s >= t.start_s);
+                assert!(t.worker < jobs.max(1));
+                next += t.len;
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Task begin/end capture for the pool: which worker ran which chunk,
+//! when.
+//!
+//! A [`TaskTimeline`] is passed to the `_timed` map variants; each
+//! claimed chunk records one [`TaskSpan`] carrying the worker index,
+//! chunk number, covered item range, and start/end seconds relative to
+//! the timeline's epoch. The Chrome-trace exporter turns these into
+//! per-worker timeline rows. Timestamps are wall-clock by nature, so
+//! the timeline is diagnostics only — it is *not* part of the
+//! pipeline's byte-identity determinism contract (chunk structure is:
+//! the partition is a pure function of the input length, so the set of
+//! recorded tasks is the same at every worker count; only their
+//! timings and worker assignments vary).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One executed pool task (a chunk of contiguous items).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpan {
+    /// Stage label passed to the `_timed` map call.
+    pub label: String,
+    /// Worker that ran the chunk (0-based; 0 on the sequential path).
+    pub worker: usize,
+    /// Chunk index within the call's partition.
+    pub chunk: usize,
+    /// First item index the chunk covers.
+    pub first_index: usize,
+    /// Number of items in the chunk.
+    pub len: usize,
+    /// Start, seconds since the timeline epoch.
+    pub start_s: f64,
+    /// End, seconds since the timeline epoch.
+    pub end_s: f64,
+}
+
+/// Thread-safe accumulator of [`TaskSpan`]s across pool calls.
+#[derive(Debug)]
+pub struct TaskTimeline {
+    enabled: bool,
+    epoch: Instant,
+    tasks: Mutex<Vec<TaskSpan>>,
+}
+
+impl Default for TaskTimeline {
+    fn default() -> Self {
+        TaskTimeline::new()
+    }
+}
+
+impl TaskTimeline {
+    /// An enabled timeline whose clock starts now.
+    pub fn new() -> TaskTimeline {
+        TaskTimeline::with_epoch(Instant::now())
+    }
+
+    /// An enabled timeline on a caller-supplied epoch — pass the
+    /// telemetry collector's epoch so task timestamps and span
+    /// timestamps share one clock.
+    pub fn with_epoch(epoch: Instant) -> TaskTimeline {
+        TaskTimeline {
+            enabled: true,
+            epoch,
+            tasks: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A timeline that records nothing — the zero-overhead default for
+    /// runs that did not ask for an execution trace.
+    pub fn disabled() -> TaskTimeline {
+        TaskTimeline {
+            enabled: false,
+            epoch: Instant::now(),
+            tasks: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether task spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Seconds-since-epoch stamp for a task about to start
+    /// ([`Duration::ZERO`] when disabled, skipping the clock read).
+    pub(crate) fn stamp(&self) -> Duration {
+        if self.enabled {
+            self.epoch.elapsed()
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// Records one completed task (no-op when disabled).
+    pub(crate) fn record(
+        &self,
+        label: &str,
+        worker: usize,
+        chunk: usize,
+        first_index: usize,
+        len: usize,
+        start: Duration,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let end = self.epoch.elapsed();
+        let mut tasks = self.tasks.lock().unwrap_or_else(|e| e.into_inner());
+        tasks.push(TaskSpan {
+            label: label.to_owned(),
+            worker,
+            chunk,
+            first_index,
+            len,
+            start_s: start.as_secs_f64(),
+            end_s: end.as_secs_f64(),
+        });
+    }
+
+    /// Snapshot of every recorded task, in completion order.
+    pub fn tasks(&self) -> Vec<TaskSpan> {
+        self.tasks.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Number of tasks recorded so far.
+    pub fn len(&self) -> usize {
+        self.tasks.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no task has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_timeline_records_nothing() {
+        let t = TaskTimeline::disabled();
+        let s = t.stamp();
+        t.record("x", 0, 0, 0, 4, s);
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn records_carry_range_and_ordered_times() {
+        let t = TaskTimeline::new();
+        let s = t.stamp();
+        t.record("stage_iii_tag", 2, 5, 1280, 256, s);
+        let tasks = t.tasks();
+        assert_eq!(tasks.len(), 1);
+        let task = &tasks[0];
+        assert_eq!(
+            (task.worker, task.chunk, task.first_index, task.len),
+            (2, 5, 1280, 256)
+        );
+        assert!(task.start_s >= 0.0 && task.end_s >= task.start_s);
+    }
+}

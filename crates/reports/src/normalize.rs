@@ -72,6 +72,28 @@ pub fn normalize_document_with(doc: &RawDocument, obs: &disengage_obs::Collector
 }
 
 fn normalize_document_inner(doc: &RawDocument, obs: Option<&disengage_obs::Collector>) -> Normalized {
+    normalize_document_traced(doc, 0, obs, &disengage_obs::ProvenanceLog::disabled()).0
+}
+
+/// [`normalize_document_with`] plus provenance: assigns every
+/// recovered disengagement a stable [`disengage_obs::RecordId`]
+/// (manufacturer, filing year, car, per-car ordinal within this
+/// document) and records `normalized`/`quarantined` events into
+/// `prov` — `normalized` on the record's subject (carrying `doc_index`
+/// and the 1-based source line so a record's lineage joins to its
+/// line's OCR/chaos events), `quarantined` on the offending line (or
+/// the document, for whole-document accident/mileage failures).
+///
+/// The returned ids are aligned index-for-index with
+/// `Normalized::disengagements` and are computed whether or not `prov`
+/// is enabled, so callers can thread them to Stage III unconditionally.
+pub fn normalize_document_traced(
+    doc: &RawDocument,
+    doc_index: usize,
+    obs: Option<&disengage_obs::Collector>,
+    prov: &disengage_obs::ProvenanceLog,
+) -> (Normalized, Vec<disengage_obs::RecordId>) {
+    use disengage_obs::{ProvenanceEvent, RecordId, Subject};
     let count = |name: &str| {
         if let Some(obs) = obs {
             obs.incr(name);
@@ -86,7 +108,19 @@ fn normalize_document_inner(doc: &RawDocument, obs: Option<&disengage_obs::Colle
             ));
         }
     };
+    let quarantine = |subject: Subject, reason: &dyn std::fmt::Display| {
+        if prov.is_enabled() {
+            prov.push(
+                subject,
+                ProvenanceEvent::Quarantined {
+                    stage: "stage_ii_parse".to_owned(),
+                    reason: reason.to_string(),
+                },
+            );
+        }
+    };
     let mut out = Normalized::default();
+    let mut ids = Vec::new();
     match doc.kind {
         DocumentKind::Accident => {
             count("parse.acc.docs");
@@ -99,6 +133,7 @@ fn normalize_document_inner(doc: &RawDocument, obs: Option<&disengage_obs::Colle
                     count("parse.acc.parsed");
                 }
                 Err(e) => {
+                    quarantine(Subject::Document(doc_index), &e);
                     out.failures.push(e);
                     count("parse.acc.failed");
                 }
@@ -107,6 +142,11 @@ fn normalize_document_inner(doc: &RawDocument, obs: Option<&disengage_obs::Colle
         DocumentKind::Disengagements => {
             let format = format_for(doc.manufacturer);
             let (log_text, mileage_text) = doc.sections();
+            // Per-car ordinal within this document: the corpus emits one
+            // disengagement document per (manufacturer, filing year), so
+            // (manufacturer, year, car, ordinal) identifies the record.
+            let mut car_seq: std::collections::BTreeMap<String, u32> =
+                std::collections::BTreeMap::new();
             for (i, line) in log_text.lines().enumerate() {
                 let line = line.trim();
                 if line.is_empty() {
@@ -118,16 +158,53 @@ fn normalize_document_inner(doc: &RawDocument, obs: Option<&disengage_obs::Colle
                         record.manufacturer = doc.manufacturer;
                         match record.validate() {
                             Ok(()) => {
+                                let car = record.car.to_string();
+                                let seq = car_seq.entry(car.clone()).or_insert(0);
+                                let id = RecordId::new(
+                                    doc.manufacturer.name(),
+                                    doc.report_year.filing_year(),
+                                    &car,
+                                    *seq,
+                                );
+                                *seq += 1;
+                                if prov.is_enabled() {
+                                    prov.push(
+                                        Subject::Record(id.clone()),
+                                        ProvenanceEvent::Normalized {
+                                            doc: doc_index,
+                                            line: i + 1,
+                                            summary: format!(
+                                                "{} {} {}",
+                                                record.car, record.date, record.modality
+                                            ),
+                                        },
+                                    );
+                                }
+                                ids.push(id);
                                 out.disengagements.push(record);
                                 count_m("parse.dis.parsed");
                             }
                             Err(e) => {
+                                quarantine(
+                                    Subject::Line {
+                                        doc: doc_index,
+                                        line: i + 1,
+                                    },
+                                    &e,
+                                );
                                 out.failures.push(e);
                                 count_m("parse.dis.failed");
                             }
                         }
                     }
                     Err(e) => {
+                        quarantine(
+                            Subject::Line {
+                                doc: doc_index,
+                                line: i + 1,
+                            },
+                            &e,
+                        );
                         out.failures.push(e);
                         count_m("parse.dis.failed");
                     }
@@ -142,6 +219,7 @@ fn normalize_document_inner(doc: &RawDocument, obs: Option<&disengage_obs::Colle
                         out.mileage.extend(rows);
                     }
                     Err(e) => {
+                        quarantine(Subject::Document(doc_index), &e);
                         out.failures.push(e);
                         count("parse.mileage.tables_failed");
                     }
@@ -149,7 +227,7 @@ fn normalize_document_inner(doc: &RawDocument, obs: Option<&disengage_obs::Colle
             }
         }
     }
-    out
+    (out, ids)
 }
 
 /// Normalizes a batch of documents, merging all outcomes.
@@ -291,6 +369,59 @@ mod tests {
         let n = normalize_document(&doc);
         assert!(n.accidents.is_empty());
         assert_eq!(n.failures.len(), 1);
+    }
+
+    #[test]
+    fn traced_normalize_assigns_stable_ids_and_events() {
+        use disengage_obs::{ProvenanceEvent, ProvenanceLog, Subject};
+        let f = crate::formats::disengagement::NissanFormat;
+        let mut second = sample_record();
+        second.car = CarId::Known(3);
+        let text = format!(
+            "{}\nOCR GARBAGE @@@@\n{}\n{}\n",
+            f.render(&sample_record()),
+            f.render(&second),
+            f.render(&sample_record())
+        );
+        let doc = RawDocument::new(
+            Manufacturer::Nissan,
+            ReportYear::R2016,
+            DocumentKind::Disengagements,
+            text,
+        );
+        let prov = ProvenanceLog::new();
+        let (n, ids) = normalize_document_traced(&doc, 5, None, &prov);
+        assert_eq!(n.disengagements.len(), 3);
+        assert_eq!(n.failures.len(), 1);
+        // Ids align with the disengagements and disambiguate repeat cars
+        // by per-car ordinal.
+        let rendered: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
+        assert_eq!(
+            rendered,
+            ["nissan/2016/car-0/0", "nissan/2016/car-3/0", "nissan/2016/car-0/1"]
+        );
+        // One normalized event per record (joined to doc 5 and its line),
+        // one quarantined event on the garbage line.
+        let entries = prov.entries();
+        let normalized: Vec<_> = entries
+            .iter()
+            .filter(|e| matches!(e.event, ProvenanceEvent::Normalized { .. }))
+            .collect();
+        assert_eq!(normalized.len(), 3);
+        assert!(matches!(
+            normalized[0].event,
+            ProvenanceEvent::Normalized { doc: 5, line: 1, .. }
+        ));
+        let quarantined: Vec<_> = entries
+            .iter()
+            .filter(|e| matches!(e.event, ProvenanceEvent::Quarantined { .. }))
+            .collect();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].subject, Subject::Line { doc: 5, line: 2 });
+        // Disabled provenance still yields the same ids.
+        let (_, silent_ids) =
+            normalize_document_traced(&doc, 5, None, &ProvenanceLog::disabled());
+        assert_eq!(silent_ids, ids);
     }
 
     #[test]

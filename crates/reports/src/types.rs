@@ -324,6 +324,16 @@ impl ReportYear {
         }
     }
 
+    /// The numeric year the reporting window closes in (the year the
+    /// release is named after) — the `year` segment of a provenance
+    /// record id.
+    pub fn filing_year(self) -> u16 {
+        match self {
+            ReportYear::R2015 => 2015,
+            ReportYear::R2016 => 2016,
+        }
+    }
+
     /// The report year containing a given date, by the DMV's December–
     /// November reporting window. Dates before December 2014 fall in the
     /// first window (the program ramped up in September 2014).

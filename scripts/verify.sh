@@ -3,10 +3,12 @@
 # full workspace test suite, the repro harness's telemetry self-check
 # (nonzero exit if the pipeline's counters fail to reconcile), a
 # seeded chaos smoke campaign (nonzero exit on any panic, unreconciled
-# fault ledger, or rate-0 divergence from the clean run), and the
-# parallel-determinism byte-diffs (repro output and metrics at
-# --jobs=1 vs the default worker pool, clean and chaos). No network
-# access is required at any step.
+# fault ledger, or rate-0 divergence from the clean run), the
+# parallel-determinism byte-diffs (repro output, metrics, and the
+# provenance lineage log at --jobs=1 vs the default worker pool, clean
+# and chaos), a `disengage explain` smoke over all three exemplar
+# classes, and Chrome-trace export validation. No network access is
+# required at any step.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,26 +41,59 @@ cargo run --release --offline -p disengage-bench --bin repro -- \
     --chaos=0 >/dev/null
 
 echo "== parallel determinism: repro --jobs=1 vs the default pool =="
-# Stage I-III are deterministic at every worker count; stdout and the
-# canonical (wall-clock-zeroed) metrics must match byte for byte.
+# Stage I-III are deterministic at every worker count; stdout, the
+# canonical (wall-clock-zeroed) metrics, and the provenance log must
+# match byte for byte.
 cargo run --release --offline -p disengage-bench --bin repro -- \
-    --jobs=1 --telemetry=stable-json > repro_output.jobs1.txt
+    --jobs=1 --telemetry=stable-json --lineage=lineage.jsonl > repro_output.jobs1.txt
 mv repro_metrics.json repro_metrics.jobs1.json
+mv lineage.jsonl lineage.jobs1.jsonl
 cargo run --release --offline -p disengage-bench --bin repro -- \
-    --telemetry=stable-json > repro_output.txt
+    --telemetry=stable-json --lineage=lineage.jsonl > repro_output.txt
 diff repro_output.jobs1.txt repro_output.txt
 diff repro_metrics.jobs1.json repro_metrics.json
-rm -f repro_output.jobs1.txt repro_metrics.jobs1.json
+diff lineage.jobs1.jsonl lineage.jsonl
+test -s lineage.jsonl || {
+    echo "verify: clean run wrote an empty lineage log" >&2
+    exit 1
+}
+rm -f repro_output.jobs1.txt repro_metrics.jobs1.json lineage.jobs1.jsonl
 
 echo "== parallel determinism: chaos campaign at --jobs=1 vs --jobs=8 =="
 cargo run --release --offline -p disengage-bench --bin repro -- \
-    --chaos=0.05,7 --jobs=1 > chaos_output.jobs1.txt
+    --chaos=0.05,7 --jobs=1 --lineage=lineage.jsonl > chaos_output.jobs1.txt
 mv chaos_report.json chaos_report.jobs1.json
+mv lineage.jsonl lineage.jobs1.jsonl
 cargo run --release --offline -p disengage-bench --bin repro -- \
-    --chaos=0.05,7 --jobs=8 > chaos_output.txt
+    --chaos=0.05,7 --jobs=8 --lineage=lineage.jsonl > chaos_output.txt
 diff chaos_output.jobs1.txt chaos_output.txt
 diff chaos_report.jobs1.json chaos_report.json
-rm -f chaos_output.jobs1.txt chaos_output.txt chaos_report.jobs1.json
+diff lineage.jobs1.jsonl lineage.jsonl
+rm -f chaos_output.jobs1.txt chaos_output.txt chaos_report.jobs1.json lineage.jobs1.jsonl
+
+echo "== provenance: explain covers corrected/quarantined/clean records =="
+# The no-target form lists one exemplar subject per class; each must
+# then explain to a non-empty causal chain.
+cargo run --release --offline --bin disengage -- \
+    explain --scale 0.05 --chaos=0.3,7 > explain_index.txt
+for class in corrected quarantined clean; do
+    subject=$(awk -v c="$class" '$1 == c {print $2}' explain_index.txt)
+    test -n "$subject" || {
+        echo "verify: explain listed no $class exemplar" >&2
+        exit 1
+    }
+    cargo run --release --offline --bin disengage -- \
+        explain "$subject" --scale 0.05 --chaos=0.3,7 | grep -q "stage" || {
+        echo "verify: explain $subject produced no stage chain" >&2
+        exit 1
+    }
+done
+rm -f explain_index.txt
+
+echo "== execution trace: Chrome trace-event export validates =="
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    table1 --trace=trace.json >/dev/null
+cargo run --release --offline --bin disengage -- check-trace trace.json
 
 echo "== parallel speedup bench (enforced on 4+ cores) =="
 cargo run --release --offline -p disengage-bench --bin parbench -- \

@@ -8,6 +8,8 @@
 //! disengage demo-miles <rate> <conf>     # Kalra-Paddock bound
 //! disengage project <manufacturer> <dpm> # miles to reach a target DPM
 //! disengage sweep-ocr                    # scanner-noise sweep
+//! disengage explain [subject]            # per-record lineage chain
+//! disengage check-trace <file>           # validate a Chrome trace export
 //! ```
 //!
 //! Full-corpus commands accept `--scale <f>` (default 1.0) and
@@ -17,8 +19,9 @@
 //! the run's span tree (or JSON metrics document) after the command's
 //! own output.
 
-use disengage::core::pipeline::{OcrMode, Pipeline, PipelineConfig};
-use disengage::core::telemetry::timed;
+use disengage::chaos::FaultPlan;
+use disengage::core::pipeline::{OcrMode, Pipeline, PipelineConfig, RunTrace};
+use disengage::core::telemetry::{execution_trace_json, timed};
 use disengage::core::{exposure, questions, report, tables, whatif};
 use disengage::obs::Collector;
 use disengage::corpus::CorpusConfig;
@@ -51,7 +54,14 @@ const USAGE: &str = "usage:
   disengage stpa-dot
   disengage demo-miles <rate-per-mile> <confidence>
   disengage project <manufacturer> <target-dpm> [--scale F] [--seed N] [--jobs N]
-  disengage sweep-ocr [--seed N] [--jobs N]";
+  disengage sweep-ocr [--seed N] [--jobs N]
+  disengage explain [record-id|doc:D|doc:D/line:L] [--scale F] [--seed N] [--jobs N]
+  disengage check-trace <trace.json>
+
+full-corpus commands (summary, export, project, explain) also accept:
+  --chaos=RATE[,SEED]    arm a fault-injection plan
+  --lineage=FILE         write the per-record provenance log (JSONL)
+  --trace=FILE           write a Chrome trace-event timeline (chrome://tracing)";
 
 #[derive(Clone, Copy, PartialEq)]
 enum Telemetry {
@@ -66,6 +76,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut seed = 0x5EEDu64;
     let mut jobs = 0usize;
     let mut telemetry = Telemetry::Off;
+    let mut chaos: Option<FaultPlan> = None;
+    let mut lineage_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -101,6 +114,17 @@ fn run(args: &[String]) -> Result<(), String> {
                     &other["--telemetry=".len()..]
                 ));
             }
+            other if other.starts_with("--chaos=") => {
+                chaos = Some(
+                    FaultPlan::parse(&other["--chaos=".len()..]).map_err(|e| e.to_string())?,
+                );
+            }
+            other if other.starts_with("--lineage=") => {
+                lineage_path = Some(other["--lineage=".len()..].to_owned());
+            }
+            other if other.starts_with("--trace=") => {
+                trace_path = Some(other["--trace=".len()..].to_owned());
+            }
             other => positional.push(other.to_owned()),
         }
         i += 1;
@@ -111,10 +135,26 @@ fn run(args: &[String]) -> Result<(), String> {
         ..Default::default()
     };
     let obs = Collector::new();
+    // `explain` always traces (it has nothing to show otherwise); other
+    // full-corpus commands trace only when an export was requested.
+    let trace = if lineage_path.is_some() || trace_path.is_some() || command == "explain" {
+        RunTrace::new(&obs)
+    } else {
+        RunTrace::disabled()
+    };
+    let pipeline = |config: PipelineConfig| {
+        let mut p = Pipeline::new(config).with_jobs(jobs);
+        if let Some(plan) = chaos {
+            p = p.with_chaos(plan);
+        }
+        p
+    };
 
     let result = match command {
         "summary" => {
-            let o = Pipeline::new(config).with_jobs(jobs).run_with(&obs).map_err(|e| e.to_string())?;
+            let o = pipeline(config)
+                .run_traced(&obs, &trace)
+                .map_err(|e| e.to_string())?;
             println!(
                 "{} disengagements, {} accidents, {:.0} autonomous miles\n",
                 o.database.disengagements().len(),
@@ -141,7 +181,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "export" => {
             let dir = positional.get(1).ok_or("export needs a directory")?;
             std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-            let o = Pipeline::new(config).with_jobs(jobs).run_with(&obs).map_err(|e| e.to_string())?;
+            let o = pipeline(config)
+                .run_traced(&obs, &trace)
+                .map_err(|e| e.to_string())?;
             let classifier = Classifier::with_default_dictionary();
             let artifacts: Vec<(&str, disengage::dataframe::DataFrame)> =
                 timed(&obs, "stage_iv_tables", || -> Result<_, String> {
@@ -243,7 +285,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 .ok_or("project needs a target DPM")?
                 .parse()
                 .map_err(|_| "target DPM must be a number")?;
-            let o = Pipeline::new(config).with_jobs(jobs).run_with(&obs).map_err(|e| e.to_string())?;
+            let o = pipeline(config)
+                .run_traced(&obs, &trace)
+                .map_err(|e| e.to_string())?;
             let p = whatif::miles_to_target_dpm(&o.database, m, target)
                 .map_err(|e| e.to_string())?;
             println!(
@@ -290,10 +334,62 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "explain" => {
+            let o = pipeline(config)
+                .run_traced(&obs, &trace)
+                .map_err(|e| e.to_string())?;
+            let prov = trace.provenance();
+            match positional.get(1) {
+                Some(target) => {
+                    let chain = prov.explain(target).ok_or_else(|| {
+                        format!(
+                            "no provenance recorded for `{target}` \
+                             (run `disengage explain` with no target for exemplar subjects)"
+                        )
+                    })?;
+                    print!("{chain}");
+                }
+                None => {
+                    println!(
+                        "{} provenance events over {} records ({} disengagements recovered)",
+                        prov.len(),
+                        prov.record_ids().len(),
+                        o.database.disengagements().len()
+                    );
+                    let exemplars = prov.exemplars();
+                    for (label, subject) in &exemplars {
+                        println!("  {label:<12} {subject}");
+                    }
+                    if let Some((_, subject)) = exemplars.first() {
+                        println!("try: disengage explain {subject}");
+                    }
+                }
+            }
+            Ok(())
+        }
+        "check-trace" => {
+            let path = positional.get(1).ok_or("check-trace needs a file")?;
+            let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            let n = disengage::obs::validate_chrome_trace(&text)
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("{path}: valid Chrome trace ({n} events)");
+            Ok(())
+        }
         "" => Err("missing command".to_owned()),
         other => Err(format!("unknown command `{other}`")),
     };
     result?;
+    if let Some(path) = &lineage_path {
+        let prov = trace.provenance();
+        std::fs::write(path, prov.to_jsonl())
+            .map_err(|e| format!("could not write {path}: {e}"))?;
+        eprintln!("wrote {path} ({} events)", prov.len());
+    }
+    if let Some(path) = &trace_path {
+        let body = execution_trace_json(&obs.report(), trace.timeline());
+        std::fs::write(path, body).map_err(|e| format!("could not write {path}: {e}"))?;
+        eprintln!("wrote {path} ({} tasks)", trace.timeline().len());
+    }
     match telemetry {
         Telemetry::Off => {}
         Telemetry::Tree => print!("{}", obs.report().render_tree()),
