@@ -2,8 +2,8 @@
 //! rendering + normalization, OCR digitization, and NLP tagging.
 
 use disengage_bench::timing;
-use disengage_core::pipeline::{Pipeline, PipelineConfig};
 use disengage_core::tagging::tag_records;
+use disengage_core::{RunConfig, RunSession};
 use disengage_corpus::{CorpusConfig, CorpusGenerator};
 use disengage_nlp::Classifier;
 use disengage_ocr::engine::OcrEngine;
@@ -34,12 +34,9 @@ fn main() {
         tag_records(&classifier, corpus.truth.disengagements())
     });
     g.bench("end_to_end_passthrough", || {
-        Pipeline::new(PipelineConfig {
-            corpus: corpus_cfg,
-            ..Default::default()
-        })
-        .run()
-        .expect("pipeline")
+        RunSession::new(RunConfig::new().with_corpus(corpus_cfg))
+            .run()
+            .expect("pipeline")
     });
 
     // OCR throughput on one representative document.

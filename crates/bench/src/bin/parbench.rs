@@ -9,29 +9,35 @@
 //! ```text
 //! parbench                    # measure, write bench_par.json
 //! parbench --scale 0.1        # smaller corpus (default 0.2)
-//! parbench --samples 5        # timed samples per configuration
+//! parbench --samples=5        # timed samples per configuration
 //! parbench --require-speedup  # exit nonzero if < 2x on 4+ cores
 //! ```
 //!
 //! `--require-speedup` is gated on the machine actually having 4+
 //! cores: on a 1- or 2-core box the pool cannot double throughput and
 //! the flag only checks that parallel output still matches sequential.
+//! Flag parsing rides on the shared [`disengage_core::args`] module
+//! (the artifact cache is deliberately refused: a cached replay would
+//! measure disk reads, not the worker pool).
 
-use disengage_core::pipeline::{OcrMode, Pipeline, PipelineConfig, PipelineOutcome};
+use disengage_core::args::{ArgError, CommonArgs};
+use disengage_core::pipeline::{OcrMode, PipelineOutcome};
+use disengage_core::{RunConfig, RunSession};
 use disengage_corpus::CorpusConfig;
 use disengage_ocr::NoiseModel;
 use std::process::ExitCode;
 use std::time::Instant;
 
-fn config(scale: f64) -> PipelineConfig {
-    PipelineConfig {
-        corpus: CorpusConfig { seed: 0x5EED, scale },
-        ocr: OcrMode::Simulated {
+const USAGE: &str = "usage: parbench [--scale F] [--samples=N] [--require-speedup]";
+
+fn config(scale: f64) -> RunConfig {
+    RunConfig::new()
+        .with_corpus(CorpusConfig { seed: 0x5EED, scale })
+        .with_ocr(OcrMode::Simulated {
             noise: NoiseModel::light(),
             correct: true,
-        },
-        ocr_seed: 0xD0C5,
-    }
+        })
+        .with_ocr_seed(0xD0C5)
 }
 
 /// Fingerprint of everything Stage I–III produced, for the
@@ -50,15 +56,13 @@ fn fingerprint(o: &PipelineOutcome) -> String {
 
 /// Minimum wall-clock over `samples` runs (minimum, not mean: the
 /// cleanest estimate of the work itself on a shared machine).
-fn time_runs(cfg: PipelineConfig, jobs: usize, samples: usize) -> (f64, PipelineOutcome) {
+fn time_runs(cfg: &RunConfig, jobs: usize, samples: usize) -> (f64, PipelineOutcome) {
     let mut best = f64::INFINITY;
     let mut outcome = None;
+    let session = RunSession::new(cfg.clone().with_jobs(jobs));
     for _ in 0..samples {
         let t0 = Instant::now();
-        let o = Pipeline::new(cfg)
-            .with_jobs(jobs)
-            .run()
-            .expect("pipeline runs");
+        let o = session.run().expect("pipeline runs");
         best = best.min(t0.elapsed().as_secs_f64());
         outcome = Some(o);
     }
@@ -66,36 +70,57 @@ fn time_runs(cfg: PipelineConfig, jobs: usize, samples: usize) -> (f64, Pipeline
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = 0.2f64;
+    let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut samples = 3usize;
     let mut require_speedup = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" => {
-                i += 1;
-                scale = args[i].parse().expect("--scale needs a number");
-            }
-            "--samples" => {
-                i += 1;
-                samples = args[i].parse().expect("--samples needs an integer");
-            }
-            "--require-speedup" => require_speedup = true,
-            other => {
-                eprintln!("error: unknown argument `{other}`");
-                return ExitCode::FAILURE;
-            }
+    let parsed = CommonArgs::parse_with(&raw, |flag, value| match flag {
+        "--samples" => {
+            let v = value.ok_or_else(|| ArgError {
+                flag: flag.to_owned(),
+                reason: "expected --samples=N".to_owned(),
+            })?;
+            samples = v.parse().map_err(|_| ArgError {
+                flag: flag.to_owned(),
+                reason: format!("`{v}` is not a sample count"),
+            })?;
+            Ok(true)
         }
-        i += 1;
+        "--require-speedup" => {
+            require_speedup = true;
+            Ok(true)
+        }
+        _ => Ok(false),
+    });
+    let args = match parsed {
+        Ok(args) => args,
+        Err(ArgError { flag, reason }) => {
+            eprintln!("error: {flag}: {reason}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
     }
+    if !args.positional.is_empty() {
+        eprintln!("error: unknown argument `{}`", args.positional[0]);
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if args.cache_dir.is_some() {
+        eprintln!("error: parbench measures the worker pool; --cache-dir would measure the cache");
+        return ExitCode::FAILURE;
+    }
+    let scale = args.scale.unwrap_or(0.2);
 
     let cores = disengage_par::available_jobs();
     eprintln!("measuring simulated-OCR pipeline at scale {scale} on {cores} core(s)...");
 
-    let (seq_s, seq) = time_runs(config(scale), 1, samples);
+    let cfg = config(scale);
+    let (seq_s, seq) = time_runs(&cfg, 1, samples);
     eprintln!("jobs=1: {seq_s:.3} s");
-    let (par_s, par) = time_runs(config(scale), 0, samples);
+    let (par_s, par) = time_runs(&cfg, 0, samples);
     eprintln!("jobs=0 ({cores} workers): {par_s:.3} s");
 
     let identical = fingerprint(&seq) == fingerprint(&par);

@@ -11,7 +11,7 @@
 //! repro                    # everything
 //! repro table4 fig8        # selected artifacts
 //! repro q5                 # one analysis
-//! repro --telemetry        # append the run's span tree
+//! repro --telemetry=tree   # append the run's span tree
 //! repro --telemetry=json   # also write repro_metrics.json
 //! repro --telemetry=stable-json  # same, with wall-clock fields zeroed
 //! repro --chaos=0.05       # fault-injection campaign at 5%/line
@@ -20,14 +20,25 @@
 //! repro --jobs=0           # ... across all available cores
 //! repro --lineage=lineage.jsonl  # export the per-record provenance log
 //! repro --trace=trace.json       # export a Chrome trace-event timeline
+//! repro --cache-dir=.disengage-cache  # content-addressed stage cache
 //! ```
+//!
+//! Flag parsing is shared with the `disengage` front-end
+//! ([`disengage_core::args`]): unknown `--` flags are rejected with
+//! usage text, `--help`/`-h` exits 0, and every value-taking flag
+//! accepts both the `--flag value` and `--flag=value` spellings
+//! (`--telemetry` and `--lineage` have optional values, so theirs
+//! must be inline).
 //!
 //! `--jobs` only changes wall-clock time: the pipeline is
 //! deterministic at every worker count, so stdout and
 //! `repro_metrics.json` under `--telemetry=stable-json` (which zeroes
 //! the only nondeterministic fields, the span/log timestamps) are
 //! byte-identical between `--jobs=1` and `--jobs=N`. `scripts/verify.sh`
-//! diffs exactly that.
+//! diffs exactly that. The same invariant holds for `--cache-dir`: a
+//! warm run replays Stages I–II from the artifact cache (watch the
+//! `cache.hit.*` counters under `--telemetry=json`) and still prints
+//! the same bytes as a cold one.
 //!
 //! Every run cross-checks the pipeline's telemetry counters
 //! ([`disengage_core::telemetry::reconcile`]) and exits nonzero if a
@@ -40,15 +51,14 @@
 //! as DEGRADED and the run continues — one broken table never takes
 //! down the campaign.
 
-use disengage_bench::{full_scale_chaos_outcome_traced, full_scale_outcome_traced};
-use disengage_chaos::FaultPlan;
+use disengage_bench::full_scale_config;
+use disengage_core::args::{ArgError, CommonArgs, TelemetryMode};
 use disengage_core::pipeline::RunTrace;
 use disengage_core::telemetry::{execution_trace_json, reconcile, timed};
-use disengage_core::{degrade, exposure, figures, questions, report, tables, whatif};
+use disengage_core::{degrade, exposure, figures, questions, report, tables, whatif, RunSession};
 use disengage_nlp::Classifier;
 use disengage_obs::{Collector, ProvenanceEvent, ProvenanceLog, Subject};
 use disengage_reports::Manufacturer;
-use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 /// Tracks artifacts that degraded instead of rendering, so the run can
@@ -80,74 +90,77 @@ impl Degradations<'_> {
     }
 }
 
+fn usage() -> String {
+    format!(
+        "usage: repro [artifact ...] [flags]
+
+artifacts: table1..table8, fig4..fig12, q1..q5, exposure, whatif,
+accuracy (none selects everything)
+
+flags (shared with the `disengage` front-end; both --flag VALUE and
+--flag=VALUE spellings work, except optional values must be inline):
+{}",
+        CommonArgs::shared_usage()
+    )
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
-    let mut args: BTreeSet<String> = std::env::args().skip(1).collect();
-    let tree = args.remove("--telemetry");
-    let json = args.remove("--telemetry=json");
-    let stable_json = args.remove("--telemetry=stable-json");
-    let chaos_arg = args.iter().find(|a| a.starts_with("--chaos=")).cloned();
-    if let Some(a) = &chaos_arg {
-        args.remove(a);
-    }
-    let plan = match chaos_arg.as_deref() {
-        Some(a) => match FaultPlan::parse(&a["--chaos=".len()..]) {
-            Ok(p) => Some(p),
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        None => None,
-    };
-    let jobs_arg = args.iter().find(|a| a.starts_with("--jobs=")).cloned();
-    if let Some(a) = &jobs_arg {
-        args.remove(a);
-    }
-    // Stage I–III worker count; 0 (the default) means all available
-    // cores. Safe as a default because the pipeline is byte-identical
-    // at every worker count.
-    let jobs: usize = match jobs_arg.as_deref() {
-        Some(a) => match a["--jobs=".len()..].parse() {
-            Ok(n) => n,
-            Err(_) => {
-                eprintln!("error: --jobs needs an integer (0 = all cores)");
-                return ExitCode::FAILURE;
-            }
-        },
-        None => 0,
-    };
-    // Optional provenance / execution-trace exports. `--lineage=FILE`
-    // writes the per-record audit log (wall-clock-free JSONL,
-    // byte-identical at any --jobs); `--trace=FILE` writes Chrome
-    // trace-event JSON for chrome://tracing or Perfetto.
-    let take_path = |args: &mut BTreeSet<String>, prefix: &str| {
-        let arg = args.iter().find(|a| a.starts_with(prefix)).cloned();
-        if let Some(a) = &arg {
-            args.remove(a);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match CommonArgs::parse(&raw) {
+        Ok(args) => args,
+        Err(ArgError { flag, reason }) => {
+            eprintln!("error: {flag}: {reason}");
+            eprintln!();
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
         }
-        arg.map(|a| a[prefix.len()..].to_owned())
     };
-    let lineage_path = take_path(&mut args, "--lineage=");
-    let trace_path = take_path(&mut args, "--trace=");
-    let want = |name: &str| args.is_empty() || args.contains(name);
+    if args.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+
+    // The full-scale paper corpus by default; --scale/--seed shrink or
+    // reseed it (the cache-smoke tests run at a fraction of full scale).
+    let mut config = full_scale_config().with_jobs(args.jobs.unwrap_or(0));
+    if let Some(scale) = args.scale {
+        config.corpus.scale = scale;
+    }
+    if let Some(seed) = args.seed {
+        config.corpus.seed = seed;
+    }
+    if let Some(plan) = args.chaos {
+        // An inert (rate-0) plan is armed but filtered out by
+        // `RunConfig::active_chaos`, keeping it byte- and key-identical
+        // to a clean run — which the diff below then proves.
+        config = config.with_chaos(plan);
+    }
+    if let Some(dir) = args.effective_cache_dir() {
+        config = config.with_cache_dir(dir);
+    }
+
+    let want = |name: &str| args.positional.is_empty() || args.positional.iter().any(|a| a == name);
 
     let obs = Collector::with_echo();
-    let trace = if lineage_path.is_some() || trace_path.is_some() {
+    let trace = if args.wants_trace() {
         RunTrace::new(&obs)
     } else {
         RunTrace::disabled()
     };
     obs.log("running full-scale pipeline (5,328 disengagements, 42 accidents)...");
-    let o = match plan {
-        Some(p) if p.active() => {
-            obs.log(&format!(
-                "chaos campaign armed: rate {:.3}, seed {:#x}",
-                p.rate, p.seed
-            ));
-            full_scale_chaos_outcome_traced(&obs, p, jobs, &trace)
+    if let Some(p) = config.active_chaos() {
+        obs.log(&format!(
+            "chaos campaign armed: rate {:.3}, seed {:#x}",
+            p.rate, p.seed
+        ));
+    }
+    let o = match RunSession::new(config.clone()).run_traced(&obs, &trace) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
-        _ => full_scale_outcome_traced(&obs, jobs, &trace),
     };
     obs.log(&format!(
         "pipeline done: {} disengagements, {} accidents, {:.0} miles recovered",
@@ -166,12 +179,20 @@ fn main() -> ExitCode {
     }
 
     // The rate-0 invariant: an inert plan must leave every byte of the
-    // outcome untouched. Proven by rerunning clean and diffing.
-    if let Some(p) = plan {
+    // outcome untouched. Proven by rerunning clean (no chaos armed, no
+    // cache — a cached replay would make the diff vacuous) and diffing.
+    if let Some(p) = args.chaos {
         if !p.active() {
             obs.log("chaos rate 0: diffing against a clean reference run...");
-            let reference =
-                full_scale_outcome_traced(&Collector::new(), jobs, &RunTrace::disabled());
+            let mut clean = config.clone().without_cache();
+            clean.chaos = None;
+            let reference = match RunSession::new(clean).run_with(&Collector::new()) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: clean reference run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let identical = format!("{:?}", reference.database) == format!("{:?}", o.database)
                 && reference.tagged == o.tagged
                 && reference.parse_failures == o.parse_failures;
@@ -519,7 +540,7 @@ fn main() -> ExitCode {
     // wall-clock-free and entry-ordered, so the file is byte-identical
     // across worker counts; the Chrome trace is wall-clock by nature
     // and only format-checked.
-    if let Some(path) = &lineage_path {
+    if let Some(Some(path)) = &args.lineage {
         let prov = trace.provenance();
         match std::fs::write(path, prov.to_jsonl()) {
             Ok(()) => eprintln!("wrote {path} ({} events)", prov.len()),
@@ -529,7 +550,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    if let Some(path) = &trace_path {
+    if let Some(path) = &args.trace {
         let body = execution_trace_json(&snapshot, trace.timeline());
         match std::fs::write(path, body) {
             Ok(()) => eprintln!("wrote {path} ({} tasks)", trace.timeline().len()),
@@ -540,23 +561,26 @@ fn main() -> ExitCode {
         }
     }
 
-    if tree {
-        print!("{}", snapshot.render_tree());
-    }
-    if json || stable_json {
-        // stable-json zeroes every wall-clock field so the file is
-        // byte-comparable across runs and worker counts.
-        let body = if stable_json {
-            snapshot.clone().canonical().to_json()
-        } else {
-            snapshot.to_json()
-        };
-        let path = "repro_metrics.json";
-        match std::fs::write(path, body) {
-            Ok(()) => eprintln!("wrote {path}"),
-            Err(e) => {
-                eprintln!("error: could not write {path}: {e}");
-                return ExitCode::FAILURE;
+    match args.telemetry {
+        TelemetryMode::Off => {}
+        TelemetryMode::Tree => print!("{}", snapshot.render_tree()),
+        TelemetryMode::Json | TelemetryMode::StableJson => {
+            // stable-json zeroes every wall-clock field (and drops the
+            // cache.* environment counters) so the file is
+            // byte-comparable across runs, worker counts, and cache
+            // temperatures.
+            let body = if args.telemetry == TelemetryMode::StableJson {
+                snapshot.clone().canonical().to_json()
+            } else {
+                snapshot.to_json()
+            };
+            let path = "repro_metrics.json";
+            match std::fs::write(path, body) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("error: could not write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }

@@ -2,18 +2,30 @@
 //!
 //! Every table/figure bench needs a pipeline outcome to regenerate its
 //! artifact from; building one per iteration would swamp the measurement,
-//! so the fixtures here build it once.
+//! so the fixtures here build it once. Everything runs through the
+//! shared session driver ([`disengage_core::RunSession`]), the same
+//! code path as the `repro` and `disengage` binaries.
 
 use disengage_chaos::FaultPlan;
-use disengage_core::pipeline::{Pipeline, PipelineConfig, PipelineOutcome, RunTrace};
+use disengage_core::pipeline::{PipelineOutcome, RunTrace};
+use disengage_core::{RunConfig, RunSession};
 use disengage_corpus::CorpusConfig;
 use disengage_obs::Collector;
 
 pub mod timing;
 
-/// A pipeline outcome at the paper's full scale (5,328 disengagements),
-/// digitized losslessly. Used by the `repro` harness and the analysis
-/// benches.
+/// The run configuration at the paper's full scale (5,328
+/// disengagements), digitized losslessly. The `repro` harness layers
+/// its jobs/chaos/cache flags on top of this.
+pub fn full_scale_config() -> RunConfig {
+    RunConfig::new().with_corpus(CorpusConfig {
+        seed: 0x5EED,
+        scale: 1.0,
+    })
+}
+
+/// A pipeline outcome at the paper's full scale. Used by the `repro`
+/// harness and the analysis benches.
 pub fn full_scale_outcome() -> PipelineOutcome {
     full_scale_outcome_with(&Collector::new())
 }
@@ -39,8 +51,7 @@ pub fn full_scale_outcome_traced(
     jobs: usize,
     trace: &RunTrace,
 ) -> PipelineOutcome {
-    Pipeline::new(full_scale_config())
-        .with_jobs(jobs)
+    RunSession::new(full_scale_config().with_jobs(jobs))
         .run_traced(obs, trace)
         .expect("full-scale pipeline runs")
 }
@@ -70,33 +81,18 @@ pub fn full_scale_chaos_outcome_traced(
     jobs: usize,
     trace: &RunTrace,
 ) -> PipelineOutcome {
-    Pipeline::new(full_scale_config())
-        .with_chaos(plan)
-        .with_jobs(jobs)
+    RunSession::new(full_scale_config().with_jobs(jobs).with_chaos(plan))
         .run_traced(obs, trace)
         .expect("full-scale chaos pipeline runs")
-}
-
-fn full_scale_config() -> PipelineConfig {
-    PipelineConfig {
-        corpus: CorpusConfig {
-            seed: 0x5EED,
-            scale: 1.0,
-        },
-        ..Default::default()
-    }
 }
 
 /// A smaller outcome (~10% scale) for benches where per-iteration work
 /// matters more than corpus size.
 pub fn bench_outcome() -> PipelineOutcome {
-    Pipeline::new(PipelineConfig {
-        corpus: CorpusConfig {
-            seed: 0x5EED,
-            scale: 0.1,
-        },
-        ..Default::default()
-    })
+    RunSession::new(RunConfig::new().with_corpus(CorpusConfig {
+        seed: 0x5EED,
+        scale: 0.1,
+    }))
     .run()
     .expect("bench pipeline runs")
 }

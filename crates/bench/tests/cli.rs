@@ -1,0 +1,48 @@
+//! CLI contract of the `repro` and `parbench` harnesses: `--help`/`-h`
+//! exit 0 with usage, unknown flags exit nonzero naming the flag —
+//! both binaries ride the shared parser in `disengage_core::args`.
+
+use std::process::{Command, Output};
+
+fn run(exe: &str, args: &[&str]) -> Output {
+    Command::new(exe)
+        .args(args)
+        .output()
+        .expect("harness binary runs")
+}
+
+#[test]
+fn repro_help_exits_zero_and_unknown_flags_fail() {
+    let exe = env!("CARGO_BIN_EXE_repro");
+    for flag in ["--help", "-h"] {
+        let out = run(exe, &[flag]);
+        assert!(out.status.success(), "repro {flag} must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage:"));
+        assert!(stdout.contains("--cache-dir"));
+    }
+    let out = run(exe, &["--bogus"]);
+    assert!(!out.status.success(), "repro --bogus must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--bogus") && stderr.contains("usage:"));
+    // Malformed values fail before any pipeline work.
+    for bad in ["--telemetry=loud", "--chaos=2.0", "--jobs=many"] {
+        assert!(!run(exe, &[bad]).status.success(), "{bad} must fail");
+    }
+}
+
+#[test]
+fn parbench_help_exits_zero_and_unknown_flags_fail() {
+    let exe = env!("CARGO_BIN_EXE_parbench");
+    for flag in ["--help", "-h"] {
+        let out = run(exe, &[flag]);
+        assert!(out.status.success(), "parbench {flag} must exit 0");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+    }
+    let out = run(exe, &["--bogus"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--bogus"));
+    // The cache would corrupt the measurement; parbench refuses it.
+    assert!(!run(exe, &["--cache-dir=/tmp/x"]).status.success());
+    assert!(!run(exe, &["--samples=zero"]).status.success());
+}

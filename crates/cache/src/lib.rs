@@ -1,0 +1,28 @@
+//! Content-addressed artifact store for incremental pipeline re-runs.
+//!
+//! Three pieces, all dependency-free:
+//!
+//! * [`fp`] — a streaming FNV-1a 64-bit hasher with a stable,
+//!   documented output. Stage fingerprints must survive process
+//!   restarts and toolchain upgrades, which rules out
+//!   `std::collections::hash_map::DefaultHasher` (its algorithm is
+//!   explicitly unspecified and randomly keyed).
+//! * [`codec`] — a fixed-layout little-endian byte codec
+//!   ([`codec::Enc`]/[`codec::Dec`]) plus checksummed artifact framing.
+//!   Decoding is total: truncated or bit-flipped input yields `None`,
+//!   never a panic.
+//! * [`store`] — [`store::ArtifactStore`], the on-disk layout
+//!   `<root>/<stage>/<fingerprint>.art` with atomic writes, corruption
+//!   detection, and per-stage LRU eviction.
+//!
+//! The crate knows nothing about the pipeline's domain types; callers
+//! (see `disengage-core`'s `artifact` module) provide the payload
+//! encoding on top of [`codec`].
+
+pub mod codec;
+pub mod fp;
+pub mod store;
+
+pub use codec::{Dec, Enc};
+pub use fp::{Fingerprint, Fp};
+pub use store::{ArtifactStore, Lookup};

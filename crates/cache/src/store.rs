@@ -1,0 +1,236 @@
+//! On-disk content-addressed artifact store.
+//!
+//! Layout: `<root>/<stage>/<fingerprint>.art`, one file per artifact,
+//! each wrapped in the checksummed frame from [`crate::codec`]. The
+//! store is a cache, not a database: every failure mode (unreadable
+//! directory, corrupt frame, full disk) degrades to "recompute", never
+//! to an error the pipeline has to handle.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::codec::{frame, unframe};
+use crate::fp::Fingerprint;
+
+/// Artifacts kept per stage directory before the least-recently
+/// modified entries are evicted. Each stage has a handful of live
+/// configurations in practice; the cap bounds disk usage for sweeps.
+const PER_STAGE_CAP: usize = 8;
+
+/// Result of a cache probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// Entry present and frame-valid; the decoded payload bytes.
+    Hit(Vec<u8>),
+    /// No entry under this fingerprint.
+    Miss,
+    /// An entry exists but is truncated, bit-flipped, or from another
+    /// format version. The caller recomputes; the bad file has been
+    /// removed so the recomputed artifact can take its place.
+    Corrupt,
+}
+
+/// A content-addressed artifact store rooted at one directory, or a
+/// disabled store that never hits and never writes.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: Option<PathBuf>,
+    version: u32,
+}
+
+impl ArtifactStore {
+    /// A store rooted at `dir` (created lazily on first save).
+    /// `version` is the artifact format version baked into every
+    /// frame; bumping it invalidates all prior entries.
+    pub fn at(dir: impl Into<PathBuf>, version: u32) -> ArtifactStore {
+        ArtifactStore {
+            root: Some(dir.into()),
+            version,
+        }
+    }
+
+    /// A store that never hits and never writes — the default when no
+    /// `--cache-dir` is configured.
+    pub fn disabled() -> ArtifactStore {
+        ArtifactStore {
+            root: None,
+            version: 0,
+        }
+    }
+
+    /// Whether this store can hold artifacts.
+    pub fn is_enabled(&self) -> bool {
+        self.root.is_some()
+    }
+
+    /// The root directory, when enabled.
+    pub fn root(&self) -> Option<&Path> {
+        self.root.as_deref()
+    }
+
+    fn entry_path(&self, stage: &str, key: Fingerprint) -> Option<PathBuf> {
+        let root = self.root.as_ref()?;
+        Some(root.join(stage).join(format!("{}.art", key.to_hex())))
+    }
+
+    /// Probes the store for `<stage>/<key>`.
+    pub fn load(&self, stage: &str, key: Fingerprint) -> Lookup {
+        let Some(path) = self.entry_path(stage, key) else {
+            return Lookup::Miss;
+        };
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return Lookup::Miss,
+        };
+        match unframe(self.version, &bytes) {
+            Some(payload) => Lookup::Hit(payload.to_vec()),
+            None => {
+                // Drop the damaged entry so the recompute can replace
+                // it; ignore failures (read-only cache is still a
+                // cache).
+                let _ = fs::remove_file(&path);
+                Lookup::Corrupt
+            }
+        }
+    }
+
+    /// Stores `payload` under `<stage>/<key>`, framing and writing
+    /// atomically (temp file + rename) so readers never observe a
+    /// partial artifact. Returns the number of older entries evicted
+    /// to stay under the per-stage cap. I/O errors are swallowed — a
+    /// failed save just means the next run recomputes.
+    pub fn save(&self, stage: &str, key: Fingerprint, payload: &[u8]) -> usize {
+        let Some(path) = self.entry_path(stage, key) else {
+            return 0;
+        };
+        let Some(dir) = path.parent() else {
+            return 0;
+        };
+        if fs::create_dir_all(dir).is_err() {
+            return 0;
+        }
+        let tmp = dir.join(format!(".{}.tmp.{}", key.to_hex(), std::process::id()));
+        if fs::write(&tmp, frame(self.version, payload)).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return 0;
+        }
+        if fs::rename(&tmp, &path).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return 0;
+        }
+        evict_lru(dir, &path)
+    }
+}
+
+/// Removes the least-recently-modified `.art` entries beyond the cap,
+/// never touching `keep` (the entry just written). Returns how many
+/// files were evicted.
+fn evict_lru(dir: &Path, keep: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut arts: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("art") || path == *keep {
+            continue;
+        }
+        let modified = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        arts.push((modified, path));
+    }
+    // +1 for `keep`, which always survives.
+    if arts.len() + 1 <= PER_STAGE_CAP {
+        return 0;
+    }
+    arts.sort();
+    let excess = arts.len() + 1 - PER_STAGE_CAP;
+    let mut evicted = 0;
+    for (_, path) in arts.into_iter().take(excess) {
+        if fs::remove_file(&path).is_ok() {
+            evicted += 1;
+        }
+    }
+    evicted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "disengage-cache-store-{}-{}",
+            tag,
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let root = scratch("roundtrip");
+        let store = ArtifactStore::at(&root, 1);
+        let key = Fingerprint(0xdead_beef);
+        assert_eq!(store.load("corpus", key), Lookup::Miss);
+        store.save("corpus", key, b"payload");
+        assert_eq!(store.load("corpus", key), Lookup::Hit(b"payload".to_vec()));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_entry_detected_and_removed() {
+        let root = scratch("corrupt");
+        let store = ArtifactStore::at(&root, 1);
+        let key = Fingerprint(42);
+        store.save("tag", key, b"the artifact");
+        let path = root.join("tag").join(format!("{}.art", key.to_hex()));
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(store.load("tag", key), Lookup::Corrupt);
+        // The damaged file was removed, so the next probe is a miss.
+        assert_eq!(store.load("tag", key), Lookup::Miss);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn version_bump_invalidates() {
+        let root = scratch("version");
+        let key = Fingerprint(7);
+        ArtifactStore::at(&root, 1).save("norm", key, b"old format");
+        assert_eq!(ArtifactStore::at(&root, 2).load("norm", key), Lookup::Corrupt);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn disabled_store_is_inert() {
+        let store = ArtifactStore::disabled();
+        assert!(!store.is_enabled());
+        assert_eq!(store.save("corpus", Fingerprint(1), b"x"), 0);
+        assert_eq!(store.load("corpus", Fingerprint(1)), Lookup::Miss);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_newest() {
+        let root = scratch("evict");
+        let store = ArtifactStore::at(&root, 1);
+        let mut evicted_total = 0;
+        for i in 0..(PER_STAGE_CAP as u64 + 3) {
+            evicted_total += store.save("digitize", Fingerprint(i), b"x");
+        }
+        assert_eq!(evicted_total, 3);
+        let live = fs::read_dir(root.join("digitize")).unwrap().count();
+        assert_eq!(live, PER_STAGE_CAP);
+        // The most recent write always survives.
+        assert!(matches!(
+            store.load("digitize", Fingerprint(PER_STAGE_CAP as u64 + 2)),
+            Lookup::Hit(_)
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,413 @@
+//! Shared command-line parsing for the `disengage` and `repro`
+//! binaries (and anything else that drives a [`crate::RunSession`]).
+//!
+//! Both binaries accept the same execution flags — `--jobs=`,
+//! `--chaos=`, `--lineage=`, `--trace=`, `--telemetry=`,
+//! `--cache-dir=`, `--no-cache` — in both `--flag value` and
+//! `--flag=value` spellings (optional-value flags, `--telemetry` and
+//! `--lineage`, take their value inline only, so a bare flag never
+//! swallows the next argument). Unknown `--` flags are an error (with
+//! usage text), not silently ignored; `--help` / `-h` short-circuit
+//! to the usage text with exit 0.
+
+use disengage_chaos::FaultPlan;
+use std::fmt;
+
+/// How the run's telemetry is rendered on stdout/export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryMode {
+    /// No telemetry rendering.
+    #[default]
+    Off,
+    /// Human-readable span tree + metrics.
+    Tree,
+    /// Raw JSON (wall-clock timings and cache counters included).
+    Json,
+    /// Canonical JSON: wall clock zeroed, `cache.*` dropped — the
+    /// byte-comparable form `scripts/verify.sh` diffs.
+    StableJson,
+}
+
+/// A parse failure: the offending flag and why it was rejected. The
+/// `Display` form is the single-line error the binaries print before
+/// the usage text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError {
+    /// The flag (or bare argument) that failed.
+    pub flag: String,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.flag, self.reason)
+    }
+}
+
+impl ArgError {
+    fn new(flag: &str, reason: impl Into<String>) -> ArgError {
+        ArgError {
+            flag: flag.to_owned(),
+            reason: reason.into(),
+        }
+    }
+}
+
+/// The flags shared by every pipeline-driving binary, parsed from raw
+/// arguments. Binary-specific flags can be layered on via
+/// [`CommonArgs::parse_with`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CommonArgs {
+    /// Non-flag arguments, in order (subcommands, output paths).
+    pub positional: Vec<String>,
+    /// `--scale=` corpus scale factor, if given.
+    pub scale: Option<f64>,
+    /// `--seed=` corpus seed, if given.
+    pub seed: Option<u64>,
+    /// `--jobs=` worker-pool size (0 = all cores), if given.
+    pub jobs: Option<usize>,
+    /// `--telemetry[=MODE]` rendering mode (bare = tree).
+    pub telemetry: TelemetryMode,
+    /// `--chaos=RATE[,SEED[,ATTEMPTS]]` fault plan, if armed.
+    pub chaos: Option<FaultPlan>,
+    /// `--lineage[=PATH]`: record provenance; `Some(Some(path))` also
+    /// exports the JSONL to `path`.
+    pub lineage: Option<Option<String>>,
+    /// `--trace=PATH`: export a Chrome trace to `path`.
+    pub trace: Option<String>,
+    /// `--cache-dir=PATH`: artifact-cache root.
+    pub cache_dir: Option<String>,
+    /// `--no-cache`: force caching off (wins over `--cache-dir`).
+    pub no_cache: bool,
+    /// `--help` / `-h` was given.
+    pub help: bool,
+}
+
+/// Splits one raw argument into `(flag, inline_value)` — the
+/// `--flag=value` spelling carries its value inline.
+fn split_flag(arg: &str) -> (&str, Option<&str>) {
+    match arg.split_once('=') {
+        Some((flag, value)) => (flag, Some(value)),
+        None => (arg, None),
+    }
+}
+
+impl CommonArgs {
+    /// Parses the shared flags from raw arguments (without the program
+    /// name). Unknown `--` flags are errors.
+    ///
+    /// # Errors
+    ///
+    /// An [`ArgError`] naming the offending flag: unknown flag,
+    /// missing value, or malformed value.
+    pub fn parse(args: &[String]) -> Result<CommonArgs, ArgError> {
+        Self::parse_with(args, |_, _| Ok(false))
+    }
+
+    /// [`CommonArgs::parse`] with an escape hatch for binary-specific
+    /// flags: `extra(flag, value)` returns `Ok(true)` to claim a flag,
+    /// `Ok(false)` to fall through to the unknown-flag error.
+    ///
+    /// # Errors
+    ///
+    /// See [`CommonArgs::parse`]; `extra` can also raise its own.
+    pub fn parse_with(
+        args: &[String],
+        mut extra: impl FnMut(&str, Option<&str>) -> Result<bool, ArgError>,
+    ) -> Result<CommonArgs, ArgError> {
+        let mut out = CommonArgs::default();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            if arg == "-h" || arg == "--help" {
+                out.help = true;
+                i += 1;
+                continue;
+            }
+            if !arg.starts_with("--") {
+                out.positional.push(arg.clone());
+                i += 1;
+                continue;
+            }
+            let (flag, inline) = split_flag(arg);
+            // A flag that requires a value takes it inline or from the
+            // next argument.
+            let mut take_value = |flag: &str| -> Result<String, ArgError> {
+                if let Some(v) = inline {
+                    return Ok(v.to_owned());
+                }
+                i += 1;
+                match args.get(i) {
+                    Some(v) => Ok(v.clone()),
+                    None => Err(ArgError::new(flag, "expected a value")),
+                }
+            };
+            match flag {
+                "--scale" => {
+                    let v = take_value(flag)?;
+                    out.scale = Some(parse_scale(flag, &v)?);
+                }
+                "--seed" => {
+                    let v = take_value(flag)?;
+                    out.seed = Some(
+                        v.parse()
+                            .map_err(|_| ArgError::new(flag, format!("`{v}` is not a u64")))?,
+                    );
+                }
+                "--jobs" => {
+                    let v = take_value(flag)?;
+                    out.jobs = Some(
+                        v.parse()
+                            .map_err(|_| ArgError::new(flag, format!("`{v}` is not a worker count")))?,
+                    );
+                }
+                "--telemetry" => {
+                    // Value optional: bare `--telemetry` means the
+                    // human-readable tree (the next argument is NOT
+                    // consumed).
+                    out.telemetry = match inline {
+                        None | Some("tree") => TelemetryMode::Tree,
+                        Some("off") => TelemetryMode::Off,
+                        Some("json") => TelemetryMode::Json,
+                        Some("stable-json") => TelemetryMode::StableJson,
+                        Some(other) => {
+                            return Err(ArgError::new(
+                                flag,
+                                format!("`{other}` is not off|tree|json|stable-json"),
+                            ))
+                        }
+                    };
+                }
+                "--chaos" => {
+                    let v = take_value(flag)?;
+                    out.chaos = Some(parse_chaos(flag, &v)?);
+                }
+                "--lineage" => {
+                    // Value optional: bare `--lineage` records without
+                    // exporting (the next argument is NOT consumed).
+                    out.lineage = Some(inline.map(str::to_owned));
+                }
+                "--trace" => {
+                    out.trace = Some(take_value(flag)?);
+                }
+                "--cache-dir" => {
+                    let v = take_value(flag)?;
+                    if v.is_empty() {
+                        return Err(ArgError::new(flag, "expected a directory path"));
+                    }
+                    out.cache_dir = Some(v);
+                }
+                "--no-cache" => {
+                    if inline.is_some() {
+                        return Err(ArgError::new(flag, "takes no value"));
+                    }
+                    out.no_cache = true;
+                }
+                _ => {
+                    if !extra(flag, inline)? {
+                        return Err(ArgError::new(flag, "unknown flag"));
+                    }
+                }
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    /// The effective cache directory: `--no-cache` beats `--cache-dir`.
+    pub fn effective_cache_dir(&self) -> Option<&str> {
+        if self.no_cache {
+            None
+        } else {
+            self.cache_dir.as_deref()
+        }
+    }
+
+    /// Whether the run needs an enabled trace (lineage or Chrome
+    /// trace).
+    pub fn wants_trace(&self) -> bool {
+        self.lineage.is_some() || self.trace.is_some()
+    }
+
+    /// The usage lines for the shared flags, for embedding in each
+    /// binary's help text.
+    pub fn shared_usage() -> &'static str {
+        "  --scale=F           corpus scale factor in (0, 4] (default 1.0)\n\
+         \x20 --seed=N            corpus seed (default 0x5EED)\n\
+         \x20 --jobs=N            worker-pool size; 0 = all cores (default)\n\
+         \x20 --telemetry[=MODE]  off|tree|json|stable-json (bare = tree; default off)\n\
+         \x20 --chaos=RATE[,SEED[,ATTEMPTS]]  arm fault injection\n\
+         \x20 --lineage[=PATH]    record provenance; optionally export JSONL\n\
+         \x20 --trace=PATH        export a Chrome execution trace\n\
+         \x20 --cache-dir=PATH    content-addressed stage artifact cache\n\
+         \x20 --no-cache          disable the artifact cache\n\
+         \x20 -h, --help          this help"
+    }
+}
+
+/// Parses `--scale`: a float in (0, 4].
+fn parse_scale(flag: &str, v: &str) -> Result<f64, ArgError> {
+    let scale: f64 = v
+        .parse()
+        .map_err(|_| ArgError::new(flag, format!("`{v}` is not a number")))?;
+    if !(scale > 0.0 && scale <= 4.0) {
+        return Err(ArgError::new(flag, format!("{scale} is outside (0, 4]")));
+    }
+    Ok(scale)
+}
+
+/// Parses `--chaos=RATE[,SEED[,ATTEMPTS]]` into a [`FaultPlan`]. The
+/// `RATE[,SEED]` prefix delegates to [`FaultPlan::parse`] (so the CLI
+/// form and its default seed stay in one place); the optional third
+/// component overrides the repair-attempt budget.
+fn parse_chaos(flag: &str, v: &str) -> Result<FaultPlan, ArgError> {
+    let parts: Vec<&str> = v.split(',').collect();
+    if parts.len() > 3 {
+        return Err(ArgError::new(flag, "expected RATE[,SEED[,ATTEMPTS]]"));
+    }
+    let mut plan = FaultPlan::parse(&parts[..parts.len().min(2)].join(","))
+        .map_err(|e| ArgError::new(flag, e))?;
+    if let Some(attempts) = parts.get(2) {
+        plan.repair_attempts = attempts
+            .parse()
+            .map_err(|_| ArgError::new(flag, format!("attempts `{attempts}` is not a u32")))?;
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CommonArgs, ArgError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        CommonArgs::parse(&owned)
+    }
+
+    #[test]
+    fn both_spellings_parse() {
+        let eq = parse(&["--scale=0.5", "--seed=7", "--jobs=2"]).unwrap();
+        let sp = parse(&["--scale", "0.5", "--seed", "7", "--jobs", "2"]).unwrap();
+        assert_eq!(eq, sp);
+        assert_eq!(eq.scale, Some(0.5));
+        assert_eq!(eq.seed, Some(7));
+        assert_eq!(eq.jobs, Some(2));
+    }
+
+    #[test]
+    fn positionals_survive_around_flags() {
+        let a = parse(&["run", "--jobs=1", "out.json"]).unwrap();
+        assert_eq!(a.positional, ["run", "out.json"]);
+    }
+
+    #[test]
+    fn unknown_flags_are_errors() {
+        let err = parse(&["--bogus"]).unwrap_err();
+        assert_eq!(err.flag, "--bogus");
+        assert!(err.reason.contains("unknown"));
+        // Misspellings of real flags fail too, loudly.
+        assert!(parse(&["--job=2"]).is_err());
+        assert!(parse(&["--cachedir=x"]).is_err());
+    }
+
+    #[test]
+    fn help_short_and_long() {
+        assert!(parse(&["-h"]).unwrap().help);
+        assert!(parse(&["--help"]).unwrap().help);
+        assert!(!parse(&[]).unwrap().help);
+    }
+
+    #[test]
+    fn malformed_values_are_rejected() {
+        // Scale: not a number, zero, negative, above the cap.
+        for bad in ["--scale=abc", "--scale=0", "--scale=-1", "--scale=4.5"] {
+            assert!(parse(&[bad]).is_err(), "{bad} must fail");
+        }
+        // Seed and jobs: non-numeric and negative.
+        for bad in ["--seed=x", "--seed=-1", "--jobs=many", "--jobs=-2"] {
+            assert!(parse(&[bad]).is_err(), "{bad} must fail");
+        }
+        // Telemetry: unknown mode (an empty `=` value is also unknown).
+        assert!(parse(&["--telemetry=loud"]).is_err());
+        assert!(parse(&["--telemetry="]).is_err());
+        // Chaos: bad rate, rate out of range, bad seed, junk attempts.
+        for bad in [
+            "--chaos=abc,7",
+            "--chaos=1.5,7",
+            "--chaos=0.1,x",
+            "--chaos=0.1,7,many",
+            "--chaos=0.1,7,3,9",
+        ] {
+            assert!(parse(&[bad]).is_err(), "{bad} must fail");
+        }
+        // Values must exist at all.
+        for bad in ["--scale", "--seed", "--jobs", "--chaos", "--trace"] {
+            assert!(parse(&[bad]).is_err(), "{bad} without value must fail");
+        }
+        // --no-cache takes no value.
+        assert!(parse(&["--no-cache=yes"]).is_err());
+        // --cache-dir needs a non-empty path.
+        assert!(parse(&["--cache-dir="]).is_err());
+    }
+
+    #[test]
+    fn chaos_parses_with_and_without_attempts() {
+        // Rate alone gets the default injection seed (the legacy CLI form).
+        let one = parse(&["--chaos=0.05"]).unwrap().chaos.unwrap();
+        assert_eq!(one.seed, FaultPlan::parse("0.05").unwrap().seed);
+        let two = parse(&["--chaos=0.05,7"]).unwrap().chaos.unwrap();
+        assert_eq!((two.rate, two.seed), (0.05, 7));
+        let three = parse(&["--chaos=0.05,7,3"]).unwrap().chaos.unwrap();
+        assert_eq!(three.repair_attempts, 3);
+    }
+
+    #[test]
+    fn telemetry_value_is_optional_and_not_greedy() {
+        // Bare --telemetry is the tree view and must not swallow the
+        // next positional (the pre-refactor CLI accepted it bare).
+        let a = parse(&["--telemetry", "summary"]).unwrap();
+        assert_eq!(a.telemetry, TelemetryMode::Tree);
+        assert_eq!(a.positional, ["summary"]);
+        assert_eq!(
+            parse(&["--telemetry=stable-json"]).unwrap().telemetry,
+            TelemetryMode::StableJson
+        );
+    }
+
+    #[test]
+    fn lineage_value_is_optional_and_not_greedy() {
+        // Bare --lineage must not swallow the next positional.
+        let a = parse(&["--lineage", "run"]).unwrap();
+        assert_eq!(a.lineage, Some(None));
+        assert_eq!(a.positional, ["run"]);
+        let b = parse(&["--lineage=out.jsonl"]).unwrap();
+        assert_eq!(b.lineage, Some(Some("out.jsonl".to_owned())));
+        assert!(b.wants_trace());
+    }
+
+    #[test]
+    fn no_cache_wins_over_cache_dir() {
+        let a = parse(&["--cache-dir=.cache", "--no-cache"]).unwrap();
+        assert_eq!(a.cache_dir.as_deref(), Some(".cache"));
+        assert_eq!(a.effective_cache_dir(), None);
+        let b = parse(&["--cache-dir=.cache"]).unwrap();
+        assert_eq!(b.effective_cache_dir(), Some(".cache"));
+    }
+
+    #[test]
+    fn extra_flags_can_be_claimed() {
+        let owned: Vec<String> = vec!["--fail-fast".into(), "--jobs=1".into()];
+        let mut seen = Vec::new();
+        let a = CommonArgs::parse_with(&owned, |flag, value| {
+            if flag == "--fail-fast" {
+                seen.push((flag.to_owned(), value.map(str::to_owned)));
+                return Ok(true);
+            }
+            Ok(false)
+        })
+        .unwrap();
+        assert_eq!(a.jobs, Some(1));
+        assert_eq!(seen, [("--fail-fast".to_owned(), None)]);
+    }
+}

@@ -32,6 +32,8 @@
 //! # }
 //! ```
 
+pub mod args;
+pub mod artifact;
 pub mod constants;
 mod error;
 pub mod export;
@@ -41,6 +43,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod questions;
 pub mod report;
+pub mod session;
 pub mod tables;
 pub mod tagging;
 pub mod telemetry;
@@ -48,6 +51,7 @@ pub mod whatif;
 
 pub use error::{degrade, CoreError, Quarantined};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineOutcome, RunTrace};
+pub use session::{RunConfig, RunSession, Stage, StageKeys};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -10,10 +10,11 @@
 //! [`crate::figures`].
 
 use crate::error::Quarantined;
-use crate::tagging::{tag_records_traced, TaggedDisengagement};
+use crate::session::{RunConfig, RunSession};
+use crate::tagging::TaggedDisengagement;
 use crate::Result;
-use disengage_chaos::{audit, inject_documents, poison_dictionary, ChaosAudit, FaultKind, FaultPlan};
-use disengage_corpus::{Corpus, CorpusConfig, CorpusGenerator};
+use disengage_chaos::{ChaosAudit, FaultPlan};
+use disengage_corpus::{Corpus, CorpusConfig};
 use disengage_nlp::Classifier;
 use disengage_obs::{
     Collector, ProvenanceEvent, ProvenanceLog, RecordId, Subject, TelemetryReport,
@@ -26,7 +27,6 @@ use disengage_ocr::NoiseModel;
 use disengage_par as par;
 use disengage_par::TaskTimeline;
 use disengage_reports::formats::RawDocument;
-use disengage_reports::normalize::{normalize_document_traced, Normalized};
 use disengage_reports::{FailureDatabase, ReportError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -228,11 +228,6 @@ impl Pipeline {
         &self.config
     }
 
-    /// The active fault plan, if the run is a chaos campaign.
-    fn active_chaos(&self) -> Option<FaultPlan> {
-        self.chaos.filter(FaultPlan::active)
-    }
-
     /// Runs Stages I–III and returns the consolidated outcome.
     ///
     /// Telemetry is collected into a throwaway [`Collector`]; use
@@ -271,291 +266,9 @@ impl Pipeline {
     ///
     /// See [`Pipeline::run`].
     pub fn run_traced(&self, obs: &Collector, trace: &RunTrace) -> Result<PipelineOutcome> {
-        let outcome = {
-            let mut root = obs.span("pipeline");
-            root.field("seed", self.config.corpus.seed);
-            root.field("scale", self.config.corpus.scale);
-            obs.gauge(
-                "pipeline.passthrough",
-                if self.config.ocr == OcrMode::Passthrough {
-                    1.0
-                } else {
-                    0.0
-                },
-            );
-
-            // Stage I: corpus generation.
-            let corpus = {
-                let mut span = obs.span("stage_i_corpus");
-                let corpus = CorpusGenerator::new(self.config.corpus).generate_with(obs);
-                span.field("records", corpus.truth.disengagements().len() as u64);
-                corpus
-            };
-
-            // Stage I (continued): digitization.
-            let (documents, ocr_stats) = {
-                let mut span = obs.span("stage_i_ocr");
-                match self.config.ocr {
-                    OcrMode::Passthrough => {
-                        span.field("mode", "passthrough");
-                        obs.add("ocr.documents", corpus.documents.len() as u64);
-                        obs.gauge("ocr.mean_cer", 0.0);
-                        (corpus.documents.clone(), None)
-                    }
-                    OcrMode::Simulated { noise, correct } => {
-                        span.field("mode", "simulated");
-                        let digitize = DigitizeConfig {
-                            noise,
-                            correct,
-                            ocr_seed: self.config.ocr_seed,
-                            base_index: 0,
-                            // Under chaos the plan buys extra repair
-                            // attempts (escalating edit distance); a
-                            // clean run keeps the single pass.
-                            repair_attempts: self
-                                .active_chaos()
-                                .map_or(1, |p| p.repair_attempts.max(1)),
-                            jobs: self.jobs,
-                        };
-                        let (out, stats) =
-                            digitize_simulated_traced(digitize, &corpus.documents, obs, trace);
-                        (out, Some(stats))
-                    }
-                }
-            };
-
-            // Chaos: perturb the digitized batch between Stage I and
-            // Stage II (where real corruption enters), run the bounded
-            // dictionary-repair ladder over it, and audit every fault
-            // against its outcome.
-            let (documents, chaos_audit) = match self.active_chaos() {
-                None => (documents, None),
-                Some(plan) => {
-                    let mut span = obs.span("chaos_inject");
-                    span.field("rate_pct", (plan.rate * 100.0) as u64);
-                    span.field("seed", plan.seed);
-                    obs.gauge("chaos.rate", plan.rate);
-                    let (faulted, log) = inject_documents(&plan, &documents);
-                    obs.add("chaos.injected.total", log.total());
-                    for kind in FaultKind::ALL {
-                        obs.add(&format!("chaos.injected.{}", kind.name()), log.count(kind));
-                    }
-                    let prov = trace.provenance();
-                    if prov.is_enabled() {
-                        for f in &log.faults {
-                            prov.push(
-                                Subject::Line {
-                                    doc: f.doc,
-                                    line: f.line,
-                                },
-                                ProvenanceEvent::FaultInjected {
-                                    kind: f.kind.name().to_owned(),
-                                    line: f.line,
-                                },
-                            );
-                        }
-                    }
-                    let corrector = default_corrector();
-                    let per_doc = par::par_map_indexed_timed(
-                        self.jobs,
-                        &faulted,
-                        |i, doc| {
-                            let shard = obs.shard();
-                            let pshard = prov.shard();
-                            let (fixed, per_attempt, repairs) =
-                                corrector.correct_text_audited(&doc.text, plan.repair_attempts);
-                            record_repair_attempts(&shard, &per_attempt);
-                            if pshard.is_enabled() {
-                                for r in &repairs {
-                                    pshard.push(
-                                        Subject::Line { doc: i, line: r.line },
-                                        ProvenanceEvent::OcrRepair {
-                                            line: r.line,
-                                            before: r.before.clone(),
-                                            after: r.after.clone(),
-                                            attempt: r.attempt,
-                                        },
-                                    );
-                                }
-                            }
-                            (
-                                RawDocument::new(
-                                    doc.manufacturer,
-                                    doc.report_year,
-                                    doc.kind,
-                                    fixed,
-                                ),
-                                shard,
-                                pshard,
-                            )
-                        },
-                        trace.timeline(),
-                        "chaos_repair",
-                    );
-                    let repaired: Vec<RawDocument> = per_doc
-                        .into_iter()
-                        .map(|(doc, shard, pshard)| {
-                            obs.absorb(shard);
-                            prov.absorb(pshard);
-                            doc
-                        })
-                        .collect();
-                    let audited = audit(&plan, &log, &documents, &repaired);
-                    obs.add("chaos.outcome.corrected", audited.totals.corrected);
-                    obs.add("chaos.outcome.quarantined", audited.totals.quarantined);
-                    obs.add("chaos.outcome.absorbed", audited.totals.absorbed);
-                    if prov.is_enabled() {
-                        for af in &audited.faults {
-                            prov.push(
-                                Subject::Line {
-                                    doc: af.fault.doc,
-                                    line: af.fault.line,
-                                },
-                                ProvenanceEvent::FaultOutcome {
-                                    kind: af.fault.kind.name().to_owned(),
-                                    line: af.fault.line,
-                                    outcome: af.outcome.name().to_owned(),
-                                },
-                            );
-                        }
-                    }
-                    span.field("faults", log.total());
-                    (repaired, Some(audited))
-                }
-            };
-
-            // Stage II: parse + filter + normalize, one task per
-            // document. A panicking parser quarantines that document
-            // alone; the rest of the batch parses normally.
-            let (database, failures, panicked, record_ids) = {
-                let mut span = obs.span("stage_ii_parse");
-                // Pre-register the headline counters so a clean run still
-                // exports them (at zero) for machine consumers.
-                for name in ["parse.dis.lines", "parse.dis.parsed", "parse.dis.failed"] {
-                    obs.add(name, 0);
-                }
-                let prov = trace.provenance();
-                let per_doc = par::par_map_catch_timed(
-                    self.jobs,
-                    &documents,
-                    |i, doc| {
-                        let shard = obs.shard();
-                        let pshard = prov.shard();
-                        let (normalized, ids) =
-                            normalize_document_traced(doc, i, Some(&shard), &pshard);
-                        (normalized, ids, shard, pshard)
-                    },
-                    trace.timeline(),
-                    "stage_ii_parse",
-                );
-                let mut normalized = Normalized::default();
-                let mut record_ids: Vec<RecordId> = Vec::new();
-                let mut panicked: Vec<Quarantined> = Vec::new();
-                for outcome in per_doc {
-                    match outcome {
-                        Ok((n, ids, shard, pshard)) => {
-                            obs.absorb(shard);
-                            prov.absorb(pshard);
-                            record_ids.extend(ids);
-                            normalized.merge(n);
-                        }
-                        Err(p) => {
-                            obs.incr("parse.docs.panicked");
-                            if prov.is_enabled() {
-                                prov.push(
-                                    Subject::Document(p.index),
-                                    ProvenanceEvent::Quarantined {
-                                        stage: "stage_ii_parse".to_owned(),
-                                        reason: format!("parser panicked: {}", p.message),
-                                    },
-                                );
-                            }
-                            panicked.push(Quarantined {
-                                stage: "stage_ii_parse",
-                                record_id: format!("doc:{}", p.index),
-                                reason: format!("parser panicked: {}", p.message),
-                            });
-                        }
-                    }
-                }
-                span.field("parsed", normalized.record_count() as u64);
-                span.field("failed", normalized.failures.len() as u64);
-                let database = FailureDatabase::from_records(
-                    normalized.disengagements,
-                    normalized.accidents,
-                    normalized.mileage,
-                );
-                (database, normalized.failures, panicked, record_ids)
-            };
-
-            // Stage III: NLP tagging. Under chaos the dictionary is
-            // poisoned first — the classifier must keep answering
-            // (degrading to Unknown-T), never fail.
-            let tagged = {
-                let mut span = obs.span("stage_iii_tag");
-                for name in ["nlp.tagged", "nlp.unknown_t"] {
-                    obs.add(name, 0);
-                }
-                let classifier = match self.active_chaos() {
-                    Some(plan) => {
-                        let (dict, dropped) =
-                            poison_dictionary(&plan, self.classifier.dictionary());
-                        obs.add("chaos.dict.dropped", dropped);
-                        span.field("dict_dropped", dropped);
-                        Classifier::new(dict)
-                    }
-                    None => self.classifier.clone(),
-                };
-                let tagged = tag_records_traced(
-                    &classifier,
-                    database.disengagements(),
-                    &record_ids,
-                    self.jobs,
-                    obs,
-                    trace.provenance(),
-                    trace.timeline(),
-                );
-                span.field("tagged", tagged.len() as u64);
-                tagged
-            };
-
-            // The structured quarantine lane: one entry per rejected
-            // record, attributed to the stage that refused it. Parser
-            // panics quarantine alongside ordinary parse failures.
-            let mut quarantined: Vec<Quarantined> = failures
-                .iter()
-                .map(|e| Quarantined {
-                    stage: "stage_ii_parse",
-                    record_id: match e {
-                        ReportError::MalformedLine {
-                            manufacturer, line, ..
-                        } => format!("{manufacturer}:{line}"),
-                        _ => "unattributed".to_owned(),
-                    },
-                    reason: e.to_string(),
-                })
-                .collect();
-            quarantined.extend(panicked);
-            obs.add("quarantine.records", quarantined.len() as u64);
-
-            PipelineOutcome {
-                corpus,
-                database,
-                tagged,
-                record_ids,
-                parse_failures: failures,
-                quarantined,
-                chaos: chaos_audit,
-                ocr: ocr_stats,
-                telemetry: TelemetryReport::default(),
-            }
-        };
-        // Snapshot after the root span guard has dropped so the
-        // `pipeline` span (and all children) carry final durations.
-        Ok(PipelineOutcome {
-            telemetry: obs.report(),
-            ..outcome
-        })
+        let mut config = RunConfig::from_pipeline(self.config).with_jobs(self.jobs);
+        config.chaos = self.chaos;
+        RunSession::with_classifier(config, self.classifier.clone()).run_traced(obs, trace)
     }
 }
 
@@ -610,9 +323,21 @@ pub fn digitize_simulated_traced(
     obs: &Collector,
     trace: &RunTrace,
 ) -> (Vec<RawDocument>, OcrStats) {
+    digitize_simulated_parts(config, docs, obs, trace.provenance(), trace.timeline())
+}
+
+/// [`digitize_simulated_traced`] with the trace channels split out, so
+/// the session driver can aim the provenance at a stage shard while
+/// the timeline stays run-global.
+pub(crate) fn digitize_simulated_parts(
+    config: DigitizeConfig,
+    docs: &[RawDocument],
+    obs: &Collector,
+    prov: &ProvenanceLog,
+    timeline: &TaskTimeline,
+) -> (Vec<RawDocument>, OcrStats) {
     let engine = OcrEngine::new();
     let corrector = config.correct.then(default_corrector);
-    let prov = trace.provenance();
     let per_doc = par::par_map_indexed_timed(
         config.jobs,
         docs,
@@ -662,7 +387,7 @@ pub fn digitize_simulated_traced(
                 pshard,
             )
         },
-        trace.timeline(),
+        timeline,
         "stage_i_ocr",
     );
     let mut out = Vec::with_capacity(docs.len());
@@ -696,7 +421,7 @@ pub fn digitize_simulated_traced(
 
 /// Records the per-attempt hit counts of one bounded repair ladder:
 /// `ocr.correct.attempt<k>` per rung, `ocr.corrections` in total.
-fn record_repair_attempts(obs: &Collector, per_attempt: &[u64]) {
+pub(crate) fn record_repair_attempts(obs: &Collector, per_attempt: &[u64]) {
     for (k, &hits) in per_attempt.iter().enumerate() {
         obs.add(&format!("ocr.correct.attempt{}", k + 1), hits);
     }

@@ -1,0 +1,868 @@
+//! Run sessions: the explicit stage graph behind the pipeline.
+//!
+//! [`RunSession`] decomposes the Fig. 1 pipeline into typed stages —
+//! `corpus → digitize → normalize → tag` (with `analyze` as the
+//! downstream consumer in [`crate::questions`] / [`crate::tables`] /
+//! [`crate::figures`]) — each with declared inputs and a stable
+//! config fingerprint. [`RunConfig`] is the single builder that
+//! subsumes the old `run` / `run_with` / `run_traced` entry points
+//! plus the chaos / jobs / cache knobs; [`crate::Pipeline`] is now a
+//! thin shim over it.
+//!
+//! # Artifact cache
+//!
+//! With a cache directory configured, every stage's output (plus its
+//! telemetry shard and provenance entries — see [`crate::artifact`])
+//! persists content-addressed under
+//! `<cache-dir>/<stage>/<fingerprint>`. The fingerprint folds the
+//! stage's own config, every upstream stage's fingerprint, and a
+//! code-version salt ([`crate::artifact::FORMAT_VERSION`]), so a warm
+//! re-run that changes only Stage III/IV parameters loads Stages I–II
+//! from cache and skips OCR entirely. `jobs` never enters a key:
+//! output is byte-identical at every worker count, so artifacts are
+//! shared across them.
+//!
+//! Replayed artifacts restore the recording run's stage spans,
+//! counters, histograms (bit-for-bit float sums), and lineage, which
+//! keeps warm output byte-identical to cold — the only telemetry
+//! difference is the `cache.hit.*` / `cache.miss.*` counters, which
+//! `TelemetryReport::canonical` excludes as environment facts. A
+//! corrupted or truncated artifact is detected (FNV-checksummed
+//! frame, strict decode), counted as `cache.corrupt`, and silently
+//! recomputed — never a panic, never wrong output.
+
+use crate::artifact::{self, NormalizeArtifact, FORMAT_VERSION};
+use crate::error::Quarantined;
+use crate::pipeline::{
+    default_corrector, digitize_simulated_parts, record_repair_attempts, DigitizeConfig, OcrMode,
+    PipelineConfig, PipelineOutcome, RunTrace,
+};
+use crate::tagging::{tag_records_traced, TaggedDisengagement};
+use crate::Result;
+use disengage_cache::{ArtifactStore, Dec, Enc, Fingerprint, Fp, Lookup};
+use disengage_chaos::{audit, inject_documents, poison_dictionary, FaultKind, FaultPlan};
+use disengage_corpus::{CorpusConfig, CorpusGenerator};
+use disengage_nlp::{Classifier, FaultTag};
+use disengage_obs::{
+    Collector, ProvenanceEvent, ProvenanceLog, RecordId, Subject, TelemetryReport,
+};
+use disengage_par as par;
+use disengage_reports::formats::RawDocument;
+use disengage_reports::normalize::{normalize_document_traced, Normalized};
+use disengage_reports::{FailureDatabase, ReportError};
+use std::path::PathBuf;
+
+/// One stage of the pipeline graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Stage I (part 1): generate the calibrated ground-truth corpus.
+    Corpus,
+    /// Stage I (part 2): digitize raw documents (passthrough or
+    /// simulated scanner + OCR).
+    Digitize,
+    /// Stage II: chaos interlude (if armed) + parse/filter/normalize.
+    Normalize,
+    /// Stage III: keyword-vote tagging.
+    Tag,
+    /// Stage IV: statistical analyses (runs outside the session, on
+    /// the session's outcome; listed for the graph's completeness).
+    Analyze,
+}
+
+impl Stage {
+    /// Every stage, in execution order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Corpus,
+        Stage::Digitize,
+        Stage::Normalize,
+        Stage::Tag,
+        Stage::Analyze,
+    ];
+
+    /// The stage's stable name — its cache subdirectory.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Corpus => "corpus",
+            Stage::Digitize => "digitize",
+            Stage::Normalize => "normalize",
+            Stage::Tag => "tag",
+            Stage::Analyze => "analyze",
+        }
+    }
+
+    /// The stages whose outputs this stage consumes.
+    pub fn inputs(self) -> &'static [Stage] {
+        match self {
+            Stage::Corpus => &[],
+            Stage::Digitize => &[Stage::Corpus],
+            Stage::Normalize => &[Stage::Digitize],
+            Stage::Tag => &[Stage::Normalize],
+            Stage::Analyze => &[Stage::Tag],
+        }
+    }
+}
+
+/// The complete configuration of one pipeline run: corpus + OCR +
+/// chaos + execution knobs, in one builder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Corpus generation parameters (seed + scale).
+    pub corpus: CorpusConfig,
+    /// Digitization mode.
+    pub ocr: OcrMode,
+    /// Seed for the OCR noise process (independent of the corpus seed).
+    pub ocr_seed: u64,
+    /// Stage I–III worker-pool size (0 = all available cores). Never
+    /// part of a cache key: output is byte-identical at every setting.
+    pub jobs: usize,
+    /// Optional fault-injection plan (a rate-0 plan is inert).
+    pub chaos: Option<FaultPlan>,
+    /// Artifact-cache directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::from_pipeline(PipelineConfig::default())
+    }
+}
+
+impl RunConfig {
+    /// The default configuration: paper-calibrated corpus, passthrough
+    /// digitization, no chaos, no cache.
+    pub fn new() -> RunConfig {
+        RunConfig::default()
+    }
+
+    /// Adopts a legacy [`PipelineConfig`].
+    pub fn from_pipeline(config: PipelineConfig) -> RunConfig {
+        RunConfig {
+            corpus: config.corpus,
+            ocr: config.ocr,
+            ocr_seed: config.ocr_seed,
+            jobs: 0,
+            chaos: None,
+            cache_dir: None,
+        }
+    }
+
+    /// The corresponding legacy [`PipelineConfig`] view.
+    pub fn pipeline(&self) -> PipelineConfig {
+        PipelineConfig {
+            corpus: self.corpus,
+            ocr: self.ocr,
+            ocr_seed: self.ocr_seed,
+        }
+    }
+
+    /// Sets the corpus parameters.
+    #[must_use]
+    pub fn with_corpus(mut self, corpus: CorpusConfig) -> RunConfig {
+        self.corpus = corpus;
+        self
+    }
+
+    /// Sets the digitization mode.
+    #[must_use]
+    pub fn with_ocr(mut self, ocr: OcrMode) -> RunConfig {
+        self.ocr = ocr;
+        self
+    }
+
+    /// Sets the OCR noise seed.
+    #[must_use]
+    pub fn with_ocr_seed(mut self, seed: u64) -> RunConfig {
+        self.ocr_seed = seed;
+        self
+    }
+
+    /// Sets the worker-pool size (0 = all cores).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> RunConfig {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Arms a fault-injection plan.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: FaultPlan) -> RunConfig {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Enables the artifact cache rooted at `dir`.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> RunConfig {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Disables the artifact cache.
+    #[must_use]
+    pub fn without_cache(mut self) -> RunConfig {
+        self.cache_dir = None;
+        self
+    }
+
+    /// The active fault plan, if any (a rate-0 plan is inert and
+    /// reports `None`, keeping such runs byte- and key-identical to
+    /// unarmed ones).
+    pub fn active_chaos(&self) -> Option<FaultPlan> {
+        self.chaos.filter(FaultPlan::active)
+    }
+
+    /// The effective OCR repair-attempt bound (chaos plans buy extra
+    /// rungs on the dictionary-repair ladder).
+    fn repair_attempts(&self) -> u32 {
+        self.active_chaos().map_or(1, |p| p.repair_attempts.max(1))
+    }
+}
+
+/// The config fingerprint of every cacheable stage. Each key folds the
+/// stage's own parameters, its upstream keys, the artifact format
+/// version, and whether lineage is recorded (an untraced artifact
+/// lacks the provenance a traced run must replay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageKeys {
+    /// `corpus` stage key.
+    pub corpus: Fingerprint,
+    /// `digitize` stage key (always derived, even under passthrough,
+    /// so downstream keys chain through the OCR configuration).
+    pub digitize: Fingerprint,
+    /// `normalize` stage key.
+    pub normalize: Fingerprint,
+    /// `tag` stage key.
+    pub tag: Fingerprint,
+}
+
+impl StageKeys {
+    /// The key for `stage` (`None` for [`Stage::Analyze`], which is
+    /// not session-cached).
+    pub fn for_stage(&self, stage: Stage) -> Option<Fingerprint> {
+        match stage {
+            Stage::Corpus => Some(self.corpus),
+            Stage::Digitize => Some(self.digitize),
+            Stage::Normalize => Some(self.normalize),
+            Stage::Tag => Some(self.tag),
+            Stage::Analyze => None,
+        }
+    }
+}
+
+/// The session driver: executes the stage graph for one [`RunConfig`],
+/// consulting the artifact cache stage by stage.
+#[derive(Debug, Clone)]
+pub struct RunSession {
+    config: RunConfig,
+    classifier: Classifier,
+}
+
+impl RunSession {
+    /// A session with the default (paper-derived) classifier.
+    pub fn new(config: RunConfig) -> RunSession {
+        RunSession {
+            config,
+            classifier: Classifier::with_default_dictionary(),
+        }
+    }
+
+    /// A session with a custom classifier (dictionary ablations).
+    pub fn with_classifier(config: RunConfig, classifier: Classifier) -> RunSession {
+        RunSession { config, classifier }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Derives every stage's cache key for this configuration.
+    /// `lineage` is whether the run records provenance.
+    pub fn stage_keys(&self, lineage: bool) -> StageKeys {
+        let config = &self.config;
+        let base = |stage: Stage| {
+            let mut f = Fp::new();
+            f.write_str("disengage")
+                .write_u32(FORMAT_VERSION)
+                .write_bool(lineage)
+                .write_str(stage.name());
+            f
+        };
+        let corpus = {
+            let mut f = base(Stage::Corpus);
+            f.write_u64(config.corpus.seed).write_f64(config.corpus.scale);
+            f.finish()
+        };
+        let digitize = {
+            let mut f = base(Stage::Digitize);
+            f.write_fp(corpus);
+            match config.ocr {
+                OcrMode::Passthrough => {
+                    f.write_u8(0);
+                }
+                OcrMode::Simulated { noise, correct } => {
+                    f.write_u8(1)
+                        .write_f64(noise.salt)
+                        .write_f64(noise.erosion)
+                        .write_f64(noise.smear)
+                        .write_bool(correct)
+                        .write_u64(config.ocr_seed)
+                        .write_u32(config.repair_attempts());
+                }
+            }
+            f.finish()
+        };
+        let chaos_key = |f: &mut Fp| match config.active_chaos() {
+            None => {
+                f.write_u8(0);
+            }
+            Some(p) => {
+                f.write_u8(1)
+                    .write_f64(p.rate)
+                    .write_u64(p.seed)
+                    .write_u32(p.repair_attempts);
+            }
+        };
+        let normalize = {
+            let mut f = base(Stage::Normalize);
+            f.write_fp(digitize);
+            chaos_key(&mut f);
+            f.finish()
+        };
+        let tag = {
+            let mut f = base(Stage::Tag);
+            f.write_fp(normalize);
+            let dict = self.classifier.dictionary();
+            for t in FaultTag::ALL {
+                f.write_str(t.name());
+                let phrases = dict.phrases(t);
+                f.write_u64(phrases.len() as u64);
+                for phrase in phrases {
+                    f.write_str(phrase);
+                }
+            }
+            chaos_key(&mut f);
+            f.finish()
+        };
+        StageKeys {
+            corpus,
+            digitize,
+            normalize,
+            tag,
+        }
+    }
+
+    /// Runs the stage graph with throwaway telemetry and no tracing.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (parse failures are collected,
+    /// not raised); the `Result` guards future fallible stages.
+    pub fn run(&self) -> Result<PipelineOutcome> {
+        self.run_with(&Collector::new())
+    }
+
+    /// Runs the stage graph, recording spans and metrics into `obs`.
+    ///
+    /// # Errors
+    ///
+    /// See [`RunSession::run`].
+    pub fn run_with(&self, obs: &Collector) -> Result<PipelineOutcome> {
+        self.run_traced(obs, &RunTrace::disabled())
+    }
+
+    /// Runs the stage graph with lineage and execution tracing (see
+    /// [`crate::Pipeline::run_traced`] for the channels). Cached
+    /// stages replay their recorded telemetry and provenance, so a
+    /// warm run's exports are byte-identical to a cold run's.
+    ///
+    /// # Errors
+    ///
+    /// See [`RunSession::run`].
+    pub fn run_traced(&self, obs: &Collector, trace: &RunTrace) -> Result<PipelineOutcome> {
+        let store = match &self.config.cache_dir {
+            Some(dir) => ArtifactStore::at(dir.clone(), FORMAT_VERSION),
+            None => ArtifactStore::disabled(),
+        };
+        let prov = trace.provenance();
+        let keys = self.stage_keys(prov.is_enabled());
+        let config = &self.config;
+        let outcome = {
+            let mut root = obs.span("pipeline");
+            root.field("seed", config.corpus.seed);
+            root.field("scale", config.corpus.scale);
+            obs.gauge(
+                "pipeline.passthrough",
+                if config.ocr == OcrMode::Passthrough {
+                    1.0
+                } else {
+                    0.0
+                },
+            );
+
+            // Stage `corpus`: generate the calibrated ground truth.
+            let corpus = cached_stage(
+                &store,
+                Stage::Corpus,
+                keys.corpus,
+                true,
+                obs,
+                prov,
+                artifact::enc_corpus,
+                artifact::dec_corpus,
+                |sobs, _sprov| {
+                    let mut span = sobs.span("stage_i_corpus");
+                    let corpus = CorpusGenerator::new(config.corpus).generate_with(sobs);
+                    span.field("records", corpus.truth.disengagements().len() as u64);
+                    corpus
+                },
+            );
+
+            // Stage `digitize`. Passthrough is a copy — cheaper than
+            // any cache round-trip — so only simulated OCR persists;
+            // its key is still always derived so downstream keys chain
+            // through the OCR configuration either way.
+            let digitize_cacheable = config.ocr != OcrMode::Passthrough;
+            let (documents, ocr_stats) = cached_stage(
+                &store,
+                Stage::Digitize,
+                keys.digitize,
+                digitize_cacheable,
+                obs,
+                prov,
+                artifact::enc_digitized,
+                artifact::dec_digitized,
+                |sobs, sprov| {
+                    let mut span = sobs.span("stage_i_ocr");
+                    match config.ocr {
+                        OcrMode::Passthrough => {
+                            span.field("mode", "passthrough");
+                            sobs.add("ocr.documents", corpus.documents.len() as u64);
+                            sobs.gauge("ocr.mean_cer", 0.0);
+                            (corpus.documents.clone(), None)
+                        }
+                        OcrMode::Simulated { noise, correct } => {
+                            span.field("mode", "simulated");
+                            let digitize = DigitizeConfig {
+                                noise,
+                                correct,
+                                ocr_seed: config.ocr_seed,
+                                base_index: 0,
+                                repair_attempts: config.repair_attempts(),
+                                jobs: config.jobs,
+                            };
+                            let (out, stats) = digitize_simulated_parts(
+                                digitize,
+                                &corpus.documents,
+                                sobs,
+                                sprov,
+                                trace.timeline(),
+                            );
+                            (out, Some(stats))
+                        }
+                    }
+                },
+            );
+
+            // Stage `normalize`: chaos interlude (if armed) + Stage II
+            // parse/filter/normalize, one task per document.
+            let normalize = cached_stage(
+                &store,
+                Stage::Normalize,
+                keys.normalize,
+                true,
+                obs,
+                prov,
+                artifact::enc_normalized,
+                artifact::dec_normalized,
+                move |sobs, sprov| {
+                    normalize_stage(config, documents, sobs, sprov, trace)
+                },
+            );
+            let NormalizeArtifact {
+                disengagements,
+                accidents,
+                mileage,
+                failures,
+                panicked,
+                record_ids,
+                chaos: chaos_audit,
+            } = normalize;
+            let database = FailureDatabase::from_records(disengagements, accidents, mileage);
+
+            // Stage `tag`: NLP tagging. Under chaos the dictionary is
+            // poisoned first — the classifier must keep answering
+            // (degrading to Unknown-T), never fail.
+            let assignments = cached_stage(
+                &store,
+                Stage::Tag,
+                keys.tag,
+                true,
+                obs,
+                prov,
+                artifact::enc_assignments,
+                artifact::dec_assignments,
+                |sobs, sprov| {
+                    let mut span = sobs.span("stage_iii_tag");
+                    for name in ["nlp.tagged", "nlp.unknown_t"] {
+                        sobs.add(name, 0);
+                    }
+                    let classifier = match config.active_chaos() {
+                        Some(plan) => {
+                            let (dict, dropped) =
+                                poison_dictionary(&plan, self.classifier.dictionary());
+                            sobs.add("chaos.dict.dropped", dropped);
+                            span.field("dict_dropped", dropped);
+                            Classifier::new(dict)
+                        }
+                        None => self.classifier.clone(),
+                    };
+                    let tagged = tag_records_traced(
+                        &classifier,
+                        database.disengagements(),
+                        &record_ids,
+                        config.jobs,
+                        sobs,
+                        sprov,
+                        trace.timeline(),
+                    );
+                    span.field("tagged", tagged.len() as u64);
+                    tagged.into_iter().map(|t| t.assignment).collect::<Vec<_>>()
+                },
+            );
+            let tagged: Vec<TaggedDisengagement> = database
+                .disengagements()
+                .iter()
+                .cloned()
+                .zip(assignments)
+                .map(|(record, assignment)| TaggedDisengagement { record, assignment })
+                .collect();
+
+            // The structured quarantine lane: one entry per rejected
+            // record, attributed to the stage that refused it. Parser
+            // panics quarantine alongside ordinary parse failures.
+            let mut quarantined: Vec<Quarantined> = failures
+                .iter()
+                .map(|e| Quarantined {
+                    stage: "stage_ii_parse",
+                    record_id: match e {
+                        ReportError::MalformedLine {
+                            manufacturer, line, ..
+                        } => format!("{manufacturer}:{line}"),
+                        _ => "unattributed".to_owned(),
+                    },
+                    reason: e.to_string(),
+                })
+                .collect();
+            quarantined.extend(panicked);
+            obs.add("quarantine.records", quarantined.len() as u64);
+
+            PipelineOutcome {
+                corpus,
+                database,
+                tagged,
+                record_ids,
+                parse_failures: failures,
+                quarantined,
+                chaos: chaos_audit,
+                ocr: ocr_stats,
+                telemetry: TelemetryReport::default(),
+            }
+        };
+        // Snapshot after the root span guard has dropped so the
+        // `pipeline` span (and all children) carry final durations.
+        Ok(PipelineOutcome {
+            telemetry: obs.report(),
+            ..outcome
+        })
+    }
+}
+
+/// The `normalize` stage body: chaos inject + bounded repair + audit
+/// (when a plan is armed), then Stage II parse/filter/normalize.
+/// Records exclusively into the stage's `sobs`/`sprov` shards so the
+/// whole stage can be snapshotted into a cache artifact.
+fn normalize_stage(
+    config: &RunConfig,
+    documents: Vec<RawDocument>,
+    sobs: &Collector,
+    sprov: &ProvenanceLog,
+    trace: &RunTrace,
+) -> NormalizeArtifact {
+    // Chaos: perturb the digitized batch between Stage I and Stage II
+    // (where real corruption enters), run the bounded dictionary-repair
+    // ladder over it, and audit every fault against its outcome.
+    let (documents, chaos_audit) = match config.active_chaos() {
+        None => (documents, None),
+        Some(plan) => {
+            let mut span = sobs.span("chaos_inject");
+            span.field("rate_pct", (plan.rate * 100.0) as u64);
+            span.field("seed", plan.seed);
+            sobs.gauge("chaos.rate", plan.rate);
+            let (faulted, log) = inject_documents(&plan, &documents);
+            sobs.add("chaos.injected.total", log.total());
+            for kind in FaultKind::ALL {
+                sobs.add(&format!("chaos.injected.{}", kind.name()), log.count(kind));
+            }
+            if sprov.is_enabled() {
+                for f in &log.faults {
+                    sprov.push(
+                        Subject::Line {
+                            doc: f.doc,
+                            line: f.line,
+                        },
+                        ProvenanceEvent::FaultInjected {
+                            kind: f.kind.name().to_owned(),
+                            line: f.line,
+                        },
+                    );
+                }
+            }
+            let corrector = default_corrector();
+            let per_doc = par::par_map_indexed_timed(
+                config.jobs,
+                &faulted,
+                |i, doc| {
+                    let shard = sobs.shard();
+                    let pshard = sprov.shard();
+                    let (fixed, per_attempt, repairs) =
+                        corrector.correct_text_audited(&doc.text, plan.repair_attempts);
+                    record_repair_attempts(&shard, &per_attempt);
+                    if pshard.is_enabled() {
+                        for r in &repairs {
+                            pshard.push(
+                                Subject::Line { doc: i, line: r.line },
+                                ProvenanceEvent::OcrRepair {
+                                    line: r.line,
+                                    before: r.before.clone(),
+                                    after: r.after.clone(),
+                                    attempt: r.attempt,
+                                },
+                            );
+                        }
+                    }
+                    (
+                        RawDocument::new(doc.manufacturer, doc.report_year, doc.kind, fixed),
+                        shard,
+                        pshard,
+                    )
+                },
+                trace.timeline(),
+                "chaos_repair",
+            );
+            let repaired: Vec<RawDocument> = per_doc
+                .into_iter()
+                .map(|(doc, shard, pshard)| {
+                    sobs.absorb(shard);
+                    sprov.absorb(pshard);
+                    doc
+                })
+                .collect();
+            let audited = audit(&plan, &log, &documents, &repaired);
+            sobs.add("chaos.outcome.corrected", audited.totals.corrected);
+            sobs.add("chaos.outcome.quarantined", audited.totals.quarantined);
+            sobs.add("chaos.outcome.absorbed", audited.totals.absorbed);
+            if sprov.is_enabled() {
+                for af in &audited.faults {
+                    sprov.push(
+                        Subject::Line {
+                            doc: af.fault.doc,
+                            line: af.fault.line,
+                        },
+                        ProvenanceEvent::FaultOutcome {
+                            kind: af.fault.kind.name().to_owned(),
+                            line: af.fault.line,
+                            outcome: af.outcome.name().to_owned(),
+                        },
+                    );
+                }
+            }
+            span.field("faults", log.total());
+            (repaired, Some(audited))
+        }
+    };
+
+    // Stage II: parse + filter + normalize, one task per document. A
+    // panicking parser quarantines that document alone; the rest of
+    // the batch parses normally.
+    let mut span = sobs.span("stage_ii_parse");
+    // Pre-register the headline counters so a clean run still exports
+    // them (at zero) for machine consumers.
+    for name in ["parse.dis.lines", "parse.dis.parsed", "parse.dis.failed"] {
+        sobs.add(name, 0);
+    }
+    let per_doc = par::par_map_catch_timed(
+        config.jobs,
+        &documents,
+        |i, doc| {
+            let shard = sobs.shard();
+            let pshard = sprov.shard();
+            let (normalized, ids) = normalize_document_traced(doc, i, Some(&shard), &pshard);
+            (normalized, ids, shard, pshard)
+        },
+        trace.timeline(),
+        "stage_ii_parse",
+    );
+    let mut normalized = Normalized::default();
+    let mut record_ids: Vec<RecordId> = Vec::new();
+    let mut panicked: Vec<Quarantined> = Vec::new();
+    for outcome in per_doc {
+        match outcome {
+            Ok((n, ids, shard, pshard)) => {
+                sobs.absorb(shard);
+                sprov.absorb(pshard);
+                record_ids.extend(ids);
+                normalized.merge(n);
+            }
+            Err(p) => {
+                sobs.incr("parse.docs.panicked");
+                if sprov.is_enabled() {
+                    sprov.push(
+                        Subject::Document(p.index),
+                        ProvenanceEvent::Quarantined {
+                            stage: "stage_ii_parse".to_owned(),
+                            reason: format!("parser panicked: {}", p.message),
+                        },
+                    );
+                }
+                panicked.push(Quarantined {
+                    stage: "stage_ii_parse",
+                    record_id: format!("doc:{}", p.index),
+                    reason: format!("parser panicked: {}", p.message),
+                });
+            }
+        }
+    }
+    span.field("parsed", normalized.record_count() as u64);
+    span.field("failed", normalized.failures.len() as u64);
+    NormalizeArtifact {
+        disengagements: normalized.disengagements,
+        accidents: normalized.accidents,
+        mileage: normalized.mileage,
+        failures: normalized.failures,
+        panicked,
+        record_ids,
+        chaos: chaos_audit,
+    }
+}
+
+/// Runs one stage through the cache: probe, replay on hit, otherwise
+/// compute into fresh telemetry/provenance shards, persist the
+/// envelope, and absorb the shards. Every path is deterministic and
+/// byte-identical to every other; only the `cache.*` counters differ.
+#[allow(clippy::too_many_arguments)]
+fn cached_stage<T>(
+    store: &ArtifactStore,
+    stage: Stage,
+    key: Fingerprint,
+    cacheable: bool,
+    obs: &Collector,
+    prov: &ProvenanceLog,
+    encode: impl FnOnce(&mut Enc, &T),
+    decode: impl FnOnce(&mut Dec) -> Option<T>,
+    compute: impl FnOnce(&Collector, &ProvenanceLog) -> T,
+) -> T {
+    let caching = cacheable && store.is_enabled();
+    if caching {
+        match store.load(stage.name(), key) {
+            Lookup::Hit(bytes) => match artifact::decode_stage(&bytes, decode) {
+                Some((state, entries, value)) => {
+                    obs.add("cache.hit", 1);
+                    obs.add(&format!("cache.hit.{}", stage.name()), 1);
+                    obs.absorb_state(state);
+                    for entry in entries {
+                        prov.push(entry.subject, entry.event);
+                    }
+                    return value;
+                }
+                // Framed and checksummed but structurally wrong — an
+                // artifact from a buggy or foreign writer. Recompute.
+                None => obs.add("cache.corrupt", 1),
+            },
+            Lookup::Corrupt => obs.add("cache.corrupt", 1),
+            Lookup::Miss => {}
+        }
+        obs.add("cache.miss", 1);
+        obs.add(&format!("cache.miss.{}", stage.name()), 1);
+    }
+    let sobs = obs.shard();
+    let sprov = prov.shard();
+    let value = compute(&sobs, &sprov);
+    if caching {
+        let bytes = artifact::encode_stage(&sobs.state(), &sprov.entries(), &value, encode);
+        let evicted = store.save(stage.name(), key, &bytes);
+        if evicted > 0 {
+            obs.add("cache.evict", evicted as u64);
+        }
+    }
+    obs.absorb(sobs);
+    prov.absorb(sprov);
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RunConfig {
+        RunConfig::new().with_corpus(CorpusConfig { seed: 11, scale: 0.05 })
+    }
+
+    #[test]
+    fn stage_graph_is_a_chain() {
+        assert_eq!(Stage::Corpus.inputs(), &[] as &[Stage]);
+        for pair in Stage::ALL.windows(2) {
+            assert_eq!(pair[1].inputs(), &[pair[0]]);
+        }
+        let names: std::collections::BTreeSet<_> =
+            Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), Stage::ALL.len(), "stage names must be unique");
+    }
+
+    #[test]
+    fn session_matches_pipeline() {
+        let pipeline = crate::Pipeline::new(small().pipeline()).run().unwrap();
+        let session = RunSession::new(small()).run().unwrap();
+        assert_eq!(
+            format!("{:?}", pipeline.database),
+            format!("{:?}", session.database)
+        );
+        assert_eq!(pipeline.tagged, session.tagged);
+        assert_eq!(pipeline.record_ids, session.record_ids);
+    }
+
+    #[test]
+    fn stage_keys_chain_upstream_changes_downstream() {
+        let base = RunSession::new(small());
+        let k1 = base.stage_keys(false);
+        // Same config, same keys.
+        assert_eq!(k1, RunSession::new(small()).stage_keys(false));
+        // A corpus change ripples through every downstream key.
+        let k2 = RunSession::new(small().with_corpus(CorpusConfig { seed: 12, scale: 0.05 }))
+            .stage_keys(false);
+        assert_ne!(k1.corpus, k2.corpus);
+        assert_ne!(k1.digitize, k2.digitize);
+        assert_ne!(k1.normalize, k2.normalize);
+        assert_ne!(k1.tag, k2.tag);
+        // Lineage recording is part of every key.
+        let traced = base.stage_keys(true);
+        assert_ne!(k1.corpus, traced.corpus);
+        // A chaos change leaves Stage I keys alone but moves the rest.
+        let k3 = RunSession::new(small().with_chaos(FaultPlan::new(0.05, 7))).stage_keys(false);
+        assert_eq!(k1.corpus, k3.corpus);
+        assert_eq!(k1.digitize, k3.digitize);
+        assert_ne!(k1.normalize, k3.normalize);
+        assert_ne!(k1.tag, k3.tag);
+        // An inert (rate-0) plan keys identically to no plan at all.
+        let k4 = RunSession::new(small().with_chaos(FaultPlan::new(0.0, 7))).stage_keys(false);
+        assert_eq!(k1, k4);
+    }
+
+    #[test]
+    fn for_stage_covers_the_cached_graph() {
+        let keys = RunSession::new(small()).stage_keys(false);
+        assert_eq!(keys.for_stage(Stage::Corpus), Some(keys.corpus));
+        assert_eq!(keys.for_stage(Stage::Tag), Some(keys.tag));
+        assert_eq!(keys.for_stage(Stage::Analyze), None);
+    }
+}

@@ -7,7 +7,7 @@
 //! contention is irrelevant at the pipeline's instrumentation
 //! granularity (thousands of updates per run, not millions per second).
 
-use crate::hist::Histogram;
+use crate::hist::{Histogram, HistogramState};
 use crate::report::{FieldValue, LogEvent, SpanNode, TelemetryReport};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
@@ -36,6 +36,46 @@ struct Inner {
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
     logs: Vec<LogEvent>,
+}
+
+/// A replayable snapshot of one span: arena-indexed parentage,
+/// epoch-relative nanosecond timestamps, and fields in record order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanState {
+    /// Span name.
+    pub name: String,
+    /// Arena index of the parent within the same snapshot (`None` for
+    /// a root).
+    pub parent: Option<usize>,
+    /// Start, in nanoseconds since the collector's epoch.
+    pub start_ns: u64,
+    /// End, in nanoseconds since the epoch (`None` while open).
+    pub end_ns: Option<u64>,
+    /// Fields in the order they were attached.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// A raw, replayable snapshot of everything a collector accumulated:
+/// the exact mirror of [`Collector::absorb`]'s by-value input, but as
+/// plain data that can be serialized (the artifact cache persists one
+/// per stage) and folded back later with [`Collector::absorb_state`].
+///
+/// Unlike [`TelemetryReport`] this is lossless — histograms keep their
+/// raw buckets and exact float sums, spans keep arena parentage — so
+/// replaying a snapshot is indistinguishable from re-running the code
+/// that recorded it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CollectorState {
+    /// Spans in arena order (parents precede children).
+    pub spans: Vec<SpanState>,
+    /// Counters in name order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges in name order.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms in name order, with raw bucket state.
+    pub histograms: Vec<(String, HistogramState)>,
+    /// Log events in record order.
+    pub logs: Vec<LogEvent>,
 }
 
 /// Accumulates spans, counters, gauges, histograms, and log events.
@@ -197,6 +237,74 @@ impl Collector {
             inner.histograms.entry(name).or_default().merge(&hist);
         }
         inner.logs.extend(shard.logs);
+    }
+
+    /// Snapshots the raw accumulated state (typically of a shard, for
+    /// the artifact cache) so it can be serialized and later replayed
+    /// with [`Collector::absorb_state`].
+    pub fn state(&self) -> CollectorState {
+        let inner = self.lock();
+        CollectorState {
+            spans: inner
+                .spans
+                .iter()
+                .map(|s| SpanState {
+                    name: s.name.clone(),
+                    parent: s.parent,
+                    start_ns: s.start.as_nanos() as u64,
+                    end_ns: s.end.map(|e| e.as_nanos() as u64),
+                    fields: s.fields.clone(),
+                })
+                .collect(),
+            counters: inner.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.state()))
+                .collect(),
+            logs: inner.logs.clone(),
+        }
+    }
+
+    /// Replays a snapshot taken with [`Collector::state`], with
+    /// exactly [`Collector::absorb`]'s semantics: counters add, gauges
+    /// overwrite, histograms merge bit-identically, logs append, and
+    /// snapshot root spans attach under the calling thread's innermost
+    /// open span. Replayed span timestamps are the *recording* run's
+    /// wall clock — environment-dependent like all timing, and zeroed
+    /// by `TelemetryReport::canonical` the same way.
+    pub fn absorb_state(&self, state: CollectorState) {
+        let thread = std::thread::current().id();
+        let mut inner = self.lock();
+        let base = inner.spans.len();
+        let attach = inner.stacks.get(&thread).and_then(|s| s.last()).copied();
+        for span in state.spans {
+            inner.spans.push(SpanData {
+                name: span.name,
+                parent: match span.parent {
+                    Some(p) => Some(base + p),
+                    None => attach,
+                },
+                start: Duration::from_nanos(span.start_ns),
+                end: span.end_ns.map(Duration::from_nanos),
+                fields: span.fields,
+            });
+        }
+        for (name, delta) in state.counters {
+            *inner.counters.entry(name).or_insert(0) += delta;
+        }
+        for (name, value) in state.gauges {
+            inner.gauges.insert(name, value);
+        }
+        for (name, hist) in state.histograms {
+            inner
+                .histograms
+                .entry(name)
+                .or_default()
+                .merge(&Histogram::from_state(&hist));
+        }
+        inner.logs.extend(state.logs);
     }
 
     /// Snapshots everything accumulated so far. Spans still open are
@@ -435,6 +543,53 @@ mod tests {
         let dh = d.histogram("stage.score").unwrap();
         let sh = s.histogram("stage.score").unwrap();
         assert_eq!(dh.sum.to_bits(), sh.sum.to_bits());
+    }
+
+    #[test]
+    fn state_replay_matches_direct_absorb() {
+        // Two collectors, identical recording; one absorbs the shard
+        // directly, the other absorbs a serial-ready snapshot of an
+        // identical shard. The final reports must match exactly,
+        // including float bit patterns.
+        let record = |shard: &Collector| {
+            {
+                let mut s = shard.span("stage_ii_parse");
+                s.field("parsed", 41u64);
+                shard.add("parse.dis.parsed", 41);
+                shard.gauge("ocr.mean_cer", 0.125);
+                shard.record("parse.latency", 0.5);
+                shard.record("parse.latency", 0.25);
+            }
+            shard.log("stage done");
+        };
+        let direct = Collector::new();
+        let replayed = direct.shard(); // shared epoch, separate state
+        {
+            let root_d = direct.span("pipeline");
+            let shard = direct.shard();
+            record(&shard);
+            direct.absorb(shard);
+            root_d.finish();
+        }
+        {
+            let root_r = replayed.span("pipeline");
+            let shard = replayed.shard();
+            record(&shard);
+            let state = shard.state();
+            replayed.absorb_state(state);
+            root_r.finish();
+        }
+        let (d, r) = (direct.report(), replayed.report());
+        assert_eq!(d.counters, r.counters);
+        assert_eq!(d.gauges, r.gauges);
+        assert_eq!(d.histograms, r.histograms);
+        let dh = d.histogram("parse.latency").unwrap();
+        let rh = r.histogram("parse.latency").unwrap();
+        assert_eq!(dh.sum.to_bits(), rh.sum.to_bits());
+        assert_eq!(d.spans[0].children[0].name, "stage_ii_parse");
+        assert_eq!(r.spans[0].children[0].name, "stage_ii_parse");
+        assert_eq!(d.spans[0].children[0].fields, r.spans[0].children[0].fields);
+        assert_eq!(d.logs.len(), r.logs.len());
     }
 
     #[test]

@@ -138,6 +138,36 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Snapshots the raw internal state (for lossless serialization by
+    /// the artifact cache; the exportable form is [`Histogram::summary`]).
+    pub fn state(&self) -> HistogramState {
+        HistogramState {
+            counts: self.counts.clone(),
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Rebuilds a histogram from [`Histogram::state`]. A snapshot with
+    /// the wrong bucket count (e.g. decoded from an artifact written
+    /// by a different bucketing scheme) is rejected by padding or
+    /// truncating into the overflow bucket-free prefix — callers that
+    /// need strict validation should compare `counts.len()` against
+    /// [`HistogramState::expected_buckets`] first.
+    pub fn from_state(state: &HistogramState) -> Histogram {
+        let mut counts = state.counts.clone();
+        counts.resize(N_BUCKETS, 0);
+        Histogram {
+            counts,
+            count: state.count,
+            sum: state.sum,
+            min: state.min,
+            max: state.max,
+        }
+    }
+
     /// Condenses into the exportable summary.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -157,6 +187,31 @@ impl Histogram {
                 .map(|(i, &c)| (bucket_bound(i), c))
                 .collect(),
         }
+    }
+}
+
+/// The raw, lossless state of a [`Histogram`]: per-bucket counts and
+/// exact float accumulators. Serializing this and rebuilding with
+/// [`Histogram::from_state`] reproduces the histogram bit for bit,
+/// which the warm-vs-cold byte-identity contract depends on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramState {
+    /// Per-bucket sample counts, in bucket order.
+    pub counts: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Exact left-to-right sum of samples.
+    pub sum: f64,
+    /// Smallest sample (`+∞` when empty).
+    pub min: f64,
+    /// Largest sample (`−∞` when empty).
+    pub max: f64,
+}
+
+impl HistogramState {
+    /// The bucket count this build of the bucketing scheme produces.
+    pub fn expected_buckets() -> usize {
+        N_BUCKETS
     }
 }
 

@@ -48,8 +48,8 @@ pub mod provenance;
 pub mod report;
 pub mod trace;
 
-pub use collector::{Collector, SpanGuard};
-pub use hist::{Histogram, HistogramSummary};
+pub use collector::{Collector, CollectorState, SpanGuard, SpanState};
+pub use hist::{Histogram, HistogramState, HistogramSummary};
 pub use provenance::{ProvenanceEntry, ProvenanceEvent, ProvenanceLog, RecordId, Subject};
 pub use report::{FieldValue, LogEvent, SpanNode, TelemetryReport};
 pub use trace::{chrome_trace, render_chrome_trace, validate_chrome_trace, TraceTask};

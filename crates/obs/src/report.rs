@@ -134,13 +134,17 @@ impl TelemetryReport {
     }
 
     /// The canonical form for byte-for-byte comparison: every
-    /// wall-clock field (span start/duration, log timestamps) zeroed,
-    /// all structure and metrics kept.
+    /// wall-clock field (span start/duration, log timestamps) zeroed
+    /// and every `cache.*` counter dropped, all other structure and
+    /// metrics kept.
     ///
     /// Two runs of the same deterministic workload differ only in
-    /// timing, so their canonical reports serialize identically — the
-    /// `repro --telemetry=stable-json` / `scripts/verify.sh` contract
-    /// that a parallel run is byte-identical to `--jobs=1`.
+    /// timing and in where their inputs came from — a cold run counts
+    /// `cache.miss`, a warm run `cache.hit`, for identical results.
+    /// Both are environment facts, not workload facts, so the
+    /// canonical report excludes them; the `repro
+    /// --telemetry=stable-json` / `scripts/verify.sh` contract is that
+    /// warm, cold, and any `--jobs` all serialize identically.
     #[must_use]
     pub fn canonical(mut self) -> TelemetryReport {
         fn strip(node: &mut SpanNode) {
@@ -156,6 +160,7 @@ impl TelemetryReport {
         for log in &mut self.logs {
             log.t_s = 0.0;
         }
+        self.counters.retain(|k, _| !k.starts_with("cache."));
         self
     }
 
@@ -229,11 +234,14 @@ mod tests {
             ..Default::default()
         };
         r.counters.insert("parse.dis.parsed".to_owned(), 9);
+        r.counters.insert("cache.hit.corpus".to_owned(), 1);
         r.logs.push(LogEvent {
             t_s: 1.25,
             message: "done".to_owned(),
         });
         let c = r.clone().canonical();
+        // Cache traffic is an environment fact, not a workload fact.
+        assert_eq!(c.counter("cache.hit.corpus"), 0);
         assert_eq!(c.spans[0].start_s, 0.0);
         assert_eq!(c.spans[0].duration_s, 0.0);
         assert_eq!(c.spans[0].children[0].duration_s, 0.0);

@@ -5,14 +5,14 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use disengage::core::pipeline::{Pipeline, PipelineConfig};
-use disengage::core::{questions, report, tables};
+use disengage::core::{questions, report, tables, RunConfig, RunSession};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The default configuration regenerates the full calibrated corpus:
     // 12 manufacturers, 144+ vehicles, ~1.12M autonomous miles, 5,328
-    // disengagements, 42 accidents.
-    let outcome = Pipeline::new(PipelineConfig::default()).run()?;
+    // disengagements, 42 accidents. Add `.with_cache_dir(...)` to make
+    // reruns replay Stages I-III from the artifact cache.
+    let outcome = RunSession::new(RunConfig::new()).run()?;
 
     println!(
         "pipeline recovered {} disengagements, {} accidents, {:.0} autonomous miles\n",

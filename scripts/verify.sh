@@ -6,7 +6,9 @@
 # fault ledger, or rate-0 divergence from the clean run), the
 # parallel-determinism byte-diffs (repro output, metrics, and the
 # provenance lineage log at --jobs=1 vs the default worker pool, clean
-# and chaos), a `disengage explain` smoke over all three exemplar
+# and chaos), an artifact-cache smoke (cold run stores, warm run must
+# hit every stage and byte-match; a corrupted artifact must recompute
+# silently), a `disengage explain` smoke over all three exemplar
 # classes, and Chrome-trace export validation. No network access is
 # required at any step.
 set -euo pipefail
@@ -70,6 +72,62 @@ diff chaos_output.jobs1.txt chaos_output.txt
 diff chaos_report.jobs1.json chaos_report.json
 diff lineage.jobs1.jsonl lineage.jsonl
 rm -f chaos_output.jobs1.txt chaos_output.txt chaos_report.jobs1.json lineage.jobs1.jsonl
+
+echo "== artifact cache: warm run must replay Stages I-III byte-identically =="
+# Cold run populates .disengage-cache; the warm rerun must hit every
+# store-cached stage and still print the same bytes (stdout, canonical
+# metrics, lineage). Stage keys fold the lineage bit, so every probe
+# below records lineage like the cold run did.
+rm -rf .disengage-cache
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    table1 --scale=0.2 --cache-dir=.disengage-cache \
+    --telemetry=stable-json --lineage=lineage.jsonl > cache_cold.txt
+mv repro_metrics.json cache_cold_metrics.json
+mv lineage.jsonl cache_cold_lineage.jsonl
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    table1 --scale=0.2 --cache-dir=.disengage-cache \
+    --telemetry=stable-json --lineage=lineage.jsonl > cache_warm.txt
+mv lineage.jsonl cache_warm_lineage.jsonl
+diff cache_cold.txt cache_warm.txt
+diff cache_cold_metrics.json repro_metrics.json
+diff cache_cold_lineage.jsonl cache_warm_lineage.jsonl
+
+echo "== artifact cache: warm hits visible in telemetry, no misses =="
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    table1 --scale=0.2 --cache-dir=.disengage-cache \
+    --telemetry=json --lineage=lineage.jsonl > /dev/null
+grep -q '"cache.hit.corpus":1' repro_metrics.json || {
+    echo "verify: warm run reported no Stage I cache hit" >&2
+    exit 1
+}
+grep -q '"cache.hit.normalize":1' repro_metrics.json || {
+    echo "verify: warm run reported no Stage II cache hit" >&2
+    exit 1
+}
+if grep -q '"cache.miss' repro_metrics.json; then
+    echo "verify: warm run still missed the cache" >&2
+    exit 1
+fi
+
+echo "== artifact cache: corrupted artifact recomputes, never crashes =="
+artifact=$(find .disengage-cache/corpus -name '*.art' | head -n 1)
+test -n "$artifact" || {
+    echo "verify: cache smoke left no corpus artifact" >&2
+    exit 1
+}
+truncate -s 7 "$artifact"
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    table1 --scale=0.2 --cache-dir=.disengage-cache \
+    --telemetry=json --lineage=lineage.jsonl > cache_corrupt.txt
+grep -q '"cache.corrupt":1' repro_metrics.json || {
+    echo "verify: corrupted artifact was not counted" >&2
+    exit 1
+}
+diff cache_cold.txt cache_corrupt.txt
+rm -rf .disengage-cache
+rm -f cache_cold.txt cache_warm.txt cache_corrupt.txt \
+    cache_cold_metrics.json cache_cold_lineage.jsonl \
+    cache_warm_lineage.jsonl lineage.jsonl
 
 echo "== provenance: explain covers corrected/quarantined/clean records =="
 # The no-target form lists one exemplar subject per class; each must

@@ -12,21 +12,29 @@
 //! disengage check-trace <file>           # validate a Chrome trace export
 //! ```
 //!
-//! Full-corpus commands accept `--scale <f>` (default 1.0) and
-//! `--seed <n>` to control the generated corpus, `--jobs <n>` to size
-//! the Stage I–III worker pool (0 = all cores, the default; output is
-//! byte-identical at every setting), and `--telemetry[=json]` to print
-//! the run's span tree (or JSON metrics document) after the command's
-//! own output.
+//! Flag parsing is shared with the `repro` harness
+//! ([`disengage::core::args`]): every value-taking flag accepts both
+//! the `--flag value` and `--flag=value` spellings (`--telemetry` and
+//! `--lineage` have optional values, so theirs must be inline),
+//! unknown `--` flags are rejected with the usage text, and
+//! `--help`/`-h` exit 0.
+//! Full-corpus commands accept `--scale`/`--seed` (corpus),
+//! `--jobs` (Stage I–III worker pool; output is byte-identical at
+//! every setting), `--chaos` (fault injection), `--lineage`/`--trace`
+//! (provenance and Chrome-trace exports), `--telemetry=MODE`
+//! (off|tree|json|stable-json, rendered after the command's own
+//! output), and `--cache-dir=`/`--no-cache` (the content-addressed
+//! stage artifact cache — a warm re-run replays Stages I–II instead
+//! of regenerating and re-OCRing the corpus).
 
-use disengage::chaos::FaultPlan;
-use disengage::core::pipeline::{OcrMode, Pipeline, PipelineConfig, RunTrace};
+use disengage::core::args::{ArgError, CommonArgs, TelemetryMode};
+use disengage::core::pipeline::{OcrMode, RunTrace};
 use disengage::core::telemetry::{execution_trace_json, timed};
-use disengage::core::{exposure, questions, report, tables, whatif};
-use disengage::obs::Collector;
+use disengage::core::{exposure, questions, report, tables, whatif, RunConfig, RunSession};
 use disengage::corpus::CorpusConfig;
 use disengage::dataframe::csv;
 use disengage::nlp::Classifier;
+use disengage::obs::Collector;
 use disengage::ocr::NoiseModel;
 use disengage::reports::Manufacturer;
 use disengage::stats::kalra_paddock::failure_free_miles;
@@ -35,124 +43,79 @@ use disengage::stpa::ControlStructure;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match CommonArgs::parse(&raw) {
+        Ok(args) => args,
+        Err(ArgError { flag, reason }) => {
+            eprintln!("error: {flag}: {reason}");
+            eprintln!();
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!();
-            eprintln!("{USAGE}");
+            eprintln!("{}", usage());
             ExitCode::FAILURE
         }
     }
 }
 
-const USAGE: &str = "usage:
-  disengage summary [--scale F] [--seed N] [--jobs N] [--telemetry[=json]]
-  disengage export <dir> [--scale F] [--seed N] [--jobs N] [--telemetry[=json]]
+fn usage() -> String {
+    format!(
+        "usage:
+  disengage summary [flags]
+  disengage export <dir> [flags]
   disengage classify <text>
   disengage stpa-dot
   disengage demo-miles <rate-per-mile> <confidence>
-  disengage project <manufacturer> <target-dpm> [--scale F] [--seed N] [--jobs N]
-  disengage sweep-ocr [--seed N] [--jobs N]
-  disengage explain [record-id|doc:D|doc:D/line:L] [--scale F] [--seed N] [--jobs N]
+  disengage project <manufacturer> <target-dpm> [flags]
+  disengage sweep-ocr [flags]
+  disengage explain [record-id|doc:D|doc:D/line:L] [flags]
   disengage check-trace <trace.json>
 
-full-corpus commands (summary, export, project, explain) also accept:
-  --chaos=RATE[,SEED]    arm a fault-injection plan
-  --lineage=FILE         write the per-record provenance log (JSONL)
-  --trace=FILE           write a Chrome trace-event timeline (chrome://tracing)";
-
-#[derive(Clone, Copy, PartialEq)]
-enum Telemetry {
-    Off,
-    Tree,
-    Json,
+flags (shared with the `repro` harness; both --flag VALUE and
+--flag=VALUE spellings work, except optional values must be inline):
+{}",
+        CommonArgs::shared_usage()
+    )
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let mut positional = Vec::new();
-    let mut scale = 1.0f64;
-    let mut seed = 0x5EEDu64;
-    let mut jobs = 0usize;
-    let mut telemetry = Telemetry::Off;
-    let mut chaos: Option<FaultPlan> = None;
-    let mut lineage_path: Option<String> = None;
-    let mut trace_path: Option<String> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" => {
-                i += 1;
-                scale = args
-                    .get(i)
-                    .ok_or("--scale needs a value")?
-                    .parse()
-                    .map_err(|_| "--scale needs a number")?;
-            }
-            "--jobs" => {
-                i += 1;
-                jobs = args
-                    .get(i)
-                    .ok_or("--jobs needs a value")?
-                    .parse()
-                    .map_err(|_| "--jobs needs an integer (0 = all cores)")?;
-            }
-            "--seed" => {
-                i += 1;
-                seed = args
-                    .get(i)
-                    .ok_or("--seed needs a value")?
-                    .parse()
-                    .map_err(|_| "--seed needs an integer")?;
-            }
-            "--telemetry" => telemetry = Telemetry::Tree,
-            "--telemetry=json" => telemetry = Telemetry::Json,
-            other if other.starts_with("--telemetry=") => {
-                return Err(format!(
-                    "unknown telemetry format `{}` (supported: json)",
-                    &other["--telemetry=".len()..]
-                ));
-            }
-            other if other.starts_with("--chaos=") => {
-                chaos = Some(
-                    FaultPlan::parse(&other["--chaos=".len()..]).map_err(|e| e.to_string())?,
-                );
-            }
-            other if other.starts_with("--lineage=") => {
-                lineage_path = Some(other["--lineage=".len()..].to_owned());
-            }
-            other if other.starts_with("--trace=") => {
-                trace_path = Some(other["--trace=".len()..].to_owned());
-            }
-            other => positional.push(other.to_owned()),
-        }
-        i += 1;
+fn run(args: &CommonArgs) -> Result<(), String> {
+    let command = args.positional.first().map(String::as_str).unwrap_or("");
+    let seed = args.seed.unwrap_or(0x5EED);
+    let mut config = RunConfig::new()
+        .with_corpus(CorpusConfig {
+            seed,
+            scale: args.scale.unwrap_or(1.0),
+        })
+        .with_jobs(args.jobs.unwrap_or(0));
+    if let Some(plan) = args.chaos {
+        config = config.with_chaos(plan);
     }
-    let command = positional.first().map(String::as_str).unwrap_or("");
-    let config = PipelineConfig {
-        corpus: CorpusConfig { seed, scale },
-        ..Default::default()
-    };
+    if let Some(dir) = args.effective_cache_dir() {
+        config = config.with_cache_dir(dir);
+    }
     let obs = Collector::new();
     // `explain` always traces (it has nothing to show otherwise); other
     // full-corpus commands trace only when an export was requested.
-    let trace = if lineage_path.is_some() || trace_path.is_some() || command == "explain" {
+    let trace = if args.wants_trace() || command == "explain" {
         RunTrace::new(&obs)
     } else {
         RunTrace::disabled()
     };
-    let pipeline = |config: PipelineConfig| {
-        let mut p = Pipeline::new(config).with_jobs(jobs);
-        if let Some(plan) = chaos {
-            p = p.with_chaos(plan);
-        }
-        p
-    };
+    let session = RunSession::new(config.clone());
 
     let result = match command {
         "summary" => {
-            let o = pipeline(config)
+            let o = session
                 .run_traced(&obs, &trace)
                 .map_err(|e| e.to_string())?;
             println!(
@@ -179,9 +142,9 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "export" => {
-            let dir = positional.get(1).ok_or("export needs a directory")?;
+            let dir = args.positional.get(1).ok_or("export needs a directory")?;
             std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-            let o = pipeline(config)
+            let o = session
                 .run_traced(&obs, &trace)
                 .map_err(|e| e.to_string())?;
             let classifier = Classifier::with_default_dictionary();
@@ -235,7 +198,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "classify" => {
-            let text = positional.get(1).ok_or("classify needs text")?;
+            let text = args.positional.get(1).ok_or("classify needs text")?;
             let classifier = Classifier::with_default_dictionary();
             let a = classifier.classify(text);
             println!("tag:      {}", a.tag);
@@ -260,12 +223,14 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "demo-miles" => {
-            let rate: f64 = positional
+            let rate: f64 = args
+                .positional
                 .get(1)
                 .ok_or("demo-miles needs a rate")?
                 .parse()
                 .map_err(|_| "rate must be a number")?;
-            let confidence: f64 = positional
+            let confidence: f64 = args
+                .positional
                 .get(2)
                 .ok_or("demo-miles needs a confidence")?
                 .parse()
@@ -278,14 +243,17 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "project" => {
-            let m = Manufacturer::parse(positional.get(1).ok_or("project needs a manufacturer")?)
-                .map_err(|e| e.to_string())?;
-            let target: f64 = positional
+            let m = Manufacturer::parse(
+                args.positional.get(1).ok_or("project needs a manufacturer")?,
+            )
+            .map_err(|e| e.to_string())?;
+            let target: f64 = args
+                .positional
                 .get(2)
                 .ok_or("project needs a target DPM")?
                 .parse()
                 .map_err(|_| "target DPM must be a number")?;
-            let o = pipeline(config)
+            let o = session
                 .run_traced(&obs, &trace)
                 .map_err(|e| e.to_string())?;
             let p = whatif::miles_to_target_dpm(&o.database, m, target)
@@ -312,16 +280,20 @@ fn run(args: &[String]) -> Result<(), String> {
                 } else {
                     NoiseModel::new(salt, salt * 6.0)
                 };
-                let o = Pipeline::new(PipelineConfig {
-                    corpus: CorpusConfig { seed, scale: 0.02 },
-                    ocr: OcrMode::Simulated {
-                        noise,
-                        correct: true,
-                    },
-                    ocr_seed: seed ^ 0xFF,
-                })
-                .with_jobs(jobs)
-                .run()
+                // Each sweep point is its own session (distinct OCR
+                // config ⇒ distinct stage keys), so a cache directory
+                // warms the whole sweep after one pass.
+                let o = RunSession::new(
+                    config
+                        .clone()
+                        .with_corpus(CorpusConfig { seed, scale: 0.02 })
+                        .with_ocr(OcrMode::Simulated {
+                            noise,
+                            correct: true,
+                        })
+                        .with_ocr_seed(seed ^ 0xFF),
+                )
+                .run_with(&obs)
                 .map_err(|e| e.to_string())?;
                 let stats = o.ocr.expect("simulated mode reports stats");
                 println!(
@@ -335,11 +307,11 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "explain" => {
-            let o = pipeline(config)
+            let o = session
                 .run_traced(&obs, &trace)
                 .map_err(|e| e.to_string())?;
             let prov = trace.provenance();
-            match positional.get(1) {
+            match args.positional.get(1) {
                 Some(target) => {
                     let chain = prov.explain(target).ok_or_else(|| {
                         format!(
@@ -368,7 +340,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "check-trace" => {
-            let path = positional.get(1).ok_or("check-trace needs a file")?;
+            let path = args.positional.get(1).ok_or("check-trace needs a file")?;
             let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
             let n = disengage::obs::validate_chrome_trace(&text)
                 .map_err(|e| format!("{path}: {e}"))?;
@@ -379,21 +351,22 @@ fn run(args: &[String]) -> Result<(), String> {
         other => Err(format!("unknown command `{other}`")),
     };
     result?;
-    if let Some(path) = &lineage_path {
+    if let Some(Some(path)) = &args.lineage {
         let prov = trace.provenance();
         std::fs::write(path, prov.to_jsonl())
             .map_err(|e| format!("could not write {path}: {e}"))?;
         eprintln!("wrote {path} ({} events)", prov.len());
     }
-    if let Some(path) = &trace_path {
+    if let Some(path) = &args.trace {
         let body = execution_trace_json(&obs.report(), trace.timeline());
         std::fs::write(path, body).map_err(|e| format!("could not write {path}: {e}"))?;
         eprintln!("wrote {path} ({} tasks)", trace.timeline().len());
     }
-    match telemetry {
-        Telemetry::Off => {}
-        Telemetry::Tree => print!("{}", obs.report().render_tree()),
-        Telemetry::Json => println!("{}", obs.report().to_json()),
+    match args.telemetry {
+        TelemetryMode::Off => {}
+        TelemetryMode::Tree => print!("{}", obs.report().render_tree()),
+        TelemetryMode::Json => println!("{}", obs.report().to_json()),
+        TelemetryMode::StableJson => println!("{}", obs.report().canonical().to_json()),
     }
     Ok(())
 }

@@ -22,6 +22,8 @@
 //!   `repro --chaos` resilience campaign).
 //! * [`obs`] — zero-dependency tracing/metrics substrate (spans,
 //!   counters, histograms, exporters) threaded through the pipeline.
+//! * [`cache`] — content-addressed stage artifact store (FNV-1a
+//!   fingerprints, checksummed frames) behind `--cache-dir=`.
 //! * [`par`] — zero-dependency chunked work-stealing thread pool with
 //!   a deterministic, order-preserving parallel map (Stages I–III run
 //!   on it; output is byte-identical at any `--jobs` count).
@@ -42,6 +44,7 @@
 //! # }
 //! ```
 
+pub use disengage_cache as cache;
 pub use disengage_chaos as chaos;
 pub use disengage_corpus as corpus;
 pub use disengage_core as core;

@@ -1,0 +1,198 @@
+//! Cache-key sensitivity: every configuration field that can change a
+//! stage's output must change that stage's fingerprint (and every
+//! downstream fingerprint), and nothing else may.
+//!
+//! The keys are pure functions of the configuration
+//! ([`disengage::core::RunSession::stage_keys`]), so a stale-artifact
+//! bug here is silent data corruption downstream — the goldens at the
+//! bottom additionally pin the exact FNV-1a values so an accidental
+//! recipe change (field reordered, field dropped, format-version bump
+//! forgotten) fails loudly instead of invalidating caches quietly.
+
+use disengage::chaos::FaultPlan;
+use disengage::core::pipeline::OcrMode;
+use disengage::core::{RunConfig, RunSession, Stage, StageKeys};
+use disengage::corpus::CorpusConfig;
+use disengage::nlp::{Classifier, FailureDictionary, FaultTag};
+use disengage::ocr::NoiseModel;
+
+fn base() -> RunConfig {
+    RunConfig::new().with_corpus(CorpusConfig {
+        seed: 0x5EED,
+        scale: 0.05,
+    })
+}
+
+fn keys(config: RunConfig) -> StageKeys {
+    RunSession::new(config).stage_keys(false)
+}
+
+/// Asserts `changed` differs from `reference` exactly at `from` and
+/// every stage downstream of it, and matches upstream.
+fn assert_ripples_from(reference: &StageKeys, changed: &StageKeys, from: Stage) {
+    for stage in Stage::ALL {
+        let (a, b) = (reference.for_stage(stage), changed.for_stage(stage));
+        if stage < from {
+            assert_eq!(a, b, "{stage:?} key must not move");
+        } else if a.is_some() {
+            assert_ne!(a, b, "{stage:?} key must move");
+        }
+    }
+}
+
+#[test]
+fn corpus_fields_ripple_from_the_top() {
+    let reference = keys(base());
+    let seed = keys(base().with_corpus(CorpusConfig {
+        seed: 0x5EEE,
+        scale: 0.05,
+    }));
+    assert_ripples_from(&reference, &seed, Stage::Corpus);
+    let scale = keys(base().with_corpus(CorpusConfig {
+        seed: 0x5EED,
+        scale: 0.06,
+    }));
+    assert_ripples_from(&reference, &scale, Stage::Corpus);
+}
+
+#[test]
+fn every_ocr_field_moves_the_digitize_key() {
+    let simulated = |noise, correct| {
+        keys(base().with_ocr(OcrMode::Simulated { noise, correct }))
+    };
+    let reference = simulated(NoiseModel::light(), true);
+
+    // Mode flip: passthrough vs simulated.
+    assert_ripples_from(&keys(base()), &reference, Stage::Digitize);
+
+    // Each noise field individually.
+    let mut salt = NoiseModel::light();
+    salt.salt += 0.001;
+    assert_ripples_from(&reference, &simulated(salt, true), Stage::Digitize);
+    let mut erosion = NoiseModel::light();
+    erosion.erosion += 0.001;
+    assert_ripples_from(&reference, &simulated(erosion, true), Stage::Digitize);
+    let mut smear = NoiseModel::light();
+    smear.smear += 0.001;
+    assert_ripples_from(&reference, &simulated(smear, true), Stage::Digitize);
+
+    // The post-correction toggle and the OCR seed.
+    assert_ripples_from(&reference, &simulated(NoiseModel::light(), false), Stage::Digitize);
+    let reseeded = keys(
+        base()
+            .with_ocr(OcrMode::Simulated {
+                noise: NoiseModel::light(),
+                correct: true,
+            })
+            .with_ocr_seed(0xD0C6),
+    );
+    assert_ripples_from(&reference, &reseeded, Stage::Digitize);
+}
+
+#[test]
+fn every_fault_plan_field_moves_the_normalize_key() {
+    let reference = keys(base().with_chaos(FaultPlan::new(0.05, 7)));
+
+    // Arming chaos at all moves normalize (Stage I keys stay put).
+    assert_ripples_from(&keys(base()), &reference, Stage::Normalize);
+
+    // Rate and seed individually.
+    let rate = keys(base().with_chaos(FaultPlan::new(0.06, 7)));
+    assert_ripples_from(&reference, &rate, Stage::Normalize);
+    let seed = keys(base().with_chaos(FaultPlan::new(0.05, 8)));
+    assert_ripples_from(&reference, &seed, Stage::Normalize);
+
+    // The repair budget. Under passthrough it first matters at the
+    // normalize stage (the chaos repair ladder); under simulated OCR it
+    // also feeds the digitize key — covered by the goldens below.
+    let mut more_repairs = FaultPlan::new(0.05, 7);
+    more_repairs.repair_attempts += 1;
+    let attempts = keys(base().with_chaos(more_repairs));
+    assert_ripples_from(&reference, &attempts, Stage::Normalize);
+
+    // An inert plan keys identically to no plan at all.
+    assert_eq!(keys(base()), keys(base().with_chaos(FaultPlan::new(0.0, 7))));
+}
+
+#[test]
+fn repair_attempts_reach_the_digitize_key_under_simulated_ocr() {
+    let with_attempts = |attempts| {
+        let mut plan = FaultPlan::new(0.05, 7);
+        plan.repair_attempts = attempts;
+        keys(
+            base()
+                .with_ocr(OcrMode::Simulated {
+                    noise: NoiseModel::light(),
+                    correct: true,
+                })
+                .with_chaos(plan),
+        )
+    };
+    assert_ripples_from(&with_attempts(2), &with_attempts(3), Stage::Digitize);
+}
+
+#[test]
+fn dictionary_content_moves_only_the_tag_key() {
+    let reference = keys(base());
+    let mut dict = FailureDictionary::default_bank();
+    dict.add_phrase(FaultTag::ALL[0], "entirely novel failure phrase");
+    let poisoned = RunSession::with_classifier(base(), Classifier::new(dict)).stage_keys(false);
+    assert_ripples_from(&reference, &poisoned, Stage::Tag);
+}
+
+#[test]
+fn lineage_recording_is_part_of_every_key() {
+    let session = RunSession::new(base());
+    let untraced = session.stage_keys(false);
+    let traced = session.stage_keys(true);
+    for stage in Stage::ALL {
+        if let (Some(a), Some(b)) = (untraced.for_stage(stage), traced.for_stage(stage)) {
+            assert_ne!(a, b, "{stage:?} key must fold the lineage bit");
+        }
+    }
+}
+
+/// Golden fingerprints for one pinned configuration. If this test
+/// fails without an intentional key-recipe change, a refactor silently
+/// altered cache addressing; if the change IS intentional, bump
+/// `disengage::core::artifact::FORMAT_VERSION` and re-pin.
+#[test]
+fn golden_fingerprints_are_pinned() {
+    let passthrough = keys(base());
+    let golden_passthrough = [
+        (Stage::Corpus, "569ac9626957f35a"),
+        (Stage::Digitize, "df3569b7919a2133"),
+        (Stage::Normalize, "55967d7173320781"),
+        (Stage::Tag, "1d03f6b77e4e9919"),
+    ];
+    for (stage, hex) in golden_passthrough {
+        assert_eq!(
+            passthrough.for_stage(stage).unwrap().to_hex(),
+            hex,
+            "passthrough {stage:?} fingerprint drifted"
+        );
+    }
+
+    let chaos_ocr = keys(
+        base()
+            .with_ocr(OcrMode::Simulated {
+                noise: NoiseModel::light(),
+                correct: true,
+            })
+            .with_ocr_seed(0xD0C5)
+            .with_chaos(FaultPlan::new(0.05, 7)),
+    );
+    let golden_chaos = [
+        (Stage::Corpus, "569ac9626957f35a"),
+        (Stage::Digitize, "b65801408c8287e6"),
+        (Stage::Normalize, "31952a52229d51a5"),
+        (Stage::Tag, "23c8b617a3768609"),
+    ];
+    for (stage, hex) in golden_chaos {
+        assert_eq!(
+            chaos_ocr.for_stage(stage).unwrap().to_hex(),
+            hex,
+            "chaos+OCR {stage:?} fingerprint drifted"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! CLI contract of the `disengage` binary: `--help`/`-h` exit 0 with
+//! usage on stdout, unknown or malformed `--` flags exit nonzero with
+//! an error naming the flag plus the usage text — never silently
+//! ignored (the pre-refactor parser treated unknown flags as
+//! positionals and dropped them).
+
+use std::process::{Command, Output};
+
+fn disengage(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_disengage"))
+        .args(args)
+        .output()
+        .expect("disengage binary runs")
+}
+
+#[test]
+fn help_exits_zero_with_usage() {
+    for flag in ["--help", "-h"] {
+        let out = disengage(&[flag]);
+        assert!(out.status.success(), "{flag} must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage:"), "{flag} must print usage");
+        assert!(
+            stdout.contains("--cache-dir"),
+            "{flag} must document the shared flags"
+        );
+    }
+    // Help wins even alongside a real command.
+    assert!(disengage(&["summary", "--help"]).status.success());
+}
+
+#[test]
+fn unknown_flags_are_rejected_loudly() {
+    for bad in ["--bogus", "--job=2", "--cachedir=x"] {
+        let out = disengage(&["summary", bad]);
+        assert!(!out.status.success(), "{bad} must exit nonzero");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let flag = bad.split('=').next().unwrap();
+        assert!(stderr.contains(flag), "error must name {flag}: {stderr}");
+        assert!(stderr.contains("usage:"), "error must include usage");
+    }
+}
+
+#[test]
+fn malformed_values_are_rejected() {
+    for bad in [
+        ["summary", "--scale=nope"],
+        ["summary", "--jobs=many"],
+        ["summary", "--telemetry=loud"],
+        ["summary", "--chaos=2.0"],
+    ] {
+        let out = disengage(&bad);
+        assert!(!out.status.success(), "{bad:?} must exit nonzero");
+    }
+}
+
+#[test]
+fn missing_command_fails_with_usage() {
+    let out = disengage(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
