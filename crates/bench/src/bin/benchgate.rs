@@ -1,0 +1,101 @@
+//! `benchgate` — fail the build when a benchmark envelope regresses.
+//!
+//! ```text
+//! benchgate BENCH_par.json BENCH_par.candidate.json
+//! benchgate BASELINE CANDIDATE --tolerance=0.6
+//! DISENGAGE_BENCH_TOLERANCE=0.8 benchgate BASELINE CANDIDATE
+//! ```
+//!
+//! Exit status: 0 when every gated metric is within tolerance (or the
+//! comparison was skipped for a core-count mismatch), 1 on a
+//! regression, 2 on usage or parse errors. See [`disengage_bench::gate`]
+//! for the envelope schema and the metric-direction convention.
+
+use disengage_bench::gate;
+use disengage_obs::json::Value;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: benchgate BASELINE CANDIDATE [--tolerance=F]";
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Value::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let mut tolerance: Option<f64> = None;
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--help" || arg == "-h" {
+            println!("{USAGE}");
+            println!(
+                "default tolerance {} (±{:.0}%); env override: {}",
+                gate::DEFAULT_TOLERANCE,
+                gate::DEFAULT_TOLERANCE * 100.0,
+                gate::TOLERANCE_ENV
+            );
+            return Ok(true);
+        } else if let Some(v) = arg.strip_prefix("--tolerance=") {
+            let t: f64 = v
+                .parse()
+                .map_err(|_| format!("--tolerance: `{v}` is not a number"))?;
+            if !t.is_finite() || t < 0.0 {
+                return Err(format!("--tolerance: `{v}` must be a non-negative number"));
+            }
+            tolerance = Some(t);
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag `{arg}`"));
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        return Err("expected exactly BASELINE and CANDIDATE paths".to_owned());
+    };
+    // Explicit flag wins over the environment; both over the default.
+    let tolerance = tolerance.unwrap_or_else(|| gate::tolerance_from_env(gate::DEFAULT_TOLERANCE));
+
+    let baseline = load(baseline_path)?;
+    let candidate = load(candidate_path)?;
+    match gate::gate(&baseline, &candidate, tolerance)? {
+        gate::GateOutcome::Pass(n) => {
+            println!(
+                "benchgate: {n} metric(s) within ±{:.0}% of {baseline_path}",
+                tolerance * 100.0
+            );
+            Ok(true)
+        }
+        gate::GateOutcome::Skipped(reason) => {
+            println!("benchgate: skipped — {reason}");
+            Ok(true)
+        }
+        gate::GateOutcome::Fail(regressions) => {
+            eprintln!(
+                "benchgate: {} regression(s) beyond ±{:.0}% vs {baseline_path}:",
+                regressions.len(),
+                tolerance * 100.0
+            );
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            eprintln!(
+                "(re-baseline by copying the candidate over the baseline if this is expected, \
+                 or loosen with {}=F)",
+                gate::TOLERANCE_ENV
+            );
+            Ok(false)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

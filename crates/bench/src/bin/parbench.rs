@@ -1,15 +1,19 @@
 //! `parbench` — measure the Stage I–III worker-pool speedup.
 //!
 //! Runs the simulated-OCR pipeline (the per-document-heavy
-//! rasterize→degrade→recognize→correct path) once sequentially
-//! (`jobs = 1`) and once across every available core (`jobs = 0`),
-//! verifies the two outcomes are byte-identical, and writes the
-//! measurement to `bench_par.json`.
+//! rasterize→degrade→recognize→correct path) sequentially (`jobs = 1`),
+//! at `jobs = 2` when the machine has the cores for it, and across
+//! every available core (`jobs = 0`), verifies the outcomes are
+//! byte-identical, and writes the measurement as a versioned
+//! [`disengage_bench::gate`] envelope to `BENCH_par.json` (plus a
+//! legacy `bench_par.json` copy — one release only — when writing the
+//! default path).
 //!
 //! ```text
-//! parbench                    # measure, write bench_par.json
+//! parbench                    # measure, write BENCH_par.json
 //! parbench --scale 0.1        # smaller corpus (default 0.2)
 //! parbench --samples=5        # timed samples per configuration
+//! parbench --out=PATH         # write the envelope elsewhere
 //! parbench --require-speedup  # exit nonzero if < 2x on 4+ cores
 //! ```
 //!
@@ -28,7 +32,16 @@ use disengage_ocr::NoiseModel;
 use std::process::ExitCode;
 use std::time::Instant;
 
-const USAGE: &str = "usage: parbench [--scale F] [--samples=N] [--require-speedup]";
+const USAGE: &str =
+    "usage: parbench [--scale F] [--samples=N] [--out=PATH] [--require-speedup]";
+
+/// Default envelope path; the committed baseline `benchgate` compares
+/// against lives under the same name in the repository root.
+const DEFAULT_OUT: &str = "BENCH_par.json";
+
+/// Pre-envelope artifact name, kept as a straight copy for one release
+/// so external scripts can migrate; remove after that.
+const LEGACY_OUT: &str = "bench_par.json";
 
 fn config(scale: f64) -> RunConfig {
     RunConfig::new()
@@ -73,7 +86,16 @@ fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut samples = 3usize;
     let mut require_speedup = false;
+    let mut out = DEFAULT_OUT.to_owned();
     let parsed = CommonArgs::parse_with(&raw, |flag, value| match flag {
+        "--out" => {
+            let v = value.ok_or_else(|| ArgError {
+                flag: flag.to_owned(),
+                reason: "expected --out=PATH".to_owned(),
+            })?;
+            out = v.to_owned();
+            Ok(true)
+        }
         "--samples" => {
             let v = value.ok_or_else(|| ArgError {
                 flag: flag.to_owned(),
@@ -120,24 +142,48 @@ fn main() -> ExitCode {
     let cfg = config(scale);
     let (seq_s, seq) = time_runs(&cfg, 1, samples);
     eprintln!("jobs=1: {seq_s:.3} s");
+    // Speedup curve: jobs = 2 (when distinct from both endpoints) and
+    // jobs = 0 (all cores). Each point checks byte-identity.
+    let mut identical = true;
+    let mut metrics: Vec<(String, f64)> = vec![
+        ("scale".to_owned(), scale),
+        ("samples".to_owned(), samples as f64),
+        ("docs".to_owned(), seq.database.disengagements().len() as f64),
+        ("sequential_s".to_owned(), seq_s),
+    ];
+    if cores > 2 {
+        let (two_s, two) = time_runs(&cfg, 2, samples);
+        eprintln!("jobs=2: {two_s:.3} s ({:.2}x)", seq_s / two_s);
+        identical &= fingerprint(&seq) == fingerprint(&two);
+        metrics.push(("jobs2_s".to_owned(), two_s));
+        metrics.push(("jobs2_speedup".to_owned(), seq_s / two_s));
+    }
     let (par_s, par) = time_runs(&cfg, 0, samples);
     eprintln!("jobs=0 ({cores} workers): {par_s:.3} s");
-
-    let identical = fingerprint(&seq) == fingerprint(&par);
+    identical &= fingerprint(&seq) == fingerprint(&par);
     let speedup = seq_s / par_s;
     eprintln!("speedup {speedup:.2}x, outputs identical: {identical}");
+    metrics.push(("parallel_s".to_owned(), par_s));
+    metrics.push(("speedup".to_owned(), speedup));
+    metrics.push((
+        "docs_per_s".to_owned(),
+        seq.database.disengagements().len() as f64 / par_s,
+    ));
+    metrics.push(("identical".to_owned(), if identical { 1.0 } else { 0.0 }));
 
-    let body = format!(
-        "{{\"bench\":\"simulated_ocr_pipeline\",\"scale\":{scale},\"cores\":{cores},\
-         \"samples\":{samples},\"sequential_s\":{seq_s:.6},\"parallel_s\":{par_s:.6},\
-         \"speedup\":{speedup:.3},\"identical\":{identical}}}"
-    );
-    let path = "bench_par.json";
-    if let Err(e) = std::fs::write(path, body) {
-        eprintln!("error: could not write {path}: {e}");
+    let body = disengage_bench::gate::envelope("disengage-bench/par", &metrics).render();
+    if let Err(e) = std::fs::write(&out, &body) {
+        eprintln!("error: could not write {out}: {e}");
         return ExitCode::FAILURE;
     }
-    eprintln!("wrote {path}");
+    eprintln!("wrote {out}");
+    if out == DEFAULT_OUT {
+        if let Err(e) = std::fs::write(LEGACY_OUT, &body) {
+            eprintln!("error: could not write {LEGACY_OUT}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {LEGACY_OUT} (legacy name; gone next release)");
+    }
 
     if !identical {
         eprintln!("FAILED: parallel outcome diverged from sequential");

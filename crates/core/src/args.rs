@@ -28,6 +28,21 @@ pub enum TelemetryMode {
     StableJson,
 }
 
+/// How `disengage profile` renders the self-profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileMode {
+    /// No profile rendering (commands other than `profile` default
+    /// here; `profile` itself upgrades it to the table).
+    #[default]
+    Off,
+    /// Human-readable stage × phase table.
+    Table,
+    /// JSON (`ProfileReport::to_json`).
+    Json,
+    /// Folded stacks for speedscope / inferno.
+    Folded,
+}
+
 /// A parse failure: the offending flag and why it was rejected. The
 /// `Display` form is the single-line error the binaries print before
 /// the usage text.
@@ -76,6 +91,8 @@ pub struct CommonArgs {
     pub lineage: Option<Option<String>>,
     /// `--trace=PATH`: export a Chrome trace to `path`.
     pub trace: Option<String>,
+    /// `--profile[=MODE]` self-profile rendering (bare = table).
+    pub profile: ProfileMode,
     /// `--cache-dir=PATH`: artifact-cache root.
     pub cache_dir: Option<String>,
     /// `--no-cache`: force caching off (wins over `--cache-dir`).
@@ -191,6 +208,22 @@ impl CommonArgs {
                 "--trace" => {
                     out.trace = Some(take_value(flag)?);
                 }
+                "--profile" => {
+                    // Value optional: bare `--profile` means the table
+                    // (the next argument is NOT consumed).
+                    out.profile = match inline {
+                        None | Some("table") => ProfileMode::Table,
+                        Some("off") => ProfileMode::Off,
+                        Some("json") => ProfileMode::Json,
+                        Some("folded") => ProfileMode::Folded,
+                        Some(other) => {
+                            return Err(ArgError::new(
+                                flag,
+                                format!("`{other}` is not off|table|json|folded"),
+                            ))
+                        }
+                    };
+                }
                 "--cache-dir" => {
                     let v = take_value(flag)?;
                     if v.is_empty() {
@@ -240,6 +273,7 @@ impl CommonArgs {
          \x20 --chaos=RATE[,SEED[,ATTEMPTS]]  arm fault injection\n\
          \x20 --lineage[=PATH]    record provenance; optionally export JSONL\n\
          \x20 --trace=PATH        export a Chrome execution trace\n\
+         \x20 --profile[=MODE]    off|table|json|folded self-profile view (bare = table)\n\
          \x20 --cache-dir=PATH    content-addressed stage artifact cache\n\
          \x20 --no-cache          disable the artifact cache\n\
          \x20 -h, --help          this help"
@@ -331,6 +365,9 @@ mod tests {
         // Telemetry: unknown mode (an empty `=` value is also unknown).
         assert!(parse(&["--telemetry=loud"]).is_err());
         assert!(parse(&["--telemetry="]).is_err());
+        // Profile: unknown mode.
+        assert!(parse(&["--profile=flame"]).is_err());
+        assert!(parse(&["--profile="]).is_err());
         // Chaos: bad rate, rate out of range, bad seed, junk attempts.
         for bad in [
             "--chaos=abc,7",
@@ -373,6 +410,22 @@ mod tests {
             parse(&["--telemetry=stable-json"]).unwrap().telemetry,
             TelemetryMode::StableJson
         );
+    }
+
+    #[test]
+    fn profile_value_is_optional_and_not_greedy() {
+        // Bare --profile is the table view and must not swallow the
+        // next positional.
+        let a = parse(&["--profile", "profile"]).unwrap();
+        assert_eq!(a.profile, ProfileMode::Table);
+        assert_eq!(a.positional, ["profile"]);
+        assert_eq!(parse(&["--profile=json"]).unwrap().profile, ProfileMode::Json);
+        assert_eq!(
+            parse(&["--profile=folded"]).unwrap().profile,
+            ProfileMode::Folded
+        );
+        assert_eq!(parse(&["--profile=off"]).unwrap().profile, ProfileMode::Off);
+        assert_eq!(parse(&[]).unwrap().profile, ProfileMode::Off);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::Result;
 use disengage_chaos::{ChaosAudit, FaultPlan};
 use disengage_corpus::{Corpus, CorpusConfig};
 use disengage_nlp::Classifier;
+use disengage_obs::profile;
 use disengage_obs::{
     Collector, ProvenanceEvent, ProvenanceLog, RecordId, Subject, TelemetryReport,
 };
@@ -62,6 +63,19 @@ impl RunTrace {
         RunTrace {
             provenance: ProvenanceLog::disabled(),
             timeline: TaskTimeline::disabled(),
+        }
+    }
+
+    /// Timeline only, provenance off — the `disengage profile`
+    /// constructor. Worker-pool accounting (busy/idle/steals, chunk
+    /// sizes) needs the timeline, but enabling provenance would flip
+    /// the lineage bit folded into the stage cache keys and make a
+    /// profiled run key its artifacts differently from an unprofiled
+    /// one; profiling must never change what gets computed.
+    pub fn profiled(obs: &Collector) -> RunTrace {
+        RunTrace {
+            provenance: ProvenanceLog::disabled(),
+            timeline: TaskTimeline::with_epoch(obs.epoch()),
         }
     }
 
@@ -344,16 +358,41 @@ pub(crate) fn digitize_simulated_parts(
         |i, doc| {
             let shard = obs.shard();
             let pshard = prov.shard();
+            // The per-document phase tree roots here, inside the pool
+            // closure, so the phase paths (`digitize;rasterize`, …) are
+            // identical at every --jobs value — see the no-guard-across-
+            // par_map rule on `obs::profile`.
+            let doc_phase = profile::phase(&shard, "digitize");
             let mut rng = StdRng::seed_from_u64(rand::derive_seed(
                 config.ocr_seed,
                 (config.base_index + i) as u64,
             ));
-            let page = config.noise.degrade(&rasterize(&doc.text), &mut rng);
-            let recognized = engine.recognize(&page);
+            let clean_page = {
+                let _p = profile::phase(&shard, "rasterize");
+                rasterize(&doc.text)
+            };
+            let page = {
+                let _p = profile::phase(&shard, "degrade");
+                config.noise.degrade(&clean_page, &mut rng)
+            };
+            let recognized = {
+                let _p = profile::phase(&shard, "correlate");
+                engine.recognize(&page)
+            };
             let text = match &corrector {
                 Some(c) => {
-                    let (fixed, per_attempt, repairs) =
-                        c.correct_text_audited(&recognized.text, config.repair_attempts.max(1));
+                    let _repair = profile::phase(&shard, "repair");
+                    let (fixed, per_attempt, repairs) = c.correct_text_observed(
+                        &recognized.text,
+                        config.repair_attempts.max(1),
+                        &mut |attempt, elapsed| {
+                            profile::record_phase(
+                                &shard,
+                                &format!("attempt_{attempt}"),
+                                elapsed,
+                            );
+                        },
+                    );
                     record_repair_attempts(&shard, &per_attempt);
                     if pshard.is_enabled() {
                         for r in &repairs {
@@ -375,7 +414,11 @@ pub(crate) fn digitize_simulated_parts(
                 }
                 None => recognized.text.clone(),
             };
-            let doc_cer = cer(doc.text.trim_end(), &text);
+            let doc_cer = {
+                let _p = profile::phase(&shard, "cer");
+                cer(doc.text.trim_end(), &text)
+            };
+            drop(doc_phase);
             shard.incr("ocr.documents");
             shard.record("ocr.cer", doc_cer);
             shard.record("ocr.confidence", recognized.mean_confidence());

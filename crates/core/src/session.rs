@@ -43,6 +43,7 @@ use disengage_cache::{ArtifactStore, Dec, Enc, Fingerprint, Fp, Lookup};
 use disengage_chaos::{audit, inject_documents, poison_dictionary, FaultKind, FaultPlan};
 use disengage_corpus::{CorpusConfig, CorpusGenerator};
 use disengage_nlp::{Classifier, FaultTag};
+use disengage_obs::profile;
 use disengage_obs::{
     Collector, ProvenanceEvent, ProvenanceLog, RecordId, Subject, TelemetryReport,
 };
@@ -51,6 +52,7 @@ use disengage_reports::formats::RawDocument;
 use disengage_reports::normalize::{normalize_document_traced, Normalized};
 use disengage_reports::{FailureDatabase, ReportError};
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 /// One stage of the pipeline graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -401,6 +403,7 @@ impl RunSession {
             );
 
             // Stage `corpus`: generate the calibrated ground truth.
+            let stage_start = Instant::now();
             let corpus = cached_stage(
                 &store,
                 Stage::Corpus,
@@ -417,12 +420,21 @@ impl RunSession {
                     corpus
                 },
             );
+            let doc_bytes: u64 = corpus.documents.iter().map(|d| d.text.len() as u64).sum();
+            record_throughput(
+                obs,
+                "corpus",
+                corpus.documents.len() as u64,
+                doc_bytes,
+                stage_start.elapsed(),
+            );
 
             // Stage `digitize`. Passthrough is a copy — cheaper than
             // any cache round-trip — so only simulated OCR persists;
             // its key is still always derived so downstream keys chain
             // through the OCR configuration either way.
             let digitize_cacheable = config.ocr != OcrMode::Passthrough;
+            let stage_start = Instant::now();
             let (documents, ocr_stats) = cached_stage(
                 &store,
                 Stage::Digitize,
@@ -463,9 +475,17 @@ impl RunSession {
                     }
                 },
             );
+            record_throughput(
+                obs,
+                "digitize",
+                documents.len() as u64,
+                documents.iter().map(|d| d.text.len() as u64).sum(),
+                stage_start.elapsed(),
+            );
 
             // Stage `normalize`: chaos interlude (if armed) + Stage II
             // parse/filter/normalize, one task per document.
+            let stage_start = Instant::now();
             let normalize = cached_stage(
                 &store,
                 Stage::Normalize,
@@ -488,11 +508,19 @@ impl RunSession {
                 record_ids,
                 chaos: chaos_audit,
             } = normalize;
+            record_throughput(
+                obs,
+                "normalize",
+                disengagements.len() as u64,
+                0,
+                stage_start.elapsed(),
+            );
             let database = FailureDatabase::from_records(disengagements, accidents, mileage);
 
             // Stage `tag`: NLP tagging. Under chaos the dictionary is
             // poisoned first — the classifier must keep answering
             // (degrading to Unknown-T), never fail.
+            let stage_start = Instant::now();
             let assignments = cached_stage(
                 &store,
                 Stage::Tag,
@@ -529,6 +557,13 @@ impl RunSession {
                     span.field("tagged", tagged.len() as u64);
                     tagged.into_iter().map(|t| t.assignment).collect::<Vec<_>>()
                 },
+            );
+            record_throughput(
+                obs,
+                "tag",
+                assignments.len() as u64,
+                0,
+                stage_start.elapsed(),
             );
             let tagged: Vec<TaggedDisengagement> = database
                 .disengagements()
@@ -746,10 +781,42 @@ fn normalize_stage(
     }
 }
 
+/// Records a stage's throughput gauges
+/// (`profile.throughput.<stage>.records_per_s`, `.bytes_per_s`) on the
+/// run-global collector. Wall-clock-derived, so `profile.`-stripped
+/// from the canonical report; recorded outside stage shards so cached
+/// artifacts never replay a cold run's throughput (a warm replay
+/// reports its own, much higher, rate).
+fn record_throughput(obs: &Collector, stage: &str, records: u64, bytes: u64, elapsed: Duration) {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        return;
+    }
+    obs.gauge(
+        &format!("profile.throughput.{stage}.records_per_s"),
+        records as f64 / secs,
+    );
+    if bytes > 0 {
+        obs.gauge(
+            &format!("profile.throughput.{stage}.bytes_per_s"),
+            bytes as f64 / secs,
+        );
+    }
+}
+
 /// Runs one stage through the cache: probe, replay on hit, otherwise
 /// compute into fresh telemetry/provenance shards, persist the
 /// envelope, and absorb the shards. Every path is deterministic and
 /// byte-identical to every other; only the `cache.*` counters differ.
+///
+/// The self-profiler sees each run as two phases on the run-global
+/// collector: `stage_<name>` covering the whole call (self time
+/// excludes the probe) and `stage_<name>;cache_lookup` covering the
+/// probe + decode. Both are explicit-path records, never open guards —
+/// a guard held here across the stage's parallel map would make the
+/// per-item phase paths depend on `--jobs` (see `obs::profile`). The
+/// phases land outside the stage shard, so cache artifacts carry no
+/// profiler wall time and warm replays re-measure their own.
 #[allow(clippy::too_many_arguments)]
 fn cached_stage<T>(
     store: &ArtifactStore,
@@ -762,41 +829,69 @@ fn cached_stage<T>(
     decode: impl FnOnce(&mut Dec) -> Option<T>,
     compute: impl FnOnce(&Collector, &ProvenanceLog) -> T,
 ) -> T {
+    let stage_start = Instant::now();
+    let phase_root = format!("stage_{}", stage.name());
+    let mut lookup_s = 0.0f64;
     let caching = cacheable && store.is_enabled();
+    let mut replayed: Option<T> = None;
     if caching {
-        match store.load(stage.name(), key) {
+        let lookup_start = Instant::now();
+        let decoded = match store.load(stage.name(), key) {
             Lookup::Hit(bytes) => match artifact::decode_stage(&bytes, decode) {
-                Some((state, entries, value)) => {
-                    obs.add("cache.hit", 1);
-                    obs.add(&format!("cache.hit.{}", stage.name()), 1);
-                    obs.absorb_state(state);
-                    for entry in entries {
-                        prov.push(entry.subject, entry.event);
-                    }
-                    return value;
-                }
+                Some(hit) => Some(hit),
                 // Framed and checksummed but structurally wrong — an
                 // artifact from a buggy or foreign writer. Recompute.
-                None => obs.add("cache.corrupt", 1),
+                None => {
+                    obs.add("cache.corrupt", 1);
+                    None
+                }
             },
-            Lookup::Corrupt => obs.add("cache.corrupt", 1),
-            Lookup::Miss => {}
+            Lookup::Corrupt => {
+                obs.add("cache.corrupt", 1);
+                None
+            }
+            Lookup::Miss => None,
+        };
+        let lookup = lookup_start.elapsed();
+        lookup_s = lookup.as_secs_f64();
+        profile::record_phase_at(obs, &[&phase_root, "cache_lookup"], lookup);
+        match decoded {
+            Some((state, entries, value)) => {
+                obs.add("cache.hit", 1);
+                obs.add(&format!("cache.hit.{}", stage.name()), 1);
+                obs.absorb_state(state);
+                for entry in entries {
+                    prov.push(entry.subject, entry.event);
+                }
+                replayed = Some(value);
+            }
+            None => {
+                obs.add("cache.miss", 1);
+                obs.add(&format!("cache.miss.{}", stage.name()), 1);
+            }
         }
-        obs.add("cache.miss", 1);
-        obs.add(&format!("cache.miss.{}", stage.name()), 1);
     }
-    let sobs = obs.shard();
-    let sprov = prov.shard();
-    let value = compute(&sobs, &sprov);
-    if caching {
-        let bytes = artifact::encode_stage(&sobs.state(), &sprov.entries(), &value, encode);
-        let evicted = store.save(stage.name(), key, &bytes);
-        if evicted > 0 {
-            obs.add("cache.evict", evicted as u64);
+    let value = match replayed {
+        Some(value) => value,
+        None => {
+            let sobs = obs.shard();
+            let sprov = prov.shard();
+            let value = compute(&sobs, &sprov);
+            if caching {
+                let bytes =
+                    artifact::encode_stage(&sobs.state(), &sprov.entries(), &value, encode);
+                let evicted = store.save(stage.name(), key, &bytes);
+                if evicted > 0 {
+                    obs.add("cache.evict", evicted as u64);
+                }
+            }
+            obs.absorb(sobs);
+            prov.absorb(sprov);
+            value
         }
-    }
-    obs.absorb(sobs);
-    prov.absorb(sprov);
+    };
+    let wall = stage_start.elapsed().as_secs_f64();
+    profile::record_phase_parts(obs, &[&phase_root], wall, (wall - lookup_s).max(0.0));
     value
 }
 

@@ -330,6 +330,108 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edge_cases_pinned() {
+        // Empty: no quantile at any q, and the summary reads zeros.
+        let empty = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), None);
+        }
+        let s = empty.summary();
+        assert_eq!((s.p50, s.p95, s.p99), (0.0, 0.0, 0.0));
+
+        // Single sample: every quantile is that sample exactly (the
+        // bucket bound is clamped to the recorded max).
+        let mut one = Histogram::new();
+        one.record(0.037);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), Some(0.037), "q={q}");
+        }
+
+        // Heavily skewed: 999 samples in one low bucket, one huge
+        // outlier. p50 and p99 stay in the low bucket (999/1000 ≥
+        // rank 990); only p99.95+ reaches the outlier.
+        let mut skew = Histogram::new();
+        for _ in 0..999 {
+            skew.record(0.001);
+        }
+        skew.record(1000.0);
+        assert_eq!(skew.quantile(0.5), Some(0.001));
+        assert_eq!(skew.quantile(0.99), Some(0.001));
+        assert_eq!(skew.quantile(0.9995), Some(1000.0));
+        assert_eq!(skew.quantile(1.0), Some(1000.0));
+        // The profiler's p50/p95/p99 triple must not let the outlier
+        // leak into the median.
+        let s = skew.summary();
+        assert_eq!(s.p50, 0.001);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+    }
+
+    #[test]
+    fn merge_is_shard_order_independent() {
+        // Three shards with disjoint ranges, merged in every
+        // permutation: bucket counts, count, min, and max are exactly
+        // associative; the f64 sum may differ across orders only by
+        // rounding (and the profiler compares sums, not bits, across
+        // orders). The in-order left fold stays the bit-exact contract
+        // pinned by `merge_equals_sequential_recording`.
+        let mut shards = Vec::new();
+        for (lo, n) in [(0.001, 40), (0.7, 17), (120.0, 9)] {
+            let mut h = Histogram::new();
+            for i in 0..n {
+                h.record(lo * (1.0 + i as f64));
+            }
+            shards.push(h);
+        }
+        let orders: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let reference = {
+            let mut m = Histogram::new();
+            for s in &shards {
+                m.merge(s);
+            }
+            m
+        };
+        for order in orders {
+            let mut m = Histogram::new();
+            for &i in &order {
+                m.merge(&shards[i]);
+            }
+            assert_eq!(m.count(), reference.count(), "{order:?}");
+            assert_eq!(m.state().counts, reference.state().counts, "{order:?}");
+            assert_eq!(m.summary().min, reference.summary().min, "{order:?}");
+            assert_eq!(m.summary().max, reference.summary().max, "{order:?}");
+            assert!(
+                (m.sum() - reference.sum()).abs() <= 1e-9 * reference.sum().abs(),
+                "{order:?}: {} vs {}",
+                m.sum(),
+                reference.sum()
+            );
+            // Quantiles depend only on bucket counts, so they are
+            // exactly order-independent.
+            for q in [0.5, 0.95, 0.99] {
+                assert_eq!(m.quantile(q), reference.quantile(q), "{order:?} q={q}");
+            }
+        }
+        // Associativity in the grouping sense: (a⊕b)⊕c == a⊕(b⊕c)
+        // on the exact fields.
+        let mut left = shards[0].clone();
+        left.merge(&shards[1]);
+        left.merge(&shards[2]);
+        let mut right_tail = shards[1].clone();
+        right_tail.merge(&shards[2]);
+        let mut right = shards[0].clone();
+        right.merge(&right_tail);
+        assert_eq!(left.state().counts, right.state().counts);
+        assert_eq!(left.count(), right.count());
+    }
+
+    #[test]
     fn overflow_and_tiny_samples_land_somewhere() {
         let mut h = Histogram::new();
         h.record(1e300);

@@ -44,12 +44,16 @@ pub mod collector;
 pub mod export;
 pub mod hist;
 pub mod json;
+pub mod profile;
 pub mod provenance;
 pub mod report;
 pub mod trace;
 
 pub use collector::{Collector, CollectorState, SpanGuard, SpanState};
 pub use hist::{Histogram, HistogramState, HistogramSummary};
+pub use profile::{
+    folded_stacks, validate_folded, CountingAlloc, PhaseRow, PoolRow, ProfileReport, StageRow,
+};
 pub use provenance::{ProvenanceEntry, ProvenanceEvent, ProvenanceLog, RecordId, Subject};
 pub use report::{FieldValue, LogEvent, SpanNode, TelemetryReport};
 pub use trace::{chrome_trace, render_chrome_trace, validate_chrome_trace, TraceTask};

@@ -1,0 +1,811 @@
+//! Self-profiling: hierarchical phase timers, throughput and memory
+//! gauges, and the aggregated stage × phase view behind
+//! `disengage profile`.
+//!
+//! # Phase model
+//!
+//! A *phase* is a named scope on the current thread. [`phase`] pushes a
+//! frame onto a thread-local stack and returns a guard; when the guard
+//! drops it records two histograms on the collector it was opened
+//! against:
+//!
+//! * `profile.wall;<path>` — the scope's wall-clock seconds, and
+//! * `profile.self;<path>` — wall minus the time spent in child phases,
+//!
+//! where `<path>` is the `;`-joined stack of open frame names
+//! (`digitize;repair;attempt_2`). The `;` separator makes the
+//! histogram keys themselves a folded-stack corpus: the
+//! [`folded_stacks`] exporter emits `path self-microseconds` lines that
+//! speedscope and inferno's `flamegraph.pl` consume directly.
+//!
+//! Phases are *always on* — recording two histogram samples per scope
+//! is noise next to the work the phases wrap — but every
+//! `profile.`-prefixed metric is wall-clock-derived and therefore
+//! stripped by [`TelemetryReport::canonical`], so the byte-identity
+//! contracts (any `--jobs`, warm vs cold cache, clean vs chaos) never
+//! see it.
+//!
+//! One rule keeps phase paths independent of the worker count: **never
+//! hold a phase guard across a parallel map call**. The stack is
+//! thread-local; a frame left open on the caller thread would become
+//! the parent of per-item phases on the sequential path but not on
+//! worker threads, and the histogram *names* would then depend on
+//! `--jobs`. Root the per-item phase inside the per-item closure
+//! instead (every call site in `core` does).
+
+use crate::collector::Collector;
+use crate::json::Value;
+use crate::report::TelemetryReport;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Namespace prefix shared by every profiler metric; the single handle
+/// [`TelemetryReport::canonical`] uses to strip the profiler's
+/// wall-clock-derived output.
+pub const PROFILE_PREFIX: &str = "profile.";
+
+/// Histogram prefix for per-phase wall seconds.
+pub const WALL_PREFIX: &str = "profile.wall;";
+
+/// Histogram prefix for per-phase self seconds (wall minus children).
+pub const SELF_PREFIX: &str = "profile.self;";
+
+struct Frame {
+    name: String,
+    /// Seconds already attributed to closed child phases.
+    child_s: f64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Scope guard returned by [`phase`]; records the phase's wall and
+/// self histograms when dropped.
+#[must_use = "a phase measures the scope that holds the guard"]
+pub struct PhaseGuard<'a> {
+    obs: &'a Collector,
+    start: Instant,
+}
+
+/// Opens a phase named `name` nested under whatever phases are already
+/// open on this thread. Drop the returned guard to close it.
+pub fn phase<'a>(obs: &'a Collector, name: &str) -> PhaseGuard<'a> {
+    STACK.with(|s| {
+        s.borrow_mut().push(Frame {
+            name: name.to_owned(),
+            child_s: 0.0,
+        })
+    });
+    PhaseGuard {
+        obs,
+        start: Instant::now(),
+    }
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        let wall = self.start.elapsed().as_secs_f64();
+        let (path, child_s) = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = join_path(stack.iter().map(|f| f.name.as_str()));
+            let frame = stack.pop().expect("phase stack underflow");
+            if let Some(parent) = stack.last_mut() {
+                parent.child_s += wall;
+            }
+            (path, frame.child_s)
+        });
+        record_parts(self.obs, &path, wall, (wall - child_s).max(0.0));
+    }
+}
+
+/// Opens a phase for the rest of the enclosing scope:
+/// `phase!(obs, "rasterize");`. Use [`phase`] directly when the scope
+/// must be narrower than a block.
+#[macro_export]
+macro_rules! phase {
+    ($obs:expr, $name:expr) => {
+        let _phase_guard = $crate::profile::phase($obs, $name);
+    };
+}
+
+/// Records an already-measured leaf phase named `name` under the
+/// phases currently open on this thread, crediting the innermost open
+/// frame so the parent's self time excludes it. This is the callback
+/// form for code that times its own sub-steps (the OCR repair ladder's
+/// per-attempt durations).
+pub fn record_phase(obs: &Collector, name: &str, elapsed: Duration) {
+    let secs = elapsed.as_secs_f64();
+    let path = STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let path = join_path(stack.iter().map(|f| f.name.as_str()).chain([name]));
+        if let Some(top) = stack.last_mut() {
+            top.child_s += secs;
+        }
+        path
+    });
+    record_parts(obs, &path, secs, secs);
+}
+
+/// Records an already-measured phase at an explicit absolute `path`,
+/// ignoring the thread's open-phase stack. For callers that must not
+/// hold a guard (a stage wrapper around a parallel map) but still know
+/// the path they are attributing.
+pub fn record_phase_at(obs: &Collector, path: &[&str], elapsed: Duration) {
+    let secs = elapsed.as_secs_f64();
+    record_parts(obs, &join_path(path.iter().copied()), secs, secs);
+}
+
+/// [`record_phase_at`] with separate wall and self seconds, for
+/// wrappers whose children are recorded out-of-band.
+pub fn record_phase_parts(obs: &Collector, path: &[&str], wall_s: f64, self_s: f64) {
+    record_parts(obs, &join_path(path.iter().copied()), wall_s, self_s);
+}
+
+fn join_path<'a>(parts: impl IntoIterator<Item = &'a str>) -> String {
+    let mut out = String::new();
+    for p in parts {
+        debug_assert!(
+            !p.is_empty() && !p.contains(';') && !p.contains(char::is_whitespace),
+            "phase names must be non-empty and free of ';' and whitespace: {p:?}"
+        );
+        if !out.is_empty() {
+            out.push(';');
+        }
+        out.push_str(p);
+    }
+    out
+}
+
+fn record_parts(obs: &Collector, path: &str, wall_s: f64, self_s: f64) {
+    obs.record(&format!("{WALL_PREFIX}{path}"), wall_s);
+    obs.record(&format!("{SELF_PREFIX}{path}"), self_s);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation proxy + peak RSS
+// ---------------------------------------------------------------------------
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] shim over the system allocator that counts
+/// allocation calls and bytes — the zero-dependency allocation proxy.
+/// Binaries opt in with `#[global_allocator]`; library users that do
+/// not install it simply read zeros.
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the only
+// addition is relaxed atomic bookkeeping.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() && new_size > layout.size() {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add((new_size - layout.size()) as u64, Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+/// Cumulative totals from [`CountingAlloc`] (zeros when no binary
+/// installed it as the global allocator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Allocation calls observed.
+    pub calls: u64,
+    /// Bytes requested across those calls (growth only for reallocs).
+    pub bytes: u64,
+}
+
+/// Snapshot of the allocation-proxy counters.
+pub fn alloc_stats() -> AllocStats {
+    AllocStats {
+        calls: ALLOC_CALLS.load(Ordering::Relaxed),
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// The process's peak resident set size in bytes, read from
+/// `/proc/self/status` (`VmHWM`). `None` off Linux or when the file is
+/// unreadable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Records the process-level memory gauges (`profile.mem.*`) on the
+/// collector: peak RSS where available, plus the allocation proxy when
+/// a binary installed [`CountingAlloc`].
+pub fn record_process_gauges(obs: &Collector) {
+    if let Some(rss) = peak_rss_bytes() {
+        obs.gauge("profile.mem.peak_rss_bytes", rss as f64);
+    }
+    let a = alloc_stats();
+    if a.calls > 0 {
+        obs.gauge("profile.mem.alloc_calls", a.calls as f64);
+        obs.gauge("profile.mem.alloc_bytes", a.bytes as f64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregated report
+// ---------------------------------------------------------------------------
+
+/// One phase path's aggregate across every thread that recorded it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRow {
+    /// `;`-joined frame path.
+    pub path: String,
+    /// Scope executions.
+    pub count: u64,
+    /// Total wall seconds (sum over executions).
+    pub total_s: f64,
+    /// Self seconds (wall minus child phases).
+    pub self_s: f64,
+    /// Per-execution wall-time quantiles (bucket upper bounds).
+    pub p50_s: f64,
+    /// 95th percentile.
+    pub p95_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+}
+
+impl PhaseRow {
+    /// Nesting depth (0 for roots).
+    pub fn depth(&self) -> usize {
+        self.path.matches(';').count()
+    }
+
+    /// Last path component.
+    pub fn leaf(&self) -> &str {
+        self.path.rsplit(';').next().unwrap_or(&self.path)
+    }
+}
+
+/// One pipeline stage's wall time, lifted from the span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRow {
+    /// Span name (`stage_i_ocr`, …).
+    pub name: String,
+    /// Wall seconds.
+    pub wall_s: f64,
+}
+
+/// One pool worker's accounting, supplied by the caller (the `par`
+/// crate computes it; `obs` stays dependency-free).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolRow {
+    /// Worker index.
+    pub worker: usize,
+    /// Seconds spent running chunks.
+    pub busy_s: f64,
+    /// Seconds inside pool calls not spent running chunks.
+    pub idle_s: f64,
+    /// Chunks run by a worker other than the round-robin owner.
+    pub steals: u64,
+    /// Chunks executed.
+    pub chunks: u64,
+    /// Items executed.
+    pub items: u64,
+}
+
+/// The aggregated profile: what `disengage profile` renders.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProfileReport {
+    /// Stage wall times from `stage_*` spans, in start order.
+    pub stages: Vec<StageRow>,
+    /// Phase rows sorted by path components (parents before children).
+    pub phases: Vec<PhaseRow>,
+    /// `profile.throughput.*` gauges, name → value.
+    pub throughput: Vec<(String, f64)>,
+    /// `profile.mem.*` gauges, name → value.
+    pub memory: Vec<(String, f64)>,
+    /// Per-worker pool accounting (empty when no timeline was taken).
+    pub pool: Vec<PoolRow>,
+    /// Distribution of pool chunk sizes, `(items, chunks)`.
+    pub chunk_sizes: Vec<(usize, u64)>,
+}
+
+impl ProfileReport {
+    /// Builds the phase/stage/gauge sections from a telemetry
+    /// snapshot. Pool rows come from the caller (see [`PoolRow`]).
+    pub fn from_report(report: &TelemetryReport) -> ProfileReport {
+        let mut phases = Vec::new();
+        for (name, wall) in &report.histograms {
+            let Some(path) = name.strip_prefix(WALL_PREFIX) else {
+                continue;
+            };
+            let self_s = report
+                .histograms
+                .get(&format!("{SELF_PREFIX}{path}"))
+                .map_or(0.0, |h| h.sum);
+            phases.push(PhaseRow {
+                path: path.to_owned(),
+                count: wall.count,
+                total_s: wall.sum,
+                self_s,
+                p50_s: wall.p50,
+                p95_s: wall.p95,
+                p99_s: wall.p99,
+            });
+        }
+        phases.sort_by(|a, b| {
+            let ka: Vec<&str> = a.path.split(';').collect();
+            let kb: Vec<&str> = b.path.split(';').collect();
+            ka.cmp(&kb)
+        });
+
+        let mut stages = Vec::new();
+        fn walk(nodes: &[crate::report::SpanNode], out: &mut Vec<StageRow>) {
+            for n in nodes {
+                if n.name.starts_with("stage_") || n.name == "chaos_inject" {
+                    out.push(StageRow {
+                        name: n.name.clone(),
+                        wall_s: n.duration_s,
+                    });
+                }
+                walk(&n.children, out);
+            }
+        }
+        walk(&report.spans, &mut stages);
+
+        let section = |prefix: &str| {
+            report
+                .gauges
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, &v)| (k.clone(), v))
+                .collect::<Vec<_>>()
+        };
+        ProfileReport {
+            stages,
+            phases,
+            throughput: section("profile.throughput."),
+            memory: section("profile.mem."),
+            pool: Vec::new(),
+            chunk_sizes: Vec::new(),
+        }
+    }
+
+    /// A phase row by exact path.
+    pub fn phase(&self, path: &str) -> Option<&PhaseRow> {
+        self.phases.iter().find(|r| r.path == path)
+    }
+
+    /// Fraction of `stage_wall_s` attributed to the direct children of
+    /// the root phase `root` — the coverage metric behind the
+    /// "≥ 90 % of Stage I is named OCR phases" acceptance bar. `None`
+    /// when the stage wall is zero or `root` has no children.
+    pub fn coverage(&self, root: &str, stage_wall_s: f64) -> Option<f64> {
+        if stage_wall_s <= 0.0 {
+            return None;
+        }
+        let prefix = format!("{root};");
+        let children: f64 = self
+            .phases
+            .iter()
+            .filter(|r| {
+                r.path.strip_prefix(&prefix)
+                    .is_some_and(|rest| !rest.contains(';'))
+            })
+            .map(|r| r.total_s)
+            .sum();
+        (children > 0.0).then_some(children / stage_wall_s)
+    }
+
+    /// The human-readable stage × phase table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== profile ==\n");
+        if !self.stages.is_empty() {
+            out.push_str("stages:\n");
+            let total: f64 = self.stages.iter().map(|s| s.wall_s).sum();
+            for s in &self.stages {
+                let pct = if total > 0.0 { 100.0 * s.wall_s / total } else { 0.0 };
+                let _ = writeln!(out, "  {:<28} {:>10.3} ms {:>6.1}%", s.name, s.wall_s * 1e3, pct);
+            }
+        }
+        if !self.phases.is_empty() {
+            out.push_str("phases:\n");
+            let _ = writeln!(
+                out,
+                "  {:<34} {:>8} {:>12} {:>12} {:>6} {:>10} {:>10} {:>10}",
+                "phase", "count", "total ms", "self ms", "self%", "p50 ms", "p95 ms", "p99 ms"
+            );
+            for r in &self.phases {
+                let indent = "  ".repeat(r.depth());
+                let label = format!("{indent}{}", r.leaf());
+                let self_pct = if r.total_s > 0.0 { 100.0 * r.self_s / r.total_s } else { 100.0 };
+                let _ = writeln!(
+                    out,
+                    "  {:<34} {:>8} {:>12.3} {:>12.3} {:>5.1}% {:>10.4} {:>10.4} {:>10.4}",
+                    label,
+                    r.count,
+                    r.total_s * 1e3,
+                    r.self_s * 1e3,
+                    self_pct,
+                    r.p50_s * 1e3,
+                    r.p95_s * 1e3,
+                    r.p99_s * 1e3
+                );
+            }
+        }
+        if !self.throughput.is_empty() {
+            out.push_str("throughput:\n");
+            for (name, v) in &self.throughput {
+                let short = name.trim_start_matches("profile.throughput.");
+                let _ = writeln!(out, "  {short:<40} {v:>14.1}");
+            }
+        }
+        if !self.pool.is_empty() {
+            out.push_str("pool workers:\n");
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>10} {:>10} {:>7} {:>8} {:>8} {:>8}",
+                "worker", "busy ms", "idle ms", "busy%", "chunks", "items", "steals"
+            );
+            for w in &self.pool {
+                let span = w.busy_s + w.idle_s;
+                let pct = if span > 0.0 { 100.0 * w.busy_s / span } else { 0.0 };
+                let _ = writeln!(
+                    out,
+                    "  {:<8} {:>10.3} {:>10.3} {:>6.1}% {:>8} {:>8} {:>8}",
+                    w.worker,
+                    w.busy_s * 1e3,
+                    w.idle_s * 1e3,
+                    pct,
+                    w.chunks,
+                    w.items,
+                    w.steals
+                );
+            }
+            if !self.chunk_sizes.is_empty() {
+                out.push_str("  chunk sizes: ");
+                let parts: Vec<String> = self
+                    .chunk_sizes
+                    .iter()
+                    .map(|(len, n)| format!("{len} items ×{n}"))
+                    .collect();
+                out.push_str(&parts.join(", "));
+                out.push('\n');
+            }
+        }
+        if !self.memory.is_empty() {
+            out.push_str("memory:\n");
+            for (name, v) in &self.memory {
+                let short = name.trim_start_matches("profile.mem.");
+                let _ = writeln!(out, "  {short:<40} {v:>14.0}");
+            }
+        }
+        out
+    }
+
+    /// The JSON document model behind `--profile=json`.
+    pub fn to_value(&self) -> Value {
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| {
+                Value::Obj(vec![
+                    ("name".to_owned(), Value::Str(s.name.clone())),
+                    ("wall_s".to_owned(), Value::num(s.wall_s)),
+                ])
+            })
+            .collect();
+        let phases = self
+            .phases
+            .iter()
+            .map(|r| {
+                Value::Obj(vec![
+                    ("path".to_owned(), Value::Str(r.path.clone())),
+                    ("count".to_owned(), Value::num(r.count as f64)),
+                    ("total_s".to_owned(), Value::num(r.total_s)),
+                    ("self_s".to_owned(), Value::num(r.self_s)),
+                    ("p50_s".to_owned(), Value::num(r.p50_s)),
+                    ("p95_s".to_owned(), Value::num(r.p95_s)),
+                    ("p99_s".to_owned(), Value::num(r.p99_s)),
+                ])
+            })
+            .collect();
+        let gauges = |pairs: &[(String, f64)]| {
+            Value::Obj(
+                pairs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::num(*v)))
+                    .collect(),
+            )
+        };
+        let pool = self
+            .pool
+            .iter()
+            .map(|w| {
+                Value::Obj(vec![
+                    ("worker".to_owned(), Value::num(w.worker as f64)),
+                    ("busy_s".to_owned(), Value::num(w.busy_s)),
+                    ("idle_s".to_owned(), Value::num(w.idle_s)),
+                    ("steals".to_owned(), Value::num(w.steals as f64)),
+                    ("chunks".to_owned(), Value::num(w.chunks as f64)),
+                    ("items".to_owned(), Value::num(w.items as f64)),
+                ])
+            })
+            .collect();
+        let chunk_sizes = self
+            .chunk_sizes
+            .iter()
+            .map(|(len, n)| Value::Arr(vec![Value::num(*len as f64), Value::num(*n as f64)]))
+            .collect();
+        Value::Obj(vec![
+            ("stages".to_owned(), Value::Arr(stages)),
+            ("phases".to_owned(), Value::Arr(phases)),
+            ("throughput".to_owned(), gauges(&self.throughput)),
+            ("memory".to_owned(), gauges(&self.memory)),
+            ("pool".to_owned(), Value::Arr(pool)),
+            ("chunk_sizes".to_owned(), Value::Arr(chunk_sizes)),
+        ])
+    }
+
+    /// Renders [`ProfileReport::to_value`] as JSON text.
+    pub fn to_json(&self) -> String {
+        self.to_value().render()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Folded stacks
+// ---------------------------------------------------------------------------
+
+/// Exports the profiler's self-time histograms as folded stacks — one
+/// `frame1;frame2 microseconds` line per phase path, the text format
+/// speedscope and inferno/`flamegraph.pl` consume. Sub-microsecond but
+/// non-empty phases round up to 1 so no recorded path disappears.
+pub fn folded_stacks(report: &TelemetryReport) -> String {
+    let mut out = String::new();
+    for (name, h) in &report.histograms {
+        let Some(path) = name.strip_prefix(SELF_PREFIX) else {
+            continue;
+        };
+        if h.count == 0 {
+            continue;
+        }
+        let usec = ((h.sum * 1e6).round() as u64).max(1);
+        let _ = writeln!(out, "{path} {usec}");
+    }
+    out
+}
+
+/// Structural validation of a folded-stack document: every line must
+/// be `frame(;frame)* <positive integer>`, frames non-empty and free
+/// of whitespace. Returns the number of stack lines.
+pub fn validate_folded(text: &str) -> Result<usize, String> {
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: no space between stack and value"))?;
+        let v: u64 = value
+            .parse()
+            .map_err(|_| format!("line {n}: value {value:?} is not an unsigned integer"))?;
+        if v == 0 {
+            return Err(format!("line {n}: zero-weight stack"));
+        }
+        if stack.is_empty() {
+            return Err(format!("line {n}: empty stack"));
+        }
+        for frame in stack.split(';') {
+            if frame.is_empty() {
+                return Err(format!("line {n}: empty frame in {stack:?}"));
+            }
+            if frame.chars().any(char::is_whitespace) {
+                return Err(format!("line {n}: whitespace inside frame {frame:?}"));
+            }
+        }
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("no stack lines".to_owned());
+    }
+    Ok(lines)
+}
+
+/// Builds a chunk-size distribution (`(items, chunks)`, ascending) —
+/// a small helper for pool accounting callers.
+pub fn chunk_size_counts(lens: impl IntoIterator<Item = usize>) -> Vec<(usize, u64)> {
+    let mut map = std::collections::BTreeMap::new();
+    for len in lens {
+        *map.entry(len).or_insert(0u64) += 1;
+    }
+    map.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn spin(ms: u64) {
+        let t0 = Instant::now();
+        while t0.elapsed() < Duration::from_millis(ms) {
+            std::hint::black_box(0u64);
+        }
+    }
+
+    #[test]
+    fn nested_phases_split_wall_and_self() {
+        let obs = Collector::new();
+        {
+            let _outer = phase(&obs, "outer");
+            spin(4);
+            {
+                let _inner = phase(&obs, "inner");
+                spin(8);
+            }
+        }
+        let r = obs.report();
+        let outer = r.histogram("profile.wall;outer").unwrap();
+        let outer_self = r.histogram("profile.self;outer").unwrap();
+        let inner = r.histogram("profile.wall;outer;inner").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // Outer wall covers both; outer self excludes the inner scope.
+        assert!(outer.sum >= inner.sum);
+        assert!(
+            outer_self.sum <= outer.sum - inner.sum + 1e-3,
+            "self {} vs wall {} minus child {}",
+            outer_self.sum,
+            outer.sum,
+            inner.sum
+        );
+    }
+
+    #[test]
+    fn record_phase_credits_open_parent() {
+        let obs = Collector::new();
+        {
+            let _outer = phase(&obs, "repair");
+            record_phase(&obs, "attempt_1", Duration::from_millis(50));
+        }
+        let r = obs.report();
+        assert_eq!(r.histogram("profile.wall;repair;attempt_1").unwrap().count, 1);
+        // The 50 ms were credited to the parent's children, so the
+        // parent's self time is (near) zero, not 50 ms.
+        assert!(r.histogram("profile.self;repair").unwrap().sum < 0.040);
+    }
+
+    #[test]
+    fn record_phase_at_ignores_stack() {
+        let obs = Collector::new();
+        let _open = phase(&obs, "open");
+        record_phase_at(&obs, &["stage", "corpus", "cache_lookup"], Duration::from_millis(1));
+        let r = obs.report();
+        assert!(r.histogram("profile.wall;stage;corpus;cache_lookup").is_some());
+    }
+
+    #[test]
+    fn phases_on_worker_threads_root_at_their_own_stack() {
+        let obs = Collector::new();
+        let _caller = phase(&obs, "caller");
+        thread::scope(|s| {
+            s.spawn(|| {
+                let _w = phase(&obs, "work");
+            });
+        });
+        let r = obs.report();
+        // The worker thread's stack is its own: no `caller;work` path.
+        assert!(r.histogram("profile.wall;work").is_some());
+        assert!(r.histogram("profile.wall;caller;work").is_none());
+    }
+
+    #[test]
+    fn folded_export_round_trips_validation() {
+        let obs = Collector::new();
+        {
+            let _a = phase(&obs, "digitize");
+            let _b = phase(&obs, "rasterize");
+            spin(2);
+        }
+        let folded = folded_stacks(&obs.report());
+        let lines = validate_folded(&folded).expect("folded output validates");
+        assert_eq!(lines, 2, "one line per recorded path: {folded:?}");
+        assert!(folded.contains("digitize;rasterize "));
+    }
+
+    #[test]
+    fn validate_folded_rejects_malformed_documents() {
+        assert!(validate_folded("").is_err());
+        assert!(validate_folded("noval\n").is_err());
+        assert!(validate_folded("a;b zero\n").is_err());
+        assert!(validate_folded("a;b 0\n").is_err());
+        assert!(validate_folded(";b 3\n").is_err());
+        assert!(validate_folded("a;;b 3\n").is_err());
+        assert_eq!(validate_folded("a;b 3\nc 1\n"), Ok(2));
+    }
+
+    #[test]
+    fn report_aggregates_rows_and_coverage() {
+        let obs = Collector::new();
+        for _ in 0..3 {
+            let _d = phase(&obs, "digitize");
+            {
+                let _r = phase(&obs, "rasterize");
+                spin(3);
+            }
+            {
+                let _c = phase(&obs, "correlate");
+                spin(3);
+            }
+        }
+        let report = obs.report();
+        let prof = ProfileReport::from_report(&report);
+        let root = prof.phase("digitize").expect("root row");
+        assert_eq!(root.count, 3);
+        let child = prof.phase("digitize;rasterize").expect("child row");
+        assert_eq!(child.count, 3);
+        // Parents sort before children.
+        let idx = |p: &str| prof.phases.iter().position(|r| r.path == p).unwrap();
+        assert!(idx("digitize") < idx("digitize;rasterize"));
+        // Nearly all of the root's wall is in the two named children.
+        let cov = prof.coverage("digitize", root.total_s).expect("coverage");
+        assert!(cov > 0.9, "coverage {cov}");
+        let table = prof.render_table();
+        assert!(table.contains("rasterize"));
+        assert!(table.contains("self%"));
+        // JSON round-trips through the in-tree parser.
+        let parsed = Value::parse(&prof.to_json()).expect("valid json");
+        assert!(parsed.get("phases").is_some());
+    }
+
+    #[test]
+    fn chunk_size_counts_accumulate() {
+        assert_eq!(chunk_size_counts([4, 2, 4]), vec![(2, 1), (4, 2)]);
+    }
+
+    #[test]
+    fn alloc_stats_read_without_global_allocator() {
+        // The library itself does not install CountingAlloc; the
+        // counters must still be readable (zero or whatever a binary
+        // using the shim accumulated).
+        let a = alloc_stats();
+        let b = alloc_stats();
+        assert!(b.calls >= a.calls);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        assert!(peak_rss_bytes().unwrap() > 0);
+    }
+}

@@ -134,9 +134,10 @@ impl TelemetryReport {
     }
 
     /// The canonical form for byte-for-byte comparison: every
-    /// wall-clock field (span start/duration, log timestamps) zeroed
-    /// and every `cache.*` counter dropped, all other structure and
-    /// metrics kept.
+    /// wall-clock field (span start/duration, log timestamps) zeroed,
+    /// every `cache.*` counter dropped, and the entire `profile.*`
+    /// namespace (counters, gauges, histograms) dropped, all other
+    /// structure and metrics kept.
     ///
     /// Two runs of the same deterministic workload differ only in
     /// timing and in where their inputs came from — a cold run counts
@@ -144,7 +145,10 @@ impl TelemetryReport {
     /// Both are environment facts, not workload facts, so the
     /// canonical report excludes them; the `repro
     /// --telemetry=stable-json` / `scripts/verify.sh` contract is that
-    /// warm, cold, and any `--jobs` all serialize identically.
+    /// warm, cold, and any `--jobs` all serialize identically. The
+    /// self-profiler's `profile.*` metrics (phase timers, throughput,
+    /// memory gauges — see [`crate::profile`]) are wall-clock-derived
+    /// by construction, so the whole namespace goes the same way.
     #[must_use]
     pub fn canonical(mut self) -> TelemetryReport {
         fn strip(node: &mut SpanNode) {
@@ -160,7 +164,11 @@ impl TelemetryReport {
         for log in &mut self.logs {
             log.t_s = 0.0;
         }
-        self.counters.retain(|k, _| !k.starts_with("cache."));
+        let keep = |k: &String| !k.starts_with(crate::profile::PROFILE_PREFIX);
+        self.counters
+            .retain(|k, _| !k.starts_with("cache.") && keep(k));
+        self.gauges.retain(|k, _| keep(k));
+        self.histograms.retain(|k, _| keep(k));
         self
     }
 
@@ -252,6 +260,29 @@ mod tests {
         assert_eq!(c.logs[0].message, "done");
         // Idempotent.
         assert_eq!(c.clone().canonical(), c);
+    }
+
+    #[test]
+    fn canonical_drops_the_profile_namespace() {
+        use crate::hist::Histogram;
+        let mut r = TelemetryReport::default();
+        r.counters.insert("profile.anything".to_owned(), 1);
+        r.counters.insert("ocr.documents".to_owned(), 4);
+        r.gauges.insert("profile.mem.peak_rss_bytes".to_owned(), 1e6);
+        r.gauges.insert("ocr.mean_cer".to_owned(), 0.01);
+        let mut h = Histogram::new();
+        h.record(0.25);
+        r.histograms
+            .insert("profile.wall;digitize".to_owned(), h.summary());
+        r.histograms.insert("ocr.cer".to_owned(), h.summary());
+        let c = r.canonical();
+        assert!(c.counters.keys().all(|k| !k.starts_with("profile.")));
+        assert!(c.gauges.keys().all(|k| !k.starts_with("profile.")));
+        assert!(c.histograms.keys().all(|k| !k.starts_with("profile.")));
+        // Non-profile metrics survive untouched.
+        assert_eq!(c.counter("ocr.documents"), 4);
+        assert_eq!(c.gauge("ocr.mean_cer"), Some(0.01));
+        assert!(c.histogram("ocr.cer").is_some());
     }
 
     #[test]

@@ -189,10 +189,28 @@ impl Corrector {
         text: &str,
         max_attempts: u32,
     ) -> (String, Vec<u64>, Vec<TokenRepair>) {
+        self.correct_text_observed(text, max_attempts, &mut |_, _| {})
+    }
+
+    /// [`Corrector::correct_text_audited`] with a per-attempt timing
+    /// callback: `on_attempt(attempt, elapsed)` fires once per executed
+    /// ladder rung, in rung order, with that rung's wall-clock
+    /// duration. This is the profiler's hook — the corrector stays
+    /// observability-agnostic (no telemetry dependency); callers turn
+    /// the durations into whatever metric they keep. The callback
+    /// cannot influence the ladder, so the corrected text, hit counts,
+    /// and audit trail are identical to the uninstrumented form.
+    pub fn correct_text_observed(
+        &self,
+        text: &str,
+        max_attempts: u32,
+        on_attempt: &mut dyn FnMut(u32, std::time::Duration),
+    ) -> (String, Vec<u64>, Vec<TokenRepair>) {
         let mut current = text.to_owned();
         let mut per_attempt = Vec::new();
         let mut repairs = Vec::new();
         for attempt in 1..=max_attempts.max(1) {
+            let rung_start = std::time::Instant::now();
             let distance = (attempt as usize).min(2);
             let mut hits = 0u64;
             let out = current
@@ -220,6 +238,7 @@ impl Corrector {
                 .join("\n");
             per_attempt.push(hits);
             current = out;
+            on_attempt(attempt, rung_start.elapsed());
             // A dry attempt ends the ladder only once the distance has
             // stopped rising — a fruitless distance-1 pass says nothing
             // about what distance 2 can still recover.
@@ -390,5 +409,23 @@ mod tests {
         assert!(!c.is_empty());
         assert!(c.knows("driver"));
         assert!(!c.knows("pilot"));
+    }
+
+    #[test]
+    fn observed_ladder_times_each_rung_without_changing_results() {
+        let c = corrector();
+        let text = "the watchdog module frose\nsoftwar3 error";
+        let reference = c.correct_text_audited(text, 3);
+        let mut rungs = Vec::new();
+        let observed = c.correct_text_observed(text, 3, &mut |attempt, elapsed| {
+            rungs.push((attempt, elapsed));
+        });
+        assert_eq!(observed, reference);
+        // One callback per executed rung, in ladder order; the rung
+        // count matches the per-attempt hit vector.
+        assert_eq!(rungs.len(), reference.1.len());
+        for (i, (attempt, _)) in rungs.iter().enumerate() {
+            assert_eq!(*attempt as usize, i + 1);
+        }
     }
 }

@@ -137,6 +137,7 @@ where
     let jobs = resolve_jobs(jobs).min(n.max(1));
     let chunk = chunk_len(n);
     let n_chunks = n.div_ceil(chunk);
+    let call = timeline.begin_call(label, jobs.max(1), chunk, n_chunks, n);
     if jobs <= 1 {
         let mut out = Vec::with_capacity(n);
         for c in 0..n_chunks {
@@ -144,8 +145,9 @@ where
             let start = c * chunk;
             let end = (start + chunk).min(n);
             out.extend((start..end).map(|i| run_one(i, &items[i], &f)));
-            timeline.record(label, 0, c, start, end - start, stamp);
+            timeline.record(label, 0, c, start, end - start, stamp, call);
         }
+        timeline.end_call(call);
         return out;
     }
 
@@ -168,7 +170,7 @@ where
                     let out: Vec<Result<R, TaskPanic>> = (start..end)
                         .map(|i| run_one(i, &items[i], f))
                         .collect();
-                    timeline.record(label, w, c, start, end - start, stamp);
+                    timeline.record(label, w, c, start, end - start, stamp, call);
                     if let Ok(mut slot) = slots[c].lock() {
                         *slot = Some(out);
                     }
@@ -176,6 +178,7 @@ where
             });
         }
     });
+    timeline.end_call(call);
 
     slots
         .into_iter()
@@ -359,6 +362,66 @@ mod tests {
                 assert!(t.end_s >= t.start_s);
                 assert!(t.worker < jobs.max(1));
                 next += t.len;
+            }
+        }
+    }
+
+    #[test]
+    fn busy_plus_idle_accounts_for_pool_wall_time() {
+        // The idle-time guard: for every worker a call spawned,
+        // busy + idle must reconcile with the call's wall window at
+        // any worker count. Double-counting steal time (busy on both
+        // thief and owner) or subtracting it twice from idle would
+        // break the identity.
+        let items: Vec<usize> = (0..512).collect();
+        for jobs in [1usize, 4] {
+            let timeline = TaskTimeline::new();
+            par_map_indexed_timed(
+                jobs,
+                &items,
+                |_, &x| {
+                    // Uneven spin so stealing actually happens at 4.
+                    let spins = if x % 7 == 0 { 20_000 } else { 200 };
+                    let mut acc = 0u64;
+                    for k in 0..spins {
+                        acc = acc.wrapping_add(k).rotate_left(5);
+                    }
+                    acc
+                },
+                &timeline,
+                "stage_test",
+            );
+            let calls = timeline.calls();
+            assert_eq!(calls.len(), 1, "jobs = {jobs}");
+            assert_eq!(calls[0].jobs, jobs);
+            let wall = calls[0].end_s - calls[0].start_s;
+            assert!(wall > 0.0);
+            let stats = timeline.worker_stats();
+            assert_eq!(stats.len(), jobs, "jobs = {jobs}");
+            for w in &stats {
+                let accounted = w.busy_s + w.idle_s;
+                let gap = (accounted - wall).abs();
+                // Busy is measured inside the call window, so the
+                // identity holds up to clock-read jitter: 5% of the
+                // wall or 2ms, whichever is larger.
+                assert!(
+                    gap <= (wall * 0.05).max(0.002),
+                    "jobs = {jobs}, worker {}: busy {} + idle {} vs wall {}",
+                    w.worker,
+                    w.busy_s,
+                    w.idle_s,
+                    wall
+                );
+                assert!(w.busy_s <= wall + 1e-6);
+            }
+            // Every chunk ran exactly once across workers, stolen or
+            // not — steal accounting must not duplicate chunks.
+            let chunks: u64 = stats.iter().map(|w| w.chunks).sum();
+            assert_eq!(chunks as usize, calls[0].chunks);
+            let stolen: u64 = stats.iter().map(|w| w.steals).sum();
+            assert!(stolen <= chunks);
+            if jobs == 1 {
+                assert_eq!(stolen, 0, "sequential path cannot steal");
             }
         }
     }

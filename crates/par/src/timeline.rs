@@ -1,16 +1,20 @@
 //! Task begin/end capture for the pool: which worker ran which chunk,
-//! when.
+//! when — plus per-call accounting (busy/idle/steal time per worker,
+//! chunk-size distribution) for the self-profiler.
 //!
 //! A [`TaskTimeline`] is passed to the `_timed` map variants; each
 //! claimed chunk records one [`TaskSpan`] carrying the worker index,
 //! chunk number, covered item range, and start/end seconds relative to
-//! the timeline's epoch. The Chrome-trace exporter turns these into
-//! per-worker timeline rows. Timestamps are wall-clock by nature, so
-//! the timeline is diagnostics only — it is *not* part of the
-//! pipeline's byte-identity determinism contract (chunk structure is:
-//! the partition is a pure function of the input length, so the set of
-//! recorded tasks is the same at every worker count; only their
-//! timings and worker assignments vary).
+//! the timeline's epoch. Each pool invocation additionally records one
+//! [`PoolCall`] envelope (label, effective worker count, partition
+//! shape, wall window); [`TaskTimeline::worker_stats`] folds the two
+//! into per-worker busy/idle/steal accounting. The Chrome-trace
+//! exporter turns the task spans into per-worker timeline rows.
+//! Timestamps are wall-clock by nature, so the timeline is diagnostics
+//! only — it is *not* part of the pipeline's byte-identity determinism
+//! contract (chunk structure is: the partition is a pure function of
+//! the input length, so the set of recorded tasks is the same at every
+//! worker count; only their timings and worker assignments vary).
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -32,6 +36,49 @@ pub struct TaskSpan {
     pub start_s: f64,
     /// End, seconds since the timeline epoch.
     pub end_s: f64,
+    /// Index of the [`PoolCall`] this task ran under.
+    pub call: usize,
+}
+
+/// One pool invocation's envelope: what was mapped, over how many
+/// workers, and the call's wall-clock window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolCall {
+    /// Stage label passed to the `_timed` map call.
+    pub label: String,
+    /// Effective worker count (after `resolve_jobs` and the
+    /// input-length clamp; 1 on the sequential path).
+    pub jobs: usize,
+    /// Items per chunk (the partition's pure function of input length).
+    pub chunk_len: usize,
+    /// Number of chunks dealt.
+    pub chunks: usize,
+    /// Items mapped.
+    pub items: usize,
+    /// Call start, seconds since the timeline epoch.
+    pub start_s: f64,
+    /// Call end, seconds since the timeline epoch.
+    pub end_s: f64,
+}
+
+/// Per-worker accounting across every recorded pool call, from
+/// [`TaskTimeline::worker_stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: usize,
+    /// Seconds spent running chunks.
+    pub busy_s: f64,
+    /// Seconds inside pool calls (where the worker existed) not spent
+    /// running chunks: wait on the queues plus steal-scan overhead.
+    pub idle_s: f64,
+    /// Chunks this worker ran that were dealt to a different worker's
+    /// deque (round-robin owner `chunk % jobs`).
+    pub steals: u64,
+    /// Chunks executed.
+    pub chunks: u64,
+    /// Items executed.
+    pub items: u64,
 }
 
 /// Thread-safe accumulator of [`TaskSpan`]s across pool calls.
@@ -40,6 +87,7 @@ pub struct TaskTimeline {
     enabled: bool,
     epoch: Instant,
     tasks: Mutex<Vec<TaskSpan>>,
+    calls: Mutex<Vec<PoolCall>>,
 }
 
 impl Default for TaskTimeline {
@@ -62,6 +110,7 @@ impl TaskTimeline {
             enabled: true,
             epoch,
             tasks: Mutex::new(Vec::new()),
+            calls: Mutex::new(Vec::new()),
         }
     }
 
@@ -72,6 +121,7 @@ impl TaskTimeline {
             enabled: false,
             epoch: Instant::now(),
             tasks: Mutex::new(Vec::new()),
+            calls: Mutex::new(Vec::new()),
         }
     }
 
@@ -90,6 +140,45 @@ impl TaskTimeline {
         }
     }
 
+    /// Opens a [`PoolCall`] envelope and returns its index (0 when
+    /// disabled; every recording method no-ops to match).
+    pub(crate) fn begin_call(
+        &self,
+        label: &str,
+        jobs: usize,
+        chunk_len: usize,
+        chunks: usize,
+        items: usize,
+    ) -> usize {
+        if !self.enabled {
+            return 0;
+        }
+        let start_s = self.epoch.elapsed().as_secs_f64();
+        let mut calls = self.calls.lock().unwrap_or_else(|e| e.into_inner());
+        calls.push(PoolCall {
+            label: label.to_owned(),
+            jobs,
+            chunk_len,
+            chunks,
+            items,
+            start_s,
+            end_s: start_s,
+        });
+        calls.len() - 1
+    }
+
+    /// Closes the [`PoolCall`] opened by [`TaskTimeline::begin_call`].
+    pub(crate) fn end_call(&self, call: usize) {
+        if !self.enabled {
+            return;
+        }
+        let end_s = self.epoch.elapsed().as_secs_f64();
+        let mut calls = self.calls.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(c) = calls.get_mut(call) {
+            c.end_s = end_s;
+        }
+    }
+
     /// Records one completed task (no-op when disabled).
     pub(crate) fn record(
         &self,
@@ -99,6 +188,7 @@ impl TaskTimeline {
         first_index: usize,
         len: usize,
         start: Duration,
+        call: usize,
     ) {
         if !self.enabled {
             return;
@@ -113,12 +203,18 @@ impl TaskTimeline {
             len,
             start_s: start.as_secs_f64(),
             end_s: end.as_secs_f64(),
+            call,
         });
     }
 
     /// Snapshot of every recorded task, in completion order.
     pub fn tasks(&self) -> Vec<TaskSpan> {
         self.tasks.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Snapshot of every pool-call envelope, in call order.
+    pub fn calls(&self) -> Vec<PoolCall> {
+        self.calls.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Number of tasks recorded so far.
@@ -130,6 +226,68 @@ impl TaskTimeline {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Per-worker accounting folded over every recorded call: busy is
+    /// the sum of a worker's task durations; idle is, per call, the
+    /// call's wall window minus that worker's busy share (clamped at
+    /// zero, and only for workers the call actually spawned), so for
+    /// every worker `busy + idle == Σ call walls` it participated in —
+    /// the invariant the idle-time guard test pins. A steal is a chunk
+    /// run by a worker other than its round-robin owner
+    /// (`chunk % jobs`); each stolen chunk is counted once, on the
+    /// thief, so steal time is a subset of busy time, never an
+    /// addition to it.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        let calls = self.calls();
+        let tasks = self.tasks();
+        let workers = calls.iter().map(|c| c.jobs).max().unwrap_or(0);
+        let mut stats: Vec<WorkerStats> = (0..workers)
+            .map(|worker| WorkerStats {
+                worker,
+                busy_s: 0.0,
+                idle_s: 0.0,
+                steals: 0,
+                chunks: 0,
+                items: 0,
+            })
+            .collect();
+        // Busy per (call, worker) so each call's idle can be derived
+        // from its own wall window.
+        let mut busy = vec![vec![0.0f64; workers]; calls.len()];
+        for t in &tasks {
+            let Some(call) = calls.get(t.call) else {
+                continue;
+            };
+            let Some(w) = stats.get_mut(t.worker) else {
+                continue;
+            };
+            let dur = (t.end_s - t.start_s).max(0.0);
+            w.busy_s += dur;
+            w.chunks += 1;
+            w.items += t.len as u64;
+            if call.jobs > 0 && t.chunk % call.jobs != t.worker {
+                w.steals += 1;
+            }
+            busy[t.call][t.worker] += dur;
+        }
+        for (c, call) in calls.iter().enumerate() {
+            let wall = (call.end_s - call.start_s).max(0.0);
+            for w in 0..call.jobs.min(workers) {
+                stats[w].idle_s += (wall - busy[c][w]).max(0.0);
+            }
+        }
+        stats
+    }
+
+    /// Distribution of executed chunk sizes as `(items, chunks)`,
+    /// ascending by size.
+    pub fn chunk_size_counts(&self) -> Vec<(usize, u64)> {
+        let mut map = std::collections::BTreeMap::new();
+        for t in self.tasks() {
+            *map.entry(t.len).or_insert(0u64) += 1;
+        }
+        map.into_iter().collect()
+    }
 }
 
 #[cfg(test)]
@@ -140,23 +298,69 @@ mod tests {
     fn disabled_timeline_records_nothing() {
         let t = TaskTimeline::disabled();
         let s = t.stamp();
-        t.record("x", 0, 0, 0, 4, s);
+        let call = t.begin_call("x", 1, 4, 1, 4);
+        t.record("x", 0, 0, 0, 4, s, call);
+        t.end_call(call);
         assert!(t.is_empty());
+        assert!(t.calls().is_empty());
         assert!(!t.is_enabled());
+        assert!(t.worker_stats().is_empty());
     }
 
     #[test]
     fn records_carry_range_and_ordered_times() {
         let t = TaskTimeline::new();
+        let call = t.begin_call("stage_iii_tag", 4, 256, 6, 1536);
         let s = t.stamp();
-        t.record("stage_iii_tag", 2, 5, 1280, 256, s);
+        t.record("stage_iii_tag", 2, 5, 1280, 256, s, call);
+        t.end_call(call);
         let tasks = t.tasks();
         assert_eq!(tasks.len(), 1);
         let task = &tasks[0];
         assert_eq!(
-            (task.worker, task.chunk, task.first_index, task.len),
-            (2, 5, 1280, 256)
+            (task.worker, task.chunk, task.first_index, task.len, task.call),
+            (2, 5, 1280, 256, 0)
         );
         assert!(task.start_s >= 0.0 && task.end_s >= task.start_s);
+        let calls = t.calls();
+        assert_eq!(calls.len(), 1);
+        assert_eq!((calls[0].jobs, calls[0].chunks, calls[0].items), (4, 6, 1536));
+        assert!(calls[0].end_s >= calls[0].start_s);
+    }
+
+    #[test]
+    fn worker_stats_attribute_steals_to_the_thief_once() {
+        let t = TaskTimeline::new();
+        let call = t.begin_call("s", 2, 1, 4, 4);
+        // Chunks 0,2 belong to worker 0; 1,3 to worker 1. Worker 0
+        // runs chunk 1 — one steal, counted once, on worker 0.
+        for (worker, chunk) in [(0usize, 0usize), (0, 1), (0, 2), (1, 3)] {
+            let s = t.stamp();
+            t.record("s", worker, chunk, chunk, 1, s, call);
+        }
+        t.end_call(call);
+        let stats = t.worker_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].steals, 1);
+        assert_eq!(stats[1].steals, 0);
+        assert_eq!(stats[0].chunks, 3);
+        assert_eq!(stats[0].items, 3);
+        assert_eq!(
+            stats.iter().map(|w| w.steals).sum::<u64>(),
+            1,
+            "a stolen chunk is never double-counted"
+        );
+    }
+
+    #[test]
+    fn chunk_size_distribution_counts_tasks() {
+        let t = TaskTimeline::new();
+        let call = t.begin_call("s", 1, 4, 3, 10);
+        for (chunk, len) in [(0usize, 4usize), (1, 4), (2, 2)] {
+            let s = t.stamp();
+            t.record("s", 0, chunk, chunk * 4, len, s, call);
+        }
+        t.end_call(call);
+        assert_eq!(t.chunk_size_counts(), vec![(2, 1), (4, 2)]);
     }
 }

@@ -9,8 +9,12 @@
 # and chaos), an artifact-cache smoke (cold run stores, warm run must
 # hit every stage and byte-match; a corrupted artifact must recompute
 # silently), a `disengage explain` smoke over all three exemplar
-# classes, and Chrome-trace export validation. No network access is
-# required at any step.
+# classes, Chrome-trace export validation, a self-profiler smoke
+# (stage x phase table, JSON round-trip, folded-stack validation), and
+# the perf-regression gate (fresh parbench/repro measurements vs the
+# committed BENCH_*.json baselines; tolerance via
+# DISENGAGE_BENCH_TOLERANCE). No network access is required at any
+# step.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -153,8 +157,49 @@ cargo run --release --offline -p disengage-bench --bin repro -- \
     table1 --trace=trace.json >/dev/null
 cargo run --release --offline --bin disengage -- check-trace trace.json
 
+echo "== self-profiler: table, JSON round-trip, folded stacks =="
+# The profile command must attribute Stage I to named OCR phases, its
+# JSON must parse (the binary self-validates the folded export; the
+# JSON sections are asserted in tests/cli.rs), and the folded-stack
+# export must satisfy check-folded.
+cargo run --release --offline --bin disengage -- \
+    profile --scale=0.02 > profile_table.txt
+grep -q "digitize" profile_table.txt || {
+    echo "verify: profile table attributes no digitize phases" >&2
+    exit 1
+}
+grep -q "stage_i_ocr" profile_table.txt || {
+    echo "verify: profile table lists no stages" >&2
+    exit 1
+}
+rm -f profile_table.txt
+cargo run --release --offline --bin disengage -- \
+    profile --scale=0.02 --profile=json > profile.json
+grep -q '"phases"' profile.json || {
+    echo "verify: profile JSON has no phases section" >&2
+    exit 1
+}
+rm -f profile.json
+cargo run --release --offline --bin disengage -- \
+    profile --scale=0.02 --profile=folded > profile.folded
+cargo run --release --offline --bin disengage -- check-folded profile.folded
+rm -f profile.folded
+
 echo "== parallel speedup bench (enforced on 4+ cores) =="
 cargo run --release --offline -p disengage-bench --bin parbench -- \
-    --require-speedup
+    --require-speedup --out=BENCH_par.candidate.json
+
+echo "== perf-regression gate: candidates vs committed baselines =="
+# A fresh measurement must stay within tolerance of the committed
+# baseline (skipped automatically when the core count differs from the
+# baseline machine's). Re-baseline by copying the candidate over the
+# baseline; loosen per-run with DISENGAGE_BENCH_TOLERANCE=F.
+cargo run --release --offline -p disengage-bench --bin benchgate -- \
+    BENCH_par.json BENCH_par.candidate.json
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    table1 --bench=BENCH_pipeline.candidate.json >/dev/null
+cargo run --release --offline -p disengage-bench --bin benchgate -- \
+    BENCH_pipeline.json BENCH_pipeline.candidate.json
+rm -f BENCH_par.candidate.json BENCH_pipeline.candidate.json
 
 echo "verify: OK"

@@ -10,6 +10,8 @@
 //! disengage sweep-ocr                    # scanner-noise sweep
 //! disengage explain [subject]            # per-record lineage chain
 //! disengage check-trace <file>           # validate a Chrome trace export
+//! disengage profile                      # self-profile the OCR pipeline
+//! disengage check-folded <file>          # validate a folded-stack export
 //! ```
 //!
 //! Flag parsing is shared with the `repro` harness
@@ -27,7 +29,7 @@
 //! stage artifact cache — a warm re-run replays Stages I–II instead
 //! of regenerating and re-OCRing the corpus).
 
-use disengage::core::args::{ArgError, CommonArgs, TelemetryMode};
+use disengage::core::args::{ArgError, CommonArgs, ProfileMode, TelemetryMode};
 use disengage::core::pipeline::{OcrMode, RunTrace};
 use disengage::core::telemetry::{execution_trace_json, timed};
 use disengage::core::{exposure, questions, report, tables, whatif, RunConfig, RunSession};
@@ -41,6 +43,11 @@ use disengage::stats::kalra_paddock::failure_free_miles;
 use disengage::stpa::dot::to_dot;
 use disengage::stpa::ControlStructure;
 use std::process::ExitCode;
+
+// The self-profiler's allocation proxy: a system-allocator shim that
+// counts calls and bytes for the `profile.mem.*` gauges.
+#[global_allocator]
+static ALLOC: disengage::obs::CountingAlloc = disengage::obs::CountingAlloc;
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -80,6 +87,8 @@ fn usage() -> String {
   disengage sweep-ocr [flags]
   disengage explain [record-id|doc:D|doc:D/line:L] [flags]
   disengage check-trace <trace.json>
+  disengage profile [flags]    # simulated-OCR self-profile (default --scale=0.1)
+  disengage check-folded <stacks.folded>
 
 flags (shared with the `repro` harness; both --flag VALUE and
 --flag=VALUE spellings work, except optional values must be inline):
@@ -106,7 +115,11 @@ fn run(args: &CommonArgs) -> Result<(), String> {
     let obs = Collector::new();
     // `explain` always traces (it has nothing to show otherwise); other
     // full-corpus commands trace only when an export was requested.
-    let trace = if args.wants_trace() || command == "explain" {
+    // `profile` takes a timeline without provenance so the lineage bit
+    // never perturbs stage cache keys.
+    let trace = if command == "profile" {
+        RunTrace::profiled(&obs)
+    } else if args.wants_trace() || command == "explain" {
         RunTrace::new(&obs)
     } else {
         RunTrace::disabled()
@@ -337,6 +350,64 @@ fn run(args: &CommonArgs) -> Result<(), String> {
                     }
                 }
             }
+            Ok(())
+        }
+        "profile" => {
+            // Profile the full OCR ladder: simulated noise forces the
+            // rasterize → correlate → repair path that the parsed-text
+            // mode skips. Default to a tenth-scale corpus so the command
+            // answers in seconds.
+            let profiled = RunSession::new(
+                config
+                    .clone()
+                    .with_corpus(CorpusConfig {
+                        seed,
+                        scale: args.scale.unwrap_or(0.1),
+                    })
+                    .with_ocr(OcrMode::Simulated {
+                        noise: NoiseModel::light(),
+                        correct: true,
+                    })
+                    .with_ocr_seed(seed ^ 0xFF),
+            );
+            profiled
+                .run_traced(&obs, &trace)
+                .map_err(|e| e.to_string())?;
+            disengage::obs::profile::record_process_gauges(&obs);
+            let report = obs.report();
+            let timeline = trace.timeline();
+            let mut profile = disengage::obs::ProfileReport::from_report(&report);
+            profile.pool = timeline
+                .worker_stats()
+                .into_iter()
+                .map(|w| disengage::obs::PoolRow {
+                    worker: w.worker,
+                    busy_s: w.busy_s,
+                    idle_s: w.idle_s,
+                    steals: w.steals,
+                    chunks: w.chunks,
+                    items: w.items,
+                })
+                .collect();
+            profile.chunk_sizes = timeline.chunk_size_counts();
+            match args.profile {
+                ProfileMode::Off | ProfileMode::Table => print!("{}", profile.render_table()),
+                ProfileMode::Json => println!("{}", profile.to_json()),
+                ProfileMode::Folded => {
+                    let folded = report.to_folded();
+                    disengage::obs::validate_folded(&folded)
+                        .map_err(|e| format!("internal: folded export invalid: {e}"))?;
+                    print!("{folded}");
+                }
+            }
+            Ok(())
+        }
+        "check-folded" => {
+            let path = args.positional.get(1).ok_or("check-folded needs a file")?;
+            let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            let n = disengage::obs::validate_folded(&text)
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("{path}: valid folded stacks ({n} stacks)");
             Ok(())
         }
         "check-trace" => {

@@ -48,10 +48,58 @@ fn malformed_values_are_rejected() {
         ["summary", "--jobs=many"],
         ["summary", "--telemetry=loud"],
         ["summary", "--chaos=2.0"],
+        ["profile", "--profile=flame"],
     ] {
         let out = disengage(&bad);
         assert!(!out.status.success(), "{bad:?} must exit nonzero");
     }
+}
+
+/// `disengage profile` renders the stage × phase table by default, and
+/// its folded export round-trips through `check-folded`.
+#[test]
+fn profile_command_renders_and_folded_round_trips() {
+    let out = disengage(&["profile", "--scale=0.01"]);
+    assert!(out.status.success(), "profile must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["== profile ==", "stage_i_ocr", "digitize", "rasterize", "throughput"] {
+        assert!(stdout.contains(needle), "table must mention {needle}:\n{stdout}");
+    }
+
+    let folded = disengage(&["profile", "--scale=0.01", "--profile=folded"]);
+    assert!(folded.status.success());
+    let dir = std::env::temp_dir().join(format!("disengage-cli-profile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("profile.folded");
+    std::fs::write(&path, &folded.stdout).expect("write folded");
+    let check = disengage(&["check-folded", path.to_str().expect("utf-8 path")]);
+    assert!(check.status.success(), "check-folded must accept our own export");
+    assert!(String::from_utf8_lossy(&check.stdout).contains("valid folded stacks"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--profile=json` emits a single JSON object that the in-tree parser
+/// accepts, with the documented top-level sections.
+#[test]
+fn profile_json_parses_with_expected_sections() {
+    let out = disengage(&["profile", "--scale=0.01", "--profile=json"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let value = disengage::obs::json::Value::parse(text.trim()).expect("profile json parses");
+    for section in ["stages", "phases", "throughput", "memory", "pool"] {
+        assert!(value.get(section).is_some(), "missing `{section}` section");
+    }
+}
+
+#[test]
+fn check_folded_rejects_garbage() {
+    let dir = std::env::temp_dir().join(format!("disengage-cli-folded-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bad.folded");
+    std::fs::write(&path, "no-weight-here\n").expect("write");
+    let out = disengage(&["check-folded", path.to_str().expect("utf-8 path")]);
+    assert!(!out.status.success(), "garbage must be rejected");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
