@@ -21,8 +21,21 @@
 //! repro --lineage=lineage.jsonl  # export the per-record provenance log
 //! repro --trace=trace.json       # export a Chrome trace-event timeline
 //! repro --cache-dir=.disengage-cache  # content-addressed stage cache
+//! repro --cache-cap=0                 # unbounded per-stage cache
 //! repro --bench=BENCH_pipeline.json   # write a perf-baseline envelope
+//! repro --crash-campaign=25           # crash-recovery campaign, 25 trials
+//! repro --crash-campaign=25,7         # same, explicit campaign seed
 //! ```
+//!
+//! `--crash-campaign=TRIALS[,SEED]` replaces the normal reproduction
+//! flow with the [`disengage_bench::crash`] campaign: each trial runs
+//! the pipeline into a fresh cache directory, kills it at a seeded
+//! point between stage commits (often with seeded I/O faults and
+//! crashed-peer litter armed), restarts it, and requires byte-identical
+//! convergence with a cold run plus a clean cache-directory audit. The
+//! outcome ledger lands in `crash_report.json`; any non-recovered trial
+//! exits nonzero. `--scale`, `--seed`, `--jobs`, and `--cache-cap`
+//! shape the workload under test.
 //!
 //! `--bench=PATH` writes a versioned [`disengage_bench::gate`]
 //! envelope with the per-stage wall times (from the pipeline span
@@ -67,6 +80,7 @@ use disengage_core::{degrade, exposure, figures, questions, report, tables, what
 use disengage_nlp::Classifier;
 use disengage_obs::{Collector, ProvenanceEvent, ProvenanceLog, Subject};
 use disengage_reports::Manufacturer;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Tracks artifacts that degraded instead of rendering, so the run can
@@ -107,6 +121,9 @@ accuracy (none selects everything)
 
 repro-only flags:
   --bench=PATH        write a perf-baseline envelope (see benchgate)
+  --crash-campaign=TRIALS[,SEED]
+                      run the crash-recovery campaign instead of the
+                      reproduction (writes crash_report.json)
 
 flags (shared with the `disengage` front-end; both --flag VALUE and
 --flag=VALUE spellings work, except optional values must be inline):
@@ -119,6 +136,7 @@ flags (shared with the `disengage` front-end; both --flag VALUE and
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut bench_out: Option<String> = None;
+    let mut crash_campaign: Option<(usize, u64)> = None;
     let parsed = CommonArgs::parse_with(&raw, |flag, value| match flag {
         "--bench" => {
             let v = value.ok_or_else(|| ArgError {
@@ -126,6 +144,17 @@ fn main() -> ExitCode {
                 reason: "expected --bench=PATH".to_owned(),
             })?;
             bench_out = Some(v.to_owned());
+            Ok(true)
+        }
+        "--crash-campaign" => {
+            let v = value.ok_or_else(|| ArgError {
+                flag: flag.to_owned(),
+                reason: "expected --crash-campaign=TRIALS[,SEED]".to_owned(),
+            })?;
+            crash_campaign = Some(parse_crash_campaign(v).map_err(|reason| ArgError {
+                flag: flag.to_owned(),
+                reason,
+            })?);
             Ok(true)
         }
         _ => Ok(false),
@@ -161,6 +190,21 @@ fn main() -> ExitCode {
     }
     if let Some(dir) = args.effective_cache_dir() {
         config = config.with_cache_dir(dir);
+    }
+    if let Some(cap) = args.cache_cap {
+        config = config.with_cache_cap(cap);
+    }
+
+    // The crash-recovery campaign replaces the reproduction flow
+    // entirely: N interrupted-then-resumed sessions, each required to
+    // recover byte-identically and leave a clean cache directory.
+    if let Some((trials, seed)) = crash_campaign {
+        return run_crash_campaign(
+            &config,
+            trials,
+            seed,
+            args.effective_cache_dir().map(PathBuf::from),
+        );
     }
 
     let want = |name: &str| args.positional.is_empty() || args.positional.iter().any(|a| a == name);
@@ -658,4 +702,76 @@ fn main() -> ExitCode {
 
 fn print(text: String) {
     println!("{text}");
+}
+
+/// Parses `--crash-campaign=TRIALS[,SEED]` (seed defaults to `0xC4A54`).
+fn parse_crash_campaign(v: &str) -> Result<(usize, u64), String> {
+    let (trials, seed) = match v.split_once(',') {
+        Some((n, s)) => (n, Some(s)),
+        None => (v, None),
+    };
+    let trials: usize = trials
+        .trim()
+        .parse()
+        .map_err(|_| format!("`{v}` is not TRIALS[,SEED] (e.g. 25 or 25,7)"))?;
+    if trials == 0 {
+        return Err("at least one trial is required".to_owned());
+    }
+    let seed = match seed {
+        Some(s) => s
+            .trim()
+            .parse()
+            .map_err(|_| format!("`{v}` has a non-numeric SEED"))?,
+        None => 0xC4A54,
+    };
+    Ok((trials, seed))
+}
+
+/// Runs the crash-recovery campaign, writes `crash_report.json`, and
+/// maps the verdict to the process exit code. Trial caches live under
+/// `--cache-dir` when given, else `.disengage-crash-cache`; passing
+/// trials clean up after themselves, a failing trial's directory stays
+/// behind for inspection.
+fn run_crash_campaign(
+    config: &disengage_core::RunConfig,
+    trials: usize,
+    seed: u64,
+    cache_dir: Option<PathBuf>,
+) -> ExitCode {
+    let root = cache_dir.unwrap_or_else(|| PathBuf::from(".disengage-crash-cache"));
+    eprintln!(
+        "crash campaign: {trials} trial(s), seed {seed:#x}, cache root {}",
+        root.display()
+    );
+    let report =
+        match disengage_bench::crash::run_crash_campaign(config, trials, seed, &root, |line| {
+            eprintln!("{line}")
+        }) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let (replayed, recomputed, retried, absorbed, reclaimed) = report.totals();
+    eprintln!(
+        "crash campaign: {}/{} trials recovered byte-identically \
+         ({replayed} replayed, {recomputed} recomputed, {retried} faults retried, \
+         {absorbed} absorbed, {reclaimed} files reclaimed)",
+        report.passed(),
+        report.trials.len(),
+    );
+    let path = "crash_report.json";
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("error: could not write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {path}");
+    if report.all_passed() {
+        // Every per-trial directory is already gone; drop the root.
+        let _ = std::fs::remove_dir_all(&root);
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -1,0 +1,399 @@
+//! The crash-recovery campaign behind `repro --crash-campaign=N[,SEED]`.
+//!
+//! Each trial simulates the full kill-and-restart cycle the artifact
+//! store must survive:
+//!
+//! 1. a fresh per-trial cache directory is (optionally) strewn with
+//!    crashed-peer litter — a torn `.art` frame *at the fingerprint the
+//!    run will actually probe*, plus dead-pid `*.tmp`/`*.lock` debris;
+//! 2. an **interrupted run** executes with a seeded abort point after
+//!    one stage's commit ([`disengage_core::RunConfig::with_abort_after`])
+//!    and, on most trials, a seeded I/O fault plan shaking every store
+//!    operation — the run dies with [`CoreError::Interrupted`], exactly
+//!    as a `kill -9` between stages would;
+//! 3. a **resumed run** restarts against the same directory (faults
+//!    still armed, fresh schedule) and must converge: database, tags,
+//!    parse failures, and canonical telemetry all byte-identical to a
+//!    cold run that never crashed, the telemetry fault-accounting
+//!    identity must reconcile, and the cache directory must audit
+//!    clean (zero torn/tmp/lock files).
+//!
+//! Everything derives from the campaign seed via the workspace
+//! SplitMix64 scheme, so a failing trial replays exactly. The outcome
+//! ledger ([`CrashReport`]) is what `repro` writes to
+//! `crash_report.json`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use disengage_cache::ArtifactStore;
+use disengage_chaos::IoFaultPlan;
+use disengage_core::artifact::FORMAT_VERSION;
+use disengage_core::telemetry::reconcile;
+use disengage_core::{CoreError, RunConfig, RunSession, Stage};
+use disengage_obs::Collector;
+
+/// The abort points a trial can draw — every stage with a commit the
+/// resumed run can recover from. `Analyze` runs outside the session
+/// and has no commit to crash behind.
+const ABORT_STAGES: [Stage; 4] = [Stage::Corpus, Stage::Digitize, Stage::Normalize, Stage::Tag];
+
+/// The I/O fault rates a trial can draw. Zero keeps pure crash/resume
+/// trials in the mix; the others shake every store operation hard
+/// enough that retry, degrade, and recompute paths all fire across a
+/// campaign.
+const FAULT_RATES: [f64; 3] = [0.0, 0.15, 0.3];
+
+/// One trial's outcome row in the campaign ledger.
+#[derive(Debug, Clone)]
+pub struct CrashTrial {
+    /// Trial index (the seed-derivation index).
+    pub index: usize,
+    /// The stage whose commit the simulated crash followed.
+    pub abort_after: &'static str,
+    /// The I/O fault rate armed for both halves of the trial.
+    pub fault_rate: f64,
+    /// Whether crashed-peer litter was planted before the first half.
+    pub littered: bool,
+    /// Whether the resumed run matched the cold reference byte for
+    /// byte (output, tags, failures, canonical telemetry).
+    pub converged: bool,
+    /// Stage artifacts the resume replayed from the interrupted run's
+    /// commits (`cache.hit`).
+    pub replayed: u64,
+    /// Stage artifacts the resume recomputed (`cache.miss`).
+    pub recomputed: u64,
+    /// Injected I/O faults absorbed by a retry (`cache.io.retried`).
+    pub retried: u64,
+    /// Injected I/O faults absorbed by a degraded path
+    /// (`cache.io.absorbed`).
+    pub absorbed: u64,
+    /// Stale tmp/lock/torn files reclaimed across both halves.
+    pub reclaimed: u64,
+    /// Violations: reconciliation failures, unclean audits, divergent
+    /// output. Empty on a passing trial.
+    pub violations: Vec<String>,
+}
+
+impl CrashTrial {
+    /// Whether the trial passed outright.
+    pub fn passed(&self) -> bool {
+        self.converged && self.violations.is_empty()
+    }
+}
+
+/// The campaign ledger `repro` serializes to `crash_report.json`.
+#[derive(Debug, Clone, Default)]
+pub struct CrashReport {
+    /// The campaign seed (for replaying a failure).
+    pub seed: u64,
+    /// Every trial, in execution order.
+    pub trials: Vec<CrashTrial>,
+}
+
+impl CrashReport {
+    /// Trials that recovered byte-identically with no violations.
+    pub fn passed(&self) -> usize {
+        self.trials.iter().filter(|t| t.passed()).count()
+    }
+
+    /// Whether every trial passed.
+    pub fn all_passed(&self) -> bool {
+        self.passed() == self.trials.len()
+    }
+
+    /// Ledger totals: `(replayed, recomputed, retried, absorbed,
+    /// reclaimed)` summed over the campaign.
+    pub fn totals(&self) -> (u64, u64, u64, u64, u64) {
+        self.trials.iter().fold((0, 0, 0, 0, 0), |acc, t| {
+            (
+                acc.0 + t.replayed,
+                acc.1 + t.recomputed,
+                acc.2 + t.retried,
+                acc.3 + t.absorbed,
+                acc.4 + t.reclaimed,
+            )
+        })
+    }
+
+    /// Renders the ledger as JSON (the `crash_report.json` body).
+    pub fn to_json(&self) -> String {
+        let (replayed, recomputed, retried, absorbed, reclaimed) = self.totals();
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"seed\":{},\"trials\":{},\"passed\":{},\"totals\":{{\
+             \"replayed\":{replayed},\"recomputed\":{recomputed},\
+             \"retried\":{retried},\"absorbed\":{absorbed},\
+             \"reclaimed\":{reclaimed}}},\"runs\":[",
+            self.seed,
+            self.trials.len(),
+            self.passed(),
+        );
+        for (i, t) in self.trials.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let violations: Vec<String> = t
+                .violations
+                .iter()
+                .map(|v| format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+                .collect();
+            let _ = write!(
+                out,
+                "{{\"index\":{},\"abort_after\":\"{}\",\"fault_rate\":{},\
+                 \"littered\":{},\"converged\":{},\"replayed\":{},\
+                 \"recomputed\":{},\"retried\":{},\"absorbed\":{},\
+                 \"reclaimed\":{},\"violations\":[{}]}}",
+                t.index,
+                t.abort_after,
+                t.fault_rate,
+                t.littered,
+                t.converged,
+                t.replayed,
+                t.recomputed,
+                t.retried,
+                t.absorbed,
+                t.reclaimed,
+                violations.join(",")
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The byte-comparable digest of one run: everything the convergence
+/// contract covers. Telemetry is canonicalized (wall clock zeroed,
+/// `cache.*`/`lock.*`/`profile.*` dropped), so crash/fault traffic is
+/// invisible and any *workload* divergence is not.
+fn digest(config: &RunConfig) -> Result<String, CoreError> {
+    let obs = Collector::new();
+    let outcome = RunSession::new(config.clone()).run_with(&obs)?;
+    Ok(format!(
+        "{:?}\n{:?}\n{:?}\n{}",
+        outcome.database,
+        outcome.tagged,
+        outcome.parse_failures,
+        outcome.telemetry.canonical().to_json()
+    ))
+}
+
+/// Runs the campaign: `trials` interrupted-then-resumed sessions under
+/// `base` (jobs/scale/seed already applied; cache settings are
+/// overridden per trial), all derived from `seed`. Trial caches live
+/// under `cache_root/trial<i>` and are removed after a passing trial;
+/// a failing trial's directory is left behind for inspection.
+///
+/// # Errors
+///
+/// An error string if the cold reference run itself fails — without a
+/// trustworthy reference the campaign proves nothing.
+pub fn run_crash_campaign(
+    base: &RunConfig,
+    trials: usize,
+    seed: u64,
+    cache_root: &PathBuf,
+    log: impl Fn(&str),
+) -> Result<CrashReport, String> {
+    // The cold reference: no cache, no faults, no crash. Computed once.
+    let mut cold = base.clone().without_cache();
+    cold.io_faults = None;
+    cold.abort_after = None;
+    let reference = digest(&cold).map_err(|e| format!("cold reference run failed: {e}"))?;
+
+    let mut report = CrashReport {
+        seed,
+        trials: Vec::with_capacity(trials),
+    };
+    for i in 0..trials {
+        let t = rand::derive_seed(seed, i as u64);
+        let abort_after = ABORT_STAGES[(t % ABORT_STAGES.len() as u64) as usize];
+        let fault_rate = FAULT_RATES[((t >> 8) % FAULT_RATES.len() as u64) as usize];
+        let littered = (t >> 16) & 1 == 1;
+        let trial_dir = cache_root.join(format!("trial{i}"));
+        let _ = std::fs::remove_dir_all(&trial_dir);
+
+        let mut violations = Vec::new();
+        let mut config = base
+            .clone()
+            .with_cache_dir(&trial_dir)
+            .with_abort_after(abort_after);
+        if fault_rate > 0.0 {
+            config = config.with_io_faults(IoFaultPlan::new(
+                fault_rate,
+                rand::derive_seed(t, 1),
+            ));
+        }
+
+        if littered {
+            // Crashed-peer debris the first half must recover through:
+            // a torn frame at the exact fingerprint the run will
+            // probe, plus dead-pid tmp/lock litter in every stage dir.
+            let keys = RunSession::new(config.clone()).stage_keys(false);
+            for stage in ABORT_STAGES {
+                if let Some(key) = keys.for_stage(stage) {
+                    let dir = trial_dir.join(stage.name());
+                    let _ = std::fs::create_dir_all(&dir);
+                    let _ = std::fs::write(
+                        dir.join(format!("{}.art", key.to_hex())),
+                        b"DARTtorn",
+                    );
+                }
+            }
+            disengage_chaos::plant_litter(&trial_dir, rand::derive_seed(t, 2));
+        }
+
+        // First half: run until the seeded abort point kills it.
+        let interrupted_obs = Collector::new();
+        match RunSession::new(config.clone()).run_with(&interrupted_obs) {
+            Err(CoreError::Interrupted { after }) => {
+                if after != abort_after.name() {
+                    violations.push(format!(
+                        "interrupted after `{after}`, expected `{}`",
+                        abort_after.name()
+                    ));
+                }
+            }
+            Err(e) => violations.push(format!("interrupted run failed abnormally: {e}")),
+            Ok(_) => violations.push("abort point never fired".to_owned()),
+        }
+        let interrupted = interrupted_obs.report();
+
+        // Second half: restart against the same directory and converge.
+        let mut resume = config.clone();
+        resume.abort_after = None;
+        if fault_rate > 0.0 {
+            // A fresh fault schedule — the resume must absorb faults of
+            // its own, not replay the first half's.
+            resume.io_faults = Some(IoFaultPlan::new(fault_rate, rand::derive_seed(t, 3)));
+        }
+        let resumed_obs = Collector::new();
+        let converged = match RunSession::new(resume).run_with(&resumed_obs) {
+            Ok(outcome) => {
+                let got = format!(
+                    "{:?}\n{:?}\n{:?}\n{}",
+                    outcome.database,
+                    outcome.tagged,
+                    outcome.parse_failures,
+                    outcome.telemetry.clone().canonical().to_json()
+                );
+                if got != reference {
+                    violations.push("resumed output diverged from the cold run".to_owned());
+                }
+                got == reference
+            }
+            Err(e) => {
+                violations.push(format!("resumed run failed: {e}"));
+                false
+            }
+        };
+        let resumed = resumed_obs.report();
+
+        // The resumed run completed, so every cross-stage identity
+        // must hold. The interrupted half died mid-pipeline — its
+        // stage counters are legitimately lopsided — but the I/O
+        // fault accounting identity binds any run, finished or not:
+        // every fired fault was retried or absorbed, never lost.
+        for v in reconcile(&resumed) {
+            violations.push(format!("resumed telemetry: {v}"));
+        }
+        let fired = interrupted.counter("cache.io.fault.total");
+        let resolved =
+            interrupted.counter("cache.io.retried") + interrupted.counter("cache.io.absorbed");
+        if fired != resolved {
+            violations.push(format!(
+                "interrupted telemetry: cache.io.fault.total = {fired} but \
+                 retried + absorbed = {resolved}"
+            ));
+        }
+
+        // The directory must end the trial clean: no torn frames, no
+        // tmp/lock litter — whatever the crash, faults, and planted
+        // debris did.
+        let audit = ArtifactStore::at(&trial_dir, FORMAT_VERSION).audit_files();
+        if !audit.is_clean() {
+            violations.push(format!(
+                "cache dir not clean after recovery: {} torn, {} tmp, {} lock",
+                audit.torn.len(),
+                audit.tmp.len(),
+                audit.locks.len()
+            ));
+        }
+
+        let sum = |name: &str| interrupted.counter(name) + resumed.counter(name);
+        let trial = CrashTrial {
+            index: i,
+            abort_after: abort_after.name(),
+            fault_rate,
+            littered,
+            converged,
+            replayed: resumed.counter("cache.hit"),
+            recomputed: resumed.counter("cache.miss"),
+            retried: sum("cache.io.retried"),
+            absorbed: sum("cache.io.absorbed"),
+            reclaimed: sum("cache.tmp.reclaimed")
+                + sum("cache.torn.reclaimed")
+                + sum("lock.reclaimed"),
+            violations,
+        };
+        log(&format!(
+            "trial {i:>3}: abort after {:<9} faults {:.2} littered {:<5} -> {}",
+            trial.abort_after,
+            trial.fault_rate,
+            trial.littered,
+            if trial.passed() { "recovered" } else { "FAILED" }
+        ));
+        if !trial.passed() {
+            for v in &trial.violations {
+                log(&format!("          {v}"));
+            }
+        } else {
+            let _ = std::fs::remove_dir_all(&trial_dir);
+        }
+        report.trials.push(trial);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disengage_corpus::CorpusConfig;
+
+    #[test]
+    fn tiny_campaign_recovers() {
+        let base = RunConfig::new().with_corpus(CorpusConfig {
+            seed: 0x5EED,
+            scale: 0.05,
+        });
+        let root = std::env::temp_dir().join(format!(
+            "disengage-crash-campaign-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let report = run_crash_campaign(&base, 4, 0xC4A54, &root, |_| {}).unwrap();
+        assert_eq!(report.trials.len(), 4);
+        assert!(
+            report.all_passed(),
+            "{:?}",
+            report
+                .trials
+                .iter()
+                .filter(|t| !t.passed())
+                .collect::<Vec<_>>()
+        );
+        // A fault-free trial always replays the stages committed
+        // before the crash; a faulted one may exhaust its read
+        // retries and legitimately recompute everything.
+        assert!(report
+            .trials
+            .iter()
+            .filter(|t| t.fault_rate == 0.0)
+            .all(|t| t.replayed > 0));
+        assert!(report.trials.iter().any(|t| t.replayed > 0));
+        let json = report.to_json();
+        assert!(json.contains("\"passed\":4"), "{json}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -12,6 +12,7 @@ use disengage_core::{RunConfig, RunSession};
 use disengage_corpus::CorpusConfig;
 use disengage_obs::Collector;
 
+pub mod crash;
 pub mod gate;
 pub mod timing;
 

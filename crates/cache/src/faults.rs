@@ -1,0 +1,88 @@
+//! The store's I/O fault surface.
+//!
+//! Crash-safety claims are only as good as the faults they have been
+//! tested against, so every filesystem operation the store performs
+//! first consults an optional [`IoFaults`] injector. The injector
+//! decides — deterministically, from its own seed — whether the
+//! operation fails (an `EIO`/`ENOSPC` analogue), persists only a
+//! prefix of its bytes, or returns bit-flipped data. The store's job
+//! is to absorb every one of those outcomes: transient faults with
+//! bounded retry/backoff, persistent ones by degrading to
+//! "recompute", never by panicking or serving wrong bytes.
+//!
+//! The crate defines only the *surface*; the seeded implementation
+//! lives in `disengage-chaos::io` so the cache stays dependency-free.
+
+/// A store filesystem operation about to run, as seen by an injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// Reading an artifact frame from disk.
+    ReadArtifact,
+    /// Writing the temporary sibling of an artifact (pre-commit).
+    WriteTmp,
+    /// Renaming the temporary file into place (the commit point).
+    RenameCommit,
+    /// Removing an entry during LRU eviction.
+    RemoveEvict,
+}
+
+impl IoOp {
+    /// Stable snake_case name (a telemetry key segment).
+    pub fn name(self) -> &'static str {
+        match self {
+            IoOp::ReadArtifact => "read",
+            IoOp::WriteTmp => "write",
+            IoOp::RenameCommit => "rename",
+            IoOp::RemoveEvict => "evict",
+        }
+    }
+}
+
+/// The fault an injector asks the store to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// The operation fails outright (`EIO`, `ENOSPC`, permission …).
+    Error,
+    /// A write persists only a prefix of its bytes before failing —
+    /// the classic torn write of a crash or a full disk.
+    ShortWrite,
+    /// A read returns the frame with one bit flipped (silent media
+    /// corruption; the frame checksum must catch it).
+    BitFlip,
+}
+
+impl IoFault {
+    /// Stable snake_case name (a telemetry key segment).
+    pub fn name(self) -> &'static str {
+        match self {
+            IoFault::Error => "error",
+            IoFault::ShortWrite => "short_write",
+            IoFault::BitFlip => "bit_flip",
+        }
+    }
+}
+
+/// A deterministic source of injected I/O faults. Implementations must
+/// be `Send + Sync`: one injector is shared across every clone of the
+/// store, including clones running on worker threads.
+pub trait IoFaults: Send + Sync {
+    /// Consulted immediately before the store performs `op`; `Some`
+    /// makes the store simulate that fault for this one invocation.
+    fn inject(&self, op: IoOp) -> Option<IoFault>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(IoOp::ReadArtifact.name(), "read");
+        assert_eq!(IoOp::WriteTmp.name(), "write");
+        assert_eq!(IoOp::RenameCommit.name(), "rename");
+        assert_eq!(IoOp::RemoveEvict.name(), "evict");
+        assert_eq!(IoFault::Error.name(), "error");
+        assert_eq!(IoFault::ShortWrite.name(), "short_write");
+        assert_eq!(IoFault::BitFlip.name(), "bit_flip");
+    }
+}

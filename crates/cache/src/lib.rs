@@ -12,17 +12,28 @@
 //!   Decoding is total: truncated or bit-flipped input yields `None`,
 //!   never a panic.
 //! * [`store`] — [`store::ArtifactStore`], the on-disk layout
-//!   `<root>/<stage>/<fingerprint>.art` with atomic writes, corruption
-//!   detection, and per-stage LRU eviction.
+//!   `<root>/<stage>/<fingerprint>.art` with crash-safe atomic commits
+//!   (unique tmp + fsync + rename), corruption detection, stale-litter
+//!   reclamation, and per-stage LRU eviction.
+//! * [`lock`] — advisory per-fingerprint lease locks giving
+//!   single-flight across sessions sharing one cache directory, with
+//!   stale-lock reclamation so crashed peers never wedge the cache.
+//! * [`faults`] — the [`faults::IoFaults`] injection surface every
+//!   store filesystem operation consults; the seeded implementation
+//!   lives in `disengage-chaos::io` so this crate stays dependency-free.
 //!
 //! The crate knows nothing about the pipeline's domain types; callers
 //! (see `disengage-core`'s `artifact` module) provide the payload
 //! encoding on top of [`codec`].
 
 pub mod codec;
+pub mod faults;
 pub mod fp;
+pub mod lock;
 pub mod store;
 
 pub use codec::{Dec, Enc};
+pub use faults::{IoFault, IoFaults, IoOp};
 pub use fp::{Fingerprint, Fp};
-pub use store::{ArtifactStore, Lookup};
+pub use lock::LockGuard;
+pub use store::{ArtifactStore, Flight, Lookup, StoreAudit, DEFAULT_PER_STAGE_CAP};

@@ -62,11 +62,13 @@
 pub mod audit;
 pub mod degenerate;
 pub mod inject;
+pub mod io;
 pub mod plan;
 pub mod poison;
 
 pub use audit::{audit, AuditedFault, ChaosAudit, FaultFate, KindOutcomes};
 pub use degenerate::DegenerateKind;
 pub use inject::{inject_documents, FaultLog, InjectedFault};
+pub use io::{plant_litter, IoFaultPlan, SeededIoFaults};
 pub use plan::{FaultKind, FaultPlan};
 pub use poison::poison_dictionary;

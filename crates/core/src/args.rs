@@ -95,6 +95,9 @@ pub struct CommonArgs {
     pub profile: ProfileMode,
     /// `--cache-dir=PATH`: artifact-cache root.
     pub cache_dir: Option<String>,
+    /// `--cache-cap=N`: per-stage artifact cap (0 = unbounded), if
+    /// given.
+    pub cache_cap: Option<usize>,
     /// `--no-cache`: force caching off (wins over `--cache-dir`).
     pub no_cache: bool,
     /// `--help` / `-h` was given.
@@ -231,6 +234,15 @@ impl CommonArgs {
                     }
                     out.cache_dir = Some(v);
                 }
+                "--cache-cap" => {
+                    let v = take_value(flag)?;
+                    out.cache_cap = Some(v.parse().map_err(|_| {
+                        ArgError::new(
+                            flag,
+                            format!("`{v}` is not an entry count (0 = unbounded)"),
+                        )
+                    })?);
+                }
                 "--no-cache" => {
                     if inline.is_some() {
                         return Err(ArgError::new(flag, "takes no value"));
@@ -275,6 +287,7 @@ impl CommonArgs {
          \x20 --trace=PATH        export a Chrome execution trace\n\
          \x20 --profile[=MODE]    off|table|json|folded self-profile view (bare = table)\n\
          \x20 --cache-dir=PATH    content-addressed stage artifact cache\n\
+         \x20 --cache-cap=N       per-stage cached-artifact cap; 0 = unbounded (default 8)\n\
          \x20 --no-cache          disable the artifact cache\n\
          \x20 -h, --help          this help"
     }
@@ -386,6 +399,18 @@ mod tests {
         assert!(parse(&["--no-cache=yes"]).is_err());
         // --cache-dir needs a non-empty path.
         assert!(parse(&["--cache-dir="]).is_err());
+        // --cache-cap needs a non-negative integer.
+        for bad in ["--cache-cap", "--cache-cap=", "--cache-cap=lots", "--cache-cap=-1"] {
+            assert!(parse(&[bad]).is_err(), "{bad} must fail");
+        }
+    }
+
+    #[test]
+    fn cache_cap_parses_including_unbounded_zero() {
+        assert_eq!(parse(&[]).unwrap().cache_cap, None);
+        assert_eq!(parse(&["--cache-cap=16"]).unwrap().cache_cap, Some(16));
+        assert_eq!(parse(&["--cache-cap", "3"]).unwrap().cache_cap, Some(3));
+        assert_eq!(parse(&["--cache-cap=0"]).unwrap().cache_cap, Some(0));
     }
 
     #[test]

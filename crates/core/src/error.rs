@@ -46,6 +46,14 @@ pub enum CoreError {
         /// Why full fidelity was impossible.
         reason: String,
     },
+    /// The run was deliberately killed right after a stage's artifact
+    /// committed — the crash campaign's simulated crash point. A
+    /// resumed run with the same configuration recovers the committed
+    /// stages from the cache and completes byte-identically.
+    Interrupted {
+        /// The stage whose commit the simulated crash followed.
+        after: &'static str,
+    },
 }
 
 impl CoreError {
@@ -80,6 +88,9 @@ impl fmt::Display for CoreError {
             CoreError::Degraded { artifact, reason } => {
                 write!(f, "degraded {artifact}: {reason}")
             }
+            CoreError::Interrupted { after } => {
+                write!(f, "run interrupted after stage {after}")
+            }
         }
     }
 }
@@ -90,7 +101,10 @@ impl Error for CoreError {
             CoreError::Stats(e) => Some(e),
             CoreError::Frame(e) => Some(e),
             CoreError::Report(e) => Some(e),
-            CoreError::NoData(_) | CoreError::Quarantine(_) | CoreError::Degraded { .. } => None,
+            CoreError::NoData(_)
+            | CoreError::Quarantine(_)
+            | CoreError::Degraded { .. }
+            | CoreError::Interrupted { .. } => None,
         }
     }
 }
@@ -139,6 +153,9 @@ mod tests {
         assert!(q.source().is_none());
         let d = CoreError::degraded("table VII", "weibull fit refused constant sample");
         assert!(d.to_string().contains("degraded table VII"));
+        let i = CoreError::Interrupted { after: "corpus" };
+        assert!(i.to_string().contains("interrupted after stage corpus"));
+        assert!(i.source().is_none());
     }
 
     #[test]

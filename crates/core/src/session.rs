@@ -32,15 +32,17 @@
 //! recomputed — never a panic, never wrong output.
 
 use crate::artifact::{self, NormalizeArtifact, FORMAT_VERSION};
-use crate::error::Quarantined;
+use crate::error::{CoreError, Quarantined};
 use crate::pipeline::{
     default_corrector, digitize_simulated_parts, record_repair_attempts, DigitizeConfig, OcrMode,
     PipelineConfig, PipelineOutcome, RunTrace,
 };
 use crate::tagging::{tag_records_traced, TaggedDisengagement};
 use crate::Result;
-use disengage_cache::{ArtifactStore, Dec, Enc, Fingerprint, Fp, Lookup};
-use disengage_chaos::{audit, inject_documents, poison_dictionary, FaultKind, FaultPlan};
+use disengage_cache::{ArtifactStore, Dec, Enc, Fingerprint, Flight, Fp, Lookup};
+use disengage_chaos::{
+    audit, inject_documents, poison_dictionary, FaultKind, FaultPlan, IoFaultPlan, SeededIoFaults,
+};
 use disengage_corpus::{CorpusConfig, CorpusGenerator};
 use disengage_nlp::{Classifier, FaultTag};
 use disengage_obs::profile;
@@ -52,7 +54,14 @@ use disengage_reports::formats::RawDocument;
 use disengage_reports::normalize::{normalize_document_traced, Normalized};
 use disengage_reports::{FailureDatabase, ReportError};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How long a session waits on a peer's in-flight stage computation
+/// before giving up on the lock and recomputing locally. Generous
+/// enough for any stage at full scale; bounded so a wedged peer can
+/// never deadlock the pipeline.
+const STAGE_WATCHDOG: Duration = Duration::from_secs(30);
 
 /// One stage of the pipeline graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -121,6 +130,19 @@ pub struct RunConfig {
     pub chaos: Option<FaultPlan>,
     /// Artifact-cache directory; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
+    /// Per-stage cached-artifact cap override (`None` = the store
+    /// default of 8, `Some(0)` = unbounded). Never part of a cache
+    /// key: the cap governs eviction, not content.
+    pub cache_cap: Option<usize>,
+    /// Optional seeded I/O fault plan for the artifact store (a rate-0
+    /// plan is inert). Never part of a cache key: faults perturb the
+    /// store's filesystem, never the computed bytes.
+    pub io_faults: Option<IoFaultPlan>,
+    /// Simulated crash point: abort with [`CoreError::Interrupted`]
+    /// immediately after this stage's artifact commits. Used by the
+    /// `repro --crash-campaign` runner; never part of a cache key, so
+    /// the resumed run replays the committed stages verbatim.
+    pub abort_after: Option<Stage>,
 }
 
 impl Default for RunConfig {
@@ -145,6 +167,9 @@ impl RunConfig {
             jobs: 0,
             chaos: None,
             cache_dir: None,
+            cache_cap: None,
+            io_faults: None,
+            abort_after: None,
         }
     }
 
@@ -206,11 +231,37 @@ impl RunConfig {
         self
     }
 
+    /// Sets the per-stage cached-artifact cap (0 = unbounded).
+    #[must_use]
+    pub fn with_cache_cap(mut self, cap: usize) -> RunConfig {
+        self.cache_cap = Some(cap);
+        self
+    }
+
+    /// Arms seeded I/O fault injection on the artifact store.
+    #[must_use]
+    pub fn with_io_faults(mut self, plan: IoFaultPlan) -> RunConfig {
+        self.io_faults = Some(plan);
+        self
+    }
+
+    /// Simulates a crash right after `stage`'s artifact commits.
+    #[must_use]
+    pub fn with_abort_after(mut self, stage: Stage) -> RunConfig {
+        self.abort_after = Some(stage);
+        self
+    }
+
     /// The active fault plan, if any (a rate-0 plan is inert and
     /// reports `None`, keeping such runs byte- and key-identical to
     /// unarmed ones).
     pub fn active_chaos(&self) -> Option<FaultPlan> {
         self.chaos.filter(FaultPlan::active)
+    }
+
+    /// The active I/O fault plan, if any (rate 0 is inert).
+    pub fn active_io_faults(&self) -> Option<IoFaultPlan> {
+        self.io_faults.filter(IoFaultPlan::active)
     }
 
     /// The effective OCR repair-attempt bound (chaos plans buy extra
@@ -382,13 +433,35 @@ impl RunSession {
     ///
     /// See [`RunSession::run`].
     pub fn run_traced(&self, obs: &Collector, trace: &RunTrace) -> Result<PipelineOutcome> {
-        let store = match &self.config.cache_dir {
-            Some(dir) => ArtifactStore::at(dir.clone(), FORMAT_VERSION),
-            None => ArtifactStore::disabled(),
+        let store = {
+            let mut store = match &self.config.cache_dir {
+                Some(dir) => ArtifactStore::at(dir.clone(), FORMAT_VERSION),
+                None => ArtifactStore::disabled(),
+            };
+            if let Some(cap) = self.config.cache_cap {
+                store = store.with_cap(cap);
+            }
+            if let Some(plan) = self.config.active_io_faults() {
+                store = store.with_faults(Arc::new(SeededIoFaults::new(plan)));
+            }
+            // Startup recovery: clear any crashed peer's tmp/lock
+            // litter before the first probe, so even a fully-warm run
+            // (which never saves) leaves a clean directory.
+            store.reclaim();
+            store
         };
         let prov = trace.provenance();
         let keys = self.stage_keys(prov.is_enabled());
         let config = &self.config;
+        // The crash campaign's simulated kill point: right after
+        // `stage`'s artifact has committed, stop the run cold.
+        let crash_point = |stage: Stage| -> Result<()> {
+            if config.abort_after == Some(stage) {
+                drain_store(&store, obs);
+                return Err(CoreError::Interrupted { after: stage.name() });
+            }
+            Ok(())
+        };
         let outcome = {
             let mut root = obs.span("pipeline");
             root.field("seed", config.corpus.seed);
@@ -428,6 +501,7 @@ impl RunSession {
                 doc_bytes,
                 stage_start.elapsed(),
             );
+            crash_point(Stage::Corpus)?;
 
             // Stage `digitize`. Passthrough is a copy — cheaper than
             // any cache round-trip — so only simulated OCR persists;
@@ -482,6 +556,7 @@ impl RunSession {
                 documents.iter().map(|d| d.text.len() as u64).sum(),
                 stage_start.elapsed(),
             );
+            crash_point(Stage::Digitize)?;
 
             // Stage `normalize`: chaos interlude (if armed) + Stage II
             // parse/filter/normalize, one task per document.
@@ -515,6 +590,7 @@ impl RunSession {
                 0,
                 stage_start.elapsed(),
             );
+            crash_point(Stage::Normalize)?;
             let database = FailureDatabase::from_records(disengagements, accidents, mileage);
 
             // Stage `tag`: NLP tagging. Under chaos the dictionary is
@@ -565,6 +641,7 @@ impl RunSession {
                 0,
                 stage_start.elapsed(),
             );
+            crash_point(Stage::Tag)?;
             let tagged: Vec<TaggedDisengagement> = database
                 .disengagements()
                 .iter()
@@ -606,10 +683,23 @@ impl RunSession {
         };
         // Snapshot after the root span guard has dropped so the
         // `pipeline` span (and all children) carry final durations.
+        drain_store(&store, obs);
         Ok(PipelineOutcome {
             telemetry: obs.report(),
             ..outcome
         })
+    }
+}
+
+/// Feeds the store's internal degraded-path ledgers (`cache.io.*`,
+/// `cache.tmp.*`, `lock.*` — all stripped from `canonical()`) into the
+/// run collector so `telemetry::reconcile` can check the fault
+/// accounting identity.
+fn drain_store(store: &ArtifactStore, obs: &Collector) {
+    for (name, value) in store.take_counters() {
+        if value > 0 {
+            obs.add(name, value);
+        }
     }
 }
 
@@ -817,6 +907,13 @@ fn record_throughput(obs: &Collector, stage: &str, records: u64, bytes: u64, ela
 /// per-item phase paths depend on `--jobs` (see `obs::profile`). The
 /// phases land outside the stage shard, so cache artifacts carry no
 /// profiler wall time and warm replays re-measure their own.
+/// On a miss the stage joins the per-fingerprint single-flight: one
+/// session (thread or process) takes the advisory lease lock and
+/// computes while the rest back off and re-probe, replaying the
+/// leader's committed artifact the moment it appears. A watchdog
+/// timeout (or an unreadable lock directory) falls back to local
+/// recompute — a wedged peer costs duplicated work, never a deadlock
+/// and never different bytes.
 #[allow(clippy::too_many_arguments)]
 fn cached_stage<T>(
     store: &ArtifactStore,
@@ -826,7 +923,7 @@ fn cached_stage<T>(
     obs: &Collector,
     prov: &ProvenanceLog,
     encode: impl FnOnce(&mut Enc, &T),
-    decode: impl FnOnce(&mut Dec) -> Option<T>,
+    decode: impl Fn(&mut Dec) -> Option<T>,
     compute: impl FnOnce(&Collector, &ProvenanceLog) -> T,
 ) -> T {
     let stage_start = Instant::now();
@@ -837,7 +934,7 @@ fn cached_stage<T>(
     if caching {
         let lookup_start = Instant::now();
         let decoded = match store.load(stage.name(), key) {
-            Lookup::Hit(bytes) => match artifact::decode_stage(&bytes, decode) {
+            Lookup::Hit(bytes) => match artifact::decode_stage(&bytes, &decode) {
                 Some(hit) => Some(hit),
                 // Framed and checksummed but structurally wrong — an
                 // artifact from a buggy or foreign writer. Recompute.
@@ -871,6 +968,27 @@ fn cached_stage<T>(
             }
         }
     }
+    let mut flight_lock = None;
+    if caching && replayed.is_none() {
+        match store.join_flight(stage.name(), key, STAGE_WATCHDOG) {
+            Flight::Leader(guard) => flight_lock = Some(guard),
+            Flight::Ready(bytes) => match artifact::decode_stage(&bytes, &decode) {
+                Some((state, entries, value)) => {
+                    obs.add("cache.hit", 1);
+                    obs.add(&format!("cache.hit.{}", stage.name()), 1);
+                    obs.absorb_state(state);
+                    for entry in entries {
+                        prov.push(entry.subject, entry.event);
+                    }
+                    replayed = Some(value);
+                }
+                None => {
+                    obs.add("cache.corrupt", 1);
+                }
+            },
+            Flight::TimedOut => {}
+        }
+    }
     let value = match replayed {
         Some(value) => value,
         None => {
@@ -890,6 +1008,9 @@ fn cached_stage<T>(
             value
         }
     };
+    // Release the single-flight lock only after the commit (or the
+    // replay) so waiters wake to a readable artifact.
+    drop(flight_lock);
     let wall = stage_start.elapsed().as_secs_f64();
     profile::record_phase_parts(obs, &[&phase_root], wall, (wall - lookup_s).max(0.0));
     value

@@ -68,6 +68,11 @@ pub fn execution_trace_json(
 /// `chaos.injected.total == chaos.outcome.corrected +
 /// chaos.outcome.quarantined + chaos.outcome.absorbed`.
 ///
+/// I/O fault campaigns (counter `cache.io.fault.total > 0`) add the
+/// analogous store identity — every injected I/O fault was either
+/// retried away or absorbed by a degraded path, never lost:
+/// `cache.io.fault.total == cache.io.retried + cache.io.absorbed`.
+///
 /// Under passthrough OCR (gauge `pipeline.passthrough == 1`) the scan
 /// is pristine, so recovery must be exact as well:
 /// `corpus.disengagements == parse.dis.lines` and
@@ -118,6 +123,21 @@ pub fn reconcile(report: &TelemetryReport) -> Vec<String> {
             (
                 "chaos.outcome.corrected + .quarantined + .absorbed",
                 corrected + quarantined + absorbed,
+            ),
+        );
+    }
+
+    // I/O fault campaigns: every injected store fault resolved as
+    // exactly one of retried (the retry absorbed it) or absorbed (a
+    // degraded path — recompute, skipped eviction, litter).
+    let io_faults = report.counter("cache.io.fault.total");
+    if io_faults > 0 {
+        check(
+            "cache io fault accounting",
+            ("cache.io.fault.total", io_faults),
+            (
+                "cache.io.retried + cache.io.absorbed",
+                report.counter("cache.io.retried") + report.counter("cache.io.absorbed"),
             ),
         );
     }
@@ -211,6 +231,21 @@ mod tests {
         r.counters.insert("chaos.injected.total".into(), 3);
         r.counters.insert("chaos.outcome.corrected".into(), 3);
         assert!(reconcile(&r).is_empty(), "{:?}", reconcile(&r));
+    }
+
+    #[test]
+    fn io_fault_accounting_checked_only_when_injecting() {
+        let mut r = balanced();
+        assert!(reconcile(&r).is_empty());
+        r.counters.insert("cache.io.fault.total".into(), 9);
+        r.counters.insert("cache.io.retried".into(), 6);
+        r.counters.insert("cache.io.absorbed".into(), 3);
+        assert!(reconcile(&r).is_empty(), "{:?}", reconcile(&r));
+        // A lost fault (fired but neither retried nor absorbed) trips.
+        r.counters.insert("cache.io.absorbed".into(), 2);
+        let v = reconcile(&r);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("cache io fault accounting"));
     }
 
     #[test]

@@ -135,9 +135,9 @@ impl TelemetryReport {
 
     /// The canonical form for byte-for-byte comparison: every
     /// wall-clock field (span start/duration, log timestamps) zeroed,
-    /// every `cache.*` counter dropped, and the entire `profile.*`
-    /// namespace (counters, gauges, histograms) dropped, all other
-    /// structure and metrics kept.
+    /// every `cache.*` and `lock.*` counter dropped, and the entire
+    /// `profile.*` namespace (counters, gauges, histograms) dropped,
+    /// all other structure and metrics kept.
     ///
     /// Two runs of the same deterministic workload differ only in
     /// timing and in where their inputs came from — a cold run counts
@@ -148,7 +148,10 @@ impl TelemetryReport {
     /// warm, cold, and any `--jobs` all serialize identically. The
     /// self-profiler's `profile.*` metrics (phase timers, throughput,
     /// memory gauges — see [`crate::profile`]) are wall-clock-derived
-    /// by construction, so the whole namespace goes the same way.
+    /// by construction, so the whole namespace goes the same way. The
+    /// store's `lock.*` contention/reclaim ledger depends on which
+    /// peers happened to be racing — the textbook environment fact —
+    /// and is dropped with `cache.*`.
     #[must_use]
     pub fn canonical(mut self) -> TelemetryReport {
         fn strip(node: &mut SpanNode) {
@@ -166,7 +169,7 @@ impl TelemetryReport {
         }
         let keep = |k: &String| !k.starts_with(crate::profile::PROFILE_PREFIX);
         self.counters
-            .retain(|k, _| !k.starts_with("cache.") && keep(k));
+            .retain(|k, _| !k.starts_with("cache.") && !k.starts_with("lock.") && keep(k));
         self.gauges.retain(|k, _| keep(k));
         self.histograms.retain(|k, _| keep(k));
         self
@@ -243,13 +246,16 @@ mod tests {
         };
         r.counters.insert("parse.dis.parsed".to_owned(), 9);
         r.counters.insert("cache.hit.corpus".to_owned(), 1);
+        r.counters.insert("lock.contended".to_owned(), 2);
         r.logs.push(LogEvent {
             t_s: 1.25,
             message: "done".to_owned(),
         });
         let c = r.clone().canonical();
-        // Cache traffic is an environment fact, not a workload fact.
+        // Cache and lock traffic are environment facts, not workload
+        // facts.
         assert_eq!(c.counter("cache.hit.corpus"), 0);
+        assert_eq!(c.counter("lock.contended"), 0);
         assert_eq!(c.spans[0].start_s, 0.0);
         assert_eq!(c.spans[0].duration_s, 0.0);
         assert_eq!(c.spans[0].children[0].duration_s, 0.0);

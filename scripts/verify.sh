@@ -8,8 +8,12 @@
 # provenance lineage log at --jobs=1 vs the default worker pool, clean
 # and chaos), an artifact-cache smoke (cold run stores, warm run must
 # hit every stage and byte-match; a corrupted artifact must recompute
-# silently), a `disengage explain` smoke over all three exemplar
-# classes, Chrome-trace export validation, a self-profiler smoke
+# silently), a seeded crash-recovery campaign (kill-and-restart trials
+# with I/O faults and crashed-peer litter must converge byte-identically
+# and audit clean), a two-process shared-cache-dir race (single-flight
+# locks, identical output, no lock/tmp litter), a `disengage explain`
+# smoke over all three exemplar classes, Chrome-trace export
+# validation, a self-profiler smoke
 # (stage x phase table, JSON round-trip, folded-stack validation), and
 # the perf-regression gate (fresh parbench/repro measurements vs the
 # committed BENCH_*.json baselines; tolerance via
@@ -114,6 +118,9 @@ if grep -q '"cache.miss' repro_metrics.json; then
 fi
 
 echo "== artifact cache: corrupted artifact recomputes, never crashes =="
+# Startup recovery frame-validates every committed artifact and removes
+# torn ones before any probe, so the truncated file surfaces as
+# cache.torn.reclaimed (not cache.corrupt) and the stage recomputes.
 artifact=$(find .disengage-cache/corpus -name '*.art' | head -n 1)
 test -n "$artifact" || {
     echo "verify: cache smoke left no corpus artifact" >&2
@@ -123,8 +130,8 @@ truncate -s 7 "$artifact"
 cargo run --release --offline -p disengage-bench --bin repro -- \
     table1 --scale=0.2 --cache-dir=.disengage-cache \
     --telemetry=json --lineage=lineage.jsonl > cache_corrupt.txt
-grep -q '"cache.corrupt":1' repro_metrics.json || {
-    echo "verify: corrupted artifact was not counted" >&2
+grep -q '"cache.torn.reclaimed":1' repro_metrics.json || {
+    echo "verify: torn artifact was not reclaimed at startup" >&2
     exit 1
 }
 diff cache_cold.txt cache_corrupt.txt
@@ -132,6 +139,48 @@ rm -rf .disengage-cache
 rm -f cache_cold.txt cache_warm.txt cache_corrupt.txt \
     cache_cold_metrics.json cache_cold_lineage.jsonl \
     cache_warm_lineage.jsonl lineage.jsonl
+
+echo "== crash recovery: seeded kill-and-restart campaign =="
+# Three trials, fixed seed: each kills the pipeline between stage
+# commits (with I/O faults and crashed-peer litter on some trials),
+# restarts it, and requires byte-identical convergence with a cold run
+# plus a clean cache-directory audit. Exits nonzero on any failure.
+rm -rf .disengage-crash-cache crash_report.json
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    --crash-campaign=3,7 --scale=0.1 >/dev/null
+test -s crash_report.json || {
+    echo "verify: crash campaign wrote no crash_report.json" >&2
+    exit 1
+}
+grep -q '"trials":3,"passed":3' crash_report.json || {
+    echo "verify: crash campaign did not pass all trials" >&2
+    exit 1
+}
+test ! -e .disengage-crash-cache || {
+    echo "verify: passing crash campaign left its cache root behind" >&2
+    exit 1
+}
+rm -f crash_report.json
+
+echo "== concurrent caching: two processes sharing one cache dir =="
+# Two repro runs race on one cold cache directory. Advisory lease
+# locks make one session compute each missing stage while the other
+# waits and replays; both must print identical bytes and the directory
+# must end clean (no lock or tmp litter, only committed artifacts).
+rm -rf .disengage-cache
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    table1 --scale=0.1 --cache-dir=.disengage-cache > shared_a.txt &
+shared_pid=$!
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    table1 --scale=0.1 --cache-dir=.disengage-cache > shared_b.txt
+wait "$shared_pid"
+diff shared_a.txt shared_b.txt
+leftovers=$(find .disengage-cache \( -name '*.lock' -o -name '*.tmp' \) | wc -l)
+test "$leftovers" -eq 0 || {
+    echo "verify: shared-cache race left $leftovers lock/tmp files" >&2
+    exit 1
+}
+rm -rf .disengage-cache shared_a.txt shared_b.txt
 
 echo "== provenance: explain covers corrected/quarantined/clean records =="
 # The no-target form lists one exemplar subject per class; each must

@@ -112,6 +112,9 @@ fn run(args: &CommonArgs) -> Result<(), String> {
     if let Some(dir) = args.effective_cache_dir() {
         config = config.with_cache_dir(dir);
     }
+    if let Some(cap) = args.cache_cap {
+        config = config.with_cache_cap(cap);
+    }
     let obs = Collector::new();
     // `explain` always traces (it has nothing to show otherwise); other
     // full-corpus commands trace only when an export was requested.

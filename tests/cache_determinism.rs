@@ -56,6 +56,7 @@ struct RunBytes {
     hits: u64,
     misses: u64,
     corrupt: u64,
+    torn_reclaimed: u64,
 }
 
 fn run_traced(config: &RunConfig) -> (PipelineOutcome, RunBytes) {
@@ -74,6 +75,7 @@ fn run_traced(config: &RunConfig) -> (PipelineOutcome, RunBytes) {
         hits: o.telemetry.counter("cache.hit"),
         misses: o.telemetry.counter("cache.miss"),
         corrupt: o.telemetry.counter("cache.corrupt"),
+        torn_reclaimed: o.telemetry.counter("cache.torn.reclaimed"),
     };
     (o, bytes)
 }
@@ -196,17 +198,100 @@ fn corrupted_artifacts_recompute_silently_and_identically() {
     std::fs::write(&files[1], flipped).expect("bit-flip");
     std::fs::write(&files[2], b"not an artifact").expect("garbage");
 
-    // The damaged run must not panic, must count every corruption, and
-    // must still produce the cold run's exact bytes.
+    // The damaged run must not panic, must detect every corruption
+    // (startup recovery frame-validates the directory and reclaims
+    // torn artifacts before the first probe), and must still produce
+    // the cold run's exact bytes.
     let (_, damaged) = run_traced(&config);
-    assert_eq!(damaged.corrupt, 3, "every vandalized artifact detected");
+    assert_eq!(damaged.torn_reclaimed, 3, "every vandalized artifact reclaimed");
     assert_eq!((damaged.hits, damaged.misses), (0, 3));
     assert_identical(&cold, &damaged);
 
     // And it healed the store: the next run hits everything again.
     let (_, healed) = run_traced(&config);
     assert_eq!((healed.hits, healed.misses, healed.corrupt), (3, 0, 0));
+    assert_eq!(healed.torn_reclaimed, 0);
     assert_identical(&cold, &healed);
+}
+
+#[test]
+fn interrupted_run_resumes_byte_identically() {
+    use disengage::core::{CoreError, Stage};
+
+    // The reference: a cold, uncached, uninterrupted run.
+    let (_, cold) = run_traced(&small());
+
+    // The crash: die right after the normalize artifact commits.
+    let cache = TempCache::new("interrupted");
+    let config = small()
+        .with_cache_dir(cache.path())
+        .with_abort_after(Stage::Normalize);
+    // Traced, like the reference and the resume: lineage recording is
+    // part of every stage key, so all three halves must agree on it.
+    let obs = Collector::new();
+    let trace = RunTrace::new(&obs);
+    let err = RunSession::new(config.clone())
+        .run_traced(&obs, &trace)
+        .expect_err("abort point must fire");
+    assert!(
+        matches!(err, CoreError::Interrupted { after: "normalize" }),
+        "{err:?}"
+    );
+
+    // The restart: same directory, no abort. Corpus and normalize
+    // replay from the crashed run's commits (passthrough digitize is
+    // never store-cached), tag recomputes, and every byte matches the
+    // run that never crashed.
+    let mut resume = config;
+    resume.abort_after = None;
+    let (_, warm) = run_traced(&resume);
+    assert_eq!((warm.hits, warm.misses), (2, 1));
+    assert_identical(&cold, &warm);
+}
+
+#[test]
+fn interrupted_faulted_run_resumes_byte_identically() {
+    use disengage::cache::ArtifactStore;
+    use disengage::chaos::IoFaultPlan;
+    use disengage::core::artifact::FORMAT_VERSION;
+    use disengage::core::{CoreError, Stage};
+
+    let (_, cold) = run_traced(&small());
+
+    // The crash, this time with the store under seeded I/O fire and
+    // a crashed peer's litter already on disk.
+    let cache = TempCache::new("interrupted-faulted");
+    disengage::chaos::plant_litter(cache.path(), 0xBAD);
+    let config = small()
+        .with_cache_dir(cache.path())
+        .with_io_faults(IoFaultPlan::new(0.3, 0xFA11))
+        .with_abort_after(Stage::Corpus);
+    let obs = Collector::new();
+    let trace = RunTrace::new(&obs);
+    let err = RunSession::new(config.clone())
+        .run_traced(&obs, &trace)
+        .expect_err("abort point must fire");
+    assert!(matches!(err, CoreError::Interrupted { after: "corpus" }), "{err:?}");
+
+    // The restart keeps its own fault plan armed: injected faults may
+    // cost replays (a read probe can exhaust its retries and
+    // recompute) but never change a byte of output.
+    let mut resume = config;
+    resume.abort_after = None;
+    resume.io_faults = Some(IoFaultPlan::new(0.3, 0xFA12));
+    let (_, warm) = run_traced(&resume);
+    assert_identical(&cold, &warm);
+
+    // And the directory ends clean: litter reclaimed, nothing torn,
+    // no lock or tmp left behind.
+    let audit = ArtifactStore::at(cache.path(), FORMAT_VERSION).audit_files();
+    assert!(
+        audit.is_clean(),
+        "torn {:?} tmp {:?} locks {:?}",
+        audit.torn,
+        audit.tmp,
+        audit.locks
+    );
 }
 
 /// End-to-end stdout byte-identity through the `disengage` binary —

@@ -48,11 +48,37 @@ fn malformed_values_are_rejected() {
         ["summary", "--jobs=many"],
         ["summary", "--telemetry=loud"],
         ["summary", "--chaos=2.0"],
+        ["summary", "--cache-cap=lots"],
+        ["summary", "--cache-cap=-1"],
         ["profile", "--profile=flame"],
     ] {
         let out = disengage(&bad);
         assert!(!out.status.success(), "{bad:?} must exit nonzero");
     }
+}
+
+/// `--cache-cap` is a shared flag: documented in the usage, accepted
+/// with both spellings (including the 0 = unbounded sentinel), loud on
+/// garbage.
+#[test]
+fn cache_cap_is_documented_and_accepted() {
+    let help = disengage(&["--help"]);
+    assert!(
+        String::from_utf8_lossy(&help.stdout).contains("--cache-cap"),
+        "usage must document --cache-cap"
+    );
+    let dir = std::env::temp_dir().join(format!("disengage-cli-cap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = format!("--cache-dir={}", dir.display());
+    for cap in ["--cache-cap=2", "--cache-cap=0"] {
+        let out = disengage(&["summary", "--scale=0.01", &cache, cap]);
+        assert!(
+            out.status.success(),
+            "{cap} must be accepted: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// `disengage profile` renders the stage × phase table by default, and
