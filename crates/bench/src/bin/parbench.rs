@@ -1,28 +1,35 @@
 //! `parbench` — measure the Stage I–III worker-pool speedup.
 //!
 //! Runs the simulated-OCR pipeline (the per-document-heavy
-//! rasterize→degrade→recognize→correct path) sequentially (`jobs = 1`),
-//! at `jobs = 2` when the machine has the cores for it, and across
-//! every available core (`jobs = 0`), verifies the outcomes are
-//! byte-identical, and writes the measurement as a versioned
-//! [`disengage_bench::gate`] envelope to `BENCH_par.json` (plus a
-//! legacy `bench_par.json` copy — one release only — when writing the
-//! default path).
+//! rasterize→degrade→recognize→correct path) across a **jobs × scale
+//! grid**: a jobs ladder of `1`, `2` (when the machine has distinct
+//! cores for it), and `0` (all cores), at the requested corpus scale
+//! plus two smaller scales (¼ and ½ of it). Every cell is checked
+//! byte-identical against the sequential run at the same scale, and
+//! the whole curve lands in one versioned [`disengage_bench::gate`]
+//! envelope at `BENCH_par.json`.
+//!
+//! The multi-scale curve is the honest version of the old single
+//! number: pool overhead is amortized over per-document work, so a
+//! speedup measured only at full scale can hide a regression that
+//! makes small corpora *slower* in parallel. With three scales in the
+//! envelope, `benchgate` catches both ends.
 //!
 //! ```text
 //! parbench                    # measure, write BENCH_par.json
-//! parbench --scale 0.1        # smaller corpus (default 0.2)
-//! parbench --samples=5        # timed samples per configuration
+//! parbench --scale 0.1        # largest corpus scale (default 0.2)
+//! parbench --samples=5        # timed samples per grid cell
 //! parbench --out=PATH         # write the envelope elsewhere
-//! parbench --require-speedup  # exit nonzero if < 2x on 4+ cores
+//! parbench --require-speedup  # exit nonzero if < 1.5x on 4+ cores
 //! ```
 //!
-//! `--require-speedup` is gated on the machine actually having 4+
-//! cores: on a 1- or 2-core box the pool cannot double throughput and
-//! the flag only checks that parallel output still matches sequential.
-//! Flag parsing rides on the shared [`disengage_core::args`] module
-//! (the artifact cache is deliberately refused: a cached replay would
-//! measure disk reads, not the worker pool).
+//! `--require-speedup` needs 4+ physical cores to be meaningful: on a
+//! 1- or 2-core box the pool cannot come close to the threshold no
+//! matter how lean its overhead is, so the flag prints a loud SKIPPED
+//! notice and only enforces byte-identity. Flag parsing rides on the
+//! shared [`disengage_core::args`] module (the artifact cache is
+//! deliberately refused: a cached replay would measure disk reads, not
+//! the worker pool).
 
 use disengage_core::args::{ArgError, CommonArgs};
 use disengage_core::pipeline::{OcrMode, PipelineOutcome};
@@ -39,9 +46,11 @@ const USAGE: &str =
 /// against lives under the same name in the repository root.
 const DEFAULT_OUT: &str = "BENCH_par.json";
 
-/// Pre-envelope artifact name, kept as a straight copy for one release
-/// so external scripts can migrate; remove after that.
-const LEGACY_OUT: &str = "bench_par.json";
+/// Cores needed before a parallel-speedup requirement is meaningful.
+const SPEEDUP_MIN_CORES: usize = 4;
+
+/// `--require-speedup` threshold at the default jobs (all cores).
+const SPEEDUP_THRESHOLD: f64 = 1.5;
 
 fn config(scale: f64) -> RunConfig {
     RunConfig::new()
@@ -80,6 +89,28 @@ fn time_runs(cfg: &RunConfig, jobs: usize, samples: usize) -> (f64, PipelineOutc
         outcome = Some(o);
     }
     (best, outcome.expect("at least one sample"))
+}
+
+/// The jobs ladder for a machine with `cores` cores: always `1`, then
+/// `2` when it exercises real parallelism distinct from the top rung,
+/// then `0` (= all cores). Deduplicated so a 1-core box measures just
+/// the sequential run (plus the jobs=0 identity check) and a 2-core
+/// box doesn't time jobs=2 twice.
+fn jobs_ladder(cores: usize) -> Vec<usize> {
+    let mut ladder = vec![1];
+    if cores > 2 {
+        ladder.push(2);
+    }
+    if cores > 1 {
+        ladder.push(0);
+    }
+    ladder
+}
+
+/// Scale tag for metric names: the scale in thousandths, zero-padded
+/// (`0.05` → `s050`), so names sort and stay unambiguous.
+fn scale_tag(scale: f64) -> String {
+    format!("s{:03}", (scale * 1000.0).round() as usize)
 }
 
 fn main() -> ExitCode {
@@ -134,41 +165,77 @@ fn main() -> ExitCode {
         eprintln!("error: parbench measures the worker pool; --cache-dir would measure the cache");
         return ExitCode::FAILURE;
     }
-    let scale = args.scale.unwrap_or(0.2);
+    let full_scale = args.scale.unwrap_or(0.2);
 
     let cores = disengage_par::available_jobs();
-    eprintln!("measuring simulated-OCR pipeline at scale {scale} on {cores} core(s)...");
+    let ladder = jobs_ladder(cores);
+    // Quarter, half, and full scale: small corpora expose per-task
+    // overhead, the full corpus measures steady-state throughput.
+    let scales = [full_scale / 4.0, full_scale / 2.0, full_scale];
+    eprintln!(
+        "measuring simulated-OCR pipeline on {cores} core(s); jobs ladder {ladder:?}, scales {scales:?}"
+    );
 
-    let cfg = config(scale);
-    let (seq_s, seq) = time_runs(&cfg, 1, samples);
-    eprintln!("jobs=1: {seq_s:.3} s");
-    // Speedup curve: jobs = 2 (when distinct from both endpoints) and
-    // jobs = 0 (all cores). Each point checks byte-identity.
     let mut identical = true;
     let mut metrics: Vec<(String, f64)> = vec![
-        ("scale".to_owned(), scale),
+        ("scale".to_owned(), full_scale),
         ("samples".to_owned(), samples as f64),
-        ("docs".to_owned(), seq.database.disengagements().len() as f64),
-        ("sequential_s".to_owned(), seq_s),
+        ("jobs_ladder_len".to_owned(), ladder.len() as f64),
+        (
+            "jobs_ladder_max".to_owned(),
+            ladder
+                .iter()
+                .map(|&j| if j == 0 { cores } else { j })
+                .max()
+                .unwrap_or(1) as f64,
+        ),
     ];
-    if cores > 2 {
-        let (two_s, two) = time_runs(&cfg, 2, samples);
-        eprintln!("jobs=2: {two_s:.3} s ({:.2}x)", seq_s / two_s);
-        identical &= fingerprint(&seq) == fingerprint(&two);
-        metrics.push(("jobs2_s".to_owned(), two_s));
-        metrics.push(("jobs2_speedup".to_owned(), seq_s / two_s));
+    // Summary numbers from the full-scale column, filled in below.
+    let mut summary: Option<(f64, f64, usize)> = None;
+    for &scale in &scales {
+        let tag = scale_tag(scale);
+        let cfg = config(scale);
+        let mut seq: Option<(f64, String)> = None;
+        for &jobs in &ladder {
+            let (secs, outcome) = time_runs(&cfg, jobs, samples);
+            let docs = outcome.database.disengagements().len();
+            let print = fingerprint(&outcome);
+            let workers = if jobs == 0 { cores } else { jobs };
+            match &seq {
+                None => {
+                    eprintln!("scale {scale}: jobs=1: {secs:.3} s ({docs} docs)");
+                    metrics.push((format!("curve_{tag}_j1_s"), secs));
+                    seq = Some((secs, print));
+                }
+                Some((seq_s, seq_print)) => {
+                    let speedup = seq_s / secs;
+                    let same = print == *seq_print;
+                    identical &= same;
+                    eprintln!(
+                        "scale {scale}: jobs={jobs} ({workers} workers): {secs:.3} s ({speedup:.2}x, identical: {same})"
+                    );
+                    metrics.push((format!("curve_{tag}_j{workers}_s"), secs));
+                    metrics.push((format!("curve_{tag}_j{workers}_speedup"), speedup));
+                }
+            }
+            if scale == full_scale && (jobs == 0 || ladder.len() == 1) {
+                summary = Some((seq.as_ref().expect("jobs=1 ran first").0, secs, docs));
+            }
+        }
     }
-    let (par_s, par) = time_runs(&cfg, 0, samples);
-    eprintln!("jobs=0 ({cores} workers): {par_s:.3} s");
-    identical &= fingerprint(&seq) == fingerprint(&par);
+
+    let (seq_s, par_s, docs) = summary.expect("full scale measured");
     let speedup = seq_s / par_s;
-    eprintln!("speedup {speedup:.2}x, outputs identical: {identical}");
+    eprintln!(
+        "full scale: {speedup:.2}x, {:.2} docs/s sequential, outputs identical: {identical}",
+        docs as f64 / seq_s
+    );
+    metrics.push(("docs".to_owned(), docs as f64));
+    metrics.push(("sequential_s".to_owned(), seq_s));
     metrics.push(("parallel_s".to_owned(), par_s));
     metrics.push(("speedup".to_owned(), speedup));
-    metrics.push((
-        "docs_per_s".to_owned(),
-        seq.database.disengagements().len() as f64 / par_s,
-    ));
+    metrics.push(("seq_docs_per_s".to_owned(), docs as f64 / seq_s));
+    metrics.push(("docs_per_s".to_owned(), docs as f64 / par_s));
     metrics.push(("identical".to_owned(), if identical { 1.0 } else { 0.0 }));
 
     let body = disengage_bench::gate::envelope("disengage-bench/par", &metrics).render();
@@ -177,21 +244,24 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {out}");
-    if out == DEFAULT_OUT {
-        if let Err(e) = std::fs::write(LEGACY_OUT, &body) {
-            eprintln!("error: could not write {LEGACY_OUT}: {e}");
-            return ExitCode::FAILURE;
-        }
-        eprintln!("wrote {LEGACY_OUT} (legacy name; gone next release)");
-    }
 
     if !identical {
         eprintln!("FAILED: parallel outcome diverged from sequential");
         return ExitCode::FAILURE;
     }
-    if require_speedup && cores >= 4 && speedup < 2.0 {
-        eprintln!("FAILED: {speedup:.2}x < 2x required on {cores} cores");
-        return ExitCode::FAILURE;
+    if require_speedup {
+        if cores < SPEEDUP_MIN_CORES {
+            eprintln!(
+                "SKIPPED: --require-speedup needs {SPEEDUP_MIN_CORES}+ cores, this machine has \
+                 {cores}; byte-identity was still enforced, the {SPEEDUP_THRESHOLD}x speedup \
+                 floor was not"
+            );
+        } else if speedup < SPEEDUP_THRESHOLD {
+            eprintln!(
+                "FAILED: {speedup:.2}x < {SPEEDUP_THRESHOLD}x required on {cores} cores"
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -23,8 +23,8 @@ use disengage_obs::{
 use disengage_ocr::correct::Corrector;
 use disengage_ocr::engine::OcrEngine;
 use disengage_ocr::metrics::cer;
-use disengage_ocr::raster::rasterize;
-use disengage_ocr::NoiseModel;
+use disengage_ocr::raster::{rasterize_into, Bitmap};
+use disengage_ocr::{NoiseModel, OcrScratch};
 use disengage_par as par;
 use disengage_par::TaskTimeline;
 use disengage_reports::formats::RawDocument;
@@ -352,6 +352,16 @@ pub(crate) fn digitize_simulated_parts(
 ) -> (Vec<RawDocument>, OcrStats) {
     let engine = OcrEngine::new();
     let corrector = config.correct.then(default_corrector);
+    // Each pool worker keeps one page bitmap and one recognizer scratch
+    // alive across every document it processes, so the hot loop stops
+    // paying an alloc/free cycle per page. Reuse cannot leak between
+    // documents: `rasterize_into` resets the bitmap and `recognize_with`
+    // clears the scratch, so output is byte-identical to the
+    // allocate-per-document path at any --jobs value.
+    thread_local! {
+        static OCR_SCRATCH: std::cell::RefCell<(Bitmap, OcrScratch)> =
+            std::cell::RefCell::new((Bitmap::blank(0, 0), OcrScratch::default()));
+    }
     let per_doc = par::par_map_indexed_timed(
         config.jobs,
         docs,
@@ -367,18 +377,23 @@ pub(crate) fn digitize_simulated_parts(
                 config.ocr_seed,
                 (config.base_index + i) as u64,
             ));
-            let clean_page = {
-                let _p = profile::phase(&shard, "rasterize");
-                rasterize(&doc.text)
-            };
-            let page = {
-                let _p = profile::phase(&shard, "degrade");
-                config.noise.degrade(&clean_page, &mut rng)
-            };
-            let recognized = {
+            let recognized = OCR_SCRATCH.with(|cell| {
+                let (page, scratch) = &mut *cell.borrow_mut();
+                {
+                    let _p = profile::phase(&shard, "rasterize");
+                    rasterize_into(&doc.text, page);
+                }
+                {
+                    // In-place degrade: `NoiseModel::degrade` is
+                    // clone-then-`apply`, so applying to the freshly
+                    // rasterized page skips the clone and consumes the
+                    // identical RNG stream.
+                    let _p = profile::phase(&shard, "degrade");
+                    config.noise.apply(page, &mut rng);
+                }
                 let _p = profile::phase(&shard, "correlate");
-                engine.recognize(&page)
-            };
+                engine.recognize_with(page, scratch)
+            });
             let text = match &corrector {
                 Some(c) => {
                     let _repair = profile::phase(&shard, "repair");

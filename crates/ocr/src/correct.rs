@@ -36,29 +36,124 @@ pub struct TokenRepair {
 pub fn edit_distance(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    levenshtein(&a, &b)
+}
+
+/// Exact Levenshtein distance over `char` slices.
+///
+/// The common prefix and suffix are stripped first (free — neither can
+/// appear in an optimal edit script with nonzero cost), then a banded
+/// DP runs with the band doubling until the distance provably fits
+/// inside it: `O(d·min(n, m))` for true distance `d` instead of the
+/// full `O(n·m)` table. On the pipeline's documents (CER of a few
+/// percent over multi-kilobyte filings) this is the difference between
+/// the `cer` phase dominating Stage I and it vanishing — and the value
+/// returned is identical to the full DP's by construction.
+pub(crate) fn levenshtein(a: &[char], b: &[char]) -> usize {
+    let prefix = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+    let (a, b) = (&a[prefix..], &b[prefix..]);
+    let suffix = a
+        .iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    let (a, b) = (&a[..a.len() - suffix], &b[..b.len() - suffix]);
     if a.is_empty() {
         return b.len();
     }
     if b.is_empty() {
         return a.len();
     }
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut curr = vec![0usize; b.len() + 1];
-    for (i, &ca) in a.iter().enumerate() {
-        curr[0] = i + 1;
-        for (j, &cb) in b.iter().enumerate() {
-            let cost = usize::from(ca != cb);
-            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+    let longest = a.len().max(b.len());
+    let mut band = a.len().abs_diff(b.len()).max(1);
+    loop {
+        if let Some(d) = banded_distance(a, b, band) {
+            return d;
+        }
+        // Not provable inside this band: widen. The distance is at
+        // most `longest`, so the loop always terminates with `Some`.
+        band = (band * 2).min(longest);
+    }
+}
+
+/// Banded Levenshtein: the exact distance between `a` and `b` when it
+/// is at most `band`, else `None`. Only DP cells within `band` of the
+/// main diagonal are computed; an optimal path for a distance `≤ band`
+/// cannot leave that corridor, so the corridor value at the corner is
+/// the true distance whenever it comes out `≤ band`.
+fn banded_distance(a: &[char], b: &[char], band: usize) -> Option<usize> {
+    let (la, lb) = (a.len(), b.len());
+    if la.abs_diff(lb) > band {
+        return None;
+    }
+    // Out-of-corridor cells read as INF; `/2` leaves room for the +1s.
+    const INF: usize = usize::MAX / 2;
+    let mut prev: Vec<usize> = vec![INF; lb + 1];
+    let mut curr: Vec<usize> = vec![INF; lb + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(lb.min(band) + 1) {
+        *p = j;
+    }
+    for i in 1..=la {
+        let lo = i.saturating_sub(band);
+        let hi = (i + band).min(lb);
+        // The row is reused across iterations, so the cells flanking
+        // this row's corridor must be re-poisoned or the next row would
+        // read a stale value through them.
+        if lo > 0 {
+            curr[lo - 1] = INF;
+        }
+        if hi < lb {
+            curr[hi + 1] = INF;
+        }
+        if lo == 0 {
+            curr[0] = i;
+        }
+        for j in lo.max(1)..=hi {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            curr[j] = (prev[j] + 1)
+                .min(curr[j - 1] + 1)
+                .min(prev[j - 1] + cost);
         }
         std::mem::swap(&mut prev, &mut curr);
     }
-    prev[b.len()]
+    let d = prev[lb];
+    (d <= band).then_some(d)
+}
+
+/// [`banded_distance`] over pre-split `char` slices with the
+/// prefix/suffix strip applied — the corrector's bounded query:
+/// `Some(d)` exactly when the true distance `d ≤ band`.
+fn distance_at_most(a: &[char], b: &[char], band: usize) -> Option<usize> {
+    let prefix = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+    let (a, b) = (&a[prefix..], &b[prefix..]);
+    let suffix = a
+        .iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    let (a, b) = (&a[..a.len() - suffix], &b[..b.len() - suffix]);
+    if a.is_empty() {
+        return (b.len() <= band).then_some(b.len());
+    }
+    if b.is_empty() {
+        return (a.len() <= band).then_some(a.len());
+    }
+    banded_distance(a, b, band)
 }
 
 /// A vocabulary-backed spelling corrector.
 #[derive(Debug, Clone, Default)]
 pub struct Corrector {
     vocabulary: HashSet<String>,
+    /// The vocabulary bucketed by char length (`by_len[l]` = words of
+    /// exactly `l` chars, with their chars pre-split), so a repair at
+    /// distance `d` scans only the `2d + 1` adjacent buckets instead
+    /// of re-counting every word's chars on every query. Candidate
+    /// order within a bucket is insertion order; the repair result is
+    /// order-independent (unique candidate or ambiguity bail-out).
+    by_len: Vec<Vec<(String, Vec<char>)>>,
 }
 
 impl Corrector {
@@ -68,9 +163,20 @@ impl Corrector {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Corrector {
-            vocabulary: words.into_iter().map(Into::into).collect(),
+        let mut vocabulary = HashSet::new();
+        let mut by_len: Vec<Vec<(String, Vec<char>)>> = Vec::new();
+        for word in words {
+            let word: String = word.into();
+            if !vocabulary.insert(word.clone()) {
+                continue; // duplicate: one bucket entry is enough
+            }
+            let chars: Vec<char> = word.chars().collect();
+            if by_len.len() <= chars.len() {
+                by_len.resize(chars.len() + 1, Vec::new());
+            }
+            by_len[chars.len()].push((word, chars));
         }
+        Corrector { vocabulary, by_len }
     }
 
     /// Number of vocabulary words.
@@ -96,45 +202,50 @@ impl Corrector {
         // Split into (leading punctuation, core, trailing punctuation) so
         // "vehicle," repairs "vehicle" and keeps the comma.
         self.correct_word_within(word, 1)
+            .unwrap_or_else(|| word.to_owned())
     }
 
     /// Repairs `core` against the vocabulary at exactly edit distance
-    /// `distance`: unknown words with a *unique* candidate snap to it;
-    /// ambiguity leaves the word alone (a wrong repair is worse than a
-    /// missing one).
-    fn correct_core_within(&self, core: &str, distance: usize) -> String {
+    /// `distance`: unknown words with a *unique* candidate snap to it
+    /// (`Some`); ambiguity or no candidate leaves the word alone
+    /// (`None` — a wrong repair is worse than a missing one).
+    fn correct_core_within(&self, core: &str, distance: usize) -> Option<&str> {
         if core.is_empty()
             || self.knows(core)
             || !core.chars().any(|c| c.is_ascii_alphabetic())
         {
-            return core.to_owned();
+            return None;
         }
         // Beyond distance 1, digit-bearing cores are off limits: an OCR
         // digit↔letter confusion is a single substitution, while a
         // two-edit "repair" of an identifier like `car-7` would snap it
         // to a dictionary word and corrupt the record.
         if distance > 1 && core.chars().any(|c| c.is_ascii_digit()) {
-            return core.to_owned();
+            return None;
         }
-        let mut candidate: Option<&String> = None;
-        for v in &self.vocabulary {
-            // Cheap length prefilter before the DP.
-            if v.chars().count().abs_diff(core.chars().count()) > distance {
-                continue;
-            }
-            if edit_distance(core, v) == distance {
-                if candidate.is_some() {
-                    return core.to_owned(); // ambiguous: leave it
+        let core_chars: Vec<char> = core.chars().collect();
+        let mut candidate: Option<&str> = None;
+        // Only buckets within the length prefilter can hold candidates.
+        let lo = core_chars.len().saturating_sub(distance);
+        let hi = core_chars.len() + distance;
+        for bucket in (lo..=hi).filter_map(|l| self.by_len.get(l)) {
+            for (word, chars) in bucket {
+                if distance_at_most(&core_chars, chars, distance) == Some(distance) {
+                    if candidate.is_some() {
+                        return None; // ambiguous: leave it
+                    }
+                    candidate = Some(word);
                 }
-                candidate = Some(v);
             }
         }
-        candidate.cloned().unwrap_or_else(|| core.to_owned())
+        candidate
     }
 
     /// Corrects one word at a given repair distance (see
     /// [`Corrector::correct_word`], which is the distance-1 form).
-    fn correct_word_within(&self, word: &str, distance: usize) -> String {
+    /// `None` means the word is unchanged — the hot path, which
+    /// allocates nothing.
+    fn correct_word_within(&self, word: &str, distance: usize) -> Option<String> {
         let start = word
             .find(|c: char| c.is_ascii_alphanumeric())
             .unwrap_or(word.len());
@@ -143,12 +254,8 @@ impl Corrector {
             .map_or(start, |i| i + word[i..].chars().next().map_or(1, char::len_utf8));
         let (prefix, rest) = word.split_at(start);
         let (core, suffix) = rest.split_at(end.saturating_sub(start));
-        let fixed = self.correct_core_within(core, distance);
-        if fixed == core {
-            word.to_owned()
-        } else {
-            format!("{prefix}{fixed}{suffix}")
-        }
+        let fixed = self.correct_core_within(core, distance)?;
+        Some(format!("{prefix}{fixed}{suffix}"))
     }
 
     /// Corrects every whitespace-delimited word of a text, preserving the
@@ -213,29 +320,33 @@ impl Corrector {
             let rung_start = std::time::Instant::now();
             let distance = (attempt as usize).min(2);
             let mut hits = 0u64;
-            let out = current
-                .lines()
-                .enumerate()
-                .map(|(line_idx, line)| {
-                    line.split(' ')
-                        .map(|w| {
-                            let fixed = self.correct_word_within(w, distance);
-                            if fixed != w {
-                                hits += 1;
-                                repairs.push(TokenRepair {
-                                    line: line_idx + 1,
-                                    before: w.to_owned(),
-                                    after: fixed.clone(),
-                                    attempt,
-                                });
-                            }
-                            fixed
-                        })
-                        .collect::<Vec<_>>()
-                        .join(" ")
-                })
-                .collect::<Vec<_>>()
-                .join("\n");
+            // Build the rung's output in place: unchanged words (the
+            // overwhelming majority) are copied straight from the
+            // input, no per-word allocation.
+            let mut out = String::with_capacity(current.len());
+            for (line_idx, line) in current.lines().enumerate() {
+                if line_idx > 0 {
+                    out.push('\n');
+                }
+                for (word_idx, w) in line.split(' ').enumerate() {
+                    if word_idx > 0 {
+                        out.push(' ');
+                    }
+                    match self.correct_word_within(w, distance) {
+                        Some(fixed) => {
+                            hits += 1;
+                            out.push_str(&fixed);
+                            repairs.push(TokenRepair {
+                                line: line_idx + 1,
+                                before: w.to_owned(),
+                                after: fixed,
+                                attempt,
+                            });
+                        }
+                        None => out.push_str(w),
+                    }
+                }
+            }
             per_attempt.push(hits);
             current = out;
             on_attempt(attempt, rung_start.elapsed());
@@ -400,6 +511,100 @@ mod tests {
         assert_eq!(edit_distance("", "abc"), 3);
         assert_eq!(edit_distance("abc", ""), 3);
         assert_eq!(edit_distance("flaw", "lawn"), 2);
+    }
+
+    /// The full O(n·m) DP the banded implementation replaced — the
+    /// reference the fast path is pinned against.
+    fn full_dp_distance(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        if a.is_empty() {
+            return b.len();
+        }
+        if b.is_empty() {
+            return a.len();
+        }
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        let mut curr = vec![0usize; b.len() + 1];
+        for (i, &ca) in a.iter().enumerate() {
+            curr[0] = i + 1;
+            for (j, &cb) in b.iter().enumerate() {
+                let cost = usize::from(ca != cb);
+                curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[b.len()]
+    }
+
+    #[test]
+    fn banded_distance_matches_full_dp_on_random_strings() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xED17);
+        let alphabet: Vec<char> = "abcdeé—01".chars().collect();
+        for _ in 0..400 {
+            let la = rng.gen_range(0..24);
+            let lb = rng.gen_range(0..24);
+            let mk = |rng: &mut StdRng, l: usize| -> String {
+                (0..l).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+            };
+            let a = mk(&mut rng, la);
+            let b = mk(&mut rng, lb);
+            assert_eq!(
+                edit_distance(&a, &b),
+                full_dp_distance(&a, &b),
+                "banded != full DP for {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn banded_distance_on_mutated_long_strings() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // The pipeline shape: a long reference with a few percent of
+        // scattered substitutions — the regime where banding pays.
+        let mut rng = StdRng::seed_from_u64(0xCE2);
+        let reference: String = (0..600)
+            .map(|i| char::from(b'a' + (i % 23) as u8))
+            .collect();
+        for _ in 0..20 {
+            let mut mutated: Vec<char> = reference.chars().collect();
+            let edits = rng.gen_range(0..30);
+            for _ in 0..edits {
+                let i = rng.gen_range(0..mutated.len());
+                mutated[i] = char::from(b'a' + rng.gen_range(0..26) as u8);
+            }
+            let hyp: String = mutated.iter().collect();
+            assert_eq!(edit_distance(&reference, &hyp), full_dp_distance(&reference, &hyp));
+        }
+    }
+
+    #[test]
+    fn distance_at_most_is_exact_within_the_band() {
+        let pairs = [
+            ("watchdog", "watchdog"),
+            ("watchdog", "watchd0g"),
+            ("watchdog", "w4tchd0g"),
+            ("kitten", "sitting"),
+            ("", "ab"),
+            ("ab", ""),
+            ("abc", "xyz"),
+        ];
+        for (a, b) in pairs {
+            let ac: Vec<char> = a.chars().collect();
+            let bc: Vec<char> = b.chars().collect();
+            let truth = full_dp_distance(a, b);
+            for band in 0..=4usize {
+                let got = distance_at_most(&ac, &bc, band);
+                if truth <= band {
+                    assert_eq!(got, Some(truth), "{a:?} vs {b:?} band {band}");
+                } else {
+                    assert_eq!(got, None, "{a:?} vs {b:?} band {band}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -4,9 +4,21 @@
 //! against every font glyph by pixel agreement. Cells with too little ink
 //! read as spaces; cells whose best match is weak are flagged
 //! low-confidence (the manual-review signal).
+//!
+//! The hot path is bit-packed: every 5×7 glyph is packed into one `u64`
+//! at engine construction, cells are extracted as packed words a text
+//! row at a time, and the F1-style agreement is scored with
+//! AND + popcount. The arithmetic is carried out on exactly the same
+//! integers as the scalar reference in [`scalar`] — same overlap, same
+//! ink counts, same `f64` divisions in the same order — so recognized
+//! text, confidences, and tie-breaks are bit-identical to it (pinned by
+//! the `packed_equivalence` suite).
 
 use crate::font::{all_glyphs, Glyph, GLYPH_H, GLYPH_W};
-use crate::raster::{cell_pixels, grid_dims, Bitmap};
+use crate::raster::{grid_dims, pack_cell_row, Bitmap};
+
+/// Bits in one packed cell (or glyph): the 5×7 window.
+const CELL_BITS: usize = GLYPH_W * GLYPH_H;
 
 /// Result of recognizing one page.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,10 +72,35 @@ impl Default for EngineConfig {
     }
 }
 
+/// One font glyph prepared for packed matching.
+#[derive(Debug, Clone, Copy)]
+struct PackedGlyph {
+    ch: char,
+    bits: u64,
+    ink: u32,
+}
+
+/// Reusable buffers for [`OcrEngine::recognize_with`]: the packed cells
+/// of the current text row plus the line being assembled. One scratch
+/// per worker thread turns per-cell and per-line allocations into
+/// amortized reuse across every document that worker digitizes.
+#[derive(Debug, Clone, Default)]
+pub struct OcrScratch {
+    cells: Vec<u64>,
+    line: String,
+    line_conf: Vec<f64>,
+}
+
 /// A template-matching OCR engine over the built-in font.
 #[derive(Debug, Clone)]
 pub struct OcrEngine {
-    glyphs: Vec<(char, Vec<bool>, usize)>,
+    glyphs: Vec<PackedGlyph>,
+    /// `caps[g][ci]` = the highest score glyph `g` can reach against a
+    /// cell with `ci` inked pixels: `2·min(ci, ink_g) / (ci + ink_g)`,
+    /// computed with the same `f64` operations as a real score. Scores
+    /// are monotone in the overlap, so a glyph whose cap cannot beat
+    /// the incumbent best is skipped without changing the result.
+    caps: Vec<[f64; CELL_BITS + 1]>,
     config: EngineConfig,
 }
 
@@ -79,52 +116,77 @@ impl OcrEngine {
         OcrEngine::with_config(EngineConfig::default())
     }
 
-    /// Builds an engine with an explicit configuration.
+    /// Builds an engine with an explicit configuration. Every glyph is
+    /// bit-packed here, once, so recognition never touches the pixel
+    /// grids again.
     pub fn with_config(config: EngineConfig) -> OcrEngine {
-        let glyphs = all_glyphs()
+        let glyphs: Vec<PackedGlyph> = all_glyphs()
             .into_iter()
-            .map(|g: Glyph| {
-                let flat: Vec<bool> = g.pixels.iter().flatten().copied().collect();
-                let ink = g.ink();
-                (g.ch, flat, ink)
+            .map(|g: Glyph| PackedGlyph {
+                ch: g.ch,
+                bits: g.packed(),
+                ink: g.ink() as u32,
             })
             .collect();
-        OcrEngine { glyphs, config }
+        let caps = glyphs
+            .iter()
+            .map(|g| {
+                let mut row = [0.0f64; CELL_BITS + 1];
+                for (ci, cap) in row.iter_mut().enumerate() {
+                    *cap = 2.0 * (ci as u32).min(g.ink) as f64 / (ci as u32 + g.ink) as f64;
+                }
+                row
+            })
+            .collect();
+        OcrEngine { glyphs, caps, config }
     }
 
     /// Recognizes a page bitmap into text with per-character confidence.
     pub fn recognize(&self, page: &Bitmap) -> OcrOutput {
+        self.recognize_with(page, &mut OcrScratch::default())
+    }
+
+    /// [`OcrEngine::recognize`] with caller-owned scratch buffers, the
+    /// allocation-free hot path: cells are extracted one text row at a
+    /// time into `scratch` (cache-order page reads) and matched as
+    /// packed words. Output is identical to [`OcrEngine::recognize`].
+    pub fn recognize_with(&self, page: &Bitmap, scratch: &mut OcrScratch) -> OcrOutput {
         let (rows, cols) = grid_dims(page);
         let mut text = String::new();
         let mut confidences = Vec::new();
         for row in 0..rows {
-            let mut line = String::new();
-            let mut line_conf = Vec::new();
-            for col in 0..cols {
-                let cell = cell_pixels(page, row, col);
-                let ink = cell.iter().filter(|&&p| p).count();
-                if ink < self.config.min_ink {
-                    line.push(' ');
-                    line_conf.push(1.0);
+            pack_cell_row(page, row, cols, &mut scratch.cells);
+            scratch.line.clear();
+            scratch.line_conf.clear();
+            for &cell in &scratch.cells {
+                let ink = cell.count_ones();
+                if (ink as usize) < self.config.min_ink {
+                    scratch.line.push(' ');
+                    scratch.line_conf.push(1.0);
                     continue;
                 }
-                let (ch, score) = self.best_match(&cell);
+                let (ch, score) = self.match_packed(cell, ink);
                 if score < self.config.min_score {
                     // Too weak a match for any glyph: treat as speckle.
-                    line.push(' ');
-                    line_conf.push(score);
+                    scratch.line.push(' ');
+                    scratch.line_conf.push(score);
                 } else {
-                    line.push(ch);
-                    line_conf.push(score);
+                    scratch.line.push(ch);
+                    scratch.line_conf.push(score);
                 }
             }
             // Trim trailing spaces (grid padding), along with their
-            // confidences.
-            let trimmed = line.trim_end().len();
-            line_conf.truncate(trimmed);
-            line.truncate(trimmed);
-            text.push_str(&line);
-            confidences.extend(line_conf);
+            // confidences. Confidences align with *characters*, so the
+            // truncation count is chars of the trimmed line — its byte
+            // length over-counts as soon as the line holds a multi-byte
+            // glyph like `—`.
+            let trimmed = scratch.line.trim_end();
+            let keep_chars = trimmed.chars().count();
+            let keep_bytes = trimmed.len();
+            scratch.line_conf.truncate(keep_chars);
+            scratch.line.truncate(keep_bytes);
+            text.push_str(&scratch.line);
+            confidences.extend_from_slice(&scratch.line_conf);
             if row + 1 < rows {
                 text.push('\n');
             }
@@ -136,24 +198,152 @@ impl OcrEngine {
         OcrOutput { text, confidences }
     }
 
-    /// Best glyph for a cell: maximizes the F1-style agreement
-    /// `2·|cell ∩ glyph| / (|cell| + |glyph|)`.
-    fn best_match(&self, cell: &[bool]) -> (char, f64) {
-        debug_assert_eq!(cell.len(), GLYPH_W * GLYPH_H);
-        let cell_ink = cell.iter().filter(|&&p| p).count();
+    /// Best glyph for a flat pixel cell: maximizes the F1-style
+    /// agreement `2·|cell ∩ glyph| / (|cell| + |glyph|)`. Packs the
+    /// cell and delegates to [`OcrEngine::match_packed`].
+    pub fn best_match(&self, cell: &[bool]) -> (char, f64) {
+        debug_assert_eq!(cell.len(), CELL_BITS);
+        let mut bits = 0u64;
+        for (i, &p) in cell.iter().enumerate() {
+            if p {
+                bits |= 1 << i;
+            }
+        }
+        self.match_packed(bits, bits.count_ones())
+    }
+
+    /// Best glyph for a bit-packed cell with `cell_ink` inked pixels.
+    ///
+    /// The overlap is one AND + popcount per glyph and the score is the
+    /// same `2.0 · overlap / (cell_ink + glyph_ink)` division the
+    /// scalar reference performs on the same integers, in the same
+    /// glyph order with the same strict `>` tie-break — so the result
+    /// (char *and* score bits) is identical. The precomputed cap table
+    /// only skips glyphs that provably cannot beat the incumbent.
+    pub fn match_packed(&self, cell: u64, cell_ink: u32) -> (char, f64) {
         let mut best = (' ', f64::MIN);
-        for (ch, flat, glyph_ink) in &self.glyphs {
-            let overlap = cell
-                .iter()
-                .zip(flat)
-                .filter(|(&a, &b)| a && b)
-                .count();
-            let score = 2.0 * overlap as f64 / (cell_ink + glyph_ink) as f64;
+        for (g, caps) in self.glyphs.iter().zip(&self.caps) {
+            if caps[cell_ink as usize] <= best.1 {
+                continue;
+            }
+            let overlap = (cell & g.bits).count_ones();
+            let score = 2.0 * overlap as f64 / (cell_ink + g.ink) as f64;
             if score > best.1 {
-                best = (*ch, score);
+                best = (g.ch, score);
             }
         }
         best
+    }
+}
+
+/// The scalar reference recognizer the packed engine is pinned to.
+///
+/// This is the original per-pixel implementation — flat `Vec<bool>`
+/// cells, `zip`/`filter` overlap counting — kept as an executable
+/// specification. The equivalence suite asserts that [`OcrEngine`]
+/// produces bit-identical `(char, score)` matches, text, and
+/// confidence vectors; it is not used on any production path.
+pub mod scalar {
+    use super::{EngineConfig, OcrOutput};
+    use crate::font::{all_glyphs, Glyph, GLYPH_H, GLYPH_W};
+    use crate::raster::{cell_pixels, grid_dims, Bitmap};
+
+    /// The pre-bit-packing engine, scalar per pixel.
+    #[derive(Debug, Clone)]
+    pub struct ScalarEngine {
+        glyphs: Vec<(char, Vec<bool>, usize)>,
+        config: EngineConfig,
+    }
+
+    impl Default for ScalarEngine {
+        fn default() -> Self {
+            ScalarEngine::new()
+        }
+    }
+
+    impl ScalarEngine {
+        /// Builds a reference engine with the default configuration.
+        pub fn new() -> ScalarEngine {
+            ScalarEngine::with_config(EngineConfig::default())
+        }
+
+        /// Builds a reference engine with an explicit configuration.
+        pub fn with_config(config: EngineConfig) -> ScalarEngine {
+            let glyphs = all_glyphs()
+                .into_iter()
+                .map(|g: Glyph| {
+                    let flat: Vec<bool> = g.pixels.iter().flatten().copied().collect();
+                    let ink = g.ink();
+                    (g.ch, flat, ink)
+                })
+                .collect();
+            ScalarEngine { glyphs, config }
+        }
+
+        /// Scalar [`super::OcrEngine::recognize`].
+        pub fn recognize(&self, page: &Bitmap) -> OcrOutput {
+            let (rows, cols) = grid_dims(page);
+            let mut text = String::new();
+            let mut confidences = Vec::new();
+            for row in 0..rows {
+                let mut line = String::new();
+                let mut line_conf = Vec::new();
+                for col in 0..cols {
+                    let cell = cell_pixels(page, row, col);
+                    let ink = cell.iter().filter(|&&p| p).count();
+                    if ink < self.config.min_ink {
+                        line.push(' ');
+                        line_conf.push(1.0);
+                        continue;
+                    }
+                    let (ch, score) = self.best_match(&cell);
+                    if score < self.config.min_score {
+                        line.push(' ');
+                        line_conf.push(score);
+                    } else {
+                        line.push(ch);
+                        line_conf.push(score);
+                    }
+                }
+                // Same char-counted confidence trim as the packed
+                // engine (the byte-counted form misaligned multi-byte
+                // lines; both engines carry the fix).
+                let trimmed = line.trim_end();
+                let keep_chars = trimmed.chars().count();
+                let keep_bytes = trimmed.len();
+                line_conf.truncate(keep_chars);
+                line.truncate(keep_bytes);
+                text.push_str(&line);
+                confidences.extend(line_conf);
+                if row + 1 < rows {
+                    text.push('\n');
+                }
+            }
+            while text.ends_with('\n') {
+                text.pop();
+            }
+            OcrOutput { text, confidences }
+        }
+
+        /// Scalar [`super::OcrEngine::best_match`]: per-pixel overlap
+        /// count, same score formula, same first-wins tie-break.
+        pub fn best_match(&self, cell: &[bool]) -> (char, f64) {
+            debug_assert_eq!(cell.len(), GLYPH_W * GLYPH_H);
+            let cell_ink = cell.iter().filter(|&&p| p).count();
+            let mut best = (' ', f64::MIN);
+            for (ch, flat, glyph_ink) in &self.glyphs {
+                let overlap = cell
+                    .iter()
+                    .zip(flat)
+                    .filter(|(&a, &b)| a && b)
+                    .count();
+                let score = 2.0 * overlap as f64 / (cell_ink + glyph_ink) as f64;
+                if score > best.1 {
+                    best = (*ch, score);
+                }
+            }
+            best
+        }
     }
 }
 
@@ -241,6 +431,49 @@ mod tests {
         let out = OcrEngine::new().recognize(&rasterize(text));
         let non_newline = out.text.chars().filter(|&c| c != '\n').count();
         assert_eq!(out.confidences.len(), non_newline);
+    }
+
+    #[test]
+    fn confidences_align_on_non_ascii_lines_with_trailing_spaces() {
+        // Line 0 ends in multi-byte glyphs and is shorter than line 1,
+        // so the grid pads it with trailing blank cells the recognizer
+        // must trim. A byte-counted trim keeps phantom trailing-space
+        // confidences (— is 3 bytes but 1 char) and misaligns the
+        // vector; the trim must count chars.
+        let samples = [
+            "1/4/16 — 1:25 PM —\nTHE LONGEST LINE SETS THE GRID WIDTH",
+            "——— A\nLONGER LINE HERE",
+            "a — b  \nWIDE LINE BELOW THE DASHES",
+        ];
+        for text in samples {
+            let out = OcrEngine::new().recognize(&rasterize(text));
+            let non_newline = out.text.chars().filter(|&c| c != '\n').count();
+            assert_eq!(
+                out.confidences.len(),
+                non_newline,
+                "confidences misaligned for {text:?}: {} conf vs {} chars",
+                out.confidences.len(),
+                non_newline
+            );
+            // And the scalar reference agrees exactly.
+            let reference = scalar::ScalarEngine::new().recognize(&rasterize(text));
+            assert_eq!(out.text, reference.text);
+            assert_eq!(out.confidences, reference.confidences);
+        }
+    }
+
+    #[test]
+    fn recognize_with_scratch_reuse_is_identical() {
+        let engine = OcrEngine::new();
+        let mut scratch = OcrScratch::default();
+        // Reuse one scratch across pages of very different shapes; every
+        // output must match the scratch-free path.
+        for text in ["WIDE PAGE WITH MANY CELLS 0123456789", "a", "", "x\ny\nz"] {
+            let page = rasterize(text);
+            let fresh = engine.recognize(&page);
+            let reused = engine.recognize_with(&page, &mut scratch);
+            assert_eq!(fresh, reused, "scratch reuse diverged for {text:?}");
+        }
     }
 
     #[test]

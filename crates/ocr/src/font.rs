@@ -28,6 +28,22 @@ impl Glyph {
             .filter(|&&p| p)
             .count()
     }
+
+    /// The glyph bit-packed into a single `u64`: bit `r·GLYPH_W + c`
+    /// carries pixel `(r, c)`, row-major — the same layout
+    /// [`crate::raster::cell_packed`] extracts, so `cell & packed`
+    /// counts exactly the cell∩glyph overlap. 5×7 = 35 bits, so the
+    /// whole template fits one word and matching is a single
+    /// AND + popcount.
+    pub fn packed(&self) -> u64 {
+        let mut bits = 0u64;
+        for (i, &p) in self.pixels.iter().flatten().enumerate() {
+            if p {
+                bits |= 1 << i;
+            }
+        }
+        bits
+    }
 }
 
 /// Builds a glyph from 7 pattern rows (`#` = ink).
@@ -211,6 +227,22 @@ mod tests {
         // Small caps leave the top two rows blank.
         assert!(lower.pixels[0].iter().all(|&p| !p));
         assert!(lower.pixels[1].iter().all(|&p| !p));
+    }
+
+    #[test]
+    fn packed_round_trips_the_pixel_grid() {
+        for g in all_glyphs() {
+            let bits = g.packed();
+            assert_eq!(bits.count_ones() as usize, g.ink(), "glyph {:?}", g.ch);
+            for r in 0..GLYPH_H {
+                for c in 0..GLYPH_W {
+                    let bit = bits >> (r * GLYPH_W + c) & 1 == 1;
+                    assert_eq!(bit, g.pixels[r][c], "glyph {:?} at ({r},{c})", g.ch);
+                }
+            }
+            // Nothing above the 35 payload bits.
+            assert_eq!(bits >> (GLYPH_W * GLYPH_H), 0, "glyph {:?}", g.ch);
+        }
     }
 
     #[test]

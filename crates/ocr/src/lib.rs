@@ -11,7 +11,9 @@
 //!   erosion) with configurable severity,
 //! * [`engine`] — a template-matching recognizer: segment the fixed grid,
 //!   correlate each cell against every glyph, emit the best match with a
-//!   confidence score,
+//!   confidence score. The hot path is bit-packed (one `u64` per 5×7
+//!   glyph, AND + popcount scoring) and pinned bit-for-bit to the
+//!   scalar reference in [`engine::scalar`],
 //! * [`correct`] — dictionary post-correction (edit-distance-1 repair
 //!   against a vocabulary),
 //! * [`metrics`] — character/word error rates for measuring the
@@ -41,6 +43,6 @@ pub mod noise;
 pub mod raster;
 
 pub use correct::{Corrector, TokenRepair};
-pub use engine::{OcrEngine, OcrOutput};
+pub use engine::{OcrEngine, OcrOutput, OcrScratch};
 pub use noise::NoiseModel;
-pub use raster::{rasterize, Bitmap};
+pub use raster::{rasterize, rasterize_into, Bitmap};

@@ -26,6 +26,22 @@ impl Bitmap {
         }
     }
 
+    /// Resets this bitmap to an all-white `width × height` page,
+    /// reusing the existing pixel buffer. This is the scratch-reuse
+    /// path of the digitizer: one bitmap serves every document a
+    /// worker processes instead of a fresh allocation per page.
+    pub fn reset(&mut self, width: usize, height: usize) {
+        self.width = width;
+        self.height = height;
+        self.pixels.clear();
+        self.pixels.resize(width * height, false);
+    }
+
+    /// One pixel row as a slice (`y` must be in bounds).
+    fn row(&self, y: usize) -> &[bool] {
+        &self.pixels[y * self.width..(y + 1) * self.width]
+    }
+
     /// Width in pixels.
     pub fn width(&self) -> usize {
         self.width
@@ -85,9 +101,18 @@ impl Bitmap {
 /// spaces — the lossy path real OCR hits on unusual symbols). Tabs are
 /// not expanded; trailing newlines produce no extra line.
 pub fn rasterize(text: &str) -> Bitmap {
+    let mut bmp = Bitmap::blank(0, 0);
+    rasterize_into(text, &mut bmp);
+    bmp
+}
+
+/// [`rasterize`] into a caller-owned bitmap, reusing its pixel buffer.
+/// The result is identical to `*bmp = rasterize(text)`; only the
+/// allocation is saved.
+pub fn rasterize_into(text: &str, bmp: &mut Bitmap) {
     let lines: Vec<&str> = text.lines().collect();
     let cols = lines.iter().map(|l| l.chars().count()).max().unwrap_or(0);
-    let mut bmp = Bitmap::blank(cols.max(1) * CELL_W, lines.len().max(1) * CELL_H);
+    bmp.reset(cols.max(1) * CELL_W, lines.len().max(1) * CELL_H);
     for (row, line) in lines.iter().enumerate() {
         for (col, ch) in line.chars().enumerate() {
             if let Some(g) = glyph_for(ch) {
@@ -103,7 +128,6 @@ pub fn rasterize(text: &str) -> Bitmap {
             }
         }
     }
-    bmp
 }
 
 /// The number of text rows and columns a page bitmap holds.
@@ -123,6 +147,57 @@ pub fn cell_pixels(bmp: &Bitmap, row: usize, col: usize) -> Vec<bool> {
         }
     }
     out
+}
+
+/// [`cell_pixels`] bit-packed: the glyph-sized window of cell
+/// `(row, col)` as a single `u64` with bit `y·GLYPH_W + x` carrying
+/// pixel `(x, y)` of the window — the layout of
+/// [`crate::font::Glyph::packed`], so `cell & glyph` ANDs overlapping
+/// ink. Out-of-bounds reads are white, exactly like [`cell_pixels`].
+pub fn cell_packed(bmp: &Bitmap, row: usize, col: usize) -> u64 {
+    let ox = col * CELL_W;
+    let oy = row * CELL_H;
+    let mut bits = 0u64;
+    for y in 0..GLYPH_H {
+        for x in 0..GLYPH_W {
+            if bmp.get(ox + x, oy + y) {
+                bits |= 1 << (y * GLYPH_W + x);
+            }
+        }
+    }
+    bits
+}
+
+/// Packs every cell of text row `row` in one pass: `out[col]` ends up
+/// equal to [`cell_packed`]`(bmp, row, col)` for `col` in `0..cols`.
+///
+/// The page is walked pixel-row-major — each of the window's
+/// [`GLYPH_H`] pixel rows is read once, left to right, across all
+/// columns — so extraction is sequential in memory (cache-friendly)
+/// instead of striding down the page once per cell the way per-cell
+/// extraction does.
+pub fn pack_cell_row(bmp: &Bitmap, row: usize, cols: usize, out: &mut Vec<u64>) {
+    out.clear();
+    out.resize(cols, 0);
+    let oy = row * CELL_H;
+    for gy in 0..GLYPH_H {
+        let y = oy + gy;
+        if y >= bmp.height() {
+            break;
+        }
+        let px = bmp.row(y);
+        let shift = gy * GLYPH_W;
+        for (col, word) in out.iter_mut().enumerate() {
+            let ox = col * CELL_W;
+            let mut rowbits = 0u64;
+            for x in 0..GLYPH_W {
+                if ox + x < px.len() && px[ox + x] {
+                    rowbits |= 1 << x;
+                }
+            }
+            *word |= rowbits << shift;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +242,43 @@ mod tests {
             .copied()
             .collect();
         assert_eq!(c_cell, c_glyph);
+    }
+
+    #[test]
+    fn packed_cells_match_flat_cells() {
+        let b = rasterize("Ab3 —\nz? 8%");
+        let (rows, cols) = grid_dims(&b);
+        let mut row_cells = Vec::new();
+        for row in 0..rows {
+            pack_cell_row(&b, row, cols, &mut row_cells);
+            assert_eq!(row_cells.len(), cols);
+            for col in 0..cols {
+                let flat = cell_pixels(&b, row, col);
+                let packed = cell_packed(&b, row, col);
+                assert_eq!(packed, row_cells[col], "({row},{col})");
+                for (i, &p) in flat.iter().enumerate() {
+                    assert_eq!(packed >> i & 1 == 1, p, "({row},{col}) bit {i}");
+                }
+                assert_eq!(packed.count_ones() as usize, flat.iter().filter(|&&p| p).count());
+            }
+        }
+    }
+
+    #[test]
+    fn packed_cells_out_of_bounds_read_white() {
+        let b = rasterize("A");
+        // Cells past the grid are all white in both representations.
+        assert_eq!(cell_packed(&b, 5, 9), 0);
+        assert!(cell_pixels(&b, 5, 9).iter().all(|&p| !p));
+    }
+
+    #[test]
+    fn rasterize_into_reuses_and_matches() {
+        let mut scratch = rasterize("SOMETHING LONG ENOUGH TO SHRINK FROM");
+        rasterize_into("AB\nC", &mut scratch);
+        assert_eq!(scratch, rasterize("AB\nC"));
+        rasterize_into("", &mut scratch);
+        assert_eq!(scratch, rasterize(""));
     }
 
     #[test]

@@ -62,10 +62,19 @@ pub fn resolve_jobs(requested: usize) -> usize {
 /// alone. Worker count must never influence the partition: per-chunk
 /// state (collector shards, float accumulation order) merges in chunk
 /// order, so a jobs-dependent partition would leak the thread count
-/// into the output. 256 chunks bounds per-chunk imbalance while
+/// into the output. ~256 chunks bounds per-chunk imbalance while
 /// keeping scheduling overhead amortized over many items.
+///
+/// The floor of 2 (for `n >= 2`) exists because profiling Stage I at
+/// bench scale showed the old 1-item chunks spending a measurable
+/// share of wall time on deque locking and timeline stamping — each
+/// chunk costs one queue claim plus one span record regardless of
+/// size, so pairing items halves that fixed overhead. The floor stays
+/// low because documents vary ~50× in weight; bigger chunks would
+/// re-introduce the tail-straggler imbalance the 256-way split exists
+/// to avoid.
 fn chunk_len(n: usize) -> usize {
-    n.div_ceil(256).max(1)
+    n.div_ceil(256).max(2).min(n.max(1))
 }
 
 /// Runs one item under [`catch_unwind`], quarantining a panic into the
@@ -437,8 +446,13 @@ mod tests {
     fn chunk_partition_is_a_function_of_len_only() {
         assert_eq!(chunk_len(0), 1);
         assert_eq!(chunk_len(1), 1);
-        assert_eq!(chunk_len(256), 1);
-        assert_eq!(chunk_len(257), 2);
+        // Floor of 2: tiny inputs still pair items to halve per-chunk
+        // scheduling overhead...
+        assert_eq!(chunk_len(2), 2);
+        assert_eq!(chunk_len(256), 2);
+        assert_eq!(chunk_len(512), 2);
+        // ...and past 512 items the 256-way split takes over.
+        assert_eq!(chunk_len(513), 3);
         assert_eq!(chunk_len(5328), 21);
         // The partition covers the input exactly.
         for n in [1usize, 2, 255, 256, 257, 1000, 5328] {

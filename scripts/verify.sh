@@ -235,6 +235,10 @@ cargo run --release --offline --bin disengage -- check-folded profile.folded
 rm -f profile.folded
 
 echo "== parallel speedup bench (enforced on 4+ cores) =="
+# Measures the full jobs x scale speedup curve and enforces byte-
+# identity at every point. The 1.5x floor at default jobs needs 4+
+# cores; below that parbench prints a loud SKIPPED notice and the
+# identity checks still gate.
 cargo run --release --offline -p disengage-bench --bin parbench -- \
     --require-speedup --out=BENCH_par.candidate.json
 
