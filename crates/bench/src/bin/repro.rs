@@ -78,16 +78,18 @@ use disengage_core::pipeline::RunTrace;
 use disengage_core::telemetry::{execution_trace_json, reconcile, timed};
 use disengage_core::{degrade, exposure, figures, questions, report, tables, whatif, RunSession};
 use disengage_nlp::Classifier;
-use disengage_obs::{Collector, ProvenanceEvent, ProvenanceLog, Subject};
+use disengage_obs::{flight, health, Collector, ProvenanceEvent, ProvenanceLog, Subject};
 use disengage_reports::Manufacturer;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Tracks artifacts that degraded instead of rendering, so the run can
 /// summarize them (and the chaos report can list them) at the end. Each
 /// degradation also lands in the run's provenance log as a Stage IV
-/// `Degraded` event, so `--lineage` exports carry the full story.
-struct Degradations<'a>(Vec<&'static str>, &'a ProvenanceLog);
+/// `Degraded` event (so `--lineage` exports carry the full story), a
+/// warn-level log line, and a `degrade` flight-ring event.
+struct Degradations<'a>(Vec<&'static str>, &'a ProvenanceLog, &'a Collector);
 
 impl Degradations<'_> {
     /// Prints a rendered artifact, or its degradation notice; never
@@ -97,6 +99,8 @@ impl Degradations<'_> {
             Ok(text) => print(text),
             Err(e) => {
                 print(format!("== {artifact}: DEGRADED ==\n{e}"));
+                self.2.warn(&format!("artifact {artifact} degraded: {e}"));
+                self.2.event("degrade", artifact);
                 if self.1.is_enabled() {
                     self.1.push(
                         Subject::Run,
@@ -209,12 +213,14 @@ fn main() -> ExitCode {
 
     let want = |name: &str| args.positional.is_empty() || args.positional.iter().any(|a| a == name);
 
-    let obs = Collector::with_echo();
+    let obs_arc = Arc::new(Collector::with_echo());
+    let obs: &Collector = &obs_arc;
     let trace = if args.wants_trace() {
-        RunTrace::new(&obs)
+        RunTrace::new(obs)
     } else {
         RunTrace::disabled()
     };
+    install_panic_dump(&obs_arc, trace.flight_tasks());
     obs.log("running full-scale pipeline (5,328 disengagements, 42 accidents)...");
     if let Some(p) = config.active_chaos() {
         obs.log(&format!(
@@ -272,7 +278,7 @@ fn main() -> ExitCode {
     }
 
     let classifier = Classifier::with_default_dictionary();
-    let mut deg = Degradations(Vec::new(), trace.provenance());
+    let mut deg = Degradations(Vec::new(), trace.provenance(), obs);
 
     if want("table1") {
         let r = timed(&obs, "stage_iv_table1", || tables::table1(&o.database));
@@ -598,6 +604,12 @@ fn main() -> ExitCode {
                 snapshot.counter("cache.hit") as f64 / probes as f64,
             ));
         }
+        // Recorder self-overhead: flight-ring time / pipeline wall.
+        // Gated by an absolute ceiling (not baseline-relative) so the
+        // always-on recorder can never quietly grow past its budget.
+        if let Some(frac) = snapshot.gauge("obs.overhead.frac") {
+            metrics.push(("obs_overhead_frac".to_owned(), frac));
+        }
         let body = disengage_bench::gate::envelope("disengage-bench/pipeline", &metrics).render();
         match std::fs::write(path, body) {
             Ok(()) => eprintln!("wrote {path}"),
@@ -610,6 +622,50 @@ fn main() -> ExitCode {
     let violations = reconcile(&snapshot);
     for v in &violations {
         eprintln!("telemetry reconciliation FAILED: {v}");
+    }
+    if !violations.is_empty() {
+        // A non-reconciling run is a postmortem subject: dump the full
+        // flight ring next to the error output.
+        let suspects = flight::suspects(trace.provenance(), 8);
+        match flight::write_dump(
+            Path::new(flight::DEFAULT_DUMP_PATH),
+            obs,
+            Some(trace.flight_tasks()),
+            "telemetry reconciliation failed",
+            &suspects,
+            false,
+        ) {
+            Ok(()) => eprintln!("wrote {} (postmortem)", flight::DEFAULT_DUMP_PATH),
+            Err(e) => eprintln!("error: could not write {}: {e}", flight::DEFAULT_DUMP_PATH),
+        }
+    }
+
+    // Health gate: evaluate the declarative rules (--health=FILE or the
+    // built-in defaults) against the run's telemetry; a Fail-severity
+    // breach fails the process and is recorded in chaos_report.json.
+    let mut health_ok = true;
+    let mut health_value: Option<String> = None;
+    if let Some(rule_file) = &args.health {
+        let rules = match rule_file {
+            Some(path) => match std::fs::read_to_string(path)
+                .map_err(|e| format!("{e}"))
+                .and_then(|text| health::parse_rules(&text))
+            {
+                Ok(rules) => rules,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => health::default_rules(),
+        };
+        let verdict = health::evaluate(&rules, &snapshot);
+        print!("{}", verdict.render());
+        health_value = Some(verdict.to_value().render());
+        if verdict.failed() {
+            eprintln!("health gate FAILED");
+            health_ok = false;
+        }
     }
 
     // Chaos campaigns leave an auditable report on disk and must
@@ -628,11 +684,12 @@ fn main() -> ExitCode {
         }
         let degraded: Vec<String> = deg.0.iter().map(|a| format!("\"{a}\"")).collect();
         let body = format!(
-            "{{\"audit\":{},\"dict_dropped\":{},\"quarantine_records\":{},\"degraded_artifacts\":[{}]}}",
+            "{{\"audit\":{},\"dict_dropped\":{},\"quarantine_records\":{},\"degraded_artifacts\":[{}],\"health\":{}}}",
             audit.to_json(),
             snapshot.counter("chaos.dict.dropped"),
             snapshot.counter("quarantine.records"),
-            degraded.join(",")
+            degraded.join(","),
+            health_value.as_deref().unwrap_or("null")
         );
         let path = "chaos_report.json";
         match std::fs::write(path, body) {
@@ -669,6 +726,36 @@ fn main() -> ExitCode {
         }
     }
 
+    // Observability exports: the canonical flight-recorder dump
+    // (wall-clock-free, worker-count-independent — verify.sh diffs it
+    // across --jobs) and the Prometheus/OpenMetrics exposition.
+    if let Some(path) = &args.flight {
+        let suspects = flight::suspects(trace.provenance(), 8);
+        match flight::write_dump(
+            Path::new(path),
+            obs,
+            None,
+            "run complete",
+            &suspects,
+            true,
+        ) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &args.prom {
+        match std::fs::write(path, disengage_obs::render_prometheus(&snapshot)) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     match args.telemetry {
         TelemetryMode::Off => {}
         TelemetryMode::Tree => print!("{}", snapshot.render_tree()),
@@ -693,7 +780,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if violations.is_empty() && chaos_ok {
+    if violations.is_empty() && chaos_ok && health_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -702,6 +789,34 @@ fn main() -> ExitCode {
 
 fn print(text: String) {
     println!("{text}");
+}
+
+/// Arms a panic hook that dumps the full flight ring to `flight.json`
+/// before the default hook prints the backtrace. Gated to the main
+/// thread: pool-worker panics are caught by `par_map_catch` and
+/// quarantined as part of normal chaos operation, so they must not
+/// leave postmortem litter behind a successful run.
+fn install_panic_dump(obs: &Arc<Collector>, tasks: &disengage_obs::TaskLog) {
+    let hook_obs = Arc::clone(obs);
+    let hook_tasks = tasks.clone();
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if std::thread::current().name() == Some("main") {
+            let _ = flight::write_dump(
+                Path::new(flight::DEFAULT_DUMP_PATH),
+                &hook_obs,
+                Some(&hook_tasks),
+                "panic",
+                &[],
+                false,
+            );
+            eprintln!(
+                "wrote {} (postmortem; inspect with `disengage doctor`)",
+                flight::DEFAULT_DUMP_PATH
+            );
+        }
+        default_hook(info);
+    }));
 }
 
 /// Parses `--crash-campaign=TRIALS[,SEED]` (seed defaults to `0xC4A54`).

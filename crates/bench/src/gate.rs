@@ -56,6 +56,19 @@ pub enum Direction {
     HigherBetter,
 }
 
+/// Absolute budget ceilings, keyed by metric name. Unlike the
+/// relative direction gate, a ceilinged metric is checked against a
+/// fixed cap on the *candidate alone* — no baseline drift can loosen
+/// it, and it gates even when the baseline predates the metric.
+/// Currently: `obs_overhead_frac`, the flight-recorder self-overhead
+/// as a fraction of pipeline wall, budgeted at 2%.
+pub fn ceiling(name: &str) -> Option<f64> {
+    match name {
+        "obs_overhead_frac" => Some(0.02),
+        _ => None,
+    }
+}
+
 /// Infers a metric's direction from its name; `None` means the metric
 /// is informational and the gate ignores it.
 pub fn direction(name: &str) -> Option<Direction> {
@@ -251,6 +264,20 @@ pub fn gate(baseline: &Value, candidate: &Value, tolerance: f64) -> Result<GateO
             });
         }
     }
+    // Budget ceilings gate on the candidate alone: the cap is fixed,
+    // so a slowly-regressing baseline can never launder an overage.
+    for (name, c) in &cand {
+        let Some(cap) = ceiling(name) else { continue };
+        compared += 1;
+        if *c > cap {
+            regressions.push(Regression {
+                name: name.clone(),
+                baseline: cap,
+                candidate: *c,
+                worse_by: (c - cap) / cap,
+            });
+        }
+    }
     if regressions.is_empty() {
         Ok(GateOutcome::Pass(compared))
     } else {
@@ -376,6 +403,34 @@ mod tests {
         let step = env(&[("stage_i_ocr_s", 0.6)]);
         assert!(matches!(
             gate(&base, &step, 0.4).expect("gates"),
+            GateOutcome::Fail(_)
+        ));
+    }
+
+    #[test]
+    fn budget_ceiling_gates_the_candidate_absolutely() {
+        // Under the 2% cap: passes, and counts as a comparison even
+        // though the baseline never recorded the metric.
+        let base = env(&[("sequential_s", 1.0)]);
+        let under = env(&[("sequential_s", 1.0), ("obs_overhead_frac", 0.011)]);
+        assert!(matches!(
+            gate(&base, &under, 0.4).expect("gates"),
+            GateOutcome::Pass(2)
+        ));
+        // Over the cap: fails regardless of tolerance or baseline.
+        let over = env(&[("sequential_s", 1.0), ("obs_overhead_frac", 0.05)]);
+        match gate(&base, &over, 10.0).expect("gates") {
+            GateOutcome::Fail(regs) => {
+                assert_eq!(regs.len(), 1);
+                assert_eq!(regs[0].name, "obs_overhead_frac");
+                assert!((regs[0].baseline - 0.02).abs() < 1e-12);
+            }
+            other => panic!("expected fail, got {other:?}"),
+        }
+        // A generous baseline cannot launder the overage.
+        let loose_base = env(&[("obs_overhead_frac", 0.9)]);
+        assert!(matches!(
+            gate(&loose_base, &over, 10.0).expect("gates"),
             GateOutcome::Fail(_)
         ));
     }

@@ -125,6 +125,7 @@ pub struct ArtifactStore {
     lock_ttl: Duration,
     faults: Option<Arc<dyn IoFaults>>,
     counters: Arc<Mutex<BTreeMap<&'static str, u64>>>,
+    events: Arc<Mutex<Vec<(&'static str, String)>>>,
 }
 
 impl std::fmt::Debug for ArtifactStore {
@@ -151,6 +152,7 @@ impl ArtifactStore {
             lock_ttl: lock::DEFAULT_LOCK_TTL,
             faults: None,
             counters: Arc::new(Mutex::new(BTreeMap::new())),
+            events: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -164,6 +166,7 @@ impl ArtifactStore {
             lock_ttl: lock::DEFAULT_LOCK_TTL,
             faults: None,
             counters: Arc::new(Mutex::new(BTreeMap::new())),
+            events: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -222,6 +225,25 @@ impl ArtifactStore {
     fn bump(&self, name: &'static str, delta: u64) {
         let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
         *map.entry(name).or_insert(0) += delta;
+    }
+
+    /// Drains the named-event ledger: one `(event, file)` entry per
+    /// reclaimed torn frame, reclaimed tmp/lock litter file, and
+    /// evicted entry, in occurrence order. Like the counters, these
+    /// are environment facts (a warm store reclaims, a cold one
+    /// doesn't), so consumers must keep them out of canonical output.
+    pub fn take_events(&self) -> Vec<(&'static str, String)> {
+        let mut ledger = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *ledger)
+    }
+
+    fn note(&self, name: &'static str, path: &Path) {
+        let file = path
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let mut ledger = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        ledger.push((name, file));
     }
 
     /// Consults the fault surface; counts a fired fault and how it
@@ -510,6 +532,7 @@ impl ArtifactStore {
                 .is_some();
             if !valid && fs::remove_file(&path).is_ok() {
                 self.bump("cache.torn.reclaimed", 1);
+                self.note("cache.reclaim.torn", &path);
                 removed += 1;
             }
         }
@@ -527,6 +550,7 @@ impl ArtifactStore {
             if is_tmp(&path) {
                 if tmp_is_stale(&path, self.lock_ttl) && fs::remove_file(&path).is_ok() {
                     self.bump("cache.tmp.reclaimed", 1);
+                    self.note("cache.reclaim.tmp", &path);
                     removed += 1;
                 }
             } else if has_ext(&path, "lock")
@@ -534,6 +558,7 @@ impl ArtifactStore {
                 && fs::remove_file(&path).is_ok()
             {
                 self.bump("lock.reclaimed", 1);
+                self.note("lock.reclaim", &path);
                 removed += 1;
             }
         }
@@ -587,7 +612,10 @@ impl ArtifactStore {
                 continue; // absorbed: the entry outlives its welcome
             }
             match fs::remove_file(&path) {
-                Ok(()) => evicted += 1,
+                Ok(()) => {
+                    self.note("cache.evict", &path);
+                    evicted += 1;
+                }
                 // A peer evicted (or recomputed over) it first.
                 Err(e) if e.kind() == ErrorKind::NotFound => {}
                 Err(_) => {}
@@ -833,6 +861,12 @@ mod tests {
         assert!(matches!(store.load("corpus", Fingerprint(1)), Lookup::Hit(_)));
         let counters: BTreeMap<_, _> = store.take_counters().into_iter().collect();
         assert_eq!(counters.get("cache.torn.reclaimed"), Some(&1));
+        let events = store.take_events();
+        assert_eq!(
+            events,
+            vec![("cache.reclaim.torn", "aaaaaaaaaaaaaaaa.art".to_owned())]
+        );
+        assert!(store.take_events().is_empty(), "take_events drains");
         let _ = fs::remove_dir_all(&root);
     }
 

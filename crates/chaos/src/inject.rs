@@ -23,6 +23,14 @@ pub struct InjectedFault {
     pub line: usize,
 }
 
+impl InjectedFault {
+    /// One-line description for flight-recorder events and postmortem
+    /// rendering, e.g. `char_noise doc 3 line 14`.
+    pub fn describe(&self) -> String {
+        format!("{} doc {} line {}", self.kind.name(), self.doc, self.line)
+    }
+}
+
 /// The ledger of everything a plan injected into a batch.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultLog {

@@ -100,6 +100,16 @@ pub struct CommonArgs {
     pub cache_cap: Option<usize>,
     /// `--no-cache`: force caching off (wins over `--cache-dir`).
     pub no_cache: bool,
+    /// `--flight=PATH`: export the canonical flight-recorder dump to
+    /// `path` after the run (the crash dump is always-on regardless).
+    pub flight: Option<String>,
+    /// `--health[=FILE]`: evaluate health rules after the run;
+    /// `Some(Some(path))` loads the rule file, `Some(None)` uses the
+    /// built-in defaults.
+    pub health: Option<Option<String>>,
+    /// `--prom=PATH`: export the Prometheus/OpenMetrics text
+    /// exposition to `path` after the run.
+    pub prom: Option<String>,
     /// `--help` / `-h` was given.
     pub help: bool,
 }
@@ -249,6 +259,28 @@ impl CommonArgs {
                     }
                     out.no_cache = true;
                 }
+                "--flight" => {
+                    let v = take_value(flag)?;
+                    if v.is_empty() {
+                        return Err(ArgError::new(flag, "expected an output path"));
+                    }
+                    out.flight = Some(v);
+                }
+                "--health" => {
+                    // Value optional: bare `--health` uses the built-in
+                    // rules (the next argument is NOT consumed).
+                    match inline {
+                        Some("") => return Err(ArgError::new(flag, "expected a rule file path")),
+                        other => out.health = Some(other.map(str::to_owned)),
+                    }
+                }
+                "--prom" => {
+                    let v = take_value(flag)?;
+                    if v.is_empty() {
+                        return Err(ArgError::new(flag, "expected an output path"));
+                    }
+                    out.prom = Some(v);
+                }
                 _ => {
                     if !extra(flag, inline)? {
                         return Err(ArgError::new(flag, "unknown flag"));
@@ -289,6 +321,9 @@ impl CommonArgs {
          \x20 --cache-dir=PATH    content-addressed stage artifact cache\n\
          \x20 --cache-cap=N       per-stage cached-artifact cap; 0 = unbounded (default 8)\n\
          \x20 --no-cache          disable the artifact cache\n\
+         \x20 --flight=PATH       export the canonical flight-recorder dump\n\
+         \x20 --health[=FILE]     evaluate health rules after the run (bare = built-ins)\n\
+         \x20 --prom=PATH         export the Prometheus text exposition\n\
          \x20 -h, --help          this help"
     }
 }
@@ -462,6 +497,25 @@ mod tests {
         let b = parse(&["--lineage=out.jsonl"]).unwrap();
         assert_eq!(b.lineage, Some(Some("out.jsonl".to_owned())));
         assert!(b.wants_trace());
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let a = parse(&["--flight=f.json", "--prom=m.prom"]).unwrap();
+        assert_eq!(a.flight.as_deref(), Some("f.json"));
+        assert_eq!(a.prom.as_deref(), Some("m.prom"));
+        assert_eq!(a.health, None);
+        // Bare --health uses built-in rules and must not swallow the
+        // next positional.
+        let b = parse(&["--health", "run"]).unwrap();
+        assert_eq!(b.health, Some(None));
+        assert_eq!(b.positional, ["run"]);
+        let c = parse(&["--health=rules.txt"]).unwrap();
+        assert_eq!(c.health, Some(Some("rules.txt".to_owned())));
+        // Empty values are rejected.
+        for bad in ["--flight=", "--prom=", "--health="] {
+            assert!(parse(&[bad]).is_err(), "{bad} must fail");
+        }
     }
 
     #[test]

@@ -23,9 +23,12 @@ use disengage_chaos::{AuditedFault, ChaosAudit, FaultFate, FaultKind, InjectedFa
 use disengage_corpus::Corpus;
 use disengage_nlp::{FailureCategory, FaultTag, TagAssignment};
 use disengage_obs::{
-    CollectorState, FieldValue, HistogramState, LogEvent, ProvenanceEntry, ProvenanceEvent,
-    RecordId, SpanState, Subject,
+    CollectorState, FieldValue, HistogramState, LogEvent, LogLevel, ProvenanceEntry,
+    ProvenanceEvent, RecordId, SpanState, Subject,
 };
+
+/// Stable index order for [`LogLevel`] (the codec's `ALL` array).
+const LOG_LEVELS: [LogLevel; 3] = [LogLevel::Warn, LogLevel::Info, LogLevel::Debug];
 use disengage_reports::formats::{DocumentKind, RawDocument};
 use disengage_reports::record::{CarId, CollisionKind, Severity};
 use disengage_reports::{
@@ -39,7 +42,7 @@ use std::collections::BTreeMap;
 /// whenever any encoding below, any stage's semantics, or the
 /// histogram bucketing changes — old cache entries then read as
 /// corrupt and recompute instead of resurrecting stale data.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // Enum helpers: stable-index encoding against the `ALL` arrays.
@@ -483,6 +486,7 @@ fn enc_collector_state(e: &mut Enc, s: &CollectorState) {
     });
     e.seq(&s.logs, |e, log| {
         e.f64(log.t_s);
+        enc_idx(e, &LOG_LEVELS, log.level);
         e.str(&log.message);
     });
 }
@@ -528,6 +532,7 @@ fn dec_collector_state(d: &mut Dec) -> Option<CollectorState> {
     let logs = d.seq(|d| {
         Some(LogEvent {
             t_s: d.f64()?,
+            level: dec_idx(d, &LOG_LEVELS)?,
             message: d.str()?,
         })
     })?;

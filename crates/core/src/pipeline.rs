@@ -18,7 +18,7 @@ use disengage_corpus::{Corpus, CorpusConfig};
 use disengage_nlp::Classifier;
 use disengage_obs::profile;
 use disengage_obs::{
-    Collector, ProvenanceEvent, ProvenanceLog, RecordId, Subject, TelemetryReport,
+    Collector, ProvenanceEvent, ProvenanceLog, RecordId, Subject, TaskLog, TelemetryReport,
 };
 use disengage_ocr::correct::Corrector;
 use disengage_ocr::engine::OcrEngine;
@@ -46,23 +46,45 @@ use rand::SeedableRng;
 pub struct RunTrace {
     provenance: ProvenanceLog,
     timeline: TaskTimeline,
+    flight_tasks: TaskLog,
+}
+
+/// Adapter feeding every pool-task completion into the flight
+/// recorder's task ring. Lives on the timeline as a
+/// [`par::TaskObserver`] so `disengage-par` stays free of any `obs`
+/// dependency; the observer fires even when the timeline itself is
+/// disabled, keeping the crash-dump task log always-on.
+struct TaskLogObserver(TaskLog);
+
+impl par::TaskObserver for TaskLogObserver {
+    fn task(&self, label: &str, worker: usize, chunk: usize, items: usize) {
+        self.0.push(label, worker, chunk, items);
+    }
 }
 
 impl RunTrace {
     /// An enabled trace whose timeline shares `obs`'s epoch, so span
     /// and pool-task timestamps land on one clock in the trace export.
     pub fn new(obs: &Collector) -> RunTrace {
+        let flight_tasks = TaskLog::new();
         RunTrace {
             provenance: ProvenanceLog::new(),
-            timeline: TaskTimeline::with_epoch(obs.epoch()),
+            timeline: TaskTimeline::with_epoch(obs.epoch())
+                .with_observer(std::sync::Arc::new(TaskLogObserver(flight_tasks.clone()))),
+            flight_tasks,
         }
     }
 
-    /// A trace that records nothing.
+    /// A trace that records nothing — except the flight recorder's
+    /// task ring, which is always-on (a crash dump should name the
+    /// last pool tasks even on an untraced run).
     pub fn disabled() -> RunTrace {
+        let flight_tasks = TaskLog::new();
         RunTrace {
             provenance: ProvenanceLog::disabled(),
-            timeline: TaskTimeline::disabled(),
+            timeline: TaskTimeline::disabled()
+                .with_observer(std::sync::Arc::new(TaskLogObserver(flight_tasks.clone()))),
+            flight_tasks,
         }
     }
 
@@ -73,9 +95,12 @@ impl RunTrace {
     /// profiled run key its artifacts differently from an unprofiled
     /// one; profiling must never change what gets computed.
     pub fn profiled(obs: &Collector) -> RunTrace {
+        let flight_tasks = TaskLog::new();
         RunTrace {
             provenance: ProvenanceLog::disabled(),
-            timeline: TaskTimeline::with_epoch(obs.epoch()),
+            timeline: TaskTimeline::with_epoch(obs.epoch())
+                .with_observer(std::sync::Arc::new(TaskLogObserver(flight_tasks.clone()))),
+            flight_tasks,
         }
     }
 
@@ -92,6 +117,13 @@ impl RunTrace {
     /// The worker-pool execution timeline.
     pub fn timeline(&self) -> &TaskTimeline {
         &self.timeline
+    }
+
+    /// The flight recorder's bounded ring of recent pool-task stamps
+    /// (always recording, even on a disabled trace). Schedule-dependent
+    /// by nature — full crash dumps include it, canonical dumps omit it.
+    pub fn flight_tasks(&self) -> &TaskLog {
+        &self.flight_tasks
     }
 }
 

@@ -41,13 +41,14 @@ use crate::tagging::{tag_records_traced, TaggedDisengagement};
 use crate::Result;
 use disengage_cache::{ArtifactStore, Dec, Enc, Fingerprint, Flight, Fp, Lookup};
 use disengage_chaos::{
-    audit, inject_documents, poison_dictionary, FaultKind, FaultPlan, IoFaultPlan, SeededIoFaults,
+    audit, inject_documents, poison_dictionary, FaultFate, FaultKind, FaultPlan, IoFaultPlan,
+    SeededIoFaults,
 };
 use disengage_corpus::{CorpusConfig, CorpusGenerator};
 use disengage_nlp::{Classifier, FaultTag};
 use disengage_obs::profile;
 use disengage_obs::{
-    Collector, ProvenanceEvent, ProvenanceLog, RecordId, Subject, TelemetryReport,
+    flight, Collector, ProvenanceEvent, ProvenanceLog, RecordId, Subject, TelemetryReport,
 };
 use disengage_par as par;
 use disengage_reports::formats::RawDocument;
@@ -143,6 +144,11 @@ pub struct RunConfig {
     /// `repro --crash-campaign` runner; never part of a cache key, so
     /// the resumed run replays the committed stages verbatim.
     pub abort_after: Option<Stage>,
+    /// Where an interrupted run dumps its flight recorder (the full,
+    /// wall-clock postmortem form `disengage doctor` reads). `None`
+    /// disables the crash dump. Never part of a cache key: the dump
+    /// records execution, never content.
+    pub flight_path: Option<PathBuf>,
 }
 
 impl Default for RunConfig {
@@ -170,6 +176,7 @@ impl RunConfig {
             cache_cap: None,
             io_faults: None,
             abort_after: None,
+            flight_path: Some(PathBuf::from(flight::DEFAULT_DUMP_PATH)),
         }
     }
 
@@ -249,6 +256,21 @@ impl RunConfig {
     #[must_use]
     pub fn with_abort_after(mut self, stage: Stage) -> RunConfig {
         self.abort_after = Some(stage);
+        self
+    }
+
+    /// Sets where an interrupted run dumps its flight recorder.
+    #[must_use]
+    pub fn with_flight_path(mut self, path: impl Into<PathBuf>) -> RunConfig {
+        self.flight_path = Some(path.into());
+        self
+    }
+
+    /// Disables the crash-time flight dump (unit tests that simulate
+    /// crashes in parallel and don't want scratch files).
+    #[must_use]
+    pub fn without_flight_dump(mut self) -> RunConfig {
+        self.flight_path = None;
         self
     }
 
@@ -453,11 +475,30 @@ impl RunSession {
         let prov = trace.provenance();
         let keys = self.stage_keys(prov.is_enabled());
         let config = &self.config;
+        let run_start = Instant::now();
         // The crash campaign's simulated kill point: right after
-        // `stage`'s artifact has committed, stop the run cold.
+        // `stage`'s artifact has committed, stop the run cold. The
+        // flight dump is written *here*, before the error unwinds past
+        // the root span guard — that is what lets the postmortem show
+        // `pipeline` (and any stage span) genuinely open at death.
         let crash_point = |stage: Stage| -> Result<()> {
             if config.abort_after == Some(stage) {
+                obs.event("interrupt", stage.name());
                 drain_store(&store, obs);
+                if let Some(path) = &config.flight_path {
+                    let reason = format!("interrupted after stage {}", stage.name());
+                    let suspects = flight::suspects(prov, 8);
+                    // Best-effort: a failing dump must never mask the
+                    // interrupt itself.
+                    let _ = flight::write_dump(
+                        path,
+                        obs,
+                        Some(trace.flight_tasks()),
+                        &reason,
+                        &suspects,
+                        false,
+                    );
+                }
                 return Err(CoreError::Interrupted { after: stage.name() });
             }
             Ok(())
@@ -668,6 +709,17 @@ impl RunSession {
                 .collect();
             quarantined.extend(panicked);
             obs.add("quarantine.records", quarantined.len() as u64);
+            if !quarantined.is_empty() {
+                obs.warn(&format!(
+                    "{} record(s) quarantined to the manual-review queue",
+                    quarantined.len()
+                ));
+                // A bounded sample of record ids for the postmortem ring
+                // (deterministic: the lane is in stable queue order).
+                for q in quarantined.iter().take(8) {
+                    obs.event("quarantine.record", &q.record_id);
+                }
+            }
 
             PipelineOutcome {
                 corpus,
@@ -684,6 +736,14 @@ impl RunSession {
         // Snapshot after the root span guard has dropped so the
         // `pipeline` span (and all children) carry final durations.
         drain_store(&store, obs);
+        // Recorder self-accounting: fraction of the run's wall clock
+        // spent inside collector/flight recording ops. Wall-clock by
+        // nature, so `canonical()` strips it; the bench gate holds it
+        // under its absolute ceiling.
+        let wall = run_start.elapsed().as_secs_f64();
+        if wall > 0.0 {
+            obs.gauge("obs.overhead.frac", obs.overhead_seconds() / wall);
+        }
         Ok(PipelineOutcome {
             telemetry: obs.report(),
             ..outcome
@@ -694,12 +754,16 @@ impl RunSession {
 /// Feeds the store's internal degraded-path ledgers (`cache.io.*`,
 /// `cache.tmp.*`, `lock.*` — all stripped from `canonical()`) into the
 /// run collector so `telemetry::reconcile` can check the fault
-/// accounting identity.
+/// accounting identity, and its named reclaim/evict events into the
+/// flight ring (environment facts, stripped from canonical dumps).
 fn drain_store(store: &ArtifactStore, obs: &Collector) {
     for (name, value) in store.take_counters() {
         if value > 0 {
             obs.add(name, value);
         }
+    }
+    for (name, detail) in store.take_events() {
+        obs.event(name, &detail);
     }
 }
 
@@ -783,10 +847,21 @@ fn normalize_stage(
                     doc
                 })
                 .collect();
+            sobs.event("chaos.inject", &format!("{} faults injected", log.total()));
             let audited = audit(&plan, &log, &documents, &repaired);
             sobs.add("chaos.outcome.corrected", audited.totals.corrected);
             sobs.add("chaos.outcome.quarantined", audited.totals.quarantined);
             sobs.add("chaos.outcome.absorbed", audited.totals.absorbed);
+            // A bounded, deterministic sample of the faults the repair
+            // ladder could not fix — the postmortem's first suspects.
+            for af in audited
+                .faults
+                .iter()
+                .filter(|af| af.outcome == FaultFate::Quarantined)
+                .take(8)
+            {
+                sobs.event("chaos.quarantined", &af.fault.describe());
+            }
             if sprov.is_enabled() {
                 for af in &audited.faults {
                     sprov.push(
@@ -956,6 +1031,7 @@ fn cached_stage<T>(
             Some((state, entries, value)) => {
                 obs.add("cache.hit", 1);
                 obs.add(&format!("cache.hit.{}", stage.name()), 1);
+                obs.debug(&format!("cache hit: replaying stage {}", stage.name()));
                 obs.absorb_state(state);
                 for entry in entries {
                     prov.push(entry.subject, entry.event);
@@ -965,6 +1041,7 @@ fn cached_stage<T>(
             None => {
                 obs.add("cache.miss", 1);
                 obs.add(&format!("cache.miss.{}", stage.name()), 1);
+                obs.debug(&format!("cache miss: computing stage {}", stage.name()));
             }
         }
     }

@@ -7,12 +7,29 @@
 //! contention is irrelevant at the pipeline's instrumentation
 //! granularity (thousands of updates per run, not millions per second).
 
+use crate::flight::{self, FlightEvent, FlightKind, FlightRing, FlightSnapshot};
 use crate::hist::{Histogram, HistogramState};
-use crate::report::{FieldValue, LogEvent, SpanNode, TelemetryReport};
+use crate::report::{FieldValue, LogEvent, LogLevel, SpanNode, TelemetryReport};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::thread::ThreadId;
 use std::time::{Duration, Instant};
+
+/// The stderr-echo threshold from `DISENGAGE_LOG`
+/// (`off|warn|info|debug`, default `info`). Gates *only* the echo:
+/// recording is unconditional, so reports and flight dumps never
+/// depend on the environment.
+fn echo_filter() -> Option<LogLevel> {
+    static FILTER: OnceLock<Option<LogLevel>> = OnceLock::new();
+    *FILTER.get_or_init(|| match std::env::var("DISENGAGE_LOG").as_deref() {
+        Ok("off") => None,
+        Ok("warn") => Some(LogLevel::Warn),
+        Ok("debug") => Some(LogLevel::Debug),
+        // `info`, unset, or unrecognized: the default.
+        _ => Some(LogLevel::Info),
+    })
+}
 
 #[derive(Debug)]
 struct SpanData {
@@ -23,7 +40,7 @@ struct SpanData {
     fields: Vec<(String, FieldValue)>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Inner {
     spans: Vec<SpanData>,
     // Per-thread open-span stacks. A single shared stack would parent a
@@ -36,6 +53,23 @@ struct Inner {
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
     logs: Vec<LogEvent>,
+    // Always-on flight recorder ring (see crate::flight). Shares the
+    // collector's mutex so event order is exactly recording order.
+    flight: FlightRing,
+}
+
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner {
+            spans: Vec::new(),
+            stacks: HashMap::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            logs: Vec::new(),
+            flight: FlightRing::default(),
+        }
+    }
 }
 
 /// A replayable snapshot of one span: arena-indexed parentage,
@@ -78,12 +112,17 @@ pub struct CollectorState {
     pub logs: Vec<LogEvent>,
 }
 
-/// Accumulates spans, counters, gauges, histograms, and log events.
+/// Accumulates spans, counters, gauges, histograms, log events, and
+/// the flight-recorder ring.
 #[derive(Debug)]
 pub struct Collector {
     inner: Mutex<Inner>,
     epoch: Instant,
     echo: bool,
+    // Wall time spent inside recording operations, for the honest
+    // `obs.overhead.frac` gauge. Atomic (not under the mutex) so the
+    // accounting itself stays cheap.
+    overhead_ns: AtomicU64,
 }
 
 impl Default for Collector {
@@ -99,6 +138,7 @@ impl Collector {
             inner: Mutex::new(Inner::default()),
             epoch: Instant::now(),
             echo: false,
+            overhead_ns: AtomicU64::new(0),
         }
     }
 
@@ -115,6 +155,24 @@ impl Collector {
         // A poisoned lock means a panic mid-update; telemetry is
         // best-effort diagnostics, so keep collecting.
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn note_overhead(&self, t0: Instant) {
+        self.overhead_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Total wall time spent on flight-recorder work — ring pushes for
+    /// spans, watched counters, logs, named events, and ring absorbs
+    /// (this collector only; absorbed shards contribute theirs on
+    /// absorb). Deliberately *not* the whole recording path: counter
+    /// and histogram bookkeeping predates the recorder and is gated by
+    /// the per-stage wall metrics; this ledger isolates what the
+    /// always-on recorder adds, which `obs.overhead.frac` holds under
+    /// its 2% ceiling. Unwatched counters pay only a prefix check —
+    /// timing them would itself be the dominant cost on hot paths.
+    pub fn overhead_seconds(&self) -> f64 {
+        self.overhead_ns.load(Ordering::Relaxed) as f64 / 1e9
     }
 
     /// The instant this collector's clock started; timestamps (span
@@ -141,6 +199,15 @@ impl Collector {
             fields: Vec::new(),
         });
         inner.stacks.entry(thread).or_default().push(index);
+        let t0 = Instant::now();
+        inner.flight.push(FlightEvent {
+            t_s: start.as_secs_f64(),
+            kind: FlightKind::SpanOpen {
+                name: name.to_owned(),
+            },
+        });
+        self.note_overhead(t0);
+        drop(inner);
         SpanGuard {
             collector: self,
             index,
@@ -148,10 +215,23 @@ impl Collector {
         }
     }
 
-    /// Adds to a counter (creating it at zero).
+    /// Adds to a counter (creating it at zero). Deltas on watched
+    /// prefixes ([`flight::watched`]) also land in the flight ring.
     pub fn add(&self, name: &str, delta: u64) {
         let mut inner = self.lock();
         *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
+        if flight::watched(name) {
+            let t0 = Instant::now();
+            let t_s = self.epoch.elapsed().as_secs_f64();
+            inner.flight.push(FlightEvent {
+                t_s,
+                kind: FlightKind::Counter {
+                    name: name.to_owned(),
+                    delta,
+                },
+            });
+            self.note_overhead(t0);
+        }
     }
 
     /// Increments a counter by one.
@@ -173,17 +253,82 @@ impl Collector {
             .record(sample);
     }
 
-    /// Records a timestamped log event (echoed to stderr when the
-    /// collector was built with [`Collector::with_echo`]).
+    /// Records an info-level log event (echoed to stderr when the
+    /// collector was built with [`Collector::with_echo`] and the
+    /// `DISENGAGE_LOG` filter — `off|warn|info|debug`, default `info`
+    /// — admits the level).
     pub fn log(&self, message: &str) {
+        self.log_at(LogLevel::Info, message);
+    }
+
+    /// Records a warn-level log event.
+    pub fn warn(&self, message: &str) {
+        self.log_at(LogLevel::Warn, message);
+    }
+
+    /// Records an info-level log event (alias of [`Collector::log`]).
+    pub fn info(&self, message: &str) {
+        self.log_at(LogLevel::Info, message);
+    }
+
+    /// Records a debug-level log event (echo off by default).
+    pub fn debug(&self, message: &str) {
+        self.log_at(LogLevel::Debug, message);
+    }
+
+    /// Records a log event at an explicit level. Recording is
+    /// unconditional — `DISENGAGE_LOG` gates only the stderr echo —
+    /// so the report and flight ring never depend on the environment.
+    pub fn log_at(&self, level: LogLevel, message: &str) {
         let t_s = self.epoch.elapsed().as_secs_f64();
-        if self.echo {
-            eprintln!("[{t_s:9.3}s] {message}");
+        if self.echo && echo_filter().is_some_and(|cap| level <= cap) {
+            match level {
+                LogLevel::Info => eprintln!("[{t_s:9.3}s] {message}"),
+                LogLevel::Warn => eprintln!("[{t_s:9.3}s] warn: {message}"),
+                LogLevel::Debug => eprintln!("[{t_s:9.3}s] debug: {message}"),
+            }
         }
-        self.lock().logs.push(LogEvent {
+        let mut inner = self.lock();
+        inner.logs.push(LogEvent {
             t_s,
+            level,
             message: message.to_owned(),
         });
+        let t0 = Instant::now();
+        inner.flight.push(FlightEvent {
+            t_s,
+            kind: FlightKind::Log {
+                level,
+                message: message.to_owned(),
+            },
+        });
+        self.note_overhead(t0);
+    }
+
+    /// Records an explicit named flight event (quarantine, degrade,
+    /// injected fault, cache reclaim, interrupt): ring-only, not a
+    /// metric.
+    pub fn event(&self, name: &str, detail: &str) {
+        let t0 = Instant::now();
+        let t_s = self.epoch.elapsed().as_secs_f64();
+        self.lock().flight.push(FlightEvent {
+            t_s,
+            kind: FlightKind::Event {
+                name: name.to_owned(),
+                detail: detail.to_owned(),
+            },
+        });
+        self.note_overhead(t0);
+    }
+
+    /// Snapshot of the flight ring: events oldest-first plus the
+    /// eviction count.
+    pub fn flight_snapshot(&self) -> FlightSnapshot {
+        let inner = self.lock();
+        FlightSnapshot {
+            events: inner.flight.events().cloned().collect(),
+            dropped: inner.flight.dropped(),
+        }
     }
 
     /// An empty shard collector sharing this collector's epoch — the
@@ -202,19 +347,27 @@ impl Collector {
             inner: Mutex::new(Inner::default()),
             epoch: self.epoch,
             echo: false,
+            overhead_ns: AtomicU64::new(0),
         }
     }
 
     /// Folds a shard's accumulated state into this collector: counters
     /// add, gauges overwrite (the shard is the later writer),
-    /// histograms merge ([`Histogram::merge`]), logs append, and shard
-    /// root spans attach under the calling thread's innermost open
-    /// span.
+    /// histograms merge ([`Histogram::merge`]), logs append, flight
+    /// events append in recorded order (drop counts add), recording
+    /// overhead adds, and shard root spans attach under the calling
+    /// thread's innermost open span.
     ///
     /// Absorbing per-task shards in task-index order is deterministic:
     /// the result is identical at any worker count, bit-for-bit even
-    /// in the order-sensitive float accumulations.
+    /// in the order-sensitive float accumulations — and the flight
+    /// ring inherits the same guarantee, which is what makes canonical
+    /// `flight.json` dumps byte-identical at any `--jobs`.
     pub fn absorb(&self, shard: Collector) {
+        self.overhead_ns.fetch_add(
+            shard.overhead_ns.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
         let shard = shard.inner.into_inner().unwrap_or_else(|e| e.into_inner());
         let thread = std::thread::current().id();
         let mut inner = self.lock();
@@ -237,11 +390,17 @@ impl Collector {
             inner.histograms.entry(name).or_default().merge(&hist);
         }
         inner.logs.extend(shard.logs);
+        let t0 = Instant::now();
+        inner.flight.absorb(shard.flight);
+        self.note_overhead(t0);
     }
 
     /// Snapshots the raw accumulated state (typically of a shard, for
     /// the artifact cache) so it can be serialized and later replayed
-    /// with [`Collector::absorb_state`].
+    /// with [`Collector::absorb_state`]. Flight-ring events are
+    /// deliberately *not* part of the state: a cache-replayed stage
+    /// contributes no flight events beyond its own `cache.hit`
+    /// counters, which is exactly what a postmortem should show.
     pub fn state(&self) -> CollectorState {
         let inner = self.lock();
         CollectorState {
@@ -342,9 +501,17 @@ impl Collector {
                 None => roots.insert(0, node),
             }
         }
+        // Surface the ring's eviction ledger as a counter: drops are a
+        // deterministic function of the event stream, so this survives
+        // canonical() and the byte-identity suites.
+        let mut counters = inner.counters.clone();
+        let dropped = inner.flight.dropped();
+        if dropped > 0 {
+            *counters.entry(flight::DROP_COUNTER.to_owned()).or_insert(0) += dropped;
+        }
         TelemetryReport {
             spans: roots,
-            counters: inner.counters.clone(),
+            counters,
             gauges: inner.gauges.clone(),
             histograms: inner
                 .histograms
@@ -361,6 +528,13 @@ impl Collector {
         let mut inner = self.lock();
         if inner.spans[index].end.is_none() {
             inner.spans[index].end = Some(end);
+            let name = inner.spans[index].name.clone();
+            let t0 = Instant::now();
+            inner.flight.push(FlightEvent {
+                t_s: end.as_secs_f64(),
+                kind: FlightKind::SpanClose { name },
+            });
+            self.note_overhead(t0);
         }
         // Normally `index` is the calling thread's innermost open span;
         // guards dropped out of order (or moved across threads) just
@@ -654,6 +828,115 @@ mod tests {
             assert_eq!(root.children.len(), 1);
             assert_eq!(root.children[0].name, format!("worker_{w}_inner"));
         }
+    }
+
+    #[test]
+    fn flight_ring_mirrors_watched_traffic_only() {
+        let c = Collector::new();
+        {
+            let _s = c.span("stage_ii_parse");
+            c.add("quarantine.records", 2);
+            c.add("nlp.tag.planner", 1); // not a watch prefix
+            c.warn("artifact degraded");
+            c.event("interrupt", "normalize");
+        }
+        let kinds: Vec<String> = c
+            .flight_snapshot()
+            .events
+            .iter()
+            .map(|e| match &e.kind {
+                FlightKind::SpanOpen { name } => format!("open:{name}"),
+                FlightKind::SpanClose { name } => format!("close:{name}"),
+                FlightKind::Counter { name, delta } => format!("counter:{name}+{delta}"),
+                FlightKind::Log { message, .. } => format!("log:{message}"),
+                FlightKind::Event { name, .. } => format!("event:{name}"),
+                FlightKind::Task { .. } => "task".to_owned(),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                "open:stage_ii_parse",
+                "counter:quarantine.records+2",
+                "log:artifact degraded",
+                "event:interrupt",
+                "close:stage_ii_parse",
+            ]
+        );
+    }
+
+    #[test]
+    fn flight_shard_absorb_matches_direct_recording() {
+        let direct = Collector::new();
+        let sharded = Collector::new();
+        for i in 0..10u64 {
+            direct.add("chaos.injected.total", i);
+            direct.event("chaos.fault", &format!("doc {i}"));
+
+            let shard = sharded.shard();
+            shard.add("chaos.injected.total", i);
+            shard.event("chaos.fault", &format!("doc {i}"));
+            sharded.absorb(shard);
+        }
+        let (d, s) = (direct.flight_snapshot(), sharded.flight_snapshot());
+        assert_eq!(d.dropped, s.dropped);
+        assert_eq!(
+            d.events.iter().map(|e| &e.kind).collect::<Vec<_>>(),
+            s.events.iter().map(|e| &e.kind).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn report_surfaces_flight_drops_as_a_counter() {
+        let c = Collector::new();
+        let capacity = flight::DEFAULT_CAPACITY as u64;
+        for i in 0..capacity + 5 {
+            c.event("spam", &i.to_string());
+        }
+        let r = c.report();
+        assert_eq!(r.counter(flight::DROP_COUNTER), 5);
+        // Survives canonicalization: drops are workload facts.
+        assert_eq!(r.canonical().counter(flight::DROP_COUNTER), 5);
+    }
+
+    #[test]
+    fn log_levels_recorded_regardless_of_echo_filter() {
+        let c = Collector::new();
+        c.warn("w");
+        c.info("i");
+        c.debug("d");
+        c.log("legacy");
+        let r = c.report();
+        let levels: Vec<LogLevel> = r.logs.iter().map(|l| l.level).collect();
+        assert_eq!(
+            levels,
+            [
+                LogLevel::Warn,
+                LogLevel::Info,
+                LogLevel::Debug,
+                LogLevel::Info
+            ]
+        );
+    }
+
+    #[test]
+    fn recording_overhead_counts_ring_work_only() {
+        // Unwatched counters never touch the ring: their overhead
+        // ledger stays at exactly zero (hot paths pay a prefix check,
+        // not a clock read).
+        let c = Collector::new();
+        for _ in 0..100 {
+            c.incr("x");
+        }
+        assert_eq!(c.overhead_seconds(), 0.0);
+        // Watched counters, spans, and shard ring-absorbs are timed.
+        for _ in 0..100 {
+            c.incr("quarantine.records");
+        }
+        let shard = c.shard();
+        shard.incr("quarantine.records");
+        c.absorb(shard);
+        assert!(c.overhead_seconds() > 0.0);
     }
 
     #[test]

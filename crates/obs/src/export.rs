@@ -123,6 +123,17 @@ impl TelemetryReport {
                         .map(|l| {
                             Value::Obj(vec![
                                 ("t_s".to_owned(), Value::num(l.t_s)),
+                                (
+                                    "level".to_owned(),
+                                    Value::Str(
+                                        match l.level {
+                                            crate::report::LogLevel::Warn => "warn",
+                                            crate::report::LogLevel::Info => "info",
+                                            crate::report::LogLevel::Debug => "debug",
+                                        }
+                                        .to_owned(),
+                                    ),
+                                ),
                                 ("message".to_owned(), Value::Str(l.message.clone())),
                             ])
                         })

@@ -42,20 +42,26 @@
 
 pub mod collector;
 pub mod export;
+pub mod flight;
+pub mod health;
 pub mod hist;
 pub mod json;
 pub mod profile;
+pub mod prom;
 pub mod provenance;
 pub mod report;
 pub mod trace;
 
 pub use collector::{Collector, CollectorState, SpanGuard, SpanState};
+pub use flight::{FlightDump, FlightEvent, FlightKind, FlightRing, FlightSnapshot, TaskLog};
+pub use health::{HealthReport, HealthRule};
 pub use hist::{Histogram, HistogramState, HistogramSummary};
 pub use profile::{
     folded_stacks, validate_folded, CountingAlloc, PhaseRow, PoolRow, ProfileReport, StageRow,
 };
+pub use prom::{render_prometheus, validate_prometheus};
 pub use provenance::{ProvenanceEntry, ProvenanceEvent, ProvenanceLog, RecordId, Subject};
-pub use report::{FieldValue, LogEvent, SpanNode, TelemetryReport};
+pub use report::{FieldValue, LogEvent, LogLevel, SpanNode, TelemetryReport};
 pub use trace::{chrome_trace, render_chrome_trace, validate_chrome_trace, TraceTask};
 
 /// Normalizes a display name into a metric-key segment: lowercase,

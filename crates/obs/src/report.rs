@@ -82,11 +82,27 @@ pub struct SpanNode {
     pub children: Vec<SpanNode>,
 }
 
+/// Log severity, most severe first. The `DISENGAGE_LOG` env filter
+/// (see [`crate::Collector::log`]) gates only the stderr echo;
+/// recording is unconditional so reports and flight dumps never
+/// depend on the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Something degraded or was recovered from.
+    Warn,
+    /// Normal progress (the default echo level).
+    Info,
+    /// Chatty diagnostics, off by default.
+    Debug,
+}
+
 /// A timestamped log event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogEvent {
     /// Offset from the collector's epoch, in seconds.
     pub t_s: f64,
+    /// Severity.
+    pub level: LogLevel,
     /// Message text.
     pub message: String,
 }
@@ -134,10 +150,10 @@ impl TelemetryReport {
     }
 
     /// The canonical form for byte-for-byte comparison: every
-    /// wall-clock field (span start/duration, log timestamps) zeroed,
-    /// every `cache.*` and `lock.*` counter dropped, and the entire
-    /// `profile.*` namespace (counters, gauges, histograms) dropped,
-    /// all other structure and metrics kept.
+    /// wall-clock field (span start/duration) zeroed, log events
+    /// dropped, every `cache.*` and `lock.*` counter dropped, and the
+    /// `profile.*` and `obs.overhead.*` namespaces (counters, gauges,
+    /// histograms) dropped, all other structure and metrics kept.
     ///
     /// Two runs of the same deterministic workload differ only in
     /// timing and in where their inputs came from — a cold run counts
@@ -151,7 +167,13 @@ impl TelemetryReport {
     /// by construction, so the whole namespace goes the same way. The
     /// store's `lock.*` contention/reclaim ledger depends on which
     /// peers happened to be racing — the textbook environment fact —
-    /// and is dropped with `cache.*`.
+    /// and is dropped with `cache.*`. Log events go entirely: their
+    /// timestamps are wall clock and their *presence* can be
+    /// environment-dependent (a warm run logs different progress than
+    /// a cold one), so the canonical report keeps none. The
+    /// `obs.overhead.*` gauges measure recording time itself —
+    /// wall-clock-derived by definition — and are dropped with
+    /// `profile.*`.
     #[must_use]
     pub fn canonical(mut self) -> TelemetryReport {
         fn strip(node: &mut SpanNode) {
@@ -164,10 +186,10 @@ impl TelemetryReport {
         for span in &mut self.spans {
             strip(span);
         }
-        for log in &mut self.logs {
-            log.t_s = 0.0;
-        }
-        let keep = |k: &String| !k.starts_with(crate::profile::PROFILE_PREFIX);
+        self.logs.clear();
+        let keep = |k: &String| {
+            !k.starts_with(crate::profile::PROFILE_PREFIX) && !k.starts_with("obs.overhead.")
+        };
         self.counters
             .retain(|k, _| !k.starts_with("cache.") && !k.starts_with("lock.") && keep(k));
         self.gauges.retain(|k, _| keep(k));
@@ -249,6 +271,7 @@ mod tests {
         r.counters.insert("lock.contended".to_owned(), 2);
         r.logs.push(LogEvent {
             t_s: 1.25,
+            level: LogLevel::Info,
             message: "done".to_owned(),
         });
         let c = r.clone().canonical();
@@ -259,11 +282,11 @@ mod tests {
         assert_eq!(c.spans[0].start_s, 0.0);
         assert_eq!(c.spans[0].duration_s, 0.0);
         assert_eq!(c.spans[0].children[0].duration_s, 0.0);
-        assert_eq!(c.logs[0].t_s, 0.0);
+        // Log events are wall clock through and through: gone.
+        assert!(c.logs.is_empty());
         // Structure and metrics survive.
         assert_eq!(c.spans[0].children[0].name, "stage_ii_parse");
         assert_eq!(c.counter("parse.dis.parsed"), 9);
-        assert_eq!(c.logs[0].message, "done");
         // Idempotent.
         assert_eq!(c.clone().canonical(), c);
     }
@@ -275,6 +298,7 @@ mod tests {
         r.counters.insert("profile.anything".to_owned(), 1);
         r.counters.insert("ocr.documents".to_owned(), 4);
         r.gauges.insert("profile.mem.peak_rss_bytes".to_owned(), 1e6);
+        r.gauges.insert("obs.overhead.frac".to_owned(), 0.003);
         r.gauges.insert("ocr.mean_cer".to_owned(), 0.01);
         let mut h = Histogram::new();
         h.record(0.25);
@@ -285,6 +309,8 @@ mod tests {
         assert!(c.counters.keys().all(|k| !k.starts_with("profile.")));
         assert!(c.gauges.keys().all(|k| !k.starts_with("profile.")));
         assert!(c.histograms.keys().all(|k| !k.starts_with("profile.")));
+        // Recording-overhead gauges are wall-clock-derived too.
+        assert_eq!(c.gauge("obs.overhead.frac"), None);
         // Non-profile metrics survive untouched.
         assert_eq!(c.counter("ocr.documents"), 4);
         assert_eq!(c.gauge("ocr.mean_cer"), Some(0.01));

@@ -43,4 +43,4 @@ pub use pool::{
     available_jobs, par_map_catch, par_map_catch_timed, par_map_indexed, par_map_indexed_timed,
     resolve_jobs, TaskPanic,
 };
-pub use timeline::{PoolCall, TaskSpan, TaskTimeline, WorkerStats};
+pub use timeline::{PoolCall, TaskObserver, TaskSpan, TaskTimeline, WorkerStats};

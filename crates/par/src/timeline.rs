@@ -16,8 +16,24 @@
 //! the input length, so the set of recorded tasks is the same at every
 //! worker count; only their timings and worker assignments vary).
 
-use std::sync::Mutex;
+use std::fmt;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// A lightweight hook invoked once per completed pool task, even on a
+/// disabled timeline.
+///
+/// The flight recorder (in the observability crate, which this crate
+/// does not depend on) wants task stamps from *every* run, while the
+/// timeline proper only records when tracing was requested — so the
+/// hook fires before the enabled check. Implementations must be cheap
+/// and must not block: they run on pool workers, inside the task
+/// completion path.
+pub trait TaskObserver: Send + Sync {
+    /// One completed task: call label, worker that ran it, chunk
+    /// index, items in the chunk.
+    fn task(&self, label: &str, worker: usize, chunk: usize, items: usize);
+}
 
 /// One executed pool task (a chunk of contiguous items).
 #[derive(Debug, Clone, PartialEq)]
@@ -82,12 +98,23 @@ pub struct WorkerStats {
 }
 
 /// Thread-safe accumulator of [`TaskSpan`]s across pool calls.
-#[derive(Debug)]
 pub struct TaskTimeline {
     enabled: bool,
     epoch: Instant,
     tasks: Mutex<Vec<TaskSpan>>,
     calls: Mutex<Vec<PoolCall>>,
+    observer: Option<Arc<dyn TaskObserver>>,
+}
+
+impl fmt::Debug for TaskTimeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskTimeline")
+            .field("enabled", &self.enabled)
+            .field("tasks", &self.tasks)
+            .field("calls", &self.calls)
+            .field("observer", &self.observer.as_ref().map(|_| "…"))
+            .finish()
+    }
 }
 
 impl Default for TaskTimeline {
@@ -111,18 +138,30 @@ impl TaskTimeline {
             epoch,
             tasks: Mutex::new(Vec::new()),
             calls: Mutex::new(Vec::new()),
+            observer: None,
         }
     }
 
     /// A timeline that records nothing — the zero-overhead default for
-    /// runs that did not ask for an execution trace.
+    /// runs that did not ask for an execution trace. An attached
+    /// [`TaskObserver`] still fires.
     pub fn disabled() -> TaskTimeline {
         TaskTimeline {
             enabled: false,
             epoch: Instant::now(),
             tasks: Mutex::new(Vec::new()),
             calls: Mutex::new(Vec::new()),
+            observer: None,
         }
+    }
+
+    /// Attaches a per-task observer (builder style). The observer
+    /// fires on every completed task regardless of whether the
+    /// timeline itself records.
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn TaskObserver>) -> TaskTimeline {
+        self.observer = Some(observer);
+        self
     }
 
     /// Whether task spans are being recorded.
@@ -179,7 +218,8 @@ impl TaskTimeline {
         }
     }
 
-    /// Records one completed task (no-op when disabled).
+    /// Records one completed task (no-op when disabled, except that an
+    /// attached observer always fires).
     pub(crate) fn record(
         &self,
         label: &str,
@@ -190,6 +230,9 @@ impl TaskTimeline {
         start: Duration,
         call: usize,
     ) {
+        if let Some(observer) = &self.observer {
+            observer.task(label, worker, chunk, len);
+        }
         if !self.enabled {
             return;
         }
@@ -305,6 +348,30 @@ mod tests {
         assert!(t.calls().is_empty());
         assert!(!t.is_enabled());
         assert!(t.worker_stats().is_empty());
+    }
+
+    #[test]
+    fn observer_fires_even_when_disabled() {
+        struct Count(Mutex<Vec<(String, usize, usize, usize)>>);
+        impl TaskObserver for Count {
+            fn task(&self, label: &str, worker: usize, chunk: usize, items: usize) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push((label.to_owned(), worker, chunk, items));
+            }
+        }
+        let observer = Arc::new(Count(Mutex::new(Vec::new())));
+        let t = TaskTimeline::disabled().with_observer(observer.clone());
+        let s = t.stamp();
+        let call = t.begin_call("stage", 1, 4, 1, 4);
+        t.record("stage", 0, 3, 0, 4, s, call);
+        t.end_call(call);
+        assert!(t.is_empty(), "disabled timeline still records nothing");
+        assert_eq!(
+            observer.0.lock().unwrap().as_slice(),
+            [("stage".to_owned(), 0, 3, 4)]
+        );
     }
 
     #[test]

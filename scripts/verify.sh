@@ -14,11 +14,16 @@
 # locks, identical output, no lock/tmp litter), a `disengage explain`
 # smoke over all three exemplar classes, Chrome-trace export
 # validation, a self-profiler smoke
-# (stage x phase table, JSON round-trip, folded-stack validation), and
-# the perf-regression gate (fresh parbench/repro measurements vs the
-# committed BENCH_*.json baselines; tolerance via
-# DISENGAGE_BENCH_TOLERANCE). No network access is required at any
-# step.
+# (stage x phase table, JSON round-trip, folded-stack validation),
+# the observability smoke (Prometheus exposition validated by
+# check-prom, canonical flight-recorder dumps byte-diffed across
+# --jobs clean and under chaos, the clean run gated by the default
+# health rules, a heavy chaos run required to breach them, and the
+# crash campaign's postmortem dump required to doctor to its seeded
+# abort stage), and the perf-regression gate (fresh parbench/repro
+# measurements vs the committed BENCH_*.json baselines, including the
+# 2% obs-overhead ceiling; tolerance via DISENGAGE_BENCH_TOLERANCE).
+# No network access is required at any step.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,7 +41,11 @@ cargo test --workspace -q --offline
 
 echo "== repro telemetry self-check (counter reconciliation) =="
 cargo run --release --offline -p disengage-bench --bin repro -- \
-    table1 --telemetry=json >/dev/null
+    table1 --telemetry=json --prom=metrics.prom >/dev/null
+
+echo "== observability: Prometheus exposition validates =="
+cargo run --release --offline --bin disengage -- check-prom metrics.prom
+rm -f metrics.prom
 
 echo "== chaos smoke: seeded fault-injection campaign =="
 cargo run --release --offline -p disengage-bench --bin repro -- \
@@ -55,31 +64,54 @@ echo "== parallel determinism: repro --jobs=1 vs the default pool =="
 # canonical (wall-clock-zeroed) metrics, and the provenance log must
 # match byte for byte.
 cargo run --release --offline -p disengage-bench --bin repro -- \
-    --jobs=1 --telemetry=stable-json --lineage=lineage.jsonl > repro_output.jobs1.txt
+    --jobs=1 --telemetry=stable-json --lineage=lineage.jsonl \
+    --flight=flight.jobs1.json --health > repro_output.jobs1.txt
 mv repro_metrics.json repro_metrics.jobs1.json
 mv lineage.jsonl lineage.jobs1.jsonl
 cargo run --release --offline -p disengage-bench --bin repro -- \
-    --telemetry=stable-json --lineage=lineage.jsonl > repro_output.txt
+    --telemetry=stable-json --lineage=lineage.jsonl \
+    --flight=flight.json --health > repro_output.txt
 diff repro_output.jobs1.txt repro_output.txt
 diff repro_metrics.jobs1.json repro_metrics.json
 diff lineage.jobs1.jsonl lineage.jsonl
+# The canonical flight dump is part of the same contract (and the
+# --health above doubles as the clean-run health gate: the default
+# rules must pass, or repro exits nonzero and verify stops here).
+diff flight.jobs1.json flight.json
 test -s lineage.jsonl || {
     echo "verify: clean run wrote an empty lineage log" >&2
     exit 1
 }
-rm -f repro_output.jobs1.txt repro_metrics.jobs1.json lineage.jobs1.jsonl
+rm -f repro_output.jobs1.txt repro_metrics.jobs1.json lineage.jobs1.jsonl \
+    flight.jobs1.json flight.json
 
 echo "== parallel determinism: chaos campaign at --jobs=1 vs --jobs=8 =="
 cargo run --release --offline -p disengage-bench --bin repro -- \
-    --chaos=0.05,7 --jobs=1 --lineage=lineage.jsonl > chaos_output.jobs1.txt
+    --chaos=0.05,7 --jobs=1 --lineage=lineage.jsonl \
+    --flight=flight.jobs1.json > chaos_output.jobs1.txt
 mv chaos_report.json chaos_report.jobs1.json
 mv lineage.jsonl lineage.jobs1.jsonl
 cargo run --release --offline -p disengage-bench --bin repro -- \
-    --chaos=0.05,7 --jobs=8 --lineage=lineage.jsonl > chaos_output.txt
+    --chaos=0.05,7 --jobs=8 --lineage=lineage.jsonl \
+    --flight=flight.json > chaos_output.txt
 diff chaos_output.jobs1.txt chaos_output.txt
 diff chaos_report.jobs1.json chaos_report.json
 diff lineage.jobs1.jsonl lineage.jsonl
-rm -f chaos_output.jobs1.txt chaos_output.txt chaos_report.jobs1.json lineage.jobs1.jsonl
+diff flight.jobs1.json flight.json
+rm -f chaos_output.jobs1.txt chaos_output.txt chaos_report.jobs1.json \
+    lineage.jobs1.jsonl flight.jobs1.json flight.json
+
+echo "== health gate: a heavy chaos run must breach the default rules =="
+if cargo run --release --offline --bin disengage -- \
+    health --scale=0.05 --chaos=0.3,7 > health_breach.txt; then
+    echo "verify: health gate passed a 30%-rate chaos run" >&2
+    exit 1
+fi
+grep -q "FAIL quarantine_rate" health_breach.txt || {
+    echo "verify: health breach did not name the quarantine-rate rule" >&2
+    exit 1
+}
+rm -f health_breach.txt
 
 echo "== artifact cache: warm run must replay Stages I-III byte-identically =="
 # Cold run populates .disengage-cache; the warm rerun must hit every
@@ -145,7 +177,7 @@ echo "== crash recovery: seeded kill-and-restart campaign =="
 # commits (with I/O faults and crashed-peer litter on some trials),
 # restarts it, and requires byte-identical convergence with a cold run
 # plus a clean cache-directory audit. Exits nonzero on any failure.
-rm -rf .disengage-crash-cache crash_report.json
+rm -rf .disengage-crash-cache crash_report.json flight.json
 cargo run --release --offline -p disengage-bench --bin repro -- \
     --crash-campaign=3,7 --scale=0.1 >/dev/null
 test -s crash_report.json || {
@@ -160,7 +192,27 @@ test ! -e .disengage-crash-cache || {
     echo "verify: passing crash campaign left its cache root behind" >&2
     exit 1
 }
-rm -f crash_report.json
+
+echo "== flight recorder: the last killed trial left a doctorable dump =="
+# Every interrupted half-run dumps the full flight ring to flight.json
+# before CoreError::Interrupted propagates; the campaign's last trial
+# owns the file. The postmortem must name that trial's seeded abort
+# stage and show the pipeline span still open at death.
+stage=$(grep -o '"abort_after":"[a-z]*"' crash_report.json | tail -n 1 | cut -d'"' -f4)
+test -n "$stage" || {
+    echo "verify: crash_report.json names no abort stage" >&2
+    exit 1
+}
+cargo run --release --offline --bin disengage -- doctor flight.json > doctor.txt
+grep -q "interrupted after stage $stage" doctor.txt || {
+    echo "verify: doctor postmortem does not name abort stage $stage" >&2
+    exit 1
+}
+grep -q "open spans at dump: pipeline" doctor.txt || {
+    echo "verify: doctor postmortem shows no open pipeline span" >&2
+    exit 1
+}
+rm -f crash_report.json flight.json doctor.txt
 
 echo "== concurrent caching: two processes sharing one cache dir =="
 # Two repro runs race on one cold cache directory. Advisory lease

@@ -36,7 +36,7 @@ use disengage::core::{exposure, questions, report, tables, whatif, RunConfig, Ru
 use disengage::corpus::CorpusConfig;
 use disengage::dataframe::csv;
 use disengage::nlp::Classifier;
-use disengage::obs::Collector;
+use disengage::obs::{flight, health, Collector};
 use disengage::ocr::NoiseModel;
 use disengage::reports::Manufacturer;
 use disengage::stats::kalra_paddock::failure_free_miles;
@@ -65,7 +65,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!();
@@ -89,6 +89,9 @@ fn usage() -> String {
   disengage check-trace <trace.json>
   disengage profile [flags]    # simulated-OCR self-profile (default --scale=0.1)
   disengage check-folded <stacks.folded>
+  disengage doctor [flight.json]        # postmortem from a flight-recorder dump
+  disengage health [flags]              # run the pipeline, gate on health rules
+  disengage check-prom <metrics.prom>   # validate a Prometheus exposition
 
 flags (shared with the `repro` harness; both --flag VALUE and
 --flag=VALUE spellings work, except optional values must be inline):
@@ -97,7 +100,7 @@ flags (shared with the `repro` harness; both --flag VALUE and
     )
 }
 
-fn run(args: &CommonArgs) -> Result<(), String> {
+fn run(args: &CommonArgs) -> Result<ExitCode, String> {
     let command = args.positional.first().map(String::as_str).unwrap_or("");
     let seed = args.seed.unwrap_or(0x5EED);
     let mut config = RunConfig::new()
@@ -421,10 +424,47 @@ fn run(args: &CommonArgs) -> Result<(), String> {
             println!("{path}: valid Chrome trace ({n} events)");
             Ok(())
         }
+        "doctor" => {
+            let path = args
+                .positional
+                .get(1)
+                .map(String::as_str)
+                .unwrap_or(disengage::obs::flight::DEFAULT_DUMP_PATH);
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("{path}: {e} (an interrupted run writes one)"))?;
+            let dump = disengage::obs::flight::validate_dump(&text)
+                .map_err(|e| format!("{path}: {e}"))?;
+            print!("{}", disengage::obs::flight::render_postmortem(&dump, 20));
+            Ok(())
+        }
+        "check-prom" => {
+            let path = args.positional.get(1).ok_or("check-prom needs a file")?;
+            let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            let n = disengage::obs::validate_prometheus(&text)
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("{path}: valid Prometheus exposition ({n} samples)");
+            Ok(())
+        }
+        "health" => {
+            // Run the pipeline; the epilogue below evaluates the rules
+            // (from --health=FILE or the built-in defaults) against the
+            // run's telemetry and sets the exit code.
+            let o = session
+                .run_traced(&obs, &trace)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{} disengagements, {} accidents, {} quarantined",
+                o.database.disengagements().len(),
+                o.database.accidents().len(),
+                o.quarantined.len()
+            );
+            Ok(())
+        }
         "" => Err("missing command".to_owned()),
         other => Err(format!("unknown command `{other}`")),
     };
     result?;
+    let mut exit = ExitCode::SUCCESS;
     if let Some(Some(path)) = &args.lineage {
         let prov = trace.provenance();
         std::fs::write(path, prov.to_jsonl())
@@ -436,11 +476,53 @@ fn run(args: &CommonArgs) -> Result<(), String> {
         std::fs::write(path, body).map_err(|e| format!("could not write {path}: {e}"))?;
         eprintln!("wrote {path} ({} tasks)", trace.timeline().len());
     }
+    if let Some(path) = &args.flight {
+        // The canonical (byte-identity) form: wall clock zeroed,
+        // environment-fact events stripped, no task stamps.
+        let suspects = flight::suspects(trace.provenance(), 8);
+        flight::write_dump(
+            std::path::Path::new(path),
+            &obs,
+            None,
+            "run complete",
+            &suspects,
+            true,
+        )
+        .map_err(|e| format!("could not write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &args.prom {
+        let body = disengage::obs::render_prometheus(&obs.report());
+        std::fs::write(path, body).map_err(|e| format!("could not write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    // Health gate: the `health` command always evaluates (defaults
+    // unless --health=FILE names a rule file); any other command
+    // evaluates only when --health was given.
+    let health_request = if command == "health" {
+        Some(args.health.clone().flatten())
+    } else {
+        args.health.clone()
+    };
+    if let Some(rule_file) = health_request {
+        let rules = match &rule_file {
+            Some(path) => {
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                health::parse_rules(&text).map_err(|e| format!("{path}: {e}"))?
+            }
+            None => health::default_rules(),
+        };
+        let verdict = health::evaluate(&rules, &obs.report());
+        print!("{}", verdict.render());
+        if verdict.failed() {
+            exit = ExitCode::FAILURE;
+        }
+    }
     match args.telemetry {
         TelemetryMode::Off => {}
         TelemetryMode::Tree => print!("{}", obs.report().render_tree()),
         TelemetryMode::Json => println!("{}", obs.report().to_json()),
         TelemetryMode::StableJson => println!("{}", obs.report().canonical().to_json()),
     }
-    Ok(())
+    Ok(exit)
 }

@@ -225,7 +225,8 @@ fn interrupted_run_resumes_byte_identically() {
     let cache = TempCache::new("interrupted");
     let config = small()
         .with_cache_dir(cache.path())
-        .with_abort_after(Stage::Normalize);
+        .with_abort_after(Stage::Normalize)
+        .with_flight_path(cache.path().join("flight.json"));
     // Traced, like the reference and the resume: lineage recording is
     // part of every stage key, so all three halves must agree on it.
     let obs = Collector::new();
@@ -265,7 +266,8 @@ fn interrupted_faulted_run_resumes_byte_identically() {
     let config = small()
         .with_cache_dir(cache.path())
         .with_io_faults(IoFaultPlan::new(0.3, 0xFA11))
-        .with_abort_after(Stage::Corpus);
+        .with_abort_after(Stage::Corpus)
+        .with_flight_path(cache.path().join("flight.json"));
     let obs = Collector::new();
     let trace = RunTrace::new(&obs);
     let err = RunSession::new(config.clone())

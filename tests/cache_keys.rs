@@ -160,10 +160,10 @@ fn lineage_recording_is_part_of_every_key() {
 fn golden_fingerprints_are_pinned() {
     let passthrough = keys(base());
     let golden_passthrough = [
-        (Stage::Corpus, "569ac9626957f35a"),
-        (Stage::Digitize, "df3569b7919a2133"),
-        (Stage::Normalize, "55967d7173320781"),
-        (Stage::Tag, "1d03f6b77e4e9919"),
+        (Stage::Corpus, "880fd8a5195c4527"),
+        (Stage::Digitize, "94ed199efec83d55"),
+        (Stage::Normalize, "5ed0327b20a6dcd7"),
+        (Stage::Tag, "d009457664877f80"),
     ];
     for (stage, hex) in golden_passthrough {
         assert_eq!(
@@ -183,10 +183,10 @@ fn golden_fingerprints_are_pinned() {
             .with_chaos(FaultPlan::new(0.05, 7)),
     );
     let golden_chaos = [
-        (Stage::Corpus, "569ac9626957f35a"),
-        (Stage::Digitize, "b65801408c8287e6"),
-        (Stage::Normalize, "31952a52229d51a5"),
-        (Stage::Tag, "23c8b617a3768609"),
+        (Stage::Corpus, "880fd8a5195c4527"),
+        (Stage::Digitize, "b06948bd12ef18ec"),
+        (Stage::Normalize, "711cce43dd5f1d8b"),
+        (Stage::Tag, "6353fe9c080ef1f7"),
     ];
     for (stage, hex) in golden_chaos {
         assert_eq!(

@@ -134,3 +134,111 @@ fn missing_command_fails_with_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
 }
+
+/// `--flight` and `--prom` write files our own validators accept:
+/// `doctor` renders the flight postmortem, `check-prom` validates the
+/// exposition.
+#[test]
+fn flight_and_prom_exports_round_trip_through_their_validators() {
+    let dir = std::env::temp_dir().join(format!("disengage-cli-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let flight = dir.join("flight.json");
+    let prom = dir.join("metrics.prom");
+    let out = disengage(&[
+        "summary",
+        "--scale=0.01",
+        &format!("--flight={}", flight.display()),
+        &format!("--prom={}", prom.display()),
+    ]);
+    assert!(
+        out.status.success(),
+        "summary with exports must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let doctor = disengage(&["doctor", flight.to_str().expect("utf-8 path")]);
+    assert!(doctor.status.success(), "doctor must accept our own dump");
+    let post = String::from_utf8_lossy(&doctor.stdout);
+    for needle in ["flight recorder postmortem", "reason: run complete", "pipeline"] {
+        assert!(post.contains(needle), "postmortem must mention {needle}:\n{post}");
+    }
+
+    let check = disengage(&["check-prom", prom.to_str().expect("utf-8 path")]);
+    assert!(check.status.success(), "check-prom must accept our own exposition");
+    assert!(String::from_utf8_lossy(&check.stdout).contains("valid Prometheus exposition"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `doctor` and `check-prom` are loud on garbage and missing files.
+#[test]
+fn doctor_and_check_prom_reject_garbage() {
+    let dir = std::env::temp_dir().join(format!("disengage-cli-garbage-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"schema\":\"other\"}").expect("write");
+    assert!(!disengage(&["doctor", bad.to_str().expect("utf-8")]).status.success());
+    assert!(!disengage(&["doctor", "/nonexistent/flight.json"]).status.success());
+    let badprom = dir.join("bad.prom");
+    std::fs::write(&badprom, "metric with spaces 1\n").expect("write");
+    assert!(!disengage(&["check-prom", badprom.to_str().expect("utf-8")]).status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The health gate: clean runs pass the default rules and exit 0; a
+/// heavy chaos run breaches the quarantine-rate rule and exits
+/// nonzero with the breach named.
+#[test]
+fn health_gate_passes_clean_and_fails_chaos() {
+    let clean = disengage(&["health", "--scale=0.01"]);
+    assert!(
+        clean.status.success(),
+        "clean run must pass the default rules: {}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&clean.stdout);
+    assert!(stdout.contains("== health =="));
+    assert!(stdout.contains("PASS quarantine_rate"));
+
+    let chaos = disengage(&["health", "--scale=0.01", "--chaos=0.2"]);
+    assert!(
+        !chaos.status.success(),
+        "a 20%-rate chaos run must breach the quarantine-rate rule"
+    );
+    let stdout = String::from_utf8_lossy(&chaos.stdout);
+    assert!(
+        stdout.contains("FAIL quarantine_rate"),
+        "breach must be named:\n{stdout}"
+    );
+}
+
+/// `--health=FILE` loads custom rules; unparseable rule files are
+/// rejected loudly.
+#[test]
+fn health_rule_files_are_loaded_and_validated() {
+    let dir = std::env::temp_dir().join(format!("disengage-cli-health-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let rules = dir.join("rules.txt");
+    std::fs::write(&rules, "# impossible bar\nno_records counter(parse.dis.parsed) == 0 fail\n")
+        .expect("write");
+    let out = disengage(&[
+        "health",
+        "--scale=0.01",
+        &format!("--health={}", rules.display()),
+    ]);
+    assert!(
+        !out.status.success(),
+        "a parsed-records==0 rule must fail on a real run"
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("FAIL no_records"));
+
+    let bad = dir.join("bad.txt");
+    std::fs::write(&bad, "just two\n").expect("write");
+    let out = disengage(&[
+        "health",
+        "--scale=0.01",
+        &format!("--health={}", bad.display()),
+    ]);
+    assert!(!out.status.success(), "malformed rule files must be rejected");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
