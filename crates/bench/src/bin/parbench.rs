@@ -21,7 +21,18 @@
 //! parbench --samples=5        # timed samples per grid cell
 //! parbench --out=PATH         # write the envelope elsewhere
 //! parbench --require-speedup  # exit nonzero if < 1.5x on 4+ cores
+//! parbench --scale-stress     # add the peak-RSS-vs-scale ladder
 //! ```
+//!
+//! `--scale-stress` appends a second pass that proves the
+//! shard-at-a-time streaming contract: it re-runs the reduced
+//! (digest-only) pipeline at ⅛×, ¼×, ½×, and 1× of the requested
+//! scale — each point in a **fresh child process**, because Linux
+//! `VmHWM` is monotone over a process's lifetime — and records peak
+//! RSS plus shard throughput per point. The headline number,
+//! `stress_rss_ratio` (peak RSS at full scale over peak RSS at ⅛
+//! scale), carries an absolute [`disengage_bench::gate`] ceiling of
+//! 1.25×: memory must stay flat while the corpus grows 8×.
 //!
 //! `--require-speedup` needs 4+ physical cores to be meaningful: on a
 //! 1- or 2-core box the pool cannot come close to the threshold no
@@ -39,8 +50,14 @@ use disengage_ocr::NoiseModel;
 use std::process::ExitCode;
 use std::time::Instant;
 
+/// Byte-accurate live-heap accounting for the stress children: VmHWM
+/// includes allocator arenas that were grown and freed, so the ladder
+/// reports `peak_live_bytes` alongside it.
+#[global_allocator]
+static ALLOC: disengage_obs::CountingAlloc = disengage_obs::CountingAlloc;
+
 const USAGE: &str =
-    "usage: parbench [--scale F] [--samples=N] [--out=PATH] [--require-speedup]";
+    "usage: parbench [--scale F] [--samples=N] [--out=PATH] [--require-speedup] [--scale-stress]";
 
 /// Default envelope path; the committed baseline `benchgate` compares
 /// against lives under the same name in the repository root.
@@ -113,10 +130,82 @@ fn scale_tag(scale: f64) -> String {
     format!("s{:03}", (scale * 1000.0).round() as usize)
 }
 
+/// One `--stress-child` measurement, parsed back from the child's
+/// single stdout line.
+struct StressPoint {
+    rss_bytes: f64,
+    shards: f64,
+    disengagements: f64,
+    secs: f64,
+}
+
+/// Child mode: run the reduced (digest-only) sharded pipeline once at
+/// `scale` and report peak RSS. Runs in its own process because
+/// `VmHWM` never decreases within a process — the parent's own
+/// allocations (or an earlier, larger point) would otherwise mask the
+/// smaller points entirely.
+fn stress_child(scale: f64, jobs: usize, shards: Option<&[String]>) -> ExitCode {
+    let obs = disengage_obs::Collector::new();
+    let t0 = Instant::now();
+    let mut cfg = config(scale).with_jobs(jobs);
+    if let Some(s) = shards {
+        cfg = cfg.with_shards(s.to_vec());
+    }
+    let digest = match RunSession::new(cfg).run_reduced(&obs) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: stress child failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let secs = t0.elapsed().as_secs_f64();
+    let rss = disengage_obs::profile::peak_rss_bytes().unwrap_or(0);
+    let live = disengage_obs::profile::alloc_stats().peak_live_bytes;
+    println!(
+        "rss_bytes={rss} peak_live_bytes={live} shards={} disengagements={} secs={secs}",
+        digest.shards, digest.disengagements
+    );
+    ExitCode::SUCCESS
+}
+
+/// Spawns one stress point as a fresh child process and parses its
+/// report line.
+fn run_stress_point(scale: f64, jobs: Option<usize>) -> Result<StressPoint, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("no current exe: {e}"))?;
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg(format!("--stress-child={scale}"));
+    if let Some(j) = jobs {
+        cmd.arg(format!("--jobs={j}"));
+    }
+    let out = cmd.output().map_err(|e| format!("stress child spawn failed: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "stress child at scale {scale} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let field = |key: &str| -> Result<f64, String> {
+        stdout
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| format!("stress child output missing `{key}`: {stdout:?}"))
+    };
+    Ok(StressPoint {
+        rss_bytes: field("rss_bytes")?,
+        shards: field("shards")?,
+        disengagements: field("disengagements")?,
+        secs: field("secs")?,
+    })
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut samples = 3usize;
     let mut require_speedup = false;
+    let mut scale_stress = false;
+    let mut stress_child_scale: Option<f64> = None;
     let mut out = DEFAULT_OUT.to_owned();
     let parsed = CommonArgs::parse_with(&raw, |flag, value| match flag {
         "--out" => {
@@ -142,6 +231,23 @@ fn main() -> ExitCode {
             require_speedup = true;
             Ok(true)
         }
+        "--scale-stress" => {
+            scale_stress = true;
+            Ok(true)
+        }
+        // Internal: one point of the --scale-stress ladder, run in a
+        // fresh process so VmHWM measures only this scale.
+        "--stress-child" => {
+            let v = value.ok_or_else(|| ArgError {
+                flag: flag.to_owned(),
+                reason: "expected --stress-child=SCALE".to_owned(),
+            })?;
+            stress_child_scale = Some(v.parse().map_err(|_| ArgError {
+                flag: flag.to_owned(),
+                reason: format!("`{v}` is not a scale"),
+            })?);
+            Ok(true)
+        }
         _ => Ok(false),
     });
     let args = match parsed {
@@ -164,6 +270,9 @@ fn main() -> ExitCode {
     if args.cache_dir.is_some() {
         eprintln!("error: parbench measures the worker pool; --cache-dir would measure the cache");
         return ExitCode::FAILURE;
+    }
+    if let Some(scale) = stress_child_scale {
+        return stress_child(scale, args.jobs.unwrap_or(0), args.shards.as_deref());
     }
     let full_scale = args.scale.unwrap_or(0.2);
 
@@ -237,6 +346,56 @@ fn main() -> ExitCode {
     metrics.push(("seq_docs_per_s".to_owned(), docs as f64 / seq_s));
     metrics.push(("docs_per_s".to_owned(), docs as f64 / par_s));
     metrics.push(("identical".to_owned(), if identical { 1.0 } else { 0.0 }));
+
+    if scale_stress {
+        // The memory-flatness ladder: ⅛× → 1× of the requested scale,
+        // one fresh child process per point (VmHWM is monotone within
+        // a process). Peak RSS must stay flat while the corpus grows
+        // 8× — shard-at-a-time streaming keeps only `jobs` shards in
+        // flight regardless of how many shards the corpus has.
+        let points = [full_scale / 8.0, full_scale / 4.0, full_scale / 2.0, full_scale];
+        eprintln!("scale-stress ladder: {points:?} (one child process per point)");
+        let mut measured: Vec<(f64, StressPoint)> = Vec::new();
+        for &scale in &points {
+            match run_stress_point(scale, args.jobs) {
+                Ok(p) => {
+                    eprintln!(
+                        "scale {scale}: peak RSS {:.1} MiB, {} shard(s), {:.1} shards/s",
+                        p.rss_bytes / (1024.0 * 1024.0),
+                        p.shards,
+                        if p.secs > 0.0 { p.shards / p.secs } else { 0.0 }
+                    );
+                    measured.push((scale, p));
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        for (scale, p) in &measured {
+            let tag = scale_tag(*scale);
+            metrics.push((format!("stress_{tag}_rss_bytes"), p.rss_bytes));
+            metrics.push((format!("stress_{tag}_shards"), p.shards));
+            metrics.push((format!("stress_{tag}_dis"), p.disengagements));
+        }
+        let first = &measured.first().expect("ladder measured").1;
+        let last = &measured.last().expect("ladder measured").1;
+        if first.rss_bytes > 0.0 {
+            let ratio = last.rss_bytes / first.rss_bytes;
+            eprintln!(
+                "scale-stress: RSS ratio {ratio:.3} across {:.0}x scale growth",
+                full_scale / points[0]
+            );
+            metrics.push(("stress_rss_ratio".to_owned(), ratio));
+        } else {
+            eprintln!("scale-stress: peak RSS unavailable on this platform; ratio not recorded");
+        }
+        metrics.push(("stress_scale_growth".to_owned(), full_scale / points[0]));
+        if last.secs > 0.0 {
+            metrics.push(("stress_shards_per_s".to_owned(), last.shards / last.secs));
+        }
+    }
 
     let body = disengage_bench::gate::envelope("disengage-bench/par", &metrics).render();
     if let Err(e) = std::fs::write(&out, &body) {

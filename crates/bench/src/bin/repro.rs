@@ -198,6 +198,9 @@ fn main() -> ExitCode {
     if let Some(cap) = args.cache_cap {
         config = config.with_cache_cap(cap);
     }
+    if let Some(shards) = &args.shards {
+        config = config.with_shards(shards.clone());
+    }
 
     // The crash-recovery campaign replaces the reproduction flow
     // entirely: N interrupted-then-resumed sessions, each required to

@@ -61,10 +61,14 @@ pub enum Direction {
 /// fixed cap on the *candidate alone* — no baseline drift can loosen
 /// it, and it gates even when the baseline predates the metric.
 /// Currently: `obs_overhead_frac`, the flight-recorder self-overhead
-/// as a fraction of pipeline wall, budgeted at 2%.
+/// as a fraction of pipeline wall, budgeted at 2%; and
+/// `stress_rss_ratio`, the peak-RSS growth across `parbench
+/// --scale-stress`'s 8× corpus-scale ladder, budgeted at 1.25× —
+/// the memory-flatness contract of shard-at-a-time streaming.
 pub fn ceiling(name: &str) -> Option<f64> {
     match name {
         "obs_overhead_frac" => Some(0.02),
+        "stress_rss_ratio" => Some(1.25),
         _ => None,
     }
 }
@@ -433,6 +437,28 @@ mod tests {
             gate(&loose_base, &over, 10.0).expect("gates"),
             GateOutcome::Fail(_)
         ));
+    }
+
+    #[test]
+    fn stress_rss_ratio_has_an_absolute_ceiling() {
+        assert_eq!(ceiling("stress_rss_ratio"), Some(1.25));
+        let base = env(&[("sequential_s", 1.0)]);
+        // Flat memory across the scale ladder: passes.
+        let flat = env(&[("stress_rss_ratio", 1.08)]);
+        assert!(matches!(
+            gate(&base, &flat, 0.4).expect("gates"),
+            GateOutcome::Pass(1)
+        ));
+        // Memory scaling with the corpus: fails even at huge tolerance,
+        // and even though the baseline never recorded the metric.
+        let scaling = env(&[("stress_rss_ratio", 3.0)]);
+        match gate(&base, &scaling, 10.0).expect("gates") {
+            GateOutcome::Fail(regs) => {
+                assert_eq!(regs.len(), 1);
+                assert_eq!(regs[0].name, "stress_rss_ratio");
+            }
+            other => panic!("expected fail, got {other:?}"),
+        }
     }
 
     #[test]

@@ -78,7 +78,8 @@ impl KindOutcomes {
         self.injected == self.corrected + self.quarantined + self.absorbed
     }
 
-    fn add(&mut self, other: KindOutcomes) {
+    /// Adds another outcome partition into this one (shard folding).
+    pub fn add(&mut self, other: KindOutcomes) {
         self.injected += other.injected;
         self.corrected += other.corrected;
         self.quarantined += other.quarantined;
@@ -104,6 +105,30 @@ pub struct ChaosAudit {
 }
 
 impl ChaosAudit {
+    /// Folds another shard's audit into this one: totals and per-kind
+    /// counts add, the fault ledger extends in call order. Since the
+    /// counts are unsigned integer sums, the fold is exact and
+    /// order-invariant (up to ledger ordering, which callers fix by
+    /// absorbing shards in enumeration order). Rate and seed are taken
+    /// from `other` when this audit is still default-empty, and must
+    /// otherwise agree — all shards run under one corpus-wide plan.
+    pub fn absorb(&mut self, other: &ChaosAudit) {
+        if self.totals == KindOutcomes::default() && self.faults.is_empty() {
+            self.rate = other.rate;
+            self.seed = other.seed;
+        }
+        debug_assert!(
+            (self.rate == other.rate && self.seed == other.seed)
+                || other.totals == KindOutcomes::default(),
+            "absorbing audits from different plans"
+        );
+        self.totals.add(other.totals);
+        for (kind, o) in &other.per_kind {
+            self.per_kind.entry(kind).or_default().add(*o);
+        }
+        self.faults.extend(other.faults.iter().copied());
+    }
+
     /// Renders the audit as a JSON object (hand-rolled, like the `obs`
     /// exporters — the workspace carries no serialization dependency).
     pub fn to_json(&self) -> String {
@@ -150,6 +175,21 @@ fn record_multiset(doc: &RawDocument) -> (BTreeMap<String, i64>, usize) {
 /// against its clean twin. `clean` and `faulted` must be the same batch
 /// the log was produced from (same order).
 pub fn audit(plan: &FaultPlan, log: &FaultLog, clean: &[RawDocument], faulted: &[RawDocument]) -> ChaosAudit {
+    audit_at(plan, log, clean, faulted, 0)
+}
+
+/// Like [`audit`], but for a log whose document indices are global
+/// while `clean`/`faulted` hold only the slice starting at corpus index
+/// `base` — the sharded-execution pairing of
+/// [`crate::inject::inject_documents_at`]. Per-shard audits fold into
+/// the corpus-wide ledger via [`ChaosAudit::absorb`].
+pub fn audit_at(
+    plan: &FaultPlan,
+    log: &FaultLog,
+    clean: &[RawDocument],
+    faulted: &[RawDocument],
+    base: usize,
+) -> ChaosAudit {
     let mut out = ChaosAudit {
         rate: plan.rate,
         seed: plan.seed,
@@ -159,9 +199,9 @@ pub fn audit(plan: &FaultPlan, log: &FaultLog, clean: &[RawDocument], faulted: &
         out.per_kind.insert(kind.name(), KindOutcomes::default());
     }
     for (d, faults) in log.by_document() {
-        debug_assert!(d < clean.len() && d < faulted.len());
-        let (clean_set, clean_failures) = record_multiset(&clean[d]);
-        let (chaos_set, chaos_failures) = record_multiset(&faulted[d]);
+        debug_assert!(d >= base && d - base < clean.len() && d - base < faulted.len());
+        let (clean_set, clean_failures) = record_multiset(&clean[d - base]);
+        let (chaos_set, chaos_failures) = record_multiset(&faulted[d - base]);
 
         let failure_delta = chaos_failures.saturating_sub(clean_failures) as u64;
         let mut missing = 0u64;
@@ -360,6 +400,51 @@ mod tests {
         let plan = FaultPlan::new(0.1, 0);
         let a = audit(&plan, &log, &[clean], &[faulted]);
         assert_eq!(a.totals.corrected, 1, "{a:?}");
+    }
+
+    #[test]
+    fn sharded_audit_folds_to_the_monolithic_ledger() {
+        use crate::inject::inject_documents_at;
+        let docs = vec![sample_doc(6), sample_doc(4), sample_doc(3), sample_doc(5)];
+        let plan = FaultPlan::new(0.5, 0x5EED);
+        let (faulted, log) = inject_documents(&plan, &docs);
+        let whole = audit(&plan, &log, &docs, &faulted);
+        assert!(whole.totals.injected > 0, "plan too quiet for the test");
+
+        // Re-run as two shards at their global bases and fold.
+        let mut folded = ChaosAudit::default();
+        for (lo, hi) in [(0usize, 2usize), (2, 4)] {
+            let (shard_faulted, shard_log) = inject_documents_at(&plan, &docs[lo..hi], lo);
+            let shard = audit_at(&plan, &shard_log, &docs[lo..hi], &shard_faulted, lo);
+            folded.absorb(&shard);
+        }
+        assert_eq!(folded, whole);
+        assert!(folded.totals.reconciles());
+    }
+
+    #[test]
+    fn absorb_is_order_invariant_on_counts() {
+        let docs = vec![sample_doc(5), sample_doc(2), sample_doc(4)];
+        let plan = FaultPlan::new(0.7, 42);
+        let parts: Vec<ChaosAudit> = (0..3)
+            .map(|i| {
+                let slice = &docs[i..=i];
+                let (faulted, log) = crate::inject::inject_documents_at(&plan, slice, i);
+                audit_at(&plan, &log, slice, &faulted, i)
+            })
+            .collect();
+        let mut fwd = ChaosAudit::default();
+        let mut rev = ChaosAudit::default();
+        for p in &parts {
+            fwd.absorb(p);
+        }
+        for p in parts.iter().rev() {
+            rev.absorb(p);
+        }
+        assert_eq!(fwd.totals, rev.totals);
+        assert_eq!(fwd.per_kind, rev.per_kind);
+        // The ledger itself is the same multiset, ordered differently.
+        assert_eq!(fwd.faults.len(), rev.faults.len());
     }
 
     #[test]

@@ -67,6 +67,20 @@ const NOISE_CHARS: [char; 10] = ['#', '@', '~', '^', '0', 'O', 'l', '|', '5', 'S
 /// batch and the fault ledger. Rate 0 returns a byte-identical copy and
 /// an empty log.
 pub fn inject_documents(plan: &FaultPlan, docs: &[RawDocument]) -> (Vec<RawDocument>, FaultLog) {
+    inject_documents_at(plan, docs, 0)
+}
+
+/// Like [`inject_documents`], but for a batch that starts at global
+/// corpus index `base`: document `d` of the slice is perturbed exactly
+/// as document `base + d` of the full corpus would be, and the fault
+/// log records global indices. This is what keeps sharded execution
+/// byte-identical to a monolithic run — each shard injects its own
+/// slice under the corpus-wide plan.
+pub fn inject_documents_at(
+    plan: &FaultPlan,
+    docs: &[RawDocument],
+    base: usize,
+) -> (Vec<RawDocument>, FaultLog) {
     let mut log = FaultLog::default();
     if !plan.active() {
         return (docs.to_vec(), log);
@@ -75,13 +89,15 @@ pub fn inject_documents(plan: &FaultPlan, docs: &[RawDocument]) -> (Vec<RawDocum
         .iter()
         .enumerate()
         .map(|(d, doc)| {
-            // One RNG per document, keyed by (seed, index) through the
-            // workspace-wide SplitMix64 derivation — the same scheme
-            // Stage I uses for OCR noise, so a document's perturbation
-            // never depends on its neighbours or its batch position
-            // history.
-            let mut rng = StdRng::seed_from_u64(rand::derive_seed(plan.seed, d as u64));
-            let text = inject_text(plan, &mut rng, d, &doc.text, &mut log);
+            // One RNG per document, keyed by (seed, global index)
+            // through the workspace-wide SplitMix64 derivation — the
+            // same scheme Stage I uses for OCR noise, so a document's
+            // perturbation never depends on its neighbours, its batch
+            // position history, or which slice of the corpus it was
+            // injected in.
+            let g = base + d;
+            let mut rng = StdRng::seed_from_u64(rand::derive_seed(plan.seed, g as u64));
+            let text = inject_text(plan, &mut rng, g, &doc.text, &mut log);
             RawDocument::new(doc.manufacturer, doc.report_year, doc.kind, text)
         })
         .collect();
@@ -298,6 +314,25 @@ mod tests {
                 assert!(f.line >= 1 && f.line <= 2);
             }
         }
+    }
+
+    #[test]
+    fn slice_injection_matches_full_batch() {
+        let docs: Vec<RawDocument> = (0..6)
+            .map(|i| doc(&format!("alpha {i} x\nbeta {i} y\ngamma {i} z\n")))
+            .collect();
+        let plan = FaultPlan::new(0.6, 0x5EED);
+        let (full, full_log) = inject_documents(&plan, &docs);
+        // Inject the same batch as two shards at their global bases.
+        let (lo, lo_log) = inject_documents_at(&plan, &docs[..2], 0);
+        let (hi, hi_log) = inject_documents_at(&plan, &docs[2..], 2);
+        let stitched: Vec<RawDocument> = lo.into_iter().chain(hi).collect();
+        assert_eq!(stitched, full);
+        let mut stitched_log = lo_log;
+        stitched_log.faults.extend(hi_log.faults);
+        assert_eq!(stitched_log, full_log);
+        // Every logged index is global, not slice-local.
+        assert!(stitched_log.faults.iter().all(|f| f.doc < 6));
     }
 
     #[test]

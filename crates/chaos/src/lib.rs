@@ -66,9 +66,9 @@ pub mod io;
 pub mod plan;
 pub mod poison;
 
-pub use audit::{audit, AuditedFault, ChaosAudit, FaultFate, KindOutcomes};
+pub use audit::{audit, audit_at, AuditedFault, ChaosAudit, FaultFate, KindOutcomes};
 pub use degenerate::DegenerateKind;
-pub use inject::{inject_documents, FaultLog, InjectedFault};
+pub use inject::{inject_documents, inject_documents_at, FaultLog, InjectedFault};
 pub use io::{plant_litter, IoFaultPlan, SeededIoFaults};
 pub use plan::{FaultKind, FaultPlan};
 pub use poison::poison_dictionary;

@@ -98,6 +98,10 @@ pub struct CommonArgs {
     /// `--cache-cap=N`: per-stage artifact cap (0 = unbounded), if
     /// given.
     pub cache_cap: Option<usize>,
+    /// `--shards=LIST`: comma-separated shard labels to run. Labels
+    /// are `<manufacturer>_<filing-year>` (e.g. `waymo_2016`); an
+    /// all-`-`-prefixed list excludes instead.
+    pub shards: Option<Vec<String>>,
     /// `--no-cache`: force caching off (wins over `--cache-dir`).
     pub no_cache: bool,
     /// `--flight=PATH`: export the canonical flight-recorder dump to
@@ -253,6 +257,22 @@ impl CommonArgs {
                         )
                     })?);
                 }
+                "--shards" => {
+                    let v = take_value(flag)?;
+                    let list: Vec<String> = v
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_owned)
+                        .collect();
+                    if list.is_empty() {
+                        return Err(ArgError::new(
+                            flag,
+                            "expected a comma-separated list of shard labels",
+                        ));
+                    }
+                    out.shards = Some(list);
+                }
                 "--no-cache" => {
                     if inline.is_some() {
                         return Err(ArgError::new(flag, "takes no value"));
@@ -319,7 +339,10 @@ impl CommonArgs {
          \x20 --trace=PATH        export a Chrome execution trace\n\
          \x20 --profile[=MODE]    off|table|json|folded self-profile view (bare = table)\n\
          \x20 --cache-dir=PATH    content-addressed stage artifact cache\n\
-         \x20 --cache-cap=N       per-stage cached-artifact cap; 0 = unbounded (default 8)\n\
+         \x20 --cache-cap=N       per-stage cached-artifact cap; 0 = unbounded\n\
+         \x20                     (default scales with the shard count)\n\
+         \x20 --shards=LIST       run only these corpus shards (labels like\n\
+         \x20                     waymo_2016; prefix every label with - to exclude)\n\
          \x20 --no-cache          disable the artifact cache\n\
          \x20 --flight=PATH       export the canonical flight-recorder dump\n\
          \x20 --health[=FILE]     evaluate health rules after the run (bare = built-ins)\n\
@@ -438,6 +461,26 @@ mod tests {
         for bad in ["--cache-cap", "--cache-cap=", "--cache-cap=lots", "--cache-cap=-1"] {
             assert!(parse(&[bad]).is_err(), "{bad} must fail");
         }
+        // --shards needs a non-empty label list.
+        for bad in ["--shards", "--shards=", "--shards=,", "--shards= , "] {
+            assert!(parse(&[bad]).is_err(), "{bad} must fail");
+        }
+    }
+
+    #[test]
+    fn shards_parse_as_trimmed_label_list() {
+        assert_eq!(parse(&[]).unwrap().shards, None);
+        let a = parse(&["--shards=waymo_2016"]).unwrap();
+        assert_eq!(a.shards, Some(vec!["waymo_2016".to_owned()]));
+        let b = parse(&["--shards", "waymo_2016, tesla_2016"]).unwrap();
+        assert_eq!(
+            b.shards,
+            Some(vec!["waymo_2016".to_owned(), "tesla_2016".to_owned()])
+        );
+        // Exclusion labels pass through verbatim; the session resolves
+        // the `-` prefix against the enumeration.
+        let c = parse(&["--shards=-waymo_2016"]).unwrap();
+        assert_eq!(c.shards, Some(vec!["-waymo_2016".to_owned()]));
     }
 
     #[test]

@@ -42,7 +42,7 @@ use std::collections::BTreeMap;
 /// whenever any encoding below, any stage's semantics, or the
 /// histogram bucketing changes — old cache entries then read as
 /// corrupt and recompute instead of resurrecting stale data.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 // ---------------------------------------------------------------------------
 // Enum helpers: stable-index encoding against the `ALL` arrays.

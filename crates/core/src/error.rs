@@ -54,6 +54,13 @@ pub enum CoreError {
         /// The stage whose commit the simulated crash followed.
         after: &'static str,
     },
+    /// A `--shards` filter named a shard the corpus enumeration does
+    /// not contain. Raised eagerly, before any stage runs, so a typo
+    /// can never silently produce a smaller corpus.
+    UnknownShard {
+        /// The label that matched no enumerated shard.
+        label: String,
+    },
 }
 
 impl CoreError {
@@ -91,6 +98,9 @@ impl fmt::Display for CoreError {
             CoreError::Interrupted { after } => {
                 write!(f, "run interrupted after stage {after}")
             }
+            CoreError::UnknownShard { label } => {
+                write!(f, "unknown shard `{label}` (labels look like `waymo_2016`)")
+            }
         }
     }
 }
@@ -104,7 +114,8 @@ impl Error for CoreError {
             CoreError::NoData(_)
             | CoreError::Quarantine(_)
             | CoreError::Degraded { .. }
-            | CoreError::Interrupted { .. } => None,
+            | CoreError::Interrupted { .. }
+            | CoreError::UnknownShard { .. } => None,
         }
     }
 }
@@ -156,6 +167,11 @@ mod tests {
         let i = CoreError::Interrupted { after: "corpus" };
         assert!(i.to_string().contains("interrupted after stage corpus"));
         assert!(i.source().is_none());
+        let s = CoreError::UnknownShard {
+            label: "waymo_2031".to_owned(),
+        };
+        assert!(s.to_string().contains("unknown shard `waymo_2031`"));
+        assert!(s.source().is_none());
     }
 
     #[test]

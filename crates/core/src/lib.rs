@@ -51,7 +51,7 @@ pub mod whatif;
 
 pub use error::{degrade, CoreError, Quarantined};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineOutcome, RunTrace};
-pub use session::{RunConfig, RunSession, Stage, StageKeys};
+pub use session::{RunConfig, RunDigest, RunSession, Stage, StageKeys};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -23,8 +23,8 @@ use disengage_obs::{
 use disengage_ocr::correct::Corrector;
 use disengage_ocr::engine::OcrEngine;
 use disengage_ocr::metrics::cer;
-use disengage_ocr::raster::{rasterize_into, Bitmap};
-use disengage_ocr::{NoiseModel, OcrScratch};
+use disengage_ocr::stream::{digitize_streamed_timed, StreamScratch, StreamTimings};
+use disengage_ocr::NoiseModel;
 use disengage_par as par;
 use disengage_par::TaskTimeline;
 use disengage_reports::formats::RawDocument;
@@ -384,15 +384,18 @@ pub(crate) fn digitize_simulated_parts(
 ) -> (Vec<RawDocument>, OcrStats) {
     let engine = OcrEngine::new();
     let corrector = config.correct.then(default_corrector);
-    // Each pool worker keeps one page bitmap and one recognizer scratch
-    // alive across every document it processes, so the hot loop stops
-    // paying an alloc/free cycle per page. Reuse cannot leak between
-    // documents: `rasterize_into` resets the bitmap and `recognize_with`
-    // clears the scratch, so output is byte-identical to the
-    // allocate-per-document path at any --jobs value.
+    // Each pool worker keeps one strip-streaming scratch alive across
+    // every document it processes, so the hot loop stops paying an
+    // alloc/free cycle per page. Reuse cannot leak between documents:
+    // the streamed digitizer resets its strip and row buffers per line,
+    // so output is byte-identical at any --jobs value. Streaming is
+    // also the digitizer's peak-memory contract: only one CELL_H-row
+    // strip of a page ever exists, so memory scales with page *width*
+    // while the sharded session holds the largest *document* — see
+    // `disengage_ocr::stream`.
     thread_local! {
-        static OCR_SCRATCH: std::cell::RefCell<(Bitmap, OcrScratch)> =
-            std::cell::RefCell::new((Bitmap::blank(0, 0), OcrScratch::default()));
+        static OCR_SCRATCH: std::cell::RefCell<StreamScratch> =
+            std::cell::RefCell::new(StreamScratch::default());
     }
     let per_doc = par::par_map_indexed_timed(
         config.jobs,
@@ -410,22 +413,27 @@ pub(crate) fn digitize_simulated_parts(
                 (config.base_index + i) as u64,
             ));
             let recognized = OCR_SCRATCH.with(|cell| {
-                let (page, scratch) = &mut *cell.borrow_mut();
-                {
-                    let _p = profile::phase(&shard, "rasterize");
-                    rasterize_into(&doc.text, page);
-                }
-                {
-                    // In-place degrade: `NoiseModel::degrade` is
-                    // clone-then-`apply`, so applying to the freshly
-                    // rasterized page skips the clone and consumes the
-                    // identical RNG stream.
-                    let _p = profile::phase(&shard, "degrade");
-                    config.noise.apply(page, &mut rng);
-                }
-                let _p = profile::phase(&shard, "correlate");
-                engine.recognize_with(page, scratch)
+                let scratch = &mut *cell.borrow_mut();
+                // The streamed digitizer interleaves the classic
+                // rasterize → degrade → correlate stages per strip, so
+                // it accumulates each stage's wall-clock and the phases
+                // are recorded from the totals — same phase tree as the
+                // old whole-page guards, same RNG stream, same bytes.
+                let mut timings = StreamTimings::default();
+                let out = digitize_streamed_timed(
+                    &doc.text,
+                    &config.noise,
+                    &engine,
+                    scratch,
+                    &mut rng,
+                    &mut timings,
+                );
+                profile::record_phase(&shard, "rasterize", timings.rasterize);
+                profile::record_phase(&shard, "degrade", timings.degrade);
+                profile::record_phase(&shard, "correlate", timings.correlate);
+                out
             });
+            let confidence = recognized.mean_confidence();
             let text = match &corrector {
                 Some(c) => {
                     let _repair = profile::phase(&shard, "repair");
@@ -459,7 +467,9 @@ pub(crate) fn digitize_simulated_parts(
                     }
                     fixed
                 }
-                None => recognized.text.clone(),
+                // Move rather than clone: the recognizer output is not
+                // needed once its confidence has been read.
+                None => recognized.text,
             };
             let doc_cer = {
                 let _p = profile::phase(&shard, "cer");
@@ -468,11 +478,11 @@ pub(crate) fn digitize_simulated_parts(
             drop(doc_phase);
             shard.incr("ocr.documents");
             shard.record("ocr.cer", doc_cer);
-            shard.record("ocr.confidence", recognized.mean_confidence());
+            shard.record("ocr.confidence", confidence);
             (
                 RawDocument::new(doc.manufacturer, doc.report_year, doc.kind, text),
                 doc_cer,
-                recognized.mean_confidence(),
+                confidence,
                 shard,
                 pshard,
             )

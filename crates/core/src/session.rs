@@ -9,18 +9,35 @@
 //! plus the chaos / jobs / cache knobs; [`crate::Pipeline`] is now a
 //! thin shim over it.
 //!
+//! # Sharded streaming execution
+//!
+//! The session never materializes the corpus at once. Stage I
+//! enumerates one shard per (manufacturer, filing-year) cell — each
+//! with a content-derived seed ([`disengage_corpus::ShardSpec`]) — and
+//! Stages I–III run *per shard*, at most `jobs` shards in flight, so
+//! peak memory is bounded by the largest shard times the worker count
+//! rather than by the corpus. An explicit merge stage then folds the
+//! per-shard outputs (telemetry shards, provenance shards, chaos
+//! audits, records) in enumeration order, which is what keeps sharded
+//! output byte-identical to a monolithic fold at every `--jobs`.
+//! `--shards` restricts a run to named cells (or, `-`-prefixed,
+//! excludes them) without moving any surviving shard's bytes.
+//!
 //! # Artifact cache
 //!
-//! With a cache directory configured, every stage's output (plus its
-//! telemetry shard and provenance entries — see [`crate::artifact`])
-//! persists content-addressed under
+//! With a cache directory configured, every *shard's* stage output
+//! (plus its telemetry shard and provenance entries — see
+//! [`crate::artifact`]) persists content-addressed under
 //! `<cache-dir>/<stage>/<fingerprint>`. The fingerprint folds the
-//! stage's own config, every upstream stage's fingerprint, and a
-//! code-version salt ([`crate::artifact::FORMAT_VERSION`]), so a warm
-//! re-run that changes only Stage III/IV parameters loads Stages I–II
-//! from cache and skips OCR entirely. `jobs` never enters a key:
-//! output is byte-identical at every worker count, so artifacts are
-//! shared across them.
+//! stage's own config, the shard's identity (manufacturer, filing
+//! year, derived seed, document offset), the same shard's upstream
+//! stage fingerprint, and a code-version salt
+//! ([`crate::artifact::FORMAT_VERSION`]), so a warm re-run that adds
+//! or reconfigures one cell recomputes only that cell's shards and
+//! replays every other from disk. `jobs` never enters a key: output
+//! is byte-identical at every worker count, so artifacts are shared
+//! across them. The `--shards` filter never enters a key either — a
+//! filtered run warms the same artifacts a full run replays.
 //!
 //! Replayed artifacts restore the recording run's stage spans,
 //! counters, histograms (bit-for-bit float sums), and lineage, which
@@ -35,17 +52,17 @@ use crate::artifact::{self, NormalizeArtifact, FORMAT_VERSION};
 use crate::error::{CoreError, Quarantined};
 use crate::pipeline::{
     default_corrector, digitize_simulated_parts, record_repair_attempts, DigitizeConfig, OcrMode,
-    PipelineConfig, PipelineOutcome, RunTrace,
+    OcrStats, PipelineConfig, PipelineOutcome, RunTrace,
 };
 use crate::tagging::{tag_records_traced, TaggedDisengagement};
 use crate::Result;
 use disengage_cache::{ArtifactStore, Dec, Enc, Fingerprint, Flight, Fp, Lookup};
 use disengage_chaos::{
-    audit, inject_documents, poison_dictionary, FaultFate, FaultKind, FaultPlan, IoFaultPlan,
-    SeededIoFaults,
+    audit_at, inject_documents_at, poison_dictionary, ChaosAudit, FaultFate, FaultKind, FaultPlan,
+    IoFaultPlan, SeededIoFaults,
 };
-use disengage_corpus::{CorpusConfig, CorpusGenerator};
-use disengage_nlp::{Classifier, FaultTag};
+use disengage_corpus::{Corpus, CorpusConfig, CorpusGenerator, ShardSpec};
+use disengage_nlp::{Classifier, FaultTag, TagAssignment};
 use disengage_obs::profile;
 use disengage_obs::{
     flight, Collector, ProvenanceEvent, ProvenanceLog, RecordId, Subject, TelemetryReport,
@@ -53,7 +70,9 @@ use disengage_obs::{
 use disengage_par as par;
 use disengage_reports::formats::RawDocument;
 use disengage_reports::normalize::{normalize_document_traced, Normalized};
-use disengage_reports::{FailureDatabase, ReportError};
+use disengage_reports::{
+    AccidentRecord, DisengagementRecord, FailureDatabase, MonthlyMileage, ReportError,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -131,10 +150,17 @@ pub struct RunConfig {
     pub chaos: Option<FaultPlan>,
     /// Artifact-cache directory; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
-    /// Per-stage cached-artifact cap override (`None` = the store
-    /// default of 8, `Some(0)` = unbounded). Never part of a cache
-    /// key: the cap governs eviction, not content.
+    /// Per-stage cached-artifact cap override (`None` = four
+    /// generations of the full shard enumeration, `Some(0)` =
+    /// unbounded). Never part of a cache key: the cap governs
+    /// eviction, not content.
     pub cache_cap: Option<usize>,
+    /// Shard filter: labels (see [`disengage_corpus::shard_label`]) to
+    /// run, or — when every entry carries a `-` prefix — to exclude
+    /// from the full enumeration. `None` runs everything. Never part
+    /// of a cache key: a filtered run computes the same per-shard
+    /// artifacts a full run would.
+    pub shards: Option<Vec<String>>,
     /// Optional seeded I/O fault plan for the artifact store (a rate-0
     /// plan is inert). Never part of a cache key: faults perturb the
     /// store's filesystem, never the computed bytes.
@@ -174,6 +200,7 @@ impl RunConfig {
             chaos: None,
             cache_dir: None,
             cache_cap: None,
+            shards: None,
             io_faults: None,
             abort_after: None,
             flight_path: Some(PathBuf::from(flight::DEFAULT_DUMP_PATH)),
@@ -242,6 +269,14 @@ impl RunConfig {
     #[must_use]
     pub fn with_cache_cap(mut self, cap: usize) -> RunConfig {
         self.cache_cap = Some(cap);
+        self
+    }
+
+    /// Restricts the run to the named shards (labels like
+    /// `waymo_2016`; `-`-prefix every label to exclude instead).
+    #[must_use]
+    pub fn with_shards(mut self, shards: Vec<String>) -> RunConfig {
+        self.shards = Some(shards);
         self
     }
 
@@ -455,34 +490,97 @@ impl RunSession {
     ///
     /// See [`RunSession::run`].
     pub fn run_traced(&self, obs: &Collector, trace: &RunTrace) -> Result<PipelineOutcome> {
-        let store = {
-            let mut store = match &self.config.cache_dir {
-                Some(dir) => ArtifactStore::at(dir.clone(), FORMAT_VERSION),
-                None => ArtifactStore::disabled(),
-            };
-            if let Some(cap) = self.config.cache_cap {
-                store = store.with_cap(cap);
-            }
-            if let Some(plan) = self.config.active_io_faults() {
-                store = store.with_faults(Arc::new(SeededIoFaults::new(plan)));
-            }
-            // Startup recovery: clear any crashed peer's tmp/lock
-            // litter before the first probe, so even a fully-warm run
-            // (which never saves) leaves a clean directory.
-            store.reclaim();
-            store
-        };
+        let config = &self.config;
+        let generator = CorpusGenerator::new(config.corpus);
+        let all_shards = generator.shards();
+        let total_shards = all_shards.len();
+        let specs = filter_shards(all_shards, config.shards.as_deref())?;
+        let store = self.open_store(total_shards);
         let prov = trace.provenance();
         let keys = self.stage_keys(prov.is_enabled());
-        let config = &self.config;
         let run_start = Instant::now();
-        // The crash campaign's simulated kill point: right after
-        // `stage`'s artifact has committed, stop the run cold. The
-        // flight dump is written *here*, before the error unwinds past
-        // the root span guard — that is what lets the postmortem show
-        // `pipeline` (and any stage span) genuinely open at death.
-        let crash_point = |stage: Stage| -> Result<()> {
-            if config.abort_after == Some(stage) {
+        let outcome = {
+            let mut root = obs.span("pipeline");
+            root.field("seed", config.corpus.seed);
+            root.field("scale", config.corpus.scale);
+            root.field("shards", specs.len() as u64);
+            obs.gauge(
+                "pipeline.passthrough",
+                if config.ocr == OcrMode::Passthrough {
+                    1.0
+                } else {
+                    0.0
+                },
+            );
+
+            // Under chaos the dictionary is poisoned once, up front, on
+            // the main thread — every shard then tags through the same
+            // degraded classifier, exactly as a monolithic run would.
+            let (classifier, dict_dropped) = match config.active_chaos() {
+                Some(plan) => {
+                    let (dict, dropped) = poison_dictionary(&plan, self.classifier.dictionary());
+                    obs.add("chaos.dict.dropped", dropped);
+                    (Classifier::new(dict), Some(dropped))
+                }
+                None => (self.classifier.clone(), None),
+            };
+
+            // Stages I–III, shard at a time: the coarse map keeps at
+            // most `jobs` shards in flight, which is what bounds peak
+            // memory to the largest shards times the worker count. With
+            // more than one shard the shard is the unit of parallelism
+            // and the in-shard stage maps run inline; a single-shard
+            // run hands `jobs` down to the inner maps instead.
+            let inner_jobs = if specs.len() <= 1 { config.jobs } else { 1 };
+            let results = par::par_map_coarse_catch_timed(
+                config.jobs,
+                &specs,
+                |_, spec| {
+                    let wobs = obs.shard();
+                    let wprov = prov.shard();
+                    let keys = shard_keys(&keys, spec);
+                    let yielded = run_shard(
+                        config,
+                        &classifier,
+                        dict_dropped,
+                        &generator,
+                        spec,
+                        &keys,
+                        inner_jobs,
+                        &store,
+                        &wobs,
+                        &wprov,
+                        trace,
+                    );
+                    (yielded, wobs, wprov)
+                },
+                trace.timeline(),
+                "shard",
+            );
+            // Absorb every shard's telemetry and lineage in enumeration
+            // order — the fold that keeps sharded output byte-identical
+            // at any worker count. A shard-level panic is a programming
+            // error (parser panics are already quarantined in-shard),
+            // so it re-raises.
+            let mut yields = Vec::with_capacity(specs.len());
+            for (spec, result) in specs.iter().zip(results) {
+                match result {
+                    Ok((yielded, wobs, wprov)) => {
+                        obs.absorb(wobs);
+                        prov.absorb(wprov);
+                        yields.push(yielded);
+                    }
+                    Err(p) => panic!("shard {} panicked: {}", spec.label(), p.message),
+                }
+            }
+
+            // The crash campaign's simulated kill point: every shard
+            // stopped right after `stage`'s artifact committed, so stop
+            // the run cold. The flight dump is written *here*, before
+            // the error unwinds past the root span guard — that is what
+            // lets the postmortem show `pipeline` genuinely open at
+            // death.
+            if let Some(stage) = config.abort_after.filter(|&s| s != Stage::Analyze) {
                 obs.event("interrupt", stage.name());
                 drain_store(&store, obs);
                 if let Some(path) = &config.flight_path {
@@ -501,121 +599,21 @@ impl RunSession {
                 }
                 return Err(CoreError::Interrupted { after: stage.name() });
             }
-            Ok(())
-        };
-        let outcome = {
-            let mut root = obs.span("pipeline");
-            root.field("seed", config.corpus.seed);
-            root.field("scale", config.corpus.scale);
-            obs.gauge(
-                "pipeline.passthrough",
-                if config.ocr == OcrMode::Passthrough {
-                    1.0
-                } else {
-                    0.0
-                },
-            );
 
-            // Stage `corpus`: generate the calibrated ground truth.
-            let stage_start = Instant::now();
-            let corpus = cached_stage(
-                &store,
-                Stage::Corpus,
-                keys.corpus,
-                true,
-                obs,
-                prov,
-                artifact::enc_corpus,
-                artifact::dec_corpus,
-                |sobs, _sprov| {
-                    let mut span = sobs.span("stage_i_corpus");
-                    let corpus = CorpusGenerator::new(config.corpus).generate_with(sobs);
-                    span.field("records", corpus.truth.disengagements().len() as u64);
-                    corpus
-                },
-            );
-            let doc_bytes: u64 = corpus.documents.iter().map(|d| d.text.len() as u64).sum();
-            record_throughput(
-                obs,
-                "corpus",
-                corpus.documents.len() as u64,
-                doc_bytes,
-                stage_start.elapsed(),
-            );
-            crash_point(Stage::Corpus)?;
-
-            // Stage `digitize`. Passthrough is a copy — cheaper than
-            // any cache round-trip — so only simulated OCR persists;
-            // its key is still always derived so downstream keys chain
-            // through the OCR configuration either way.
-            let digitize_cacheable = config.ocr != OcrMode::Passthrough;
-            let stage_start = Instant::now();
-            let (documents, ocr_stats) = cached_stage(
-                &store,
-                Stage::Digitize,
-                keys.digitize,
-                digitize_cacheable,
-                obs,
-                prov,
-                artifact::enc_digitized,
-                artifact::dec_digitized,
-                |sobs, sprov| {
-                    let mut span = sobs.span("stage_i_ocr");
-                    match config.ocr {
-                        OcrMode::Passthrough => {
-                            span.field("mode", "passthrough");
-                            sobs.add("ocr.documents", corpus.documents.len() as u64);
-                            sobs.gauge("ocr.mean_cer", 0.0);
-                            (corpus.documents.clone(), None)
-                        }
-                        OcrMode::Simulated { noise, correct } => {
-                            span.field("mode", "simulated");
-                            let digitize = DigitizeConfig {
-                                noise,
-                                correct,
-                                ocr_seed: config.ocr_seed,
-                                base_index: 0,
-                                repair_attempts: config.repair_attempts(),
-                                jobs: config.jobs,
-                            };
-                            let (out, stats) = digitize_simulated_parts(
-                                digitize,
-                                &corpus.documents,
-                                sobs,
-                                sprov,
-                                trace.timeline(),
-                            );
-                            (out, Some(stats))
-                        }
-                    }
-                },
-            );
-            record_throughput(
-                obs,
-                "digitize",
-                documents.len() as u64,
-                documents.iter().map(|d| d.text.len() as u64).sum(),
-                stage_start.elapsed(),
-            );
-            crash_point(Stage::Digitize)?;
-
-            // Stage `normalize`: chaos interlude (if armed) + Stage II
-            // parse/filter/normalize, one task per document.
-            let stage_start = Instant::now();
-            let normalize = cached_stage(
-                &store,
-                Stage::Normalize,
-                keys.normalize,
-                true,
-                obs,
-                prov,
-                artifact::enc_normalized,
-                artifact::dec_normalized,
-                move |sobs, sprov| {
-                    normalize_stage(config, documents, sobs, sprov, trace)
-                },
-            );
-            let NormalizeArtifact {
+            // The reduce stage: fold the per-shard outputs in
+            // enumeration order into the corpus-wide outcome.
+            let mut fold = MergeFold::default();
+            {
+                let mut span = obs.span("merge");
+                span.field("shards", yields.len() as u64);
+                for yielded in yields {
+                    fold.absorb(yielded);
+                }
+            }
+            let MergeFold {
+                truth,
+                intended_tags,
+                documents,
                 disengagements,
                 accidents,
                 mileage,
@@ -623,66 +621,38 @@ impl RunSession {
                 panicked,
                 record_ids,
                 chaos: chaos_audit,
-            } = normalize;
-            record_throughput(
-                obs,
-                "normalize",
-                disengagements.len() as u64,
-                0,
-                stage_start.elapsed(),
-            );
-            crash_point(Stage::Normalize)?;
-            let database = FailureDatabase::from_records(disengagements, accidents, mileage);
+                assignments,
+                ocr,
+                throughput,
+            } = fold;
 
-            // Stage `tag`: NLP tagging. Under chaos the dictionary is
-            // poisoned first — the classifier must keep answering
-            // (degrading to Unknown-T), never fail.
-            let stage_start = Instant::now();
-            let assignments = cached_stage(
-                &store,
-                Stage::Tag,
-                keys.tag,
-                true,
-                obs,
-                prov,
-                artifact::enc_assignments,
-                artifact::dec_assignments,
-                |sobs, sprov| {
-                    let mut span = sobs.span("stage_iii_tag");
-                    for name in ["nlp.tagged", "nlp.unknown_t"] {
-                        sobs.add(name, 0);
-                    }
-                    let classifier = match config.active_chaos() {
-                        Some(plan) => {
-                            let (dict, dropped) =
-                                poison_dictionary(&plan, self.classifier.dictionary());
-                            sobs.add("chaos.dict.dropped", dropped);
-                            span.field("dict_dropped", dropped);
-                            Classifier::new(dict)
-                        }
-                        None => self.classifier.clone(),
-                    };
-                    let tagged = tag_records_traced(
-                        &classifier,
-                        database.disengagements(),
-                        &record_ids,
-                        config.jobs,
-                        sobs,
-                        sprov,
-                        trace.timeline(),
-                    );
-                    span.field("tagged", tagged.len() as u64);
-                    tagged.into_iter().map(|t| t.assignment).collect::<Vec<_>>()
-                },
-            );
-            record_throughput(
-                obs,
-                "tag",
-                assignments.len() as u64,
-                0,
-                stage_start.elapsed(),
-            );
-            crash_point(Stage::Tag)?;
+            // Corpus-level gauges that per-shard absorption cannot sum
+            // (gauges overwrite — the last shard wins), recomputed over
+            // the merged outputs.
+            obs.gauge("corpus.total_miles", truth.total_miles());
+            let ocr_stats = ocr.finish();
+            if let Some(stats) = &ocr_stats {
+                obs.gauge("ocr.mean_cer", stats.mean_cer);
+            }
+            if !assignments.is_empty() {
+                let unknown = assignments
+                    .iter()
+                    .filter(|a| a.tag == FaultTag::UnknownT)
+                    .count();
+                obs.gauge(
+                    "nlp.unknown_t_rate",
+                    unknown as f64 / assignments.len() as f64,
+                );
+            }
+            for (stage, sample) in ["corpus", "digitize", "normalize", "tag"]
+                .iter()
+                .zip(throughput)
+            {
+                record_throughput(obs, stage, sample.records, sample.bytes, sample.elapsed);
+            }
+            record_stage_memory(obs, "merge");
+
+            let database = FailureDatabase::from_records(disengagements, accidents, mileage);
             let tagged: Vec<TaggedDisengagement> = database
                 .disengagements()
                 .iter()
@@ -722,7 +692,11 @@ impl RunSession {
             }
 
             PipelineOutcome {
-                corpus,
+                corpus: Corpus {
+                    truth,
+                    intended_tags,
+                    documents,
+                },
                 database,
                 tagged,
                 record_ids,
@@ -749,6 +723,553 @@ impl RunSession {
             ..outcome
         })
     }
+
+    /// Runs the stage graph shard-at-a-time but *reduces* instead of
+    /// merging: each shard folds into a [`RunDigest`] inside its
+    /// worker and the bulk records drop immediately, so peak memory is
+    /// the largest `jobs` shards — never the corpus. Same stages, same
+    /// per-shard artifacts, same cache keys as
+    /// [`RunSession::run_traced`]; only the fold differs. This is what
+    /// `parbench --scale-stress` drives to prove peak RSS stays flat
+    /// while scale grows.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownShard`] for a filter naming a shard the
+    /// enumeration lacks.
+    pub fn run_reduced(&self, obs: &Collector) -> Result<RunDigest> {
+        let config = &self.config;
+        let trace = RunTrace::disabled();
+        let generator = CorpusGenerator::new(config.corpus);
+        let all_shards = generator.shards();
+        let total_shards = all_shards.len();
+        let specs = filter_shards(all_shards, config.shards.as_deref())?;
+        let store = self.open_store(total_shards);
+        let prov = trace.provenance();
+        let keys = self.stage_keys(prov.is_enabled());
+        let (classifier, dict_dropped) = match config.active_chaos() {
+            Some(plan) => {
+                let (dict, dropped) = poison_dictionary(&plan, self.classifier.dictionary());
+                obs.add("chaos.dict.dropped", dropped);
+                (Classifier::new(dict), Some(dropped))
+            }
+            None => (self.classifier.clone(), None),
+        };
+        let inner_jobs = if specs.len() <= 1 { config.jobs } else { 1 };
+        let results = par::par_map_coarse_catch_timed(
+            config.jobs,
+            &specs,
+            |_, spec| {
+                let wobs = obs.shard();
+                let wprov = prov.shard();
+                let keys = shard_keys(&keys, spec);
+                let yielded = run_shard(
+                    config,
+                    &classifier,
+                    dict_dropped,
+                    &generator,
+                    spec,
+                    &keys,
+                    inner_jobs,
+                    &store,
+                    &wobs,
+                    &wprov,
+                    &trace,
+                );
+                let digest = RunDigest {
+                    shards: 1,
+                    documents: yielded.corpus.documents.len(),
+                    disengagements: yielded
+                        .normalize
+                        .as_ref()
+                        .map_or(0, |n| n.disengagements.len()),
+                    tagged: yielded.assignments.as_ref().map_or(0, Vec::len),
+                    total_miles: yielded.corpus.truth.total_miles(),
+                };
+                (digest, wobs, wprov)
+            },
+            trace.timeline(),
+            "shard",
+        );
+        let mut out = RunDigest::default();
+        for (spec, result) in specs.iter().zip(results) {
+            match result {
+                Ok((digest, wobs, wprov)) => {
+                    obs.absorb(wobs);
+                    prov.absorb(wprov);
+                    out.shards += digest.shards;
+                    out.documents += digest.documents;
+                    out.disengagements += digest.disengagements;
+                    out.tagged += digest.tagged;
+                    out.total_miles += digest.total_miles;
+                }
+                Err(p) => panic!("shard {} panicked: {}", spec.label(), p.message),
+            }
+        }
+        drain_store(&store, obs);
+        Ok(out)
+    }
+
+    /// Opens the configured artifact store. The default per-stage cap
+    /// must hold one full generation of per-shard artifacts (plus
+    /// headroom for a few config variants), or a single cold run would
+    /// evict its own artifacts while writing them.
+    fn open_store(&self, total_shards: usize) -> ArtifactStore {
+        let mut store = match &self.config.cache_dir {
+            Some(dir) => ArtifactStore::at(dir.clone(), FORMAT_VERSION),
+            None => ArtifactStore::disabled(),
+        };
+        store = store.with_cap(
+            self.config
+                .cache_cap
+                .unwrap_or(4 * total_shards.max(1)),
+        );
+        if let Some(plan) = self.config.active_io_faults() {
+            store = store.with_faults(Arc::new(SeededIoFaults::new(plan)));
+        }
+        // Startup recovery: clear any crashed peer's tmp/lock litter
+        // before the first probe, so even a fully-warm run (which
+        // never saves) leaves a clean directory.
+        store.reclaim();
+        store
+    }
+}
+
+/// The bounded-memory reduction of a run: corpus-level counts only.
+/// See [`RunSession::run_reduced`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunDigest {
+    /// Shards executed.
+    pub shards: usize,
+    /// Raw documents generated across all shards.
+    pub documents: usize,
+    /// Disengagement records recovered by Stage II.
+    pub disengagements: usize,
+    /// Stage III tag assignments produced.
+    pub tagged: usize,
+    /// Ground-truth corpus miles.
+    pub total_miles: f64,
+}
+
+/// Applies a `--shards` filter to the enumeration. A list where every
+/// label carries a `-` prefix excludes those cells from the full run;
+/// any other list selects exactly the named cells. Either way every
+/// label must name a real shard — a typo errors out before any stage
+/// runs instead of silently shrinking the corpus.
+fn filter_shards(all: Vec<ShardSpec>, filter: Option<&[String]>) -> Result<Vec<ShardSpec>> {
+    let Some(filter) = filter else {
+        return Ok(all);
+    };
+    let exclude = !filter.is_empty() && filter.iter().all(|l| l.starts_with('-'));
+    let mut named: Vec<&str> = Vec::with_capacity(filter.len());
+    for item in filter {
+        let label = if exclude {
+            item.strip_prefix('-').expect("exclude lists are all-prefixed")
+        } else {
+            item.as_str()
+        };
+        if !all.iter().any(|s| s.label() == label) {
+            return Err(CoreError::UnknownShard {
+                label: label.to_owned(),
+            });
+        }
+        named.push(label);
+    }
+    Ok(all
+        .into_iter()
+        .filter(|s| {
+            let hit = named.iter().any(|n| *n == s.label());
+            if exclude {
+                !hit
+            } else {
+                hit
+            }
+        })
+        .collect())
+}
+
+/// Per-shard stage fingerprints: each chains the run-level stage key
+/// (config + format version + lineage flag) with the shard's content
+/// identity and the *same shard's* upstream fingerprint, so a config
+/// change touching one (manufacturer, filing-year) cell invalidates
+/// exactly that cell's chain and nothing else. The `--shards` filter
+/// is deliberately absent: a filtered run warms the very artifacts the
+/// full run replays.
+#[derive(Debug, Clone, Copy)]
+struct ShardStageKeys {
+    corpus: Fingerprint,
+    digitize: Fingerprint,
+    normalize: Fingerprint,
+    tag: Fingerprint,
+}
+
+fn shard_keys(keys: &StageKeys, spec: &ShardSpec) -> ShardStageKeys {
+    let chain = |stage_key: Fingerprint, upstream: Option<Fingerprint>| {
+        let mut f = Fp::new();
+        f.write_fp(stage_key)
+            .write_str("shard")
+            .write_str(spec.manufacturer.name())
+            .write_u64(u64::from(spec.year.filing_year()))
+            .write_u64(spec.seed)
+            .write_u64(spec.doc_base as u64);
+        if let Some(up) = upstream {
+            f.write_fp(up);
+        }
+        f.finish()
+    };
+    let corpus = chain(keys.corpus, None);
+    let digitize = chain(keys.digitize, Some(corpus));
+    let normalize = chain(keys.normalize, Some(digitize));
+    let tag = chain(keys.tag, Some(normalize));
+    ShardStageKeys {
+        corpus,
+        digitize,
+        normalize,
+        tag,
+    }
+}
+
+/// One stage's throughput sample from one shard; the merge stage sums
+/// them before recording the run-level throughput gauges.
+#[derive(Debug, Clone, Copy, Default)]
+struct StageSample {
+    records: u64,
+    bytes: u64,
+    elapsed: Duration,
+}
+
+/// One shard's yield from Stages I–III. Later-stage fields are `None`
+/// when `abort_after` stopped the shard early.
+struct ShardYield {
+    corpus: Corpus,
+    ocr: Option<OcrStats>,
+    normalize: Option<NormalizeArtifact>,
+    assignments: Option<Vec<TagAssignment>>,
+    throughput: [StageSample; 4],
+}
+
+/// Weighted fold of per-shard [`OcrStats`] — document-count-weighted
+/// means, so empty shards contribute nothing and the merged CER equals
+/// the corpus-wide per-document mean.
+#[derive(Default)]
+struct OcrFold {
+    any: bool,
+    documents: usize,
+    cer_sum: f64,
+    conf_sum: f64,
+}
+
+impl OcrFold {
+    fn absorb(&mut self, stats: &OcrStats) {
+        self.any = true;
+        self.documents += stats.documents;
+        self.cer_sum += stats.mean_cer * stats.documents as f64;
+        self.conf_sum += stats.mean_confidence * stats.documents as f64;
+    }
+
+    fn finish(self) -> Option<OcrStats> {
+        if !self.any {
+            return None;
+        }
+        // An empty batch reports 0.0 means, not 0/0 = NaN.
+        if self.documents == 0 {
+            return Some(OcrStats {
+                documents: 0,
+                mean_cer: 0.0,
+                mean_confidence: 0.0,
+            });
+        }
+        let n = self.documents as f64;
+        Some(OcrStats {
+            documents: self.documents,
+            mean_cer: self.cer_sum / n,
+            mean_confidence: self.conf_sum / n,
+        })
+    }
+}
+
+/// The reduce-stage accumulator: folds [`ShardYield`]s in enumeration
+/// order. Record order is preserved exactly — each shard's documents
+/// are contiguous in the global corpus, so concatenation reproduces
+/// the monolithic order byte for byte.
+#[derive(Default)]
+struct MergeFold {
+    truth: FailureDatabase,
+    intended_tags: Vec<FaultTag>,
+    documents: Vec<RawDocument>,
+    disengagements: Vec<DisengagementRecord>,
+    accidents: Vec<AccidentRecord>,
+    mileage: Vec<MonthlyMileage>,
+    failures: Vec<ReportError>,
+    panicked: Vec<Quarantined>,
+    record_ids: Vec<RecordId>,
+    chaos: Option<ChaosAudit>,
+    assignments: Vec<TagAssignment>,
+    ocr: OcrFold,
+    throughput: [StageSample; 4],
+}
+
+impl MergeFold {
+    fn absorb(&mut self, yielded: ShardYield) {
+        self.truth.merge(yielded.corpus.truth);
+        self.intended_tags.extend(yielded.corpus.intended_tags);
+        self.documents.extend(yielded.corpus.documents);
+        if let Some(stats) = &yielded.ocr {
+            self.ocr.absorb(stats);
+        }
+        if let Some(n) = yielded.normalize {
+            self.disengagements.extend(n.disengagements);
+            self.accidents.extend(n.accidents);
+            self.mileage.extend(n.mileage);
+            self.failures.extend(n.failures);
+            self.panicked.extend(n.panicked);
+            self.record_ids.extend(n.record_ids);
+            if let Some(audit) = &n.chaos {
+                self.chaos
+                    .get_or_insert_with(ChaosAudit::default)
+                    .absorb(audit);
+            }
+        }
+        if let Some(assignments) = yielded.assignments {
+            self.assignments.extend(assignments);
+        }
+        for (total, sample) in self.throughput.iter_mut().zip(yielded.throughput) {
+            total.records += sample.records;
+            total.bytes += sample.bytes;
+            total.elapsed += sample.elapsed;
+        }
+    }
+}
+
+/// Records the process's memory profile under one stage's gauges
+/// (`profile.mem.stage_<name>.*`): kernel-reported peak RSS plus the
+/// counting allocator's live and peak-live bytes. Environment facts —
+/// `profile.`-stripped from the canonical report — and recorded
+/// outside the stage shards so cached artifacts never replay a cold
+/// run's footprint.
+fn record_stage_memory(obs: &Collector, name: &str) {
+    if let Some(rss) = profile::peak_rss_bytes() {
+        obs.gauge(
+            &format!("profile.mem.stage_{name}.peak_rss_bytes"),
+            rss as f64,
+        );
+    }
+    let stats = profile::alloc_stats();
+    if stats.calls > 0 {
+        obs.gauge(
+            &format!("profile.mem.stage_{name}.live_bytes"),
+            stats.live_bytes as f64,
+        );
+        obs.gauge(
+            &format!("profile.mem.stage_{name}.peak_live_bytes"),
+            stats.peak_live_bytes as f64,
+        );
+    }
+}
+
+/// Runs Stages I–III for one shard, each stage through the artifact
+/// cache under the shard's own fingerprints. Runs entirely inside one
+/// coarse-map worker: `obs`/`prov` are that worker's shards, absorbed
+/// by the main thread in enumeration order after the map joins.
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    config: &RunConfig,
+    classifier: &Classifier,
+    dict_dropped: Option<u64>,
+    generator: &CorpusGenerator,
+    spec: &ShardSpec,
+    keys: &ShardStageKeys,
+    inner_jobs: usize,
+    store: &ArtifactStore,
+    obs: &Collector,
+    prov: &ProvenanceLog,
+    trace: &RunTrace,
+) -> ShardYield {
+    let mut throughput = [StageSample::default(); 4];
+    let mut shard_span = obs.span("shard");
+    shard_span.field("label", spec.label());
+    shard_span.field("docs", spec.doc_count as u64);
+
+    // Stage `corpus`: generate this cell's slice of the ground truth.
+    let stage_start = Instant::now();
+    let corpus = cached_stage(
+        store,
+        Stage::Corpus,
+        keys.corpus,
+        true,
+        obs,
+        prov,
+        artifact::enc_corpus,
+        artifact::dec_corpus,
+        |sobs, _sprov| {
+            let mut span = sobs.span("stage_i_corpus");
+            let corpus = generator.generate_shard_with(spec, sobs);
+            span.field("records", corpus.truth.disengagements().len() as u64);
+            corpus
+        },
+    );
+    throughput[0] = StageSample {
+        records: corpus.documents.len() as u64,
+        bytes: corpus.documents.iter().map(|d| d.text.len() as u64).sum(),
+        elapsed: stage_start.elapsed(),
+    };
+    record_stage_memory(obs, Stage::Corpus.name());
+    if config.abort_after == Some(Stage::Corpus) {
+        return ShardYield {
+            corpus,
+            ocr: None,
+            normalize: None,
+            assignments: None,
+            throughput,
+        };
+    }
+
+    // Stage `digitize`. Passthrough is a copy — cheaper than any cache
+    // round-trip — so only simulated OCR persists; its key is still
+    // always derived so downstream keys chain through the OCR
+    // configuration either way.
+    let digitize_cacheable = config.ocr != OcrMode::Passthrough;
+    let stage_start = Instant::now();
+    let (documents, ocr_stats) = cached_stage(
+        store,
+        Stage::Digitize,
+        keys.digitize,
+        digitize_cacheable,
+        obs,
+        prov,
+        artifact::enc_digitized,
+        artifact::dec_digitized,
+        |sobs, sprov| {
+            let mut span = sobs.span("stage_i_ocr");
+            match config.ocr {
+                OcrMode::Passthrough => {
+                    span.field("mode", "passthrough");
+                    sobs.add("ocr.documents", corpus.documents.len() as u64);
+                    sobs.gauge("ocr.mean_cer", 0.0);
+                    (corpus.documents.clone(), None)
+                }
+                OcrMode::Simulated { noise, correct } => {
+                    span.field("mode", "simulated");
+                    let digitize = DigitizeConfig {
+                        noise,
+                        correct,
+                        ocr_seed: config.ocr_seed,
+                        // Global document indices: the per-document OCR
+                        // noise stream derives from the document's
+                        // corpus-wide index, so a shard digitizes
+                        // byte-identically to its slice of a monolithic
+                        // run.
+                        base_index: spec.doc_base,
+                        repair_attempts: config.repair_attempts(),
+                        jobs: inner_jobs,
+                    };
+                    let (out, stats) = digitize_simulated_parts(
+                        digitize,
+                        &corpus.documents,
+                        sobs,
+                        sprov,
+                        trace.timeline(),
+                    );
+                    (out, Some(stats))
+                }
+            }
+        },
+    );
+    throughput[1] = StageSample {
+        records: documents.len() as u64,
+        bytes: documents.iter().map(|d| d.text.len() as u64).sum(),
+        elapsed: stage_start.elapsed(),
+    };
+    record_stage_memory(obs, Stage::Digitize.name());
+    if config.abort_after == Some(Stage::Digitize) {
+        return ShardYield {
+            corpus,
+            ocr: ocr_stats,
+            normalize: None,
+            assignments: None,
+            throughput,
+        };
+    }
+
+    // Stage `normalize`: chaos interlude (if armed) + Stage II
+    // parse/filter/normalize, one task per document.
+    let stage_start = Instant::now();
+    let doc_base = spec.doc_base;
+    let normalize = cached_stage(
+        store,
+        Stage::Normalize,
+        keys.normalize,
+        true,
+        obs,
+        prov,
+        artifact::enc_normalized,
+        artifact::dec_normalized,
+        move |sobs, sprov| {
+            normalize_stage(config, documents, doc_base, inner_jobs, sobs, sprov, trace)
+        },
+    );
+    throughput[2] = StageSample {
+        records: normalize.disengagements.len() as u64,
+        bytes: 0,
+        elapsed: stage_start.elapsed(),
+    };
+    record_stage_memory(obs, Stage::Normalize.name());
+    if config.abort_after == Some(Stage::Normalize) {
+        return ShardYield {
+            corpus,
+            ocr: ocr_stats,
+            normalize: Some(normalize),
+            assignments: None,
+            throughput,
+        };
+    }
+
+    // Stage `tag`: NLP tagging over this shard's records, through the
+    // run-wide (possibly chaos-poisoned) classifier.
+    let stage_start = Instant::now();
+    let assignments = cached_stage(
+        store,
+        Stage::Tag,
+        keys.tag,
+        true,
+        obs,
+        prov,
+        artifact::enc_assignments,
+        artifact::dec_assignments,
+        |sobs, sprov| {
+            let mut span = sobs.span("stage_iii_tag");
+            for name in ["nlp.tagged", "nlp.unknown_t"] {
+                sobs.add(name, 0);
+            }
+            if let Some(dropped) = dict_dropped {
+                span.field("dict_dropped", dropped);
+            }
+            let tagged = tag_records_traced(
+                classifier,
+                &normalize.disengagements,
+                &normalize.record_ids,
+                inner_jobs,
+                sobs,
+                sprov,
+                trace.timeline(),
+            );
+            span.field("tagged", tagged.len() as u64);
+            tagged.into_iter().map(|t| t.assignment).collect::<Vec<_>>()
+        },
+    );
+    throughput[3] = StageSample {
+        records: assignments.len() as u64,
+        bytes: 0,
+        elapsed: stage_start.elapsed(),
+    };
+    record_stage_memory(obs, Stage::Tag.name());
+    ShardYield {
+        corpus,
+        ocr: ocr_stats,
+        normalize: Some(normalize),
+        assignments: Some(assignments),
+        throughput,
+    }
 }
 
 /// Feeds the store's internal degraded-path ledgers (`cache.io.*`,
@@ -770,10 +1291,15 @@ fn drain_store(store: &ArtifactStore, obs: &Collector) {
 /// The `normalize` stage body: chaos inject + bounded repair + audit
 /// (when a plan is armed), then Stage II parse/filter/normalize.
 /// Records exclusively into the stage's `sobs`/`sprov` shards so the
-/// whole stage can be snapshotted into a cache artifact.
+/// whole stage can be snapshotted into a cache artifact. `doc_base` is
+/// the batch's global corpus offset: chaos seeds and provenance
+/// subjects use corpus-wide document indices, which is what keeps a
+/// shard's artifact byte-identical to its slice of a monolithic run.
 fn normalize_stage(
     config: &RunConfig,
     documents: Vec<RawDocument>,
+    doc_base: usize,
+    jobs: usize,
     sobs: &Collector,
     sprov: &ProvenanceLog,
     trace: &RunTrace,
@@ -788,7 +1314,7 @@ fn normalize_stage(
             span.field("rate_pct", (plan.rate * 100.0) as u64);
             span.field("seed", plan.seed);
             sobs.gauge("chaos.rate", plan.rate);
-            let (faulted, log) = inject_documents(&plan, &documents);
+            let (faulted, log) = inject_documents_at(&plan, &documents, doc_base);
             sobs.add("chaos.injected.total", log.total());
             for kind in FaultKind::ALL {
                 sobs.add(&format!("chaos.injected.{}", kind.name()), log.count(kind));
@@ -809,7 +1335,7 @@ fn normalize_stage(
             }
             let corrector = default_corrector();
             let per_doc = par::par_map_indexed_timed(
-                config.jobs,
+                jobs,
                 &faulted,
                 |i, doc| {
                     let shard = sobs.shard();
@@ -820,7 +1346,10 @@ fn normalize_stage(
                     if pshard.is_enabled() {
                         for r in &repairs {
                             pshard.push(
-                                Subject::Line { doc: i, line: r.line },
+                                Subject::Line {
+                                    doc: doc_base + i,
+                                    line: r.line,
+                                },
                                 ProvenanceEvent::OcrRepair {
                                     line: r.line,
                                     before: r.before.clone(),
@@ -848,7 +1377,7 @@ fn normalize_stage(
                 })
                 .collect();
             sobs.event("chaos.inject", &format!("{} faults injected", log.total()));
-            let audited = audit(&plan, &log, &documents, &repaired);
+            let audited = audit_at(&plan, &log, &documents, &repaired, doc_base);
             sobs.add("chaos.outcome.corrected", audited.totals.corrected);
             sobs.add("chaos.outcome.quarantined", audited.totals.quarantined);
             sobs.add("chaos.outcome.absorbed", audited.totals.absorbed);
@@ -892,12 +1421,13 @@ fn normalize_stage(
         sobs.add(name, 0);
     }
     let per_doc = par::par_map_catch_timed(
-        config.jobs,
+        jobs,
         &documents,
         |i, doc| {
             let shard = sobs.shard();
             let pshard = sprov.shard();
-            let (normalized, ids) = normalize_document_traced(doc, i, Some(&shard), &pshard);
+            let (normalized, ids) =
+                normalize_document_traced(doc, doc_base + i, Some(&shard), &pshard);
             (normalized, ids, shard, pshard)
         },
         trace.timeline(),
@@ -918,7 +1448,7 @@ fn normalize_stage(
                 sobs.incr("parse.docs.panicked");
                 if sprov.is_enabled() {
                     sprov.push(
-                        Subject::Document(p.index),
+                        Subject::Document(doc_base + p.index),
                         ProvenanceEvent::Quarantined {
                             stage: "stage_ii_parse".to_owned(),
                             reason: format!("parser panicked: {}", p.message),
@@ -927,7 +1457,7 @@ fn normalize_stage(
                 }
                 panicked.push(Quarantined {
                     stage: "stage_ii_parse",
-                    record_id: format!("doc:{}", p.index),
+                    record_id: format!("doc:{}", doc_base + p.index),
                     reason: format!("parser panicked: {}", p.message),
                 });
             }

@@ -3,13 +3,14 @@
 
 use crate::allocation::{allocate_disengagements, allocate_miles, MileageGrid};
 use crate::profile::{standard_profiles, ManufacturerProfile, YearProfile};
+use crate::shard::{doc_count_for, ShardSpec};
 use crate::templates::{accident_locations, accident_narratives, compose};
 use disengage_nlp::FaultTag;
 use disengage_reports::formats::RawDocument;
 use disengage_reports::record::{AccidentRecord, CarId, CollisionKind, Severity};
 use disengage_reports::{
     Date, DisengagementRecord, FailureDatabase, Manufacturer, Modality, MonthlyMileage,
-    ReportYear, RoadType, Weather,
+    RoadType, Weather,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -74,49 +75,138 @@ impl CorpusGenerator {
         self.config
     }
 
-    /// Generates the corpus.
+    /// Enumerates the corpus shards — one per (manufacturer,
+    /// filing-year) cell, in profile order — with their derived seeds
+    /// and stable document offsets. A pure function of the profiles and
+    /// scale: no RNG is consumed, so the enumeration itself never
+    /// perturbs shard content.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale <= 0`.
+    pub fn shards(&self) -> Vec<ShardSpec> {
+        assert!(self.config.scale > 0.0, "scale must be positive");
+        let mut specs = Vec::new();
+        let mut doc_base = 0usize;
+        for profile in &self.profiles {
+            for year in &profile.years {
+                let scaled = self.scale_year(year);
+                let doc_count = doc_count_for(&scaled);
+                specs.push(ShardSpec {
+                    manufacturer: profile.manufacturer,
+                    year: year.year,
+                    seed: rand::derive_seed(
+                        self.config.seed,
+                        crate::shard::stable_shard_id(profile.manufacturer, year.year),
+                    ),
+                    index: specs.len(),
+                    doc_base,
+                    doc_count,
+                });
+                doc_base += doc_count;
+            }
+        }
+        specs
+    }
+
+    /// Generates one shard in isolation: the cell's ground truth,
+    /// intended tags, and rendered documents (the disengagement filing
+    /// first, then its accident forms). The shard's RNG stream derives
+    /// from [`ShardSpec::seed`] alone, so the output is byte-identical
+    /// to the same slice of [`CorpusGenerator::generate`] no matter
+    /// which other shards exist or run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale <= 0` or `spec` names a cell absent from this
+    /// generator's profiles.
+    pub fn generate_shard(&self, spec: &ShardSpec) -> Corpus {
+        assert!(self.config.scale > 0.0, "scale must be positive");
+        let profile = self
+            .profiles
+            .iter()
+            .find(|p| p.manufacturer == spec.manufacturer)
+            .unwrap_or_else(|| panic!("no profile for {}", spec.manufacturer));
+        let year = profile
+            .years
+            .iter()
+            .find(|y| y.year == spec.year)
+            .unwrap_or_else(|| panic!("{} has no {:?} filing", spec.manufacturer, spec.year));
+        let scaled = self.scale_year(year);
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+
+        // A single 4-hour reaction-time outlier is planted in the
+        // Volkswagen data (Section V-A4 reports one such entry). The
+        // 2% per-record chance usually plants it mid-stream; if the
+        // shard's stream never fires it, the last eligible record is
+        // overwritten so the outlier exists at every seed and scale —
+        // a per-shard guarantee now that no flag threads across shards.
+        let mut vw_outlier_pending = true;
+        let (mut records, tags, mileage) =
+            self.generate_year(profile, &scaled, &mut vw_outlier_pending, &mut rng);
+        if profile.manufacturer == Manufacturer::Volkswagen && vw_outlier_pending {
+            if let Some(r) = records
+                .iter_mut()
+                .rev()
+                .find(|r| r.reaction_time_s.is_some())
+            {
+                r.reaction_time_s = Some(14_400.0);
+            }
+        }
+        let accidents = self.generate_accidents(profile, &scaled, &mut rng);
+
+        let mut truth = FailureDatabase::new();
+        for r in &records {
+            truth.push_disengagement(r.clone());
+        }
+        for m in &mileage {
+            truth.push_mileage(m.clone());
+        }
+        for a in &accidents {
+            truth.push_accident(a.clone());
+        }
+        let mut documents = Vec::with_capacity(doc_count_for(&scaled));
+        if !records.is_empty() || !mileage.is_empty() {
+            documents.push(crate::rawdoc::render_disengagement_document(
+                profile.manufacturer,
+                year.year,
+                &records,
+                &mileage,
+            ));
+        }
+        documents.extend(accidents.iter().map(crate::rawdoc::render_accident_document));
+        debug_assert_eq!(
+            documents.len(),
+            spec.doc_count,
+            "{}: enumerated doc_count must match generation",
+            spec.label()
+        );
+        Corpus {
+            truth,
+            intended_tags: tags,
+            documents,
+        }
+    }
+
+    /// Generates the corpus: the deterministic concatenation of every
+    /// shard, in enumeration order. Identical to generating each shard
+    /// in isolation and folding — that equivalence is what makes
+    /// sharded execution byte-identical to a monolithic run.
     ///
     /// # Panics
     ///
     /// Panics if `scale <= 0`.
     pub fn generate(&self) -> Corpus {
-        assert!(self.config.scale > 0.0, "scale must be positive");
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut truth = FailureDatabase::new();
         let mut intended_tags = Vec::new();
-        // One raw disengagement document per (manufacturer, year).
-        let mut doc_parts: Vec<(Manufacturer, ReportYear, Vec<DisengagementRecord>, Vec<MonthlyMileage>)> =
-            Vec::new();
-        let mut accidents: Vec<AccidentRecord> = Vec::new();
-
-        // A single 4-hour reaction-time outlier is planted in the
-        // Volkswagen data (Section V-A4 reports one such entry).
-        let mut vw_outlier_pending = true;
-
-        for profile in &self.profiles {
-            for year in &profile.years {
-                let scaled = self.scale_year(year);
-                let (records, tags, mileage) =
-                    self.generate_year(profile, &scaled, &mut vw_outlier_pending, &mut rng);
-                for r in &records {
-                    truth.push_disengagement(r.clone());
-                }
-                intended_tags.extend(tags);
-                for m in &mileage {
-                    truth.push_mileage(m.clone());
-                }
-                if !records.is_empty() || !mileage.is_empty() {
-                    doc_parts.push((profile.manufacturer, year.year, records, mileage));
-                }
-                let accs = self.generate_accidents(profile, &scaled, &mut rng);
-                for a in &accs {
-                    truth.push_accident(a.clone());
-                }
-                accidents.extend(accs);
-            }
+        let mut documents = Vec::new();
+        for spec in self.shards() {
+            let shard = self.generate_shard(&spec);
+            debug_assert_eq!(documents.len(), spec.doc_base);
+            truth.merge(shard.truth);
+            intended_tags.extend(shard.intended_tags);
+            documents.extend(shard.documents);
         }
-
-        let documents = crate::rawdoc::render_documents(&doc_parts, &accidents);
         Corpus {
             truth,
             intended_tags,
@@ -142,6 +232,33 @@ impl CorpusGenerator {
             ));
         }
         obs.gauge("corpus.total_miles", corpus.truth.total_miles());
+        corpus
+    }
+
+    /// [`CorpusGenerator::generate_shard`], recording the shard's slice
+    /// of the Stage I telemetry into `obs`: the same counters as
+    /// [`CorpusGenerator::generate_with`], which sum across shards to
+    /// the monolithic values. The `corpus.total_miles` gauge is *not*
+    /// recorded here — gauges overwrite on absorb, so the corpus-wide
+    /// value is the merge stage's job.
+    pub fn generate_shard_with(
+        &self,
+        spec: &ShardSpec,
+        obs: &disengage_obs::Collector,
+    ) -> Corpus {
+        let corpus = self.generate_shard(spec);
+        obs.add(
+            "corpus.disengagements",
+            corpus.truth.disengagements().len() as u64,
+        );
+        obs.add("corpus.accidents", corpus.truth.accidents().len() as u64);
+        obs.add("corpus.documents", corpus.documents.len() as u64);
+        for r in corpus.truth.disengagements() {
+            obs.incr(&format!(
+                "corpus.dis.{}",
+                disengage_obs::key_segment(r.manufacturer.name())
+            ));
+        }
         corpus
     }
 
@@ -477,6 +594,7 @@ fn sample_exponential<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use disengage_reports::ReportYear;
 
     fn small_corpus() -> Corpus {
         CorpusGenerator::new(CorpusConfig {
@@ -654,5 +772,92 @@ mod tests {
     #[should_panic(expected = "scale must be positive")]
     fn zero_scale_panics() {
         CorpusGenerator::new(CorpusConfig { seed: 1, scale: 0.0 }).generate();
+    }
+
+    #[test]
+    fn shard_enumeration_covers_every_table_cell() {
+        let gen = CorpusGenerator::new(CorpusConfig {
+            seed: 42,
+            scale: 0.05,
+        });
+        let shards = gen.shards();
+        // 12 manufacturers, 18 (manufacturer, filing-year) cells.
+        assert_eq!(shards.len(), 18);
+        let labels: Vec<String> = shards.iter().map(|s| s.label()).collect();
+        assert!(labels.contains(&"waymo_2015".to_owned()));
+        assert!(labels.contains(&"waymo_2016".to_owned()));
+        assert!(labels.contains(&"volkswagen_2015".to_owned()));
+        // Document offsets tile the corpus exactly.
+        let corpus = gen.generate();
+        let total: usize = shards.iter().map(|s| s.doc_count).sum();
+        assert_eq!(total, corpus.documents.len());
+        for w in shards.windows(2) {
+            assert_eq!(w[0].doc_base + w[0].doc_count, w[1].doc_base);
+        }
+    }
+
+    #[test]
+    fn each_shard_is_byte_identical_to_its_slice_of_the_full_corpus() {
+        let gen = CorpusGenerator::new(CorpusConfig {
+            seed: 42,
+            scale: 0.05,
+        });
+        let full = gen.generate();
+        for spec in gen.shards() {
+            let shard = gen.generate_shard(&spec);
+            let slice = &full.documents[spec.doc_base..spec.doc_base + spec.doc_count];
+            assert_eq!(shard.documents.len(), slice.len(), "{}", spec.label());
+            for (a, b) in shard.documents.iter().zip(slice) {
+                assert_eq!(a.text, b.text, "{}", spec.label());
+                assert_eq!(a.kind, b.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_seeds_are_stable_under_profile_removal() {
+        // Dropping a profile must not move any surviving shard's seed —
+        // seeds derive from content identity, never enumeration order.
+        let config = CorpusConfig {
+            seed: 42,
+            scale: 0.05,
+        };
+        let all = CorpusGenerator::new(config);
+        let mut fewer_profiles = standard_profiles();
+        fewer_profiles.remove(0); // drop Mercedes-Benz
+        let fewer = CorpusGenerator::with_profiles(config, fewer_profiles);
+        for spec in fewer.shards() {
+            let original = all
+                .shards()
+                .into_iter()
+                .find(|s| s.manufacturer == spec.manufacturer && s.year == spec.year)
+                .expect("surviving shard exists in the full enumeration");
+            assert_eq!(spec.seed, original.seed, "{}", spec.label());
+            let a = fewer.generate_shard(&spec);
+            let b = all.generate_shard(&original);
+            assert_eq!(a.truth.disengagements(), b.truth.disengagements());
+            assert_eq!(a.documents.len(), b.documents.len());
+        }
+    }
+
+    #[test]
+    fn vw_outlier_planted_in_isolated_shard_at_any_seed() {
+        for seed in [1u64, 2, 3, 0x5EED] {
+            let gen = CorpusGenerator::new(CorpusConfig { seed, scale: 0.05 });
+            let spec = gen
+                .shards()
+                .into_iter()
+                .find(|s| s.manufacturer == Manufacturer::Volkswagen)
+                .unwrap();
+            let shard = gen.generate_shard(&spec);
+            assert!(
+                shard
+                    .truth
+                    .disengagements()
+                    .iter()
+                    .any(|r| r.reaction_time_s.is_some_and(|t| t > 10_000.0)),
+                "seed {seed}: VW shard must carry the ~4 h outlier"
+            );
+        }
     }
 }

@@ -37,7 +37,9 @@ pub mod case_studies;
 pub mod generator;
 pub mod profile;
 pub mod rawdoc;
+pub mod shard;
 pub mod templates;
 
 pub use generator::{Corpus, CorpusConfig, CorpusGenerator};
 pub use profile::{standard_profiles, ManufacturerProfile, YearProfile};
+pub use shard::{shard_label, stable_shard_id, ShardSpec};

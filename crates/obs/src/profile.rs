@@ -39,7 +39,7 @@ use crate::report::TelemetryReport;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::RefCell;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Namespace prefix shared by every profiler metric; the single handle
@@ -171,9 +171,29 @@ fn record_parts(obs: &Collector, path: &str, wall_s: f64, self_s: f64) {
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOC_LIVE: AtomicI64 = AtomicI64::new(0);
+static ALLOC_PEAK_LIVE: AtomicI64 = AtomicI64::new(0);
+
+/// Raises the peak-live watermark to at least `live` (CAS-max: racing
+/// threads may each try, but the maximum always wins).
+fn raise_peak_live(live: i64) {
+    let mut peak = ALLOC_PEAK_LIVE.load(Ordering::Relaxed);
+    while live > peak {
+        match ALLOC_PEAK_LIVE.compare_exchange_weak(
+            peak,
+            live,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => break,
+            Err(now) => peak = now,
+        }
+    }
+}
 
 /// A [`GlobalAlloc`] shim over the system allocator that counts
-/// allocation calls and bytes — the zero-dependency allocation proxy.
+/// allocation calls, cumulative bytes, and the live-byte balance (with
+/// its high-water mark) — the zero-dependency allocation proxy.
 /// Binaries opt in with `#[global_allocator]`; library users that do
 /// not install it simply read zeros.
 pub struct CountingAlloc;
@@ -186,32 +206,50 @@ unsafe impl GlobalAlloc for CountingAlloc {
         if !p.is_null() {
             ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
             ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            let live =
+                ALLOC_LIVE.fetch_add(layout.size() as i64, Ordering::Relaxed) + layout.size() as i64;
+            raise_peak_live(live);
         }
         p
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) }
+        ALLOC_LIVE.fetch_sub(layout.size() as i64, Ordering::Relaxed);
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = unsafe { System.realloc(ptr, layout, new_size) };
-        if !p.is_null() && new_size > layout.size() {
-            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-            ALLOC_BYTES.fetch_add((new_size - layout.size()) as u64, Ordering::Relaxed);
+        if !p.is_null() {
+            if new_size > layout.size() {
+                ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+                ALLOC_BYTES.fetch_add((new_size - layout.size()) as u64, Ordering::Relaxed);
+            }
+            let delta = new_size as i64 - layout.size() as i64;
+            let live = ALLOC_LIVE.fetch_add(delta, Ordering::Relaxed) + delta;
+            if delta > 0 {
+                raise_peak_live(live);
+            }
         }
         p
     }
 }
 
-/// Cumulative totals from [`CountingAlloc`] (zeros when no binary
-/// installed it as the global allocator).
+/// Totals from [`CountingAlloc`] (zeros when no binary installed it as
+/// the global allocator).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AllocStats {
     /// Allocation calls observed.
     pub calls: u64,
-    /// Bytes requested across those calls (growth only for reallocs).
+    /// Cumulative bytes requested across those calls (growth only for
+    /// reallocs).
     pub bytes: u64,
+    /// Bytes currently live (allocated minus freed, clamped at zero —
+    /// allocations made before the proxy was installed can free
+    /// through it).
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes` over the process lifetime.
+    pub peak_live_bytes: u64,
 }
 
 /// Snapshot of the allocation-proxy counters.
@@ -219,6 +257,8 @@ pub fn alloc_stats() -> AllocStats {
     AllocStats {
         calls: ALLOC_CALLS.load(Ordering::Relaxed),
         bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+        live_bytes: ALLOC_LIVE.load(Ordering::Relaxed).max(0) as u64,
+        peak_live_bytes: ALLOC_PEAK_LIVE.load(Ordering::Relaxed).max(0) as u64,
     }
 }
 
@@ -254,6 +294,8 @@ pub fn record_process_gauges(obs: &Collector) {
     if a.calls > 0 {
         obs.gauge("profile.mem.alloc_calls", a.calls as f64);
         obs.gauge("profile.mem.alloc_bytes", a.bytes as f64);
+        obs.gauge("profile.mem.live_bytes", a.live_bytes as f64);
+        obs.gauge("profile.mem.peak_live_bytes", a.peak_live_bytes as f64);
     }
 }
 

@@ -34,45 +34,54 @@ pub struct TokenRepair {
 /// assert_eq!(edit_distance("kitten", "sitting"), 3);
 /// ```
 pub fn edit_distance(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    levenshtein(&a, &b)
-}
-
-/// Exact Levenshtein distance over `char` slices.
-///
-/// The common prefix and suffix are stripped first (free — neither can
-/// appear in an optimal edit script with nonzero cost), then a banded
-/// DP runs with the band doubling until the distance provably fits
-/// inside it: `O(d·min(n, m))` for true distance `d` instead of the
-/// full `O(n·m)` table. On the pipeline's documents (CER of a few
-/// percent over multi-kilobyte filings) this is the difference between
-/// the `cer` phase dominating Stage I and it vanishing — and the value
-/// returned is identical to the full DP's by construction.
-pub(crate) fn levenshtein(a: &[char], b: &[char]) -> usize {
-    let prefix = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
-    let (a, b) = (&a[prefix..], &b[prefix..]);
-    let suffix = a
-        .iter()
-        .rev()
-        .zip(b.iter().rev())
-        .take_while(|(x, y)| x == y)
-        .count();
-    let (a, b) = (&a[..a.len() - suffix], &b[..b.len() - suffix]);
-    if a.is_empty() {
+    // Strip the common prefix and suffix on the string iterators before
+    // materializing anything: `levenshtein` would discard them anyway,
+    // and on the pipeline's documents (CER of a few percent over a
+    // multi-hundred-kilobyte filing) collecting both full texts as
+    // `Vec<char>` was the digitizer's largest allocation after the page
+    // bitmap. Only the differing middle — proportional to the error
+    // region, not the document — is collected.
+    let mut ai = a.chars();
+    let mut bi = b.chars();
+    loop {
+        let (ar, br) = (ai.as_str(), bi.as_str());
+        match (ai.next(), bi.next()) {
+            (Some(x), Some(y)) if x == y => continue,
+            _ => {
+                ai = ar.chars();
+                bi = br.chars();
+                break;
+            }
+        }
+    }
+    loop {
+        let (ar, br) = (ai.as_str(), bi.as_str());
+        match (ai.next_back(), bi.next_back()) {
+            (Some(x), Some(y)) if x == y => continue,
+            _ => {
+                ai = ar.chars();
+                bi = br.chars();
+                break;
+            }
+        }
+    }
+    // Only `b` needs random access in the DP; `a` is consumed row by
+    // row, so it streams straight from the string — one materialized
+    // side instead of two.
+    let b: Vec<char> = bi.collect();
+    let la = ai.clone().count();
+    if la == 0 {
         return b.len();
     }
     if b.is_empty() {
-        return a.len();
+        return la;
     }
-    let longest = a.len().max(b.len());
-    let mut band = a.len().abs_diff(b.len()).max(1);
+    let longest = la.max(b.len());
+    let mut band = la.abs_diff(b.len()).max(1);
     loop {
-        if let Some(d) = banded_distance(a, b, band) {
+        if let Some(d) = banded_distance_over(ai.clone(), la, &b, band) {
             return d;
         }
-        // Not provable inside this band: widen. The distance is at
-        // most `longest`, so the loop always terminates with `Some`.
         band = (band * 2).min(longest);
     }
 }
@@ -83,41 +92,62 @@ pub(crate) fn levenshtein(a: &[char], b: &[char]) -> usize {
 /// cannot leave that corridor, so the corridor value at the corner is
 /// the true distance whenever it comes out `≤ band`.
 fn banded_distance(a: &[char], b: &[char], band: usize) -> Option<usize> {
-    let (la, lb) = (a.len(), b.len());
+    banded_distance_over(a.iter().copied(), a.len(), b, band)
+}
+
+/// [`banded_distance`] with `a` supplied as a char stream of known
+/// length `la` — the whole-document `cer` path hands the reference in
+/// straight from the string, since the DP only ever walks `a`
+/// sequentially, one row per character.
+fn banded_distance_over<I>(a: I, la: usize, b: &[char], band: usize) -> Option<usize>
+where
+    I: Iterator<Item = char>,
+{
+    let lb = b.len();
     if la.abs_diff(lb) > band {
         return None;
     }
     // Out-of-corridor cells read as INF; `/2` leaves room for the +1s.
     const INF: usize = usize::MAX / 2;
-    let mut prev: Vec<usize> = vec![INF; lb + 1];
-    let mut curr: Vec<usize> = vec![INF; lb + 1];
-    for (j, p) in prev.iter_mut().enumerate().take(lb.min(band) + 1) {
+    // Corridor-indexed rows: row `i` holds DP cells `j` in
+    // `[i − band, i + band]` at index `j + band − i`, so the rows are
+    // `O(band)` wide instead of `O(lb)`. On a large, low-error document
+    // (the `cer` phase's whole-filing query) full-width rows were the
+    // digitizer's last document-sized transient; corridor rows scale
+    // with the error count instead. The `+ 2` width leaves a
+    // permanently-INF slot past the right flank so the recurrence can
+    // read one cell beyond the corridor unguarded.
+    let width = 2 * band + 2;
+    let mut prev: Vec<usize> = vec![INF; width];
+    let mut curr: Vec<usize> = vec![INF; width];
+    for (j, p) in prev.iter_mut().skip(band).take(lb.min(band) + 1).enumerate() {
         *p = j;
     }
-    for i in 1..=la {
+    for (i1, ca) in a.enumerate() {
+        let i = i1 + 1;
         let lo = i.saturating_sub(band);
         let hi = (i + band).min(lb);
-        // The row is reused across iterations, so the cells flanking
-        // this row's corridor must be re-poisoned or the next row would
-        // read a stale value through them.
-        if lo > 0 {
-            curr[lo - 1] = INF;
-        }
-        if hi < lb {
-            curr[hi + 1] = INF;
-        }
+        curr.fill(INF);
         if lo == 0 {
-            curr[0] = i;
+            // Column 0 of row `i` sits at index `band − i` (in range
+            // exactly when the corridor still touches the left edge).
+            curr[band - i] = i;
         }
         for j in lo.max(1)..=hi {
-            let cost = usize::from(a[i - 1] != b[j - 1]);
-            curr[j] = (prev[j] + 1)
-                .min(curr[j - 1] + 1)
-                .min(prev[j - 1] + cost);
+            // (i−1, j) is this index + 1 in `prev`; (i−1, j−1) is the
+            // same index in `prev`; (i, j−1) is the index below in
+            // `curr` — INF when `j − 1` falls off the corridor's left
+            // edge (index 0 holds `j = i − band`, the edge itself).
+            let idx = j + band - i;
+            let cost = usize::from(ca != b[j - 1]);
+            let left = if idx == 0 { INF } else { curr[idx - 1] };
+            curr[idx] = (prev[idx + 1] + 1)
+                .min(left + 1)
+                .min(prev[idx] + cost);
         }
         std::mem::swap(&mut prev, &mut curr);
     }
-    let d = prev[lb];
+    let d = prev[lb + band - la];
     (d <= band).then_some(d)
 }
 

@@ -91,6 +91,19 @@ pub struct OcrScratch {
     line_conf: Vec<f64>,
 }
 
+impl OcrScratch {
+    /// The row recognized by the last [`OcrEngine::recognize_row_into`]
+    /// (trailing grid padding trimmed).
+    pub fn line(&self) -> &str {
+        &self.line
+    }
+
+    /// Per-character confidences aligned with [`OcrScratch::line`].
+    pub fn line_conf(&self) -> &[f64] {
+        &self.line_conf
+    }
+}
+
 /// A template-matching OCR engine over the built-in font.
 #[derive(Debug, Clone)]
 pub struct OcrEngine {
@@ -102,6 +115,32 @@ pub struct OcrEngine {
     /// the incumbent best is skipped without changing the result.
     caps: Vec<[f64; CELL_BITS + 1]>,
     config: EngineConfig,
+}
+
+/// [`OcrOutput`] with the confidence vector pre-reduced to its mean's
+/// ingredients — the allocation-lean shape [`OcrEngine::recognize_lean`]
+/// returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeanOcrOutput {
+    /// Recognized text, one string with `\n` between page lines.
+    pub text: String,
+    /// Sum of the per-character confidences, accumulated in page order
+    /// (bit-identical to summing [`OcrOutput::confidences`]).
+    pub conf_sum: f64,
+    /// Recognized (non-newline) character count.
+    pub chars: usize,
+}
+
+impl LeanOcrOutput {
+    /// Mean confidence across all recognized characters (1.0 for an
+    /// empty page) — exactly [`OcrOutput::mean_confidence`].
+    pub fn mean_confidence(&self) -> f64 {
+        if self.chars == 0 {
+            1.0
+        } else {
+            self.conf_sum / self.chars as f64
+        }
+    }
 }
 
 impl Default for OcrEngine {
@@ -151,42 +190,47 @@ impl OcrEngine {
     /// time into `scratch` (cache-order page reads) and matched as
     /// packed words. Output is identical to [`OcrEngine::recognize`].
     pub fn recognize_with(&self, page: &Bitmap, scratch: &mut OcrScratch) -> OcrOutput {
+        let mut confidences = Vec::new();
+        let text = self.recognize_core(page, scratch, |line_conf| {
+            confidences.extend_from_slice(line_conf);
+        });
+        OcrOutput { text, confidences }
+    }
+
+    /// [`OcrEngine::recognize_with`] for callers that need only the
+    /// text and the confidence *mean*: per-line confidences are folded
+    /// into a running sum (in the same left-to-right order, so the mean
+    /// is bit-identical to [`OcrOutput::mean_confidence`]) instead of
+    /// being materialized as a document-sized `Vec<f64>` — on a large
+    /// filing that vector rivals the page bitmap, and the digitizer's
+    /// peak memory budget is per-shard.
+    pub fn recognize_lean(&self, page: &Bitmap, scratch: &mut OcrScratch) -> LeanOcrOutput {
+        let mut conf_sum = 0.0f64;
+        let mut chars = 0usize;
+        let text = self.recognize_core(page, scratch, |line_conf| {
+            for &c in line_conf {
+                conf_sum += c;
+            }
+            chars += line_conf.len();
+        });
+        LeanOcrOutput { text, conf_sum, chars }
+    }
+
+    /// The recognition loop shared by [`OcrEngine::recognize_with`] and
+    /// [`OcrEngine::recognize_lean`]: `sink` observes each page line's
+    /// confidences (post-trim, in page order) as they are produced.
+    fn recognize_core<F: FnMut(&[f64])>(
+        &self,
+        page: &Bitmap,
+        scratch: &mut OcrScratch,
+        mut sink: F,
+    ) -> String {
         let (rows, cols) = grid_dims(page);
         let mut text = String::new();
-        let mut confidences = Vec::new();
         for row in 0..rows {
-            pack_cell_row(page, row, cols, &mut scratch.cells);
-            scratch.line.clear();
-            scratch.line_conf.clear();
-            for &cell in &scratch.cells {
-                let ink = cell.count_ones();
-                if (ink as usize) < self.config.min_ink {
-                    scratch.line.push(' ');
-                    scratch.line_conf.push(1.0);
-                    continue;
-                }
-                let (ch, score) = self.match_packed(cell, ink);
-                if score < self.config.min_score {
-                    // Too weak a match for any glyph: treat as speckle.
-                    scratch.line.push(' ');
-                    scratch.line_conf.push(score);
-                } else {
-                    scratch.line.push(ch);
-                    scratch.line_conf.push(score);
-                }
-            }
-            // Trim trailing spaces (grid padding), along with their
-            // confidences. Confidences align with *characters*, so the
-            // truncation count is chars of the trimmed line — its byte
-            // length over-counts as soon as the line holds a multi-byte
-            // glyph like `—`.
-            let trimmed = scratch.line.trim_end();
-            let keep_chars = trimmed.chars().count();
-            let keep_bytes = trimmed.len();
-            scratch.line_conf.truncate(keep_chars);
-            scratch.line.truncate(keep_bytes);
+            self.recognize_row_into(page, row, cols, scratch);
             text.push_str(&scratch.line);
-            confidences.extend_from_slice(&scratch.line_conf);
+            sink(&scratch.line_conf);
             if row + 1 < rows {
                 text.push('\n');
             }
@@ -195,7 +239,50 @@ impl OcrEngine {
         while text.ends_with('\n') {
             text.pop();
         }
-        OcrOutput { text, confidences }
+        text
+    }
+
+    /// Recognizes text row `row` of `page` into `scratch.line` /
+    /// `scratch.line_conf` (trailing grid-padding spaces trimmed, with
+    /// their confidences). The row-at-a-time unit the full-page loop
+    /// and the strip-streamed digitizer ([`crate::stream`]) share.
+    pub fn recognize_row_into(
+        &self,
+        page: &Bitmap,
+        row: usize,
+        cols: usize,
+        scratch: &mut OcrScratch,
+    ) {
+        pack_cell_row(page, row, cols, &mut scratch.cells);
+        scratch.line.clear();
+        scratch.line_conf.clear();
+        for &cell in &scratch.cells {
+            let ink = cell.count_ones();
+            if (ink as usize) < self.config.min_ink {
+                scratch.line.push(' ');
+                scratch.line_conf.push(1.0);
+                continue;
+            }
+            let (ch, score) = self.match_packed(cell, ink);
+            if score < self.config.min_score {
+                // Too weak a match for any glyph: treat as speckle.
+                scratch.line.push(' ');
+                scratch.line_conf.push(score);
+            } else {
+                scratch.line.push(ch);
+                scratch.line_conf.push(score);
+            }
+        }
+        // Trim trailing spaces (grid padding), along with their
+        // confidences. Confidences align with *characters*, so the
+        // truncation count is chars of the trimmed line — its byte
+        // length over-counts as soon as the line holds a multi-byte
+        // glyph like `—`.
+        let trimmed = scratch.line.trim_end();
+        let keep_chars = trimmed.chars().count();
+        let keep_bytes = trimmed.len();
+        scratch.line_conf.truncate(keep_chars);
+        scratch.line.truncate(keep_bytes);
     }
 
     /// Best glyph for a flat pixel cell: maximizes the F1-style

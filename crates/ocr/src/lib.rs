@@ -41,8 +41,10 @@ pub mod font;
 pub mod metrics;
 pub mod noise;
 pub mod raster;
+pub mod stream;
 
 pub use correct::{Corrector, TokenRepair};
-pub use engine::{OcrEngine, OcrOutput, OcrScratch};
+pub use engine::{LeanOcrOutput, OcrEngine, OcrOutput, OcrScratch};
 pub use noise::NoiseModel;
 pub use raster::{rasterize, rasterize_into, Bitmap};
+pub use stream::{digitize_streamed, StreamScratch};

@@ -9,37 +9,71 @@ pub const CELL_W: usize = GLYPH_W + 1;
 pub const CELL_H: usize = GLYPH_H + 3;
 
 /// A monochrome bitmap, row-major, `true` = ink.
+///
+/// Pixels are stored bit-packed, 64 per `u64` word, with each pixel
+/// row padded out to a whole word. A page bitmap is the largest
+/// transient the digitizer allocates — it scales with the biggest
+/// document in a shard — so the 8× saving over byte-per-pixel storage
+/// is what keeps per-shard peak memory flat as the corpus grows.
+/// Padding bits past `width` are kept zero by every mutator, so
+/// word-level operations (`ink`, equality) need no masking.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bitmap {
     width: usize,
     height: usize,
-    pixels: Vec<bool>,
+    /// Words per pixel row: `ceil(width / 64)`.
+    words_per_row: usize,
+    words: Vec<u64>,
 }
 
 impl Bitmap {
     /// An all-white bitmap.
     pub fn blank(width: usize, height: usize) -> Bitmap {
+        let words_per_row = width.div_ceil(64);
         Bitmap {
             width,
             height,
-            pixels: vec![false; width * height],
+            words_per_row,
+            words: vec![0; words_per_row * height],
         }
     }
 
     /// Resets this bitmap to an all-white `width × height` page,
-    /// reusing the existing pixel buffer. This is the scratch-reuse
+    /// reusing the existing word buffer. This is the scratch-reuse
     /// path of the digitizer: one bitmap serves every document a
     /// worker processes instead of a fresh allocation per page.
     pub fn reset(&mut self, width: usize, height: usize) {
         self.width = width;
         self.height = height;
-        self.pixels.clear();
-        self.pixels.resize(width * height, false);
+        self.words_per_row = width.div_ceil(64);
+        self.words.clear();
+        self.words.resize(self.words_per_row * height, 0);
     }
 
-    /// One pixel row as a slice (`y` must be in bounds).
-    fn row(&self, y: usize) -> &[bool] {
-        &self.pixels[y * self.width..(y + 1) * self.width]
+    /// Up to 64 pixels of row `y` starting at `x0`, packed with bit
+    /// `i` carrying pixel `x0 + i`. Out-of-bounds pixels read white,
+    /// exactly like [`Bitmap::get`]. `n` must be at most 64.
+    fn row_bits(&self, y: usize, x0: usize, n: usize) -> u64 {
+        debug_assert!(n <= 64);
+        if y >= self.height || x0 >= self.width {
+            return 0;
+        }
+        let base = y * self.words_per_row;
+        let wi = x0 >> 6;
+        let off = x0 & 63;
+        let lo = self.words[base + wi] >> off;
+        let hi = if off > 0 && wi + 1 < self.words_per_row {
+            self.words[base + wi + 1] << (64 - off)
+        } else {
+            0
+        };
+        let avail = (self.width - x0).min(n);
+        let bits = lo | hi;
+        if avail >= 64 {
+            bits
+        } else {
+            bits & ((1u64 << avail) - 1)
+        }
     }
 
     /// Width in pixels.
@@ -55,7 +89,7 @@ impl Bitmap {
     /// The pixel at `(x, y)`; out-of-bounds reads are white.
     pub fn get(&self, x: usize, y: usize) -> bool {
         if x < self.width && y < self.height {
-            self.pixels[y * self.width + x]
+            self.words[y * self.words_per_row + (x >> 6)] >> (x & 63) & 1 == 1
         } else {
             false
         }
@@ -64,20 +98,24 @@ impl Bitmap {
     /// Sets the pixel at `(x, y)` (out-of-bounds writes are ignored).
     pub fn set(&mut self, x: usize, y: usize, ink: bool) {
         if x < self.width && y < self.height {
-            self.pixels[y * self.width + x] = ink;
+            let w = &mut self.words[y * self.words_per_row + (x >> 6)];
+            if ink {
+                *w |= 1 << (x & 63);
+            } else {
+                *w &= !(1 << (x & 63));
+            }
         }
     }
 
     /// Total inked pixels.
     pub fn ink(&self) -> usize {
-        self.pixels.iter().filter(|&&p| p).count()
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Flips the pixel at `(x, y)`.
     pub fn flip(&mut self, x: usize, y: usize) {
         if x < self.width && y < self.height {
-            let i = y * self.width + x;
-            self.pixels[i] = !self.pixels[i];
+            self.words[y * self.words_per_row + (x >> 6)] ^= 1 << (x & 63);
         }
     }
 
@@ -123,6 +161,29 @@ pub fn rasterize_into(text: &str, bmp: &mut Bitmap) {
                         if ink {
                             bmp.set(ox + gx, oy + gy, true);
                         }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rasterizes a single text line as one `CELL_H`-row strip of a page
+/// whose total pixel width is `width` (the full page's width, so short
+/// lines keep their right-hand blank padding). Strip `k` of
+/// [`rasterize`]'s page — pixel rows `k·CELL_H .. (k+1)·CELL_H` — is
+/// bit-identical to `rasterize_line_into(lines[k], width, ...)`, which
+/// is what lets the streamed digitizer process a document one line at
+/// a time without ever holding the whole page.
+pub fn rasterize_line_into(line: &str, width: usize, bmp: &mut Bitmap) {
+    bmp.reset(width, CELL_H);
+    for (col, ch) in line.chars().enumerate() {
+        if let Some(g) = glyph_for(ch) {
+            let ox = col * CELL_W;
+            for (gy, grow) in g.pixels.iter().enumerate() {
+                for (gx, &ink) in grow.iter().enumerate() {
+                    if ink {
+                        bmp.set(ox + gx, gy, true);
                     }
                 }
             }
@@ -185,16 +246,9 @@ pub fn pack_cell_row(bmp: &Bitmap, row: usize, cols: usize, out: &mut Vec<u64>) 
         if y >= bmp.height() {
             break;
         }
-        let px = bmp.row(y);
         let shift = gy * GLYPH_W;
         for (col, word) in out.iter_mut().enumerate() {
-            let ox = col * CELL_W;
-            let mut rowbits = 0u64;
-            for x in 0..GLYPH_W {
-                if ox + x < px.len() && px[ox + x] {
-                    rowbits |= 1 << x;
-                }
-            }
+            let rowbits = bmp.row_bits(y, col * CELL_W, GLYPH_W);
             *word |= rowbits << shift;
         }
     }

@@ -40,7 +40,7 @@ mod pool;
 mod timeline;
 
 pub use pool::{
-    available_jobs, par_map_catch, par_map_catch_timed, par_map_indexed, par_map_indexed_timed,
-    resolve_jobs, TaskPanic,
+    available_jobs, par_map_catch, par_map_catch_timed, par_map_coarse_catch_timed,
+    par_map_indexed, par_map_indexed_timed, resolve_jobs, TaskPanic,
 };
 pub use timeline::{PoolCall, TaskObserver, TaskSpan, TaskTimeline, WorkerStats};

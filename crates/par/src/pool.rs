@@ -142,9 +142,50 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_chunked_timed(jobs, items, chunk_len(items.len()), f, timeline, label)
+}
+
+/// The coarse scheduling form: every item is its own chunk, so at most
+/// `jobs` items are ever in flight at once. This is the shard-level
+/// scheduler — each item is a whole pipeline shard whose working set is
+/// the thing being memory-bounded, so pairing items (the fine-grained
+/// [`chunk_len`] floor) would double peak RSS for no scheduling win at
+/// shard counts of a few dozen. Determinism is unchanged: the partition
+/// is still a pure function of `items.len()`, results land in
+/// per-item slots, and output order is input order.
+pub fn par_map_coarse_catch_timed<T, R, F>(
+    jobs: usize,
+    items: &[T],
+    f: F,
+    timeline: &TaskTimeline,
+    label: &str,
+) -> Vec<Result<R, TaskPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_chunked_timed(jobs, items, 1, f, timeline, label)
+}
+
+/// Shared body of the fine- and coarse-grained maps: the chunk length
+/// is a caller-supplied pure function of the input (never of `jobs`).
+fn par_map_chunked_timed<T, R, F>(
+    jobs: usize,
+    items: &[T],
+    chunk: usize,
+    f: F,
+    timeline: &TaskTimeline,
+    label: &str,
+) -> Vec<Result<R, TaskPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
     let jobs = resolve_jobs(jobs).min(n.max(1));
-    let chunk = chunk_len(n);
+    let chunk = chunk.clamp(1, n.max(1));
     let n_chunks = n.div_ceil(chunk);
     let call = timeline.begin_call(label, jobs.max(1), chunk, n_chunks, n);
     if jobs <= 1 {
@@ -433,6 +474,53 @@ mod tests {
                 assert_eq!(stolen, 0, "sequential path cannot steal");
             }
         }
+    }
+
+    #[test]
+    fn coarse_map_runs_one_item_per_chunk() {
+        let items: Vec<u64> = (0..23).collect();
+        for jobs in [1usize, 4] {
+            let timeline = TaskTimeline::new();
+            let out = par_map_coarse_catch_timed(
+                jobs,
+                &items,
+                |i, &x| {
+                    assert_eq!(i as u64, x);
+                    x * 2
+                },
+                &timeline,
+                "shard_test",
+            );
+            let values: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(values, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+            let tasks = timeline.tasks();
+            assert_eq!(tasks.len(), items.len(), "jobs = {jobs}");
+            assert!(tasks.iter().all(|t| t.len == 1), "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn coarse_map_bounds_concurrent_items() {
+        // With `jobs` workers and one item per chunk, no more than
+        // `jobs` items may ever be in flight simultaneously — this is
+        // the peak-memory bound sharded execution relies on.
+        let jobs = 3usize;
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..48).collect();
+        par_map_coarse_catch_timed(
+            jobs,
+            &items,
+            |_, _| {
+                let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            },
+            &TaskTimeline::disabled(),
+            "shard_test",
+        );
+        assert!(peak.load(Ordering::SeqCst) <= jobs);
     }
 
     #[test]

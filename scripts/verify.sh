@@ -20,9 +20,13 @@
 # --jobs clean and under chaos, the clean run gated by the default
 # health rules, a heavy chaos run required to breach them, and the
 # crash campaign's postmortem dump required to doctor to its seeded
-# abort stage), and the perf-regression gate (fresh parbench/repro
-# measurements vs the committed BENCH_*.json baselines, including the
-# 2% obs-overhead ceiling; tolerance via DISENGAGE_BENCH_TOLERANCE).
+# abort stage), a sharded-cache incremental smoke (a run excluding one
+# shard cold-populates the other 17; the following full run must
+# replay those 17 from cache and compute exactly the one new shard),
+# and the perf-regression gate (fresh parbench/repro measurements —
+# including the --scale-stress peak-RSS ladder — vs the committed
+# BENCH_*.json baselines, with the 2% obs-overhead and 1.25x
+# stress-RSS ceilings; tolerance via DISENGAGE_BENCH_TOLERANCE).
 # No network access is required at any step.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -136,18 +140,45 @@ echo "== artifact cache: warm hits visible in telemetry, no misses =="
 cargo run --release --offline -p disengage-bench --bin repro -- \
     table1 --scale=0.2 --cache-dir=.disengage-cache \
     --telemetry=json --lineage=lineage.jsonl > /dev/null
-grep -q '"cache.hit.corpus":1' repro_metrics.json || {
-    echo "verify: warm run reported no Stage I cache hit" >&2
+grep -q '"cache.hit.corpus":18' repro_metrics.json || {
+    echo "verify: warm run did not hit all 18 Stage I shard artifacts" >&2
     exit 1
 }
-grep -q '"cache.hit.normalize":1' repro_metrics.json || {
-    echo "verify: warm run reported no Stage II cache hit" >&2
+grep -q '"cache.hit.normalize":18' repro_metrics.json || {
+    echo "verify: warm run did not hit all 18 Stage II shard artifacts" >&2
     exit 1
 }
 if grep -q '"cache.miss' repro_metrics.json; then
     echo "verify: warm run still missed the cache" >&2
     exit 1
 fi
+
+echo "== sharded cache: a one-shard change replays every other shard =="
+# Cold-populate every shard except waymo_2016 via the exclusion
+# filter, then run the full corpus against the same directory: 17 of
+# the 18 shards must replay from cache and only the missing shard may
+# compute — the incremental-ingest contract (adding one filing year
+# re-OCRs one shard, not a million miles of corpus).
+rm -rf .disengage-shard-cache
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    table1 --scale=0.1 --cache-dir=.disengage-shard-cache \
+    --shards=-waymo_2016 --telemetry=json > /dev/null
+cargo run --release --offline -p disengage-bench --bin repro -- \
+    table1 --scale=0.1 --cache-dir=.disengage-shard-cache \
+    --telemetry=json > /dev/null
+grep -q '"cache.hit.corpus":17' repro_metrics.json || {
+    echo "verify: incremental run did not replay the 17 unchanged shards" >&2
+    exit 1
+}
+grep -q '"cache.miss.corpus":1' repro_metrics.json || {
+    echo "verify: incremental run did not compute exactly the one new shard" >&2
+    exit 1
+}
+grep -q '"cache.miss.normalize":1' repro_metrics.json || {
+    echo "verify: incremental run recomputed more than the new shard's parse" >&2
+    exit 1
+}
+rm -rf .disengage-shard-cache
 
 echo "== artifact cache: corrupted artifact recomputes, never crashes =="
 # Startup recovery frame-validates every committed artifact and removes
@@ -286,13 +317,16 @@ cargo run --release --offline --bin disengage -- \
 cargo run --release --offline --bin disengage -- check-folded profile.folded
 rm -f profile.folded
 
-echo "== parallel speedup bench (enforced on 4+ cores) =="
+echo "== parallel speedup bench + scale-stress ladder (enforced on 4+ cores) =="
 # Measures the full jobs x scale speedup curve and enforces byte-
 # identity at every point. The 1.5x floor at default jobs needs 4+
 # cores; below that parbench prints a loud SKIPPED notice and the
-# identity checks still gate.
+# identity checks still gate. --scale-stress appends the peak-RSS
+# ladder (one child process per scale point): memory must stay flat
+# across 8x corpus growth, gated below by the 1.25x stress_rss_ratio
+# ceiling.
 cargo run --release --offline -p disengage-bench --bin parbench -- \
-    --require-speedup --out=BENCH_par.candidate.json
+    --require-speedup --scale-stress --out=BENCH_par.candidate.json
 
 echo "== perf-regression gate: candidates vs committed baselines =="
 # A fresh measurement must stay within tolerance of the committed

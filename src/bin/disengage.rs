@@ -12,6 +12,9 @@
 //! disengage check-trace <file>           # validate a Chrome trace export
 //! disengage profile                      # self-profile the OCR pipeline
 //! disengage check-folded <file>          # validate a folded-stack export
+//! disengage doctor [flight.json]         # flight-recorder postmortem
+//! disengage health                       # run and gate on health rules
+//! disengage check-prom <file>            # validate Prometheus exposition
 //! ```
 //!
 //! Flag parsing is shared with the `repro` harness
@@ -117,6 +120,9 @@ fn run(args: &CommonArgs) -> Result<ExitCode, String> {
     }
     if let Some(cap) = args.cache_cap {
         config = config.with_cache_cap(cap);
+    }
+    if let Some(shards) = &args.shards {
+        config = config.with_shards(shards.clone());
     }
     let obs = Collector::new();
     // `explain` always traces (it has nothing to show otherwise); other

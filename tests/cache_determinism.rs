@@ -100,11 +100,12 @@ fn warm_equals_cold_passthrough() {
 
     let (_, cold) = run_traced(&config);
     // Passthrough digitization is never store-cached, so three stages
-    // miss cold and hit warm.
-    assert_eq!((cold.hits, cold.misses), (0, 3));
+    // miss cold and hit warm — once per shard (18 manufacturer × year
+    // cells).
+    assert_eq!((cold.hits, cold.misses), (0, 3 * 18));
 
     let (_, warm) = run_traced(&config);
-    assert_eq!((warm.hits, warm.misses), (3, 0));
+    assert_eq!((warm.hits, warm.misses), (3 * 18, 0));
     assert_eq!(warm.corrupt, 0);
     assert_identical(&cold, &warm);
 }
@@ -125,11 +126,11 @@ fn warm_equals_cold_under_chaos_ocr_and_any_worker_count() {
     // not part of any cache key, so the warm run must both find the
     // artifacts and replay them byte-identically.
     let (cold_o, cold) = run_traced(&config.clone().with_jobs(0));
-    assert_eq!((cold.hits, cold.misses), (0, 4));
+    assert_eq!((cold.hits, cold.misses), (0, 4 * 18));
     assert!(cold_o.chaos.is_some(), "chaos audit must survive the run");
 
     let (warm_o, warm) = run_traced(&config.clone().with_jobs(1));
-    assert_eq!((warm.hits, warm.misses), (4, 0));
+    assert_eq!((warm.hits, warm.misses), (4 * 18, 0));
     assert_identical(&cold, &warm);
     // The chaos audit itself is part of the cached normalize artifact.
     assert_eq!(
@@ -153,11 +154,12 @@ fn stage_iii_change_still_replays_stages_i_and_ii() {
         .with_cache_dir(cache.path());
 
     let (_, cold) = run_traced(&config);
-    assert_eq!((cold.hits, cold.misses), (0, 4));
+    assert_eq!((cold.hits, cold.misses), (0, 4 * 18));
 
-    // A dictionary edit is a pure Stage III change: corpus, digitize
-    // (the expensive OCR pass), and normalize all replay from cache;
-    // only tag recomputes under its new key.
+    // A dictionary edit is a pure Stage III change: every shard's
+    // corpus, digitize (the expensive OCR pass), and normalize
+    // artifacts replay from cache; only tag recomputes under its new
+    // key.
     let mut dict = FailureDictionary::default_bank();
     dict.add_phrase(FaultTag::ALL[0], "entirely novel failure phrase");
     let obs = Collector::new();
@@ -165,10 +167,10 @@ fn stage_iii_change_still_replays_stages_i_and_ii() {
     let o = RunSession::with_classifier(config.clone(), Classifier::new(dict))
         .run_traced(&obs, &trace)
         .expect("session runs");
-    assert_eq!(o.telemetry.counter("cache.hit"), 3);
-    assert_eq!(o.telemetry.counter("cache.miss"), 1);
-    assert_eq!(o.telemetry.counter("cache.hit.digitize"), 1, "OCR was skipped");
-    assert_eq!(o.telemetry.counter("cache.miss.tag"), 1);
+    assert_eq!(o.telemetry.counter("cache.hit"), 3 * 18);
+    assert_eq!(o.telemetry.counter("cache.miss"), 18);
+    assert_eq!(o.telemetry.counter("cache.hit.digitize"), 18, "OCR was skipped");
+    assert_eq!(o.telemetry.counter("cache.miss.tag"), 18);
 }
 
 #[test]
@@ -188,7 +190,7 @@ fn corrupted_artifacts_recompute_silently_and_identically() {
             files.push(entry.expect("dir entry").path());
         }
     }
-    assert_eq!(files.len(), 3, "one artifact per store-cached stage");
+    assert_eq!(files.len(), 3 * 18, "one artifact per store-cached stage per shard");
     files.sort();
     let original = std::fs::read(&files[0]).expect("artifact readable");
     std::fs::write(&files[0], &original[..original.len() / 2]).expect("truncate");
@@ -204,12 +206,12 @@ fn corrupted_artifacts_recompute_silently_and_identically() {
     // the cold run's exact bytes.
     let (_, damaged) = run_traced(&config);
     assert_eq!(damaged.torn_reclaimed, 3, "every vandalized artifact reclaimed");
-    assert_eq!((damaged.hits, damaged.misses), (0, 3));
+    assert_eq!((damaged.hits, damaged.misses), (3 * 18 - 3, 3));
     assert_identical(&cold, &damaged);
 
     // And it healed the store: the next run hits everything again.
     let (_, healed) = run_traced(&config);
-    assert_eq!((healed.hits, healed.misses, healed.corrupt), (3, 0, 0));
+    assert_eq!((healed.hits, healed.misses, healed.corrupt), (3 * 18, 0, 0));
     assert_eq!(healed.torn_reclaimed, 0);
     assert_identical(&cold, &healed);
 }
@@ -239,14 +241,14 @@ fn interrupted_run_resumes_byte_identically() {
         "{err:?}"
     );
 
-    // The restart: same directory, no abort. Corpus and normalize
-    // replay from the crashed run's commits (passthrough digitize is
-    // never store-cached), tag recomputes, and every byte matches the
-    // run that never crashed.
+    // The restart: same directory, no abort. Every shard's corpus and
+    // normalize artifacts replay from the crashed run's commits
+    // (passthrough digitize is never store-cached), tag recomputes,
+    // and every byte matches the run that never crashed.
     let mut resume = config;
     resume.abort_after = None;
     let (_, warm) = run_traced(&resume);
-    assert_eq!((warm.hits, warm.misses), (2, 1));
+    assert_eq!((warm.hits, warm.misses), (2 * 18, 18));
     assert_identical(&cold, &warm);
 }
 

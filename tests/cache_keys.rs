@@ -160,10 +160,10 @@ fn lineage_recording_is_part_of_every_key() {
 fn golden_fingerprints_are_pinned() {
     let passthrough = keys(base());
     let golden_passthrough = [
-        (Stage::Corpus, "880fd8a5195c4527"),
-        (Stage::Digitize, "94ed199efec83d55"),
-        (Stage::Normalize, "5ed0327b20a6dcd7"),
-        (Stage::Tag, "d009457664877f80"),
+        (Stage::Corpus, "37f4214efaa298bc"),
+        (Stage::Digitize, "540eef2b11c2c9db"),
+        (Stage::Normalize, "3ba7523f3ccf2c4b"),
+        (Stage::Tag, "d7278b032e90e16c"),
     ];
     for (stage, hex) in golden_passthrough {
         assert_eq!(
@@ -183,10 +183,10 @@ fn golden_fingerprints_are_pinned() {
             .with_chaos(FaultPlan::new(0.05, 7)),
     );
     let golden_chaos = [
-        (Stage::Corpus, "880fd8a5195c4527"),
-        (Stage::Digitize, "b06948bd12ef18ec"),
-        (Stage::Normalize, "711cce43dd5f1d8b"),
-        (Stage::Tag, "6353fe9c080ef1f7"),
+        (Stage::Corpus, "37f4214efaa298bc"),
+        (Stage::Digitize, "29f545f648d60fbe"),
+        (Stage::Normalize, "b5046a5f536a9d69"),
+        (Stage::Tag, "2334a082bbabdadb"),
     ];
     for (stage, hex) in golden_chaos {
         assert_eq!(

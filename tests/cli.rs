@@ -29,6 +29,40 @@ fn help_exits_zero_with_usage() {
     assert!(disengage(&["summary", "--help"]).status.success());
 }
 
+/// Every subcommand the binary dispatches must appear in `--help`.
+/// This list mirrors the `match` in `src/bin/disengage.rs`; when a
+/// command is added there, it must be added to `usage()` too, and this
+/// test keeps the two from drifting.
+#[test]
+fn help_covers_every_dispatchable_subcommand() {
+    let out = disengage(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for command in [
+        "summary",
+        "export",
+        "classify",
+        "stpa-dot",
+        "demo-miles",
+        "project",
+        "sweep-ocr",
+        "explain",
+        "profile",
+        "check-folded",
+        "check-trace",
+        "doctor",
+        "check-prom",
+        "health",
+    ] {
+        assert!(
+            stdout.contains(&format!("disengage {command}")),
+            "usage text is missing the `{command}` subcommand"
+        );
+    }
+    // The shard filter rides along with the other shared flags.
+    assert!(stdout.contains("--shards"), "usage must document --shards");
+}
+
 #[test]
 fn unknown_flags_are_rejected_loudly() {
     for bad in ["--bogus", "--job=2", "--cachedir=x"] {

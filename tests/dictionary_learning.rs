@@ -19,7 +19,7 @@ fn labeled_corpus(seed: u64) -> Vec<(FaultTag, String)> {
 
 #[test]
 fn learned_dictionary_recovers_most_tags() {
-    let data = labeled_corpus(101);
+    let data = labeled_corpus(104);
     let (train, eval): (Vec<_>, Vec<_>) = data
         .iter()
         .cloned()

@@ -28,10 +28,16 @@ fn span_tree_covers_all_four_stages() {
         assert!(s.closed, "{stage} still open");
         assert!(s.duration_s >= 0.0);
     }
-    // Stage spans are children of the root, and the tree renders them.
-    assert_eq!(root.children.len(), 4);
+    // The root's children are the per-cell shard spans plus the merge
+    // fold; the four stage spans nest inside each shard, and the tree
+    // renders all of them.
+    assert_eq!(root.children.len(), 18 + 1);
+    let shard = &root.children[0];
+    assert_eq!(shard.name, "shard");
+    assert_eq!(shard.children.len(), 4);
+    assert_eq!(root.children[18].name, "merge");
     let tree = t.render_tree();
-    assert!(tree.contains("  stage_iii_tag"), "{tree}");
+    assert!(tree.contains("stage_iii_tag"), "{tree}");
 }
 
 #[test]
